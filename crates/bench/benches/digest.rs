@@ -1,0 +1,25 @@
+#![allow(missing_docs)] // criterion macros generate undocumented items
+//! Digest benchmarks: the from-scratch MD5 against FNV-1a across the
+//! buffer sizes namespace summaries actually hash (24-byte leaf tuples
+//! up to multi-kilobyte child-digest concatenations).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sstp::digest::{fnv1a64, md5};
+
+fn benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("digest");
+    for &size in &[24usize, 256, 4096] {
+        let data = vec![0xabu8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::new("md5", size), &data, |b, d| {
+            b.iter(|| md5(d));
+        });
+        group.bench_with_input(BenchmarkId::new("fnv1a64", size), &data, |b, d| {
+            b.iter(|| fnv1a64(d));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(digest_benches, benches);
+criterion_main!(digest_benches);

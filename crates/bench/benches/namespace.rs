@@ -1,0 +1,73 @@
+#![allow(missing_docs)] // criterion macros generate undocumented items
+//! Namespace benchmarks: the §6.2 operations that run per packet in a
+//! busy session — ADU updates with dirty propagation, incremental root
+//! digest recomputation, and summary-entry construction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use softstate::Key;
+use sstp::digest::HashAlgorithm;
+use sstp::namespace::{MetaTag, Namespace};
+
+/// Builds a two-level namespace with `n` ADUs across √n branches.
+fn build(n: u64) -> Namespace {
+    let mut ns = Namespace::new(HashAlgorithm::Fnv64);
+    let branches = (n as f64).sqrt() as u64;
+    let parents: Vec<_> = (0..branches)
+        .map(|i| ns.add_interior(ns.root(), MetaTag(i as u32)))
+        .collect();
+    for k in 0..n {
+        let p = parents[(k % branches) as usize];
+        ns.add_adu(p, Key(k), MetaTag((k % branches) as u32));
+    }
+    ns.root_digest();
+    ns
+}
+
+fn benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("namespace");
+    for &n in &[256u64, 4096] {
+        group.bench_with_input(
+            BenchmarkId::new("update_and_root_digest", n),
+            &n,
+            |b, &n| {
+                let mut ns = build(n);
+                let mut version = 2u64;
+                let mut key = 0u64;
+                b.iter(|| {
+                    ns.update_adu(Key(key % n), version, 1000);
+                    key += 1;
+                    version += 1;
+                    ns.root_digest()
+                });
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("summary_entries", n), &n, |b, &n| {
+            let mut ns = build(n);
+            let root = ns.root();
+            b.iter(|| ns.summary_entries(root).len());
+        });
+        group.bench_with_input(BenchmarkId::new("mirror_adu", n), &n, |b, &n| {
+            b.iter_with_setup(
+                || Namespace::new(HashAlgorithm::Fnv64),
+                |mut rx| {
+                    let branches = (n as f64).sqrt() as u16;
+                    for k in 0..512u64 {
+                        rx.mirror_adu(
+                            &[(k % u64::from(branches)) as u16],
+                            (k / u64::from(branches)) as u16,
+                            Key(k),
+                            1,
+                            1000,
+                            MetaTag(0),
+                        );
+                    }
+                    rx.root_digest()
+                },
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(namespace_benches, benches);
+criterion_main!(namespace_benches);

@@ -1,0 +1,70 @@
+#![allow(missing_docs)] // criterion macros generate undocumented items
+//! End-to-end simulation throughput: how much virtual time per wall
+//! second each protocol variant simulates. These are the runs behind all
+//! figure regeneration, so their speed bounds experiment turnaround.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use softstate::protocol::feedback::{self, FeedbackConfig};
+use softstate::protocol::open_loop::{self, OpenLoopConfig};
+use softstate::protocol::two_queue::{self, Sharing, TwoQueueConfig};
+use softstate::protocol::LossSpec;
+use softstate::{ArrivalProcess, DeathProcess, ServiceModel};
+use ss_netsim::SimDuration;
+
+const SIM_SECS: u64 = 2_000;
+
+fn benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("protocol-sim");
+    group.sample_size(10);
+
+    group.bench_function("open_loop/2000s", |b| {
+        b.iter(|| {
+            let mut cfg = OpenLoopConfig::analytic(2.0, 16.0, 0.2, 0.25, 1);
+            cfg.duration = SimDuration::from_secs(SIM_SECS);
+            open_loop::run(&cfg).transmissions
+        });
+    });
+
+    group.bench_function("two_queue/2000s", |b| {
+        b.iter(|| {
+            let cfg = TwoQueueConfig {
+                arrivals: ArrivalProcess::Poisson { rate: 1.875 },
+                death: DeathProcess::PerTransmission { p: 0.1 },
+                mu_hot: 2.8,
+                mu_cold: 2.8,
+                loss: LossSpec::Bernoulli(0.3),
+                service: ServiceModel::Exponential,
+                sharing: Sharing::Partitioned,
+                seed: 2,
+                duration: SimDuration::from_secs(SIM_SECS),
+                series_spacing: None,
+            };
+            two_queue::run(&cfg).transmissions()
+        });
+    });
+
+    group.bench_function("feedback/2000s", |b| {
+        b.iter(|| {
+            let cfg = FeedbackConfig {
+                arrivals: ArrivalProcess::Poisson { rate: 1.875 },
+                death: DeathProcess::PerTransmission { p: 0.1 },
+                mu_hot: 3.0,
+                mu_cold: 1.5,
+                mu_fb: 1.125,
+                loss: LossSpec::Bernoulli(0.4),
+                nack_loss: None,
+                service: ServiceModel::Exponential,
+                seed: 3,
+                duration: SimDuration::from_secs(SIM_SECS),
+                series_spacing: None,
+                trace_capacity: 0,
+            };
+            feedback::run(&cfg).transmissions()
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(protocol_benches, benches);
+criterion_main!(protocol_benches);

@@ -1,0 +1,35 @@
+#![allow(missing_docs)] // criterion macros generate undocumented items
+//! Whole-session throughput: wall time to simulate a 300-second SSTP
+//! session (sender, receiver, channels, adaptation, measurement) — the
+//! unit of work behind the SSTP experiments.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use softstate::LossSpec;
+use sstp::session::{self, SessionConfig};
+use ss_netsim::SimDuration;
+
+fn benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("session");
+    group.sample_size(10);
+    group.bench_function("unicast/300s", |b| {
+        b.iter(|| {
+            let mut cfg = SessionConfig::unicast_default(1);
+            cfg.duration = SimDuration::from_secs(300);
+            session::run(&cfg).packets.data_channel_tx
+        });
+    });
+    group.bench_function("multicast8/300s", |b| {
+        b.iter(|| {
+            let mut cfg = SessionConfig::unicast_default(2);
+            cfg.n_receivers = 8;
+            cfg.slot_window = Some(SimDuration::from_secs(1));
+            cfg.data_loss = LossSpec::Bernoulli(0.2);
+            cfg.duration = SimDuration::from_secs(300);
+            session::run(&cfg).packets.data_channel_tx
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(session_benches, benches);
+criterion_main!(session_benches);

@@ -1,0 +1,96 @@
+#![allow(missing_docs)] // criterion macros generate undocumented items
+//! Wire codec benchmarks: encode and decode of each SSTP packet type,
+//! including a 64-entry node summary (the heavy repair-response case).
+
+use bytes::BytesMut;
+use criterion::{criterion_group, criterion_main, Criterion};
+use softstate::Key;
+use sstp::digest::Digest;
+use sstp::namespace::MetaTag;
+use sstp::wire::{
+    DataPacket, NackPacket, NodeSummaryPacket, Packet, ReceiverReportPacket,
+    RepairQueryPacket, RootSummaryPacket, WireChildEntry,
+};
+
+fn sample_packets() -> Vec<(&'static str, Packet)> {
+    vec![
+        (
+            "data",
+            Packet::Data(DataPacket {
+                seq: 123456,
+                key: Key(42),
+                version: 7,
+                parent_path: vec![3, 1],
+                slot: 9,
+                tag: MetaTag(2),
+                offset: 0,
+                payload_len: 1000,
+                total_len: 1000,
+            }),
+        ),
+        (
+            "root_summary",
+            Packet::RootSummary(RootSummaryPacket {
+                seq: 99,
+                digest: Digest::from_u64(0xdead_beef),
+                live_adus: 512,
+            }),
+        ),
+        (
+            "node_summary_64",
+            Packet::NodeSummary(NodeSummaryPacket {
+                seq: 7,
+                path: vec![1],
+                entries: (0..64)
+                    .map(|i| WireChildEntry::Leaf {
+                        slot: i,
+                        key: Key(u64::from(i)),
+                        digest: Digest::from_u64(u64::from(i) * 7),
+                        tag: MetaTag(0),
+                    })
+                    .collect(),
+            }),
+        ),
+        (
+            "nack_16",
+            Packet::Nack(NackPacket {
+                keys: (0..16).map(Key).collect(),
+            }),
+        ),
+        (
+            "query",
+            Packet::RepairQuery(RepairQueryPacket { path: vec![1, 2, 3] }),
+        ),
+        (
+            "report",
+            Packet::ReceiverReport(ReceiverReportPacket {
+                receiver_id: 1,
+                highest_seq: 1_000_000,
+                received: 999_000,
+            }),
+        ),
+    ]
+}
+
+fn benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wire");
+    for (name, pkt) in sample_packets() {
+        group.bench_function(format!("encode/{name}"), |b| {
+            b.iter(|| {
+                let mut buf = BytesMut::with_capacity(2048);
+                pkt.encode(&mut buf);
+                buf.len()
+            });
+        });
+        let mut buf = BytesMut::new();
+        pkt.encode(&mut buf);
+        let bytes = buf.freeze();
+        group.bench_function(format!("decode/{name}"), |b| {
+            b.iter(|| Packet::decode(bytes.clone()).expect("valid"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(wire_benches, benches);
+criterion_main!(wire_benches);

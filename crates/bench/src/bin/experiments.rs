@@ -1,0 +1,70 @@
+//! The experiment CLI: regenerates every table and figure of the paper.
+//!
+//! ```text
+//! experiments list             # enumerate experiments
+//! experiments fig3             # run one (writes results/fig3_*.csv)
+//! experiments all              # run everything
+//! experiments --fast all       # shortened runs (smoke testing)
+//! ```
+
+use ss_bench::{all_experiments, find_experiment, results_dir};
+use std::time::Instant;
+
+fn usage() -> ! {
+    eprintln!("usage: experiments [--fast] <experiment-id>|all|list");
+    eprintln!("experiments:");
+    for e in all_experiments() {
+        eprintln!("  {:16} {}", e.id, e.description);
+    }
+    std::process::exit(2);
+}
+
+fn run_one(id: &str, fast: bool) {
+    let Some(exp) = find_experiment(id) else {
+        eprintln!("unknown experiment '{id}'");
+        usage();
+    };
+    let started = Instant::now();
+    println!("# {} — {}", exp.id, exp.description);
+    let tables = (exp.run)(fast);
+    let dir = results_dir();
+    for t in &tables {
+        t.print();
+        if let Err(e) = t.write_csv(&dir) {
+            eprintln!("warning: could not write {}: {e}", t.csv_name);
+        }
+    }
+    println!(
+        "# {} done in {:.1}s ({} table(s) -> {}/)\n",
+        exp.id,
+        started.elapsed().as_secs_f64(),
+        tables.len(),
+        dir.display()
+    );
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let fast = if let Some(pos) = args.iter().position(|a| a == "--fast") {
+        args.remove(pos);
+        true
+    } else {
+        false
+    };
+    let Some(target) = args.first() else { usage() };
+    match target.as_str() {
+        "list" => {
+            for e in all_experiments() {
+                println!("{:16} {}", e.id, e.description);
+            }
+        }
+        "all" => {
+            let started = Instant::now();
+            for e in all_experiments() {
+                run_one(e.id, fast);
+            }
+            println!("total: {:.1}s", started.elapsed().as_secs_f64());
+        }
+        id => run_one(id, fast),
+    }
+}

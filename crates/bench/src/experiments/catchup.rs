@@ -1,0 +1,94 @@
+//! Extension: late-joiner catch-up time — how long "eventual" takes.
+//!
+//! The paper motivates cold retransmissions "in the form of reduced
+//! average receive latency … benefit late joiners in an ongoing
+//! multicast session". The `sync_time` closed forms (max-of-geometrics)
+//! predict the full-synchronization time of a static store; this
+//! experiment validates them against the open-loop simulation across
+//! store sizes and loss rates (measured = the last record's first
+//! delivery).
+
+use crate::table::{fmt_pct, Table};
+use softstate::protocol::open_loop::{self, OpenLoopConfig};
+use softstate::protocol::LossSpec;
+use softstate::{ArrivalProcess, DeathProcess, ServiceModel};
+use ss_netsim::SimDuration;
+use ss_queueing::{expected_cycles_to_sync, expected_sync_time};
+
+const MU: f64 = 20.0; // announcements/s
+
+/// One simulated catch-up: returns the time of the last first-delivery.
+fn simulate(n: u64, p_loss: f64, seed: u64) -> f64 {
+    let cfg = OpenLoopConfig {
+        arrivals: ArrivalProcess::Bulk { count: n },
+        death: DeathProcess::Immortal,
+        mu: MU,
+        loss: LossSpec::Bernoulli(p_loss),
+        service: ServiceModel::Deterministic,
+        seed,
+        duration: SimDuration::from_secs(((n as f64 / MU) * 200.0) as u64 + 600),
+        series_spacing: None,
+    };
+    let report = open_loop::run(&cfg);
+    assert_eq!(report.stats.latency.count(), n, "all records delivered");
+    report.stats.latency.max().as_secs_f64()
+}
+
+/// Runs the experiment.
+pub fn run(fast: bool) -> Vec<Table> {
+    let mut t = Table::new(
+        "Late-joiner catch-up: analytic vs simulated full-sync time (mu = 20/s)",
+        "catchup",
+        &[
+            "records",
+            "loss",
+            "E[cycles]",
+            "analytic sync",
+            "sim mean",
+            "rel err",
+        ],
+    );
+    let cases: Vec<(u64, f64)> = if fast {
+        vec![(50, 0.3), (200, 0.5)]
+    } else {
+        vec![
+            (50, 0.1),
+            (50, 0.3),
+            (50, 0.5),
+            (200, 0.1),
+            (200, 0.3),
+            (200, 0.5),
+            (800, 0.3),
+        ]
+    };
+    let reps = if fast { 8 } else { 24 };
+    for (n, p) in cases {
+        let analytic = expected_sync_time(n, MU, p);
+        let mean_sim: f64 =
+            (0..reps).map(|r| simulate(n, p, 1000 + r)).sum::<f64>() / reps as f64;
+        let rel = (mean_sim - analytic).abs() / analytic;
+        t.push_row(vec![
+            n.to_string(),
+            fmt_pct(p),
+            format!("{:.2}", expected_cycles_to_sync(n, p)),
+            format!("{analytic:.1}s"),
+            format!("{mean_sim:.1}s"),
+            fmt_pct(rel),
+        ]);
+    }
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn smoke() {
+        let tables = super::run(true);
+        for row in &tables[0].rows {
+            let rel: f64 = row[5].trim_end_matches('%').parse::<f64>().unwrap() / 100.0;
+            // The first-order analysis should land within ~20% of the
+            // simulation (it ignores sub-cycle position effects).
+            assert!(rel < 0.20, "analysis off by {rel:.2}: {row:?}");
+        }
+    }
+}

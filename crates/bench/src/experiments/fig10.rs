@@ -1,0 +1,68 @@
+//! Figure 10 — "λ ≤ μ_hot is the optimal region beyond which the
+//! marginal benefit from additional bandwidth to the hot queue is
+//! limited and below which system consistency shows marked degradation."
+//!
+//! μ_data = 38 kbps, μ_fb = 7 kbps, loss = 10%, λ = 15 kbps: the knee
+//! sits at hot share = 15/38 ≈ 39%.
+
+use super::secs;
+use crate::table::{fmt_frac, fmt_pct, Table};
+use crate::units::pkts;
+use softstate::protocol::feedback::{self, FeedbackConfig};
+use softstate::protocol::LossSpec;
+use softstate::{ArrivalProcess, DeathProcess, ServiceModel};
+
+pub(crate) fn cfg(hot_share: f64, p_loss: f64, fast: bool) -> FeedbackConfig {
+    let mu_data = pkts(38.0);
+    FeedbackConfig {
+        arrivals: ArrivalProcess::Poisson { rate: pkts(15.0) },
+        death: DeathProcess::PerTransmission { p: 0.1 },
+        mu_hot: mu_data * hot_share,
+        mu_cold: mu_data * (1.0 - hot_share),
+        mu_fb: pkts(7.0),
+        loss: LossSpec::Bernoulli(p_loss),
+        nack_loss: None,
+        service: ServiceModel::Exponential,
+        seed: 10,
+        duration: secs(fast, 30_000),
+        series_spacing: None,
+        trace_capacity: 0,
+    }
+}
+
+/// Runs the experiment.
+pub fn run(fast: bool) -> Vec<Table> {
+    let mut t = Table::new(
+        "Figure 10: consistency vs hot share (mu_data=38kbps, mu_fb=7kbps, loss=10%, knee at 39%)",
+        "fig10",
+        &["hot share", "consistency", "hot backlog", "promotions"],
+    );
+    let shares: Vec<f64> = if fast {
+        vec![0.10, 0.50, 0.90]
+    } else {
+        (1..=9).map(|i| i as f64 * 0.10).collect()
+    };
+    for share in shares {
+        let report = feedback::run(&cfg(share, 0.10, fast));
+        t.push_row(vec![
+            fmt_pct(share),
+            fmt_frac(report.stats.consistency.busy.unwrap_or(0.0)),
+            format!("{:.1}", report.mean_hot_backlog),
+            report.promotions.to_string(),
+        ]);
+    }
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn smoke() {
+        let tables = super::run(true);
+        let rows = &tables[0].rows;
+        let c = |i: usize| -> f64 { rows[i][1].parse().unwrap() };
+        // Below the knee: degraded. Above: plateau.
+        assert!(c(1) > c(0) + 0.2, "knee: {} vs starved {}", c(1), c(0));
+        assert!((c(2) - c(1)).abs() < 0.08, "plateau: {} vs {}", c(2), c(1));
+    }
+}

@@ -1,0 +1,62 @@
+//! Figure 11 — "The loss rate limits the maximum consistency that can be
+//! attained with a given amount of total bandwidth, regardless of how it
+//! is scheduled between the hot and cold transmissions. However, the
+//! relative proportion of hot vs cold bandwidth does not significantly
+//! affect consistency, once sufficient bandwidth is available to absorb
+//! new arrivals."
+//!
+//! Same configuration as Figure 10 but one knee curve per loss rate.
+
+use crate::table::{fmt_frac, fmt_pct, Table};
+
+use super::fig10::cfg;
+use softstate::protocol::feedback;
+
+const LOSS_RATES: [f64; 5] = [0.01, 0.20, 0.30, 0.40, 0.50];
+
+/// Runs the experiment.
+pub fn run(fast: bool) -> Vec<Table> {
+    let mut t = Table::new(
+        "Figure 11: consistency vs hot share per loss rate (mu_data=38kbps, mu_fb=7kbps)",
+        "fig11",
+        &[
+            "hot share",
+            "loss=1%",
+            "loss=20%",
+            "loss=30%",
+            "loss=40%",
+            "loss=50%",
+        ],
+    );
+    let shares: Vec<f64> = if fast {
+        vec![0.10, 0.50, 0.90]
+    } else {
+        (1..=9).map(|i| i as f64 * 0.10).collect()
+    };
+    for share in shares {
+        let mut row = vec![fmt_pct(share)];
+        for p_loss in LOSS_RATES {
+            let report = feedback::run(&cfg(share, p_loss, fast));
+            row.push(fmt_frac(report.stats.consistency.busy.unwrap_or(0.0)));
+        }
+        t.push_row(row);
+    }
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn smoke() {
+        let tables = super::run(true);
+        let rows = &tables[0].rows;
+        let cell = |i: usize, j: usize| -> f64 { rows[i][j].parse().unwrap() };
+        // Loss rate caps the plateau: at the mid hot share, 1% loss must
+        // beat 50% loss.
+        assert!(cell(1, 1) > cell(1, 5), "loss cap violated");
+        // Above the knee the hot/cold split hardly matters (1% loss).
+        assert!((cell(1, 1) - cell(2, 1)).abs() < 0.08);
+        // Below the knee everything degrades (50% loss column too).
+        assert!(cell(0, 1) < cell(1, 1) - 0.2);
+    }
+}

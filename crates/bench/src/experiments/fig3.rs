@@ -1,0 +1,90 @@
+//! Figure 3 — "Consistency degrades with increasing packet loss rate and
+//! announcement death rate."
+//!
+//! Paper parameters: λ = 20 kbps, μ_ch = 128 kbps; curves per death rate;
+//! x-axis loss rate 0..1; y-axis `E[c(t)]`. The analytic curve is the
+//! unnormalized Jackson sum `q·min(ρ,1)` (DESIGN.md §3); simulation spot
+//! checks overlay it. Note the paper text's "15% death rate" case sits
+//! right at the stability boundary (`λ/μ = 0.15625`), which is why the
+//! 0.15 curve reports `ρ ≥ 1` saturation.
+
+use super::secs;
+use crate::table::{fmt_frac, Table};
+use crate::units::pkts;
+use softstate::protocol::open_loop::{self, OpenLoopConfig};
+use ss_queueing::OpenLoop;
+
+const DEATH_RATES: [f64; 4] = [0.10, 0.15, 0.25, 0.50];
+
+/// Runs the experiment.
+pub fn run(fast: bool) -> Vec<Table> {
+    let lambda = pkts(20.0);
+    let mu = pkts(128.0);
+
+    // Analytic curves.
+    let mut analytic = Table::new(
+        "Figure 3 (analytic): E[c(t)] = q*min(rho,1); lambda=20kbps, mu=128kbps",
+        "fig3_analytic",
+        &["loss", "pd=0.10", "pd=0.15", "pd=0.25", "pd=0.50"],
+    );
+    for step in 0..=19 {
+        let p_loss = step as f64 * 0.05;
+        let mut row = vec![fmt_frac(p_loss)];
+        for pd in DEATH_RATES {
+            let m = OpenLoop::new(lambda, mu, p_loss, pd);
+            row.push(fmt_frac(m.consistency_unnormalized()));
+        }
+        analytic.push_row(row);
+    }
+
+    // Simulation spot checks at a coarser loss grid.
+    let mut sim = Table::new(
+        "Figure 3 (simulation spot checks): unnormalized consistency",
+        "fig3_sim",
+        &["loss", "pd", "analytic", "simulated", "abs err"],
+    );
+    let loss_points: &[f64] = if fast { &[0.1, 0.4] } else { &[0.05, 0.2, 0.4, 0.6, 0.8] };
+    for &pd in &DEATH_RATES {
+        for &p_loss in loss_points {
+            let m = OpenLoop::new(lambda, mu, p_loss, pd);
+            let mut cfg = OpenLoopConfig::analytic(lambda, mu, p_loss, pd, 3);
+            cfg.duration = secs(fast, 60_000);
+            let report = open_loop::run(&cfg);
+            let s = report.stats.consistency.unnormalized;
+            let a = m.consistency_unnormalized();
+            sim.push_row(vec![
+                fmt_frac(p_loss),
+                fmt_frac(pd),
+                fmt_frac(a),
+                fmt_frac(s),
+                format!("{:.4}", (a - s).abs()),
+            ]);
+        }
+    }
+    vec![analytic, sim]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn smoke() {
+        let tables = super::run(true);
+        assert_eq!(tables.len(), 2);
+        assert_eq!(tables[0].rows.len(), 20);
+        // Shape check: consistency decreases along each analytic column.
+        for col in 1..=4 {
+            let first: f64 = tables[0].rows[0][col].parse().unwrap();
+            let last: f64 = tables[0].rows[19][col].parse().unwrap();
+            assert!(first > last, "column {col} must decrease: {first} -> {last}");
+        }
+        // Stable configurations should agree with theory; near-saturation
+        // ones (pd=0.10, 0.15 at these rates) are excluded from the bound.
+        for row in &tables[1].rows {
+            let pd: f64 = row[1].parse().unwrap();
+            let err: f64 = row[4].parse().unwrap();
+            if pd >= 0.25 {
+                assert!(err < 0.06, "stable point error too high: {row:?}");
+            }
+        }
+    }
+}

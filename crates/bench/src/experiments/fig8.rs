@@ -1,0 +1,101 @@
+//! Figure 8 — consistency over time per feedback share.
+//!
+//! "In open-loop (p_fb/p_tot = 0), consistency is about 80%. When
+//! p_fb/p_tot = 20-50%, consistency reaches 99%. At higher values, when
+//! insufficient bandwidth is available for data, consistency collapses."
+//!
+//! λ = 15 kbps, μ_tot = 45 kbps, loss = 40%. The data budget splits
+//! hot:cold = 2:1; the table samples the `c(t)` series the paper plots.
+
+use super::secs;
+use crate::table::{fmt_frac, fmt_pct, Table};
+use crate::units::pkts;
+use softstate::protocol::feedback::{self, FeedbackConfig};
+use softstate::protocol::LossSpec;
+use softstate::{ArrivalProcess, DeathProcess, ServiceModel};
+use ss_netsim::{SimDuration, SimTime};
+
+const FB_SHARES: [f64; 4] = [0.0, 0.20, 0.50, 0.70];
+
+fn cfg(fb_share: f64, fast: bool) -> FeedbackConfig {
+    let mu_tot = pkts(45.0);
+    let mu_fb = mu_tot * fb_share;
+    let mu_data = mu_tot - mu_fb;
+    FeedbackConfig {
+        arrivals: ArrivalProcess::Poisson { rate: pkts(15.0) },
+        death: DeathProcess::PerTransmission { p: 0.1 },
+        mu_hot: mu_data * 2.0 / 3.0,
+        mu_cold: mu_data / 3.0,
+        mu_fb,
+        loss: LossSpec::Bernoulli(0.4),
+        nack_loss: None,
+        service: ServiceModel::Exponential,
+        seed: 8,
+        duration: secs(fast, 2_000),
+        series_spacing: Some(SimDuration::from_secs(if fast { 5 } else { 20 })),
+        trace_capacity: 0,
+    }
+}
+
+/// Samples a series at `at` (last point at or before it).
+fn sample(series: &[(SimTime, f64)], at: SimTime) -> f64 {
+    series
+        .iter()
+        .take_while(|(t, _)| *t <= at)
+        .last()
+        .map(|&(_, v)| v)
+        .unwrap_or(1.0)
+}
+
+/// Runs the experiment.
+pub fn run(fast: bool) -> Vec<Table> {
+    let mut t = Table::new(
+        "Figure 8: c(t) over time per feedback share (lambda=15kbps, mu_tot=45kbps, loss=40%)",
+        "fig8",
+        &["time", "fb=0%", "fb=20%", "fb=50%", "fb=70%"],
+    );
+    let reports: Vec<_> = FB_SHARES
+        .iter()
+        .map(|&share| feedback::run(&cfg(share, fast)))
+        .collect();
+    let horizon = if fast { 200u64 } else { 2_000 };
+    let n_samples = 10;
+    for i in 1..=n_samples {
+        let at = SimTime::from_secs(horizon * i / n_samples);
+        let mut row = vec![format!("{}s", at.as_secs_f64() as u64)];
+        for r in &reports {
+            let series = r.stats.series.as_ref().expect("series enabled");
+            row.push(fmt_frac(sample(series, at)));
+        }
+        t.push_row(row);
+    }
+
+    let mut avg = Table::new(
+        "Figure 8 (averages): time-averaged consistency per feedback share",
+        "fig8_avg",
+        &["fb share", "consistency", "nacks", "promotions", "hot backlog"],
+    );
+    for (share, r) in FB_SHARES.iter().zip(&reports) {
+        avg.push_row(vec![
+            fmt_pct(*share),
+            fmt_frac(r.stats.consistency.busy.unwrap_or(0.0)),
+            r.nacks_generated.to_string(),
+            r.promotions.to_string(),
+            format!("{:.1}", r.mean_hot_backlog),
+        ]);
+    }
+    vec![t, avg]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn smoke() {
+        let tables = super::run(true);
+        let avg = &tables[1];
+        let c = |i: usize| -> f64 { avg.rows[i][1].parse().unwrap() };
+        // Moderate feedback beats open loop; 70% share collapses.
+        assert!(c(1) > c(0), "20% fb {} must beat open loop {}", c(1), c(0));
+        assert!(c(3) < c(1) - 0.2, "70% fb {} must collapse vs {}", c(3), c(1));
+    }
+}

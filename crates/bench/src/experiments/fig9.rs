@@ -1,0 +1,76 @@
+//! Figure 9 — "Consistency is improved by allocating sufficient
+//! bandwidth for feedback. At loss rates over 50%, allocating additional
+//! feedback bandwidth reduces consistency."
+//!
+//! λ = 1.5 kbps, μ_tot = 30 kbps; x-axis the feedback share; one curve
+//! per loss rate. The paper's companion text: consistency improves ~10%
+//! at 10% loss and up to ~50% at ≥50% loss, reaching a 90-100% plateau.
+
+use super::secs;
+use crate::table::{fmt_frac, fmt_pct, Table};
+use crate::units::pkts;
+use softstate::protocol::feedback::{self, FeedbackConfig};
+use softstate::protocol::LossSpec;
+use softstate::{ArrivalProcess, DeathProcess, ServiceModel};
+
+const LOSS_RATES: [f64; 4] = [0.10, 0.30, 0.50, 0.70];
+
+fn cfg(fb_share: f64, p_loss: f64, fast: bool) -> FeedbackConfig {
+    let mu_tot = pkts(30.0);
+    let mu_fb = mu_tot * fb_share;
+    let mu_data = mu_tot - mu_fb;
+    FeedbackConfig {
+        arrivals: ArrivalProcess::Poisson { rate: pkts(1.5) },
+        death: DeathProcess::PerTransmission { p: 0.1 },
+        mu_hot: mu_data * 0.5,
+        mu_cold: mu_data * 0.5,
+        mu_fb,
+        loss: LossSpec::Bernoulli(p_loss),
+        nack_loss: None,
+        service: ServiceModel::Exponential,
+        seed: 9,
+        duration: secs(fast, 40_000),
+        series_spacing: None,
+        trace_capacity: 0,
+    }
+}
+
+/// Runs the experiment.
+pub fn run(fast: bool) -> Vec<Table> {
+    let mut t = Table::new(
+        "Figure 9: consistency vs feedback share per loss rate (lambda=1.5kbps, mu_tot=30kbps)",
+        "fig9",
+        &["fb share", "loss=10%", "loss=30%", "loss=50%", "loss=70%"],
+    );
+    let shares: Vec<f64> = if fast {
+        vec![0.0, 0.3, 0.8]
+    } else {
+        vec![0.0, 0.05, 0.10, 0.20, 0.30, 0.40, 0.50, 0.60, 0.70, 0.80, 0.90]
+    };
+    for share in shares {
+        let mut row = vec![fmt_pct(share)];
+        for p_loss in LOSS_RATES {
+            let report = feedback::run(&cfg(share, p_loss, fast));
+            row.push(fmt_frac(report.stats.consistency.busy.unwrap_or(0.0)));
+        }
+        t.push_row(row);
+    }
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn smoke() {
+        let tables = super::run(true);
+        let rows = &tables[0].rows;
+        let cell = |i: usize, j: usize| -> f64 { rows[i][j].parse().unwrap() };
+        // At 50% loss, 30% feedback share must beat both the open loop
+        // and the data-starved 80% share.
+        let open = cell(0, 3);
+        let mid = cell(1, 3);
+        let starved = cell(2, 3);
+        assert!(mid > open, "fb must help at 50% loss: {mid} vs {open}");
+        assert!(mid > starved, "over-allocating fb must hurt: {mid} vs {starved}");
+    }
+}

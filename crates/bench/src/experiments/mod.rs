@@ -1,0 +1,29 @@
+//! One module per reproduced table/figure plus the ablations.
+//! See DESIGN.md §4 for the experiment index and EXPERIMENTS.md for the
+//! paper-vs-measured record.
+
+pub mod adapt;
+pub mod catchup;
+pub mod continuum;
+pub mod fig10;
+pub mod fig11;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig8;
+pub mod fig9;
+pub mod frag;
+pub mod headline;
+pub mod loss_pattern;
+pub mod multicast;
+pub mod namespace_exp;
+pub mod profile_accuracy;
+pub mod sched_ablation;
+pub mod table1;
+pub mod validate;
+
+/// Simulated duration in seconds, scaled down in fast (smoke-test) mode.
+pub(crate) fn secs(fast: bool, full: u64) -> ss_netsim::SimDuration {
+    ss_netsim::SimDuration::from_secs(if fast { (full / 20).max(200) } else { full })
+}

@@ -1,0 +1,121 @@
+//! §6.1 validation: how good are the allocator's *consistency profiles*?
+//!
+//! The paper's allocator uses "empirically derived consistency profiles"
+//! to predict the consistency an allocation will achieve. We build the
+//! empirical profile the way a deployment would — a grid of feedback-
+//! protocol simulations over (loss, feedback share) — then score the
+//! first-order analytic profile against it, point by point. The analytic
+//! profile only has to rank allocations correctly for the allocator to
+//! pick well; the table reports both the absolute error and whether the
+//! argmax (best feedback share) agrees.
+
+use super::secs;
+use crate::table::{fmt_frac, fmt_pct, Table};
+use crate::units::pkts;
+use softstate::protocol::feedback::{self, FeedbackConfig};
+use softstate::protocol::LossSpec;
+use softstate::{ArrivalProcess, DeathProcess, ServiceModel};
+use sstp::profile::ConsistencyProfile;
+
+const LOSSES: [f64; 4] = [0.10, 0.25, 0.40, 0.55];
+const SHARES: [f64; 5] = [0.0, 0.10, 0.25, 0.45, 0.70];
+
+fn simulate(loss: f64, fb_share: f64, fast: bool) -> f64 {
+    let mu_tot = pkts(45.0);
+    let mu_fb = mu_tot * fb_share;
+    let mu_data = mu_tot - mu_fb;
+    let cfg = FeedbackConfig {
+        arrivals: ArrivalProcess::Poisson { rate: pkts(15.0) },
+        death: DeathProcess::PerTransmission { p: 0.1 },
+        mu_hot: mu_data * 0.67,
+        mu_cold: mu_data * 0.33,
+        mu_fb,
+        loss: LossSpec::Bernoulli(loss),
+        nack_loss: None,
+        service: ServiceModel::Exponential,
+        seed: 2026,
+        duration: secs(fast, 20_000),
+        series_spacing: None,
+        trace_capacity: 0,
+    };
+    feedback::run(&cfg).stats.consistency.busy.unwrap_or(0.0)
+}
+
+/// Runs the experiment.
+pub fn run(fast: bool) -> Vec<Table> {
+    // 1. Build the empirical grid.
+    let grid: Vec<Vec<f64>> = LOSSES
+        .iter()
+        .map(|&l| SHARES.iter().map(|&s| simulate(l, s, fast)).collect())
+        .collect();
+    let empirical = ConsistencyProfile::empirical(
+        LOSSES.to_vec(),
+        SHARES.to_vec(),
+        grid.clone(),
+    );
+    let analytic = ConsistencyProfile::analytic(pkts(15.0), pkts(45.0), 0.1, 0.67);
+
+    let mut t = Table::new(
+        "Profile accuracy: analytic prediction vs simulated grid (45 kbps, lambda = 15 kbps)",
+        "profile_accuracy",
+        &[
+            "loss",
+            "fb share",
+            "simulated",
+            "analytic",
+            "abs err",
+        ],
+    );
+    for (i, &l) in LOSSES.iter().enumerate() {
+        for (j, &s) in SHARES.iter().enumerate() {
+            let sim = grid[i][j];
+            let ana = analytic.predict(l, s);
+            t.push_row(vec![
+                fmt_pct(l),
+                fmt_pct(s),
+                fmt_frac(sim),
+                fmt_frac(ana),
+                fmt_frac((sim - ana).abs()),
+            ]);
+        }
+    }
+
+    // 2. Does the analytic profile pick (nearly) the right share?
+    let mut pick = Table::new(
+        "Profile accuracy: best feedback share, empirical vs analytic argmax",
+        "profile_argmax",
+        &["loss", "empirical best", "analytic best", "regret"],
+    );
+    for (i, &l) in LOSSES.iter().enumerate() {
+        let emp_best = (0..SHARES.len())
+            .max_by(|&a, &b| grid[i][a].total_cmp(&grid[i][b]))
+            .map(|j| SHARES[j])
+            .unwrap();
+        let ana_best = analytic.best_fb_share(l, 0.70);
+        // Regret: simulated consistency lost by following the analytic
+        // choice instead of the empirical optimum (evaluated on the
+        // empirical profile).
+        let regret = empirical.predict(l, emp_best) - empirical.predict(l, ana_best);
+        pick.push_row(vec![
+            fmt_pct(l),
+            fmt_pct(emp_best),
+            fmt_pct(ana_best),
+            fmt_frac(regret.max(0.0)),
+        ]);
+    }
+    vec![t, pick]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn smoke() {
+        let tables = super::run(true);
+        // Following the analytic profile instead of the measured optimum
+        // must cost little consistency (regret < 0.08 everywhere).
+        for row in &tables[1].rows {
+            let regret: f64 = row[3].parse().unwrap();
+            assert!(regret < 0.08, "allocator regret too high: {row:?}");
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! Ablation: §4 leaves the proportional-share mechanism open ("using a
+//! randomized lottery scheduler, weighted fair queueing or stride
+//! scheduling") and argues against strict priority. We compare all of
+//! them under the Figure 5 workload in work-conserving mode.
+
+use super::secs;
+use crate::table::{fmt_frac, fmt_secs, Table};
+use crate::units::pkts;
+use softstate::protocol::two_queue::{self, Policy, Sharing, TwoQueueConfig};
+use softstate::protocol::LossSpec;
+use softstate::{ArrivalProcess, DeathProcess, ServiceModel};
+
+const POLICIES: [Policy; 5] = [
+    Policy::Lottery,
+    Policy::Stride,
+    Policy::Sfq,
+    Policy::Drr,
+    Policy::Priority,
+];
+
+fn cfg(policy: Policy, fast: bool) -> TwoQueueConfig {
+    let mu_data = pkts(45.0);
+    TwoQueueConfig {
+        // Saturating arrivals make the policy choice visible: hot is
+        // persistently backlogged, so priority starves cold completely.
+        arrivals: ArrivalProcess::Poisson { rate: pkts(60.0) },
+        death: DeathProcess::PerTransmission { p: 0.1 },
+        mu_hot: mu_data * 0.5,
+        mu_cold: mu_data * 0.5,
+        loss: LossSpec::Bernoulli(0.3),
+        service: ServiceModel::Exponential,
+        sharing: Sharing::WorkConserving(policy),
+        seed: 41,
+        duration: secs(fast, 20_000),
+        series_spacing: None,
+    }
+}
+
+/// Runs the experiment.
+pub fn run(fast: bool) -> Vec<Table> {
+    let mut t = Table::new(
+        "Scheduler ablation: hot/cold sharing policies under hot overload (loss=30%)",
+        "sched_ablation",
+        &[
+            "policy",
+            "consistency",
+            "mean T_rec",
+            "hot tx",
+            "cold tx",
+            "cold share",
+        ],
+    );
+    for policy in POLICIES {
+        let r = two_queue::run(&cfg(policy, fast));
+        let total = r.transmissions().max(1);
+        t.push_row(vec![
+            format!("{policy:?}"),
+            fmt_frac(r.stats.consistency.busy.unwrap_or(0.0)),
+            fmt_secs(r.stats.latency.mean().as_secs_f64()),
+            r.hot_transmissions.to_string(),
+            r.cold_transmissions.to_string(),
+            fmt_frac(r.cold_transmissions as f64 / total as f64),
+        ]);
+    }
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn smoke() {
+        let tables = super::run(true);
+        let rows = &tables[0].rows;
+        // The four proportional policies give cold ~50% service.
+        for row in rows.iter().take(4) {
+            let share: f64 = row[5].parse().unwrap();
+            assert!(
+                (share - 0.5).abs() < 0.05,
+                "proportional policy must give cold its share: {row:?}"
+            );
+        }
+        // Strict priority starves cold under persistent hot backlog.
+        let pri_share: f64 = rows[4][5].parse().unwrap();
+        assert!(pri_share < 0.05, "priority must starve cold: {pri_share}");
+    }
+}

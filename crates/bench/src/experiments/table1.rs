@@ -1,0 +1,66 @@
+//! Table 1 — the state-change probabilities of the §3 queueing model,
+//! checked empirically: a long open-loop run's observed transition
+//! frequencies must match `{p_c(1−p_d), (1−p_c)(1−p_d), p_d}` out of the
+//! inconsistent class and `{1−p_d, p_d}` out of the consistent class.
+
+use super::secs;
+use crate::table::{fmt_frac, Table};
+use crate::units::pkts;
+use softstate::protocol::open_loop::{self, OpenLoopConfig};
+use ss_queueing::Transitions;
+
+/// Runs the experiment.
+pub fn run(fast: bool) -> Vec<Table> {
+    let p_loss = 0.2;
+    let p_death = 0.25;
+    let mut cfg = OpenLoopConfig::analytic(pkts(20.0), pkts(128.0), p_loss, p_death, 1999);
+    cfg.duration = secs(fast, 100_000);
+    let report = open_loop::run(&cfg);
+
+    let th = Transitions::new(p_loss, p_death);
+    let (ii, ic, id) = report
+        .transitions
+        .from_inconsistent()
+        .expect("run produced transitions");
+    let (cc, cd) = report.transitions.from_consistent().unwrap();
+
+    let mut t = Table::new(
+        format!(
+            "Table 1: state-change probabilities (p_c = {p_loss}, p_d = {p_death}; \
+             {} services observed)",
+            report.transitions.total()
+        ),
+        "table1",
+        &["transition", "analytic", "simulated", "abs err"],
+    );
+    for (name, a, s) in [
+        ("I -> I (lost, survives)", th.i_to_i, ii),
+        ("I -> C (delivered)", th.i_to_c, ic),
+        ("I -> death", th.i_death, id),
+        ("C -> C (survives)", th.c_to_c, cc),
+        ("C -> death", th.c_death, cd),
+    ] {
+        t.push_row(vec![
+            name.to_string(),
+            fmt_frac(a),
+            fmt_frac(s),
+            format!("{:.5}", (a - s).abs()),
+        ]);
+    }
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn smoke() {
+        let tables = super::run(true);
+        assert_eq!(tables.len(), 1);
+        assert_eq!(tables[0].rows.len(), 5);
+        // All absolute errors under 3% even in fast mode.
+        for row in &tables[0].rows {
+            let err: f64 = row[3].parse().unwrap();
+            assert!(err < 0.03, "{row:?}");
+        }
+    }
+}

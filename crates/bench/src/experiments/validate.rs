@@ -1,0 +1,80 @@
+//! Validation sweep: the §3 closed forms against discrete-event
+//! simulation over a grid of stable parameter points. This is the
+//! license for trusting every analytic curve in Figures 3 and 4.
+
+use super::secs;
+use crate::table::{fmt_frac, Table};
+use softstate::protocol::open_loop::{self, OpenLoopConfig};
+use ss_queueing::OpenLoop;
+
+struct Point {
+    lambda: f64,
+    mu: f64,
+    p_loss: f64,
+    p_death: f64,
+}
+
+/// Runs the experiment.
+pub fn run(fast: bool) -> Vec<Table> {
+    let grid = [
+        Point { lambda: 1.0, mu: 10.0, p_loss: 0.1, p_death: 0.20 },
+        Point { lambda: 2.0, mu: 16.0, p_loss: 0.2, p_death: 0.25 },
+        Point { lambda: 2.0, mu: 16.0, p_loss: 0.5, p_death: 0.25 },
+        Point { lambda: 0.5, mu: 4.0, p_loss: 0.3, p_death: 0.40 },
+        Point { lambda: 4.0, mu: 40.0, p_loss: 0.05, p_death: 0.15 },
+        Point { lambda: 1.0, mu: 20.0, p_loss: 0.7, p_death: 0.30 },
+    ];
+    let mut t = Table::new(
+        "Validation: simulation vs Jackson closed forms (busy consistency, waste, E[n])",
+        "validate",
+        &[
+            "lambda", "mu", "loss", "pd", "rho", //
+            "c theory", "c sim", "W theory", "W sim", "E[n] theory", "E[n] sim",
+        ],
+    );
+    let points: &[Point] = if fast { &grid[..2] } else { &grid };
+    for p in points {
+        let m = OpenLoop::new(p.lambda, p.mu, p.p_loss, p.p_death);
+        assert!(m.is_stable(), "grid points must be stable");
+        let mut cfg =
+            OpenLoopConfig::analytic(p.lambda, p.mu, p.p_loss, p.p_death, 101);
+        cfg.duration = secs(fast, 80_000);
+        let r = open_loop::run(&cfg);
+        t.push_row(vec![
+            format!("{:.1}", p.lambda),
+            format!("{:.1}", p.mu),
+            fmt_frac(p.p_loss),
+            fmt_frac(p.p_death),
+            fmt_frac(m.rho()),
+            fmt_frac(m.consistency_busy()),
+            fmt_frac(r.stats.consistency.busy.unwrap()),
+            fmt_frac(m.wasted_bandwidth_fraction()),
+            fmt_frac(r.wasted_fraction()),
+            format!("{:.2}", m.mean_live_records()),
+            format!("{:.2}", r.stats.mean_live_records),
+        ]);
+    }
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn smoke() {
+        let tables = super::run(true);
+        for row in &tables[0].rows {
+            let c_th: f64 = row[5].parse().unwrap();
+            let c_sim: f64 = row[6].parse().unwrap();
+            assert!((c_th - c_sim).abs() < 0.04, "consistency mismatch: {row:?}");
+            let w_th: f64 = row[7].parse().unwrap();
+            let w_sim: f64 = row[8].parse().unwrap();
+            assert!((w_th - w_sim).abs() < 0.04, "waste mismatch: {row:?}");
+            let n_th: f64 = row[9].parse().unwrap();
+            let n_sim: f64 = row[10].parse().unwrap();
+            assert!(
+                (n_th - n_sim).abs() / n_th.max(0.5) < 0.25,
+                "occupancy mismatch: {row:?}"
+            );
+        }
+    }
+}

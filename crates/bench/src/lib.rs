@@ -1,0 +1,170 @@
+//! # ss-bench — the experiment harness
+//!
+//! One runner per table and figure of the paper (and a set of ablations),
+//! each printing the paper-shaped table and writing a CSV under
+//! `results/`. Run with:
+//!
+//! ```text
+//! cargo run -p ss-bench --release --bin experiments -- list
+//! cargo run -p ss-bench --release --bin experiments -- fig3
+//! cargo run -p ss-bench --release --bin experiments -- all
+//! ```
+//!
+//! `--fast` shortens simulations (used by the smoke tests); published
+//! numbers in EXPERIMENTS.md come from full-length runs.
+
+pub mod experiments;
+pub mod table;
+pub mod units;
+
+pub use table::Table;
+
+use std::path::PathBuf;
+
+/// The directory experiment CSVs are written to (created on demand).
+pub fn results_dir() -> PathBuf {
+    let dir = PathBuf::from("results");
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    dir
+}
+
+/// An experiment: a named runner producing one or more tables.
+pub struct Experiment {
+    /// CLI id, e.g. `"fig3"`.
+    pub id: &'static str,
+    /// The paper artifact or question this regenerates.
+    pub description: &'static str,
+    /// Runner; `fast` shortens simulated durations for smoke tests.
+    pub run: fn(fast: bool) -> Vec<Table>,
+}
+
+/// Every registered experiment, in presentation order.
+pub fn all_experiments() -> Vec<Experiment> {
+    vec![
+        Experiment {
+            id: "table1",
+            description: "Table 1: state-change probabilities, analytic vs simulated",
+            run: experiments::table1::run,
+        },
+        Experiment {
+            id: "fig3",
+            description: "Figure 3: consistency vs loss rate per death rate (open loop)",
+            run: experiments::fig3::run,
+        },
+        Experiment {
+            id: "fig4",
+            description: "Figure 4: wasted bandwidth vs loss rate (open loop)",
+            run: experiments::fig4::run,
+        },
+        Experiment {
+            id: "fig5",
+            description: "Figure 5: consistency vs hot bandwidth share (two queues)",
+            run: experiments::fig5::run,
+        },
+        Experiment {
+            id: "fig6",
+            description: "Figure 6: receive latency vs cold/hot ratio (two queues)",
+            run: experiments::fig6::run,
+        },
+        Experiment {
+            id: "fig8",
+            description: "Figure 8: consistency over time per feedback share",
+            run: experiments::fig8::run,
+        },
+        Experiment {
+            id: "fig9",
+            description: "Figure 9: consistency vs feedback share per loss rate",
+            run: experiments::fig9::run,
+        },
+        Experiment {
+            id: "fig10",
+            description: "Figure 10: consistency vs hot share with feedback (knee)",
+            run: experiments::fig10::run,
+        },
+        Experiment {
+            id: "fig11",
+            description: "Figure 11: knee curves per loss rate",
+            run: experiments::fig11::run,
+        },
+        Experiment {
+            id: "headline",
+            description: "§5 headline: feedback gain at equal total bandwidth",
+            run: experiments::headline::run,
+        },
+        Experiment {
+            id: "loss-pattern",
+            description: "Ablation: Bernoulli vs bursty loss at equal mean (§3 claim)",
+            run: experiments::loss_pattern::run,
+        },
+        Experiment {
+            id: "sched-ablation",
+            description: "Ablation: lottery/stride/SFQ/DRR/priority for hot-cold sharing",
+            run: experiments::sched_ablation::run,
+        },
+        Experiment {
+            id: "namespace",
+            description: "Ablation: hierarchical vs flat namespace repair cost (§6.2)",
+            run: experiments::namespace_exp::run,
+        },
+        Experiment {
+            id: "catchup",
+            description: "Extension: late-joiner full-sync time, analytic vs simulated",
+            run: experiments::catchup::run,
+        },
+        Experiment {
+            id: "frag",
+            description: "Extension: ALF fragmentation (right_edge) at varying MTU",
+            run: experiments::frag::run,
+        },
+        Experiment {
+            id: "continuum",
+            description: "SSTP: the reliability continuum's consistency/overhead trade",
+            run: experiments::continuum::run,
+        },
+        Experiment {
+            id: "adapt",
+            description: "SSTP: profile-driven allocation under measured loss (§6.1)",
+            run: experiments::adapt::run,
+        },
+        Experiment {
+            id: "profile-accuracy",
+            description: "SSTP: analytic consistency profile vs empirical grid (§6.1)",
+            run: experiments::profile_accuracy::run,
+        },
+        Experiment {
+            id: "multicast",
+            description: "SSTP: slotting-and-damping feedback vs group size",
+            run: experiments::multicast::run,
+        },
+        Experiment {
+            id: "validate-analysis",
+            description: "Simulation vs closed forms across a parameter grid (§3)",
+            run: experiments::validate::run,
+        },
+    ]
+}
+
+/// Looks up an experiment by id.
+pub fn find_experiment(id: &str) -> Option<Experiment> {
+    all_experiments().into_iter().find(|e| e.id == id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_ids_are_unique() {
+        let exps = all_experiments();
+        let mut ids: Vec<&str> = exps.iter().map(|e| e.id).collect();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), exps.len());
+    }
+
+    #[test]
+    fn find_works() {
+        assert!(find_experiment("fig3").is_some());
+        assert!(find_experiment("nope").is_none());
+    }
+}

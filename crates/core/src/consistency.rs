@@ -1,0 +1,269 @@
+//! The §2.1 consistency metric.
+//!
+//! Per live key the metric is the probability that publisher and
+//! subscriber hold the same value; the *instantaneous system consistency*
+//! `c(t)` averages it over the live set, and the *average system
+//! consistency* `E[c(t)]` is its time average — which is how every figure
+//! in the paper scores a protocol. [`ConsistencyMeter`] integrates `c(t)`
+//! exactly from count updates.
+//!
+//! The paper's analysis sums over non-empty states without normalizing
+//! (DESIGN.md §3), so the meter reports **three** conventions and the
+//! experiments state which one each figure uses:
+//!
+//! * `unnormalized` — empty-system instants score 0 (the paper's closed
+//!   form `q·ρ`).
+//! * `busy` — the average conditioned on live data existing (`q`).
+//! * `empty_consistent` — empty instants score 1 (an empty table is
+//!   trivially in sync; the natural end-to-end convention).
+
+use ss_netsim::{SimDuration, SimTime, TimeSeries};
+
+use crate::model::{PublisherTable, SubscriberTable};
+
+/// Time averages of the instantaneous system consistency under the three
+/// empty-system conventions.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ConsistencyAverages {
+    /// Empty instants count as 0 (paper's unnormalized sum).
+    pub unnormalized: f64,
+    /// Conditioned on the system being non-empty; `None` if it never was.
+    pub busy: Option<f64>,
+    /// Empty instants count as 1.
+    pub empty_consistent: f64,
+}
+
+/// Integrates `c(t)` from `(consistent, total)` count updates.
+#[derive(Clone, Debug)]
+pub struct ConsistencyMeter {
+    start: SimTime,
+    last_t: SimTime,
+    last_ratio: f64,
+    last_busy: bool,
+    ratio_integral: f64,
+    busy_time: f64,
+    series: Option<TimeSeries>,
+}
+
+impl ConsistencyMeter {
+    /// A meter starting at `start` with an empty system.
+    pub fn new(start: SimTime) -> Self {
+        ConsistencyMeter {
+            start,
+            last_t: start,
+            last_ratio: 0.0,
+            last_busy: false,
+            ratio_integral: 0.0,
+            busy_time: 0.0,
+            series: None,
+        }
+    }
+
+    /// Additionally records a `c(t)` time series with the given minimum
+    /// point spacing (for the Figure 8 style consistency-vs-time plots).
+    pub fn with_series(mut self, spacing: SimDuration) -> Self {
+        self.series = Some(TimeSeries::new(spacing));
+        self
+    }
+
+    fn integrate_to(&mut self, now: SimTime) {
+        let dt = now.since(self.last_t).as_secs_f64();
+        if self.last_busy {
+            self.ratio_integral += self.last_ratio * dt;
+            self.busy_time += dt;
+        }
+        self.last_t = now;
+    }
+
+    /// Records that from `now` on, `consistent` of `total` live records
+    /// agree between publisher and subscriber. Call on every change.
+    pub fn observe(&mut self, now: SimTime, consistent: usize, total: usize) {
+        assert!(consistent <= total, "consistent {consistent} > total {total}");
+        self.integrate_to(now);
+        self.last_busy = total > 0;
+        self.last_ratio = if total > 0 {
+            consistent as f64 / total as f64
+        } else {
+            0.0
+        };
+        if let Some(s) = &mut self.series {
+            // The series uses the busy-ratio, scoring empty instants as 1
+            // (a drained system has converged).
+            let v = if total > 0 { self.last_ratio } else { 1.0 };
+            s.push(now, v);
+        }
+    }
+
+    /// The instantaneous consistency right now; `None` when no live data.
+    pub fn instantaneous(&self) -> Option<f64> {
+        self.last_busy.then_some(self.last_ratio)
+    }
+
+    /// Time averages over `[start, end]`.
+    pub fn averages(&self, end: SimTime) -> ConsistencyAverages {
+        let mut me = self.clone();
+        me.integrate_to(end);
+        let total = end.since(me.start).as_secs_f64();
+        if total == 0.0 {
+            return ConsistencyAverages {
+                unnormalized: 0.0,
+                busy: None,
+                empty_consistent: 1.0,
+            };
+        }
+        let idle = total - me.busy_time;
+        ConsistencyAverages {
+            unnormalized: me.ratio_integral / total,
+            busy: (me.busy_time > 0.0).then(|| me.ratio_integral / me.busy_time),
+            empty_consistent: (me.ratio_integral + idle) / total,
+        }
+    }
+
+    /// The recorded `c(t)` series, if enabled.
+    pub fn series(&self) -> Option<&TimeSeries> {
+        self.series.as_ref()
+    }
+
+    /// Fraction of `[start, end]` during which live data existed.
+    pub fn busy_fraction(&self, end: SimTime) -> f64 {
+        let mut me = self.clone();
+        me.integrate_to(end);
+        let total = end.since(me.start).as_secs_f64();
+        if total == 0.0 {
+            0.0
+        } else {
+            me.busy_time / total
+        }
+    }
+}
+
+/// Directly measures instantaneous consistency between a publisher table
+/// and a subscriber replica: the fraction of the publisher's live keys for
+/// which the subscriber holds an equal value. `None` when the live set is
+/// empty.
+///
+/// This is the ground-truth probe used by the SSTP integration tests; the
+/// protocol simulations instead track counts incrementally for speed.
+pub fn measure_tables(publisher: &PublisherTable, subscriber: &SubscriberTable) -> Option<f64> {
+    let total = publisher.live_count();
+    if total == 0 {
+        return None;
+    }
+    let agree = publisher
+        .live()
+        .filter(|r| subscriber.get(r.key).map(|e| e.value) == Some(r.value))
+        .count();
+    Some(agree as f64 / total as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Value;
+
+    #[test]
+    fn exact_integration() {
+        let mut m = ConsistencyMeter::new(SimTime::ZERO);
+        // [0,2): empty. [2,4): 1/2 consistent. [4,6): 2/2. [6,8): empty.
+        m.observe(SimTime::from_secs(2), 1, 2);
+        m.observe(SimTime::from_secs(4), 2, 2);
+        m.observe(SimTime::from_secs(6), 0, 0);
+        let a = m.averages(SimTime::from_secs(8));
+        // ratio integral = 0.5*2 + 1*2 = 3; busy = 4s; total = 8s.
+        assert!((a.unnormalized - 3.0 / 8.0).abs() < 1e-12);
+        assert!((a.busy.unwrap() - 0.75).abs() < 1e-12);
+        assert!((a.empty_consistent - (3.0 + 4.0) / 8.0).abs() < 1e-12);
+        assert!((m.busy_fraction(SimTime::from_secs(8)) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn instantaneous_reflects_last_observation() {
+        let mut m = ConsistencyMeter::new(SimTime::ZERO);
+        assert_eq!(m.instantaneous(), None);
+        m.observe(SimTime::from_secs(1), 3, 4);
+        assert_eq!(m.instantaneous(), Some(0.75));
+        m.observe(SimTime::from_secs(2), 0, 0);
+        assert_eq!(m.instantaneous(), None);
+    }
+
+    #[test]
+    fn never_busy_gives_none() {
+        let m = ConsistencyMeter::new(SimTime::ZERO);
+        let a = m.averages(SimTime::from_secs(5));
+        assert_eq!(a.busy, None);
+        assert_eq!(a.unnormalized, 0.0);
+        assert_eq!(a.empty_consistent, 1.0);
+    }
+
+    #[test]
+    fn zero_span() {
+        let m = ConsistencyMeter::new(SimTime::from_secs(3));
+        let a = m.averages(SimTime::from_secs(3));
+        assert_eq!(a.busy, None);
+        assert_eq!(a.empty_consistent, 1.0);
+    }
+
+    #[test]
+    fn averages_are_queryable_mid_run() {
+        let mut m = ConsistencyMeter::new(SimTime::ZERO);
+        m.observe(SimTime::ZERO, 1, 1);
+        let early = m.averages(SimTime::from_secs(1));
+        assert!((early.busy.unwrap() - 1.0).abs() < 1e-12);
+        // Continue observing after the query: meter must be unaffected.
+        m.observe(SimTime::from_secs(2), 0, 1);
+        let late = m.averages(SimTime::from_secs(4));
+        assert!((late.busy.unwrap() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn series_records_when_enabled() {
+        let mut m =
+            ConsistencyMeter::new(SimTime::ZERO).with_series(SimDuration::ZERO);
+        m.observe(SimTime::from_secs(1), 1, 2);
+        m.observe(SimTime::from_secs(2), 0, 0);
+        let pts = m.series().unwrap().points();
+        assert_eq!(pts.len(), 2);
+        assert_eq!(pts[0].1, 0.5);
+        assert_eq!(pts[1].1, 1.0, "empty scores 1 in the series");
+    }
+
+    #[test]
+    #[should_panic(expected = "consistent")]
+    fn rejects_impossible_counts() {
+        let mut m = ConsistencyMeter::new(SimTime::ZERO);
+        m.observe(SimTime::ZERO, 3, 2);
+    }
+
+    #[test]
+    fn table_probe() {
+        let mut p = PublisherTable::new();
+        let mut s = SubscriberTable::new(SimDuration::from_secs(100));
+        assert_eq!(measure_tables(&p, &s), None);
+
+        let r1 = p.insert_new(SimTime::ZERO, 10);
+        let r2 = p.insert_new(SimTime::ZERO, 10);
+        assert_eq!(measure_tables(&p, &s), Some(0.0));
+
+        s.apply(SimTime::from_secs(1), r1.key, r1.value);
+        assert_eq!(measure_tables(&p, &s), Some(0.5));
+
+        s.apply(SimTime::from_secs(1), r2.key, r2.value);
+        assert_eq!(measure_tables(&p, &s), Some(1.0));
+
+        // Publisher updates r1: subscriber is stale again.
+        p.update(r1.key);
+        assert_eq!(measure_tables(&p, &s), Some(0.5));
+
+        // Subscriber holding a *newer* version than publisher (impossible
+        // in the protocol, but the probe must not count it as agreement).
+        s.apply(
+            SimTime::from_secs(2),
+            r2.key,
+            Value {
+                version: 99,
+                payload_len: 10,
+            },
+        );
+        assert_eq!(measure_tables(&p, &s), Some(0.0));
+    }
+}

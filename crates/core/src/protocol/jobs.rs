@@ -1,0 +1,251 @@
+//! Shared live-record bookkeeping for the protocol simulations.
+//!
+//! Tracks which live records the receiver currently agrees on, feeds the
+//! [`ConsistencyMeter`] on every change, integrates the live-set size, and
+//! records receive latencies — the measurement core every protocol
+//! variant shares.
+
+use crate::consistency::{ConsistencyAverages, ConsistencyMeter};
+use ss_netsim::{DurationHistogram, SimDuration, SimTime, TimeWeightedMean};
+use std::collections::HashMap;
+
+/// Per-record simulation state.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct JobState {
+    /// When the record entered the publisher's table.
+    pub born: SimTime,
+    /// Whether the receiver currently holds this record's value.
+    pub consistent: bool,
+}
+
+/// The live set plus all §2.1 instrumentation.
+#[derive(Clone, Debug)]
+pub(crate) struct LiveJobs {
+    jobs: HashMap<u64, JobState>,
+    /// Dense list of live ids for O(1) uniform sampling (update
+    /// workloads pick a random live record to supersede).
+    ids: Vec<u64>,
+    /// Position of each id in `ids`.
+    pos: HashMap<u64, usize>,
+    n_consistent: usize,
+    updates: u64,
+    meter: ConsistencyMeter,
+    occupancy: TimeWeightedMean,
+    latency: DurationHistogram,
+    arrivals: u64,
+    deaths: u64,
+}
+
+impl LiveJobs {
+    pub(crate) fn new(start: SimTime, series_spacing: Option<SimDuration>) -> Self {
+        let meter = match series_spacing {
+            Some(sp) => ConsistencyMeter::new(start).with_series(sp),
+            None => ConsistencyMeter::new(start),
+        };
+        LiveJobs {
+            jobs: HashMap::new(),
+            ids: Vec::new(),
+            pos: HashMap::new(),
+            n_consistent: 0,
+            updates: 0,
+            meter,
+            occupancy: TimeWeightedMean::new(start, 0.0),
+            latency: DurationHistogram::new(),
+            arrivals: 0,
+            deaths: 0,
+        }
+    }
+
+    fn observe(&mut self, now: SimTime) {
+        self.meter.observe(now, self.n_consistent, self.jobs.len());
+        self.occupancy.update(now, self.jobs.len() as f64);
+    }
+
+    /// A new (inconsistent) record enters the live set.
+    pub(crate) fn arrive(&mut self, now: SimTime, id: u64) {
+        let prev = self.jobs.insert(
+            id,
+            JobState {
+                born: now,
+                consistent: false,
+            },
+        );
+        assert!(prev.is_none(), "job {id} already live");
+        self.pos.insert(id, self.ids.len());
+        self.ids.push(id);
+        self.arrivals += 1;
+        self.observe(now);
+    }
+
+    /// A transmission of `id` reached the receiver. Returns `true` on the
+    /// I → C transition (first successful delivery), recording latency.
+    pub(crate) fn deliver(&mut self, now: SimTime, id: u64) -> bool {
+        let job = self.jobs.get_mut(&id).expect("deliver of dead job");
+        if job.consistent {
+            return false;
+        }
+        job.consistent = true;
+        let born = job.born;
+        self.n_consistent += 1;
+        self.latency.record(now.since(born));
+        self.observe(now);
+        true
+    }
+
+    /// The record's lifetime ended; it leaves both tables.
+    /// Returns whether it was consistent at death.
+    pub(crate) fn kill(&mut self, now: SimTime, id: u64) -> bool {
+        let job = self.jobs.remove(&id).expect("kill of dead job");
+        let idx = self.pos.remove(&id).expect("live id indexed");
+        let last = self.ids.pop().expect("nonempty ids");
+        if last != id {
+            self.ids[idx] = last;
+            self.pos.insert(last, idx);
+        }
+        if job.consistent {
+            self.n_consistent -= 1;
+        }
+        self.deaths += 1;
+        self.observe(now);
+        job.consistent
+    }
+
+    /// The publisher superseded the record's value: the receiver's copy
+    /// (if any) is stale again (C → I). Returns whether the record was
+    /// consistent before the update.
+    pub(crate) fn invalidate(&mut self, now: SimTime, id: u64) -> bool {
+        let job = self.jobs.get_mut(&id).expect("invalidate of dead job");
+        self.updates += 1;
+        if job.consistent {
+            job.consistent = false;
+            self.n_consistent -= 1;
+            self.observe(now);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// A uniformly random live record id (None when the set is empty).
+    pub(crate) fn random_live(&self, rng: &mut ss_netsim::SimRng) -> Option<u64> {
+        if self.ids.is_empty() {
+            None
+        } else {
+            Some(self.ids[rng.below(self.ids.len() as u64) as usize])
+        }
+    }
+
+    /// Whether `id` is currently consistent. Panics if not live.
+    pub(crate) fn is_consistent(&self, id: u64) -> bool {
+        self.jobs[&id].consistent
+    }
+
+    /// Whether `id` is live.
+    pub(crate) fn contains(&self, id: u64) -> bool {
+        self.jobs.contains_key(&id)
+    }
+
+    /// Number of live records.
+    pub(crate) fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Finalizes the instrumentation at `end`.
+    pub(crate) fn finish(self, end: SimTime) -> JobStats {
+        let averages = self.meter.averages(end);
+        let series = self
+            .meter
+            .series()
+            .map(|s| s.points().to_vec());
+        JobStats {
+            consistency: averages,
+            mean_live_records: self.occupancy.mean_until(end),
+            latency: self.latency,
+            arrivals: self.arrivals,
+            updates: self.updates,
+            deaths: self.deaths,
+            final_live: self.jobs.len(),
+            series,
+        }
+    }
+}
+
+/// The measurement outputs common to every protocol variant.
+#[derive(Clone, Debug)]
+pub struct JobStats {
+    /// Time-averaged system consistency under the three conventions.
+    pub consistency: ConsistencyAverages,
+    /// Time-averaged number of live records (`E[n]`).
+    pub mean_live_records: f64,
+    /// Receive latencies `T_rec` over first successful deliveries.
+    pub latency: DurationHistogram,
+    /// Records that entered the system.
+    pub arrivals: u64,
+    /// In-place updates applied (update workloads only).
+    pub updates: u64,
+    /// Records whose lifetime ended during the run.
+    pub deaths: u64,
+    /// Records still live at the end.
+    pub final_live: usize,
+    /// The `c(t)` time series, when enabled.
+    pub series: Option<Vec<(SimTime, f64)>>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifecycle_and_metrics() {
+        let mut j = LiveJobs::new(SimTime::ZERO, None);
+        j.arrive(SimTime::ZERO, 1);
+        j.arrive(SimTime::ZERO, 2);
+        assert_eq!(j.len(), 2);
+        assert!(!j.is_consistent(1));
+
+        assert!(j.deliver(SimTime::from_secs(1), 1));
+        assert!(!j.deliver(SimTime::from_secs(2), 1), "redundant delivery");
+        assert!(j.is_consistent(1));
+
+        assert!(j.kill(SimTime::from_secs(4), 1));
+        assert!(!j.kill(SimTime::from_secs(4), 2));
+        assert!(!j.contains(1));
+
+        let stats = j.finish(SimTime::from_secs(4));
+        assert_eq!(stats.arrivals, 2);
+        assert_eq!(stats.deaths, 2);
+        assert_eq!(stats.final_live, 0);
+        assert_eq!(stats.latency.count(), 1);
+        assert_eq!(stats.latency.mean(), SimDuration::from_secs(1));
+        // c(t): 0 on [0,1), 0.5 on [1,4) -> busy average 1.5/4 over 4s busy.
+        assert!((stats.consistency.busy.unwrap() - 0.375).abs() < 1e-12);
+        // occupancy: 2 jobs for all 4 seconds.
+        assert!((stats.mean_live_records - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn series_enabled() {
+        let mut j = LiveJobs::new(SimTime::ZERO, Some(SimDuration::ZERO));
+        j.arrive(SimTime::ZERO, 7);
+        j.deliver(SimTime::from_secs(1), 7);
+        let stats = j.finish(SimTime::from_secs(2));
+        let series = stats.series.unwrap();
+        assert_eq!(series.len(), 2);
+        assert_eq!(series[1].1, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "already live")]
+    fn double_arrive_panics() {
+        let mut j = LiveJobs::new(SimTime::ZERO, None);
+        j.arrive(SimTime::ZERO, 1);
+        j.arrive(SimTime::ZERO, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "dead job")]
+    fn deliver_dead_panics() {
+        let mut j = LiveJobs::new(SimTime::ZERO, None);
+        j.deliver(SimTime::ZERO, 1);
+    }
+}

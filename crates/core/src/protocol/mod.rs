@@ -1,0 +1,156 @@
+//! Discrete-event simulations of the paper's protocol variants.
+//!
+//! * [`open_loop`] — §3: one FIFO announcement queue, no feedback.
+//! * [`two_queue`] — §4: hot/cold transmission queues with proportional
+//!   bandwidth sharing.
+//! * [`feedback`] — §5: hot/cold queues plus receiver NACKs that promote
+//!   lost records back to the hot queue (Figure 7's H/C/D machine).
+//!
+//! All three share the same workload and measurement machinery so their
+//! results are directly comparable on common random numbers: the same
+//! seed gives every variant the identical arrival/death/loss draws it
+//! would have seen under any other variant.
+
+pub mod feedback;
+pub mod open_loop;
+pub mod two_queue;
+
+pub(crate) mod jobs;
+
+use ss_netsim::{Bernoulli, GilbertElliott, LossModel};
+
+/// A cloneable specification of the channel loss process (configs must be
+/// plain data; the trait object is built per run).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum LossSpec {
+    /// Independent loss with the given probability — the analysis model.
+    Bernoulli(f64),
+    /// Gilbert burst loss with the given mean rate and mean burst length
+    /// in packets — for the loss-pattern-insensitivity experiment.
+    Bursty {
+        /// Long-run mean loss probability.
+        mean: f64,
+        /// Mean number of consecutive losses per burst.
+        burst_len: f64,
+    },
+    /// No loss at all.
+    None,
+}
+
+impl LossSpec {
+    /// Instantiates the loss process.
+    pub fn build(&self) -> Box<dyn LossModel> {
+        match *self {
+            LossSpec::Bernoulli(p) => Box::new(Bernoulli::new(p)),
+            LossSpec::Bursty { mean, burst_len } => {
+                Box::new(GilbertElliott::bursty(mean, burst_len))
+            }
+            LossSpec::None => Box::new(Bernoulli::new(0.0)),
+        }
+    }
+
+    /// The long-run mean loss probability.
+    pub fn mean(&self) -> f64 {
+        match *self {
+            LossSpec::Bernoulli(p) => p,
+            LossSpec::Bursty { mean, .. } => mean,
+            LossSpec::None => 0.0,
+        }
+    }
+}
+
+/// Empirical counts of the Table 1 state changes observed in a run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TransitionCounts {
+    /// Inconsistent record survived a lost announcement (I → I).
+    pub i_to_i: u64,
+    /// Inconsistent record delivered and survived (I → C).
+    pub i_to_c: u64,
+    /// Inconsistent record died at service (I → death).
+    pub i_death: u64,
+    /// Consistent record survived (C → C).
+    pub c_to_c: u64,
+    /// Consistent record died (C → death).
+    pub c_death: u64,
+}
+
+impl TransitionCounts {
+    /// Empirical transition probabilities out of the inconsistent class:
+    /// `(P[I→I], P[I→C], P[I→death])`. `None` with no observations.
+    pub fn from_inconsistent(&self) -> Option<(f64, f64, f64)> {
+        let total = self.i_to_i + self.i_to_c + self.i_death;
+        (total > 0).then(|| {
+            let t = total as f64;
+            (
+                self.i_to_i as f64 / t,
+                self.i_to_c as f64 / t,
+                self.i_death as f64 / t,
+            )
+        })
+    }
+
+    /// Empirical probabilities out of the consistent class:
+    /// `(P[C→C], P[C→death])`.
+    pub fn from_consistent(&self) -> Option<(f64, f64)> {
+        let total = self.c_to_c + self.c_death;
+        (total > 0).then(|| {
+            let t = total as f64;
+            (self.c_to_c as f64 / t, self.c_death as f64 / t)
+        })
+    }
+
+    /// Total services observed.
+    pub fn total(&self) -> u64 {
+        self.i_to_i + self.i_to_c + self.i_death + self.c_to_c + self.c_death
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ss_netsim::SimRng;
+
+    #[test]
+    fn loss_spec_builds_matching_models() {
+        assert_eq!(LossSpec::Bernoulli(0.3).mean(), 0.3);
+        assert_eq!(LossSpec::None.mean(), 0.0);
+        let b = LossSpec::Bursty {
+            mean: 0.2,
+            burst_len: 4.0,
+        };
+        assert!((b.mean() - 0.2).abs() < 1e-12);
+        let mut model = b.build();
+        assert!((model.mean_loss_rate() - 0.2).abs() < 1e-12);
+        let mut rng = SimRng::new(1);
+        let n = 100_000;
+        let lost = (0..n).filter(|_| model.is_lost(&mut rng)).count();
+        assert!((lost as f64 / n as f64 - 0.2).abs() < 0.02);
+    }
+
+    #[test]
+    fn transition_counts_probabilities() {
+        let t = TransitionCounts {
+            i_to_i: 10,
+            i_to_c: 70,
+            i_death: 20,
+            c_to_c: 90,
+            c_death: 10,
+        };
+        let (ii, ic, id) = t.from_inconsistent().unwrap();
+        assert!((ii - 0.1).abs() < 1e-12);
+        assert!((ic - 0.7).abs() < 1e-12);
+        assert!((id - 0.2).abs() < 1e-12);
+        let (cc, cd) = t.from_consistent().unwrap();
+        assert!((cc - 0.9).abs() < 1e-12);
+        assert!((cd - 0.1).abs() < 1e-12);
+        assert_eq!(t.total(), 200);
+    }
+
+    #[test]
+    fn empty_counts_give_none() {
+        let t = TransitionCounts::default();
+        assert_eq!(t.from_inconsistent(), None);
+        assert_eq!(t.from_consistent(), None);
+        assert_eq!(t.total(), 0);
+    }
+}

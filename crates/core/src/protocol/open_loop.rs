@@ -1,0 +1,473 @@
+//! §3: the open-loop announce/listen protocol, simulated.
+//!
+//! One FIFO announcement queue drains through a single server (the
+//! channel, rate `μ_ch`); every service is one announcement of the head
+//! record. After each service the record dies with probability `p_d`
+//! (per-transmission death, as the analysis assumes), otherwise it
+//! re-enters the tail of the queue for its next periodic announcement.
+//! A successful (non-lost) announcement makes the record consistent at
+//! the receiver.
+//!
+//! With [`ServiceModel::Exponential`] and [`LossSpec::Bernoulli`] this is
+//! *exactly* the multi-class Jackson system of
+//! [`ss_queueing::OpenLoop`], so the run reports can be checked against
+//! the closed forms — which the tests below and the `validate-analysis`
+//! experiment do.
+
+use super::jobs::{JobStats, LiveJobs};
+use super::{LossSpec, TransitionCounts};
+use crate::workload::{ArrivalProcess, DeathProcess, ServiceModel};
+use ss_netsim::{run_until, EventQueue, LossModel, SimDuration, SimRng, SimTime, World};
+use std::collections::VecDeque;
+
+/// Configuration of an open-loop announce/listen run.
+#[derive(Clone, Debug)]
+pub struct OpenLoopConfig {
+    /// How records enter the table.
+    pub arrivals: ArrivalProcess,
+    /// How records leave (the analysis uses per-transmission death).
+    pub death: DeathProcess,
+    /// Channel service rate μ_ch in announcements/s.
+    pub mu: f64,
+    /// Channel loss process.
+    pub loss: LossSpec,
+    /// Service-time distribution.
+    pub service: ServiceModel,
+    /// Master seed for all random streams in this run.
+    pub seed: u64,
+    /// Simulated run length.
+    pub duration: SimDuration,
+    /// Record a `c(t)` time series with this spacing, if set.
+    pub series_spacing: Option<SimDuration>,
+}
+
+impl OpenLoopConfig {
+    /// The paper's canonical parameterization: Poisson arrivals at
+    /// `lambda` records/s, per-transmission death `p_death`, Bernoulli
+    /// loss `p_loss`, exponential service at `mu` — the configuration the
+    /// closed forms describe.
+    pub fn analytic(lambda: f64, mu: f64, p_loss: f64, p_death: f64, seed: u64) -> Self {
+        OpenLoopConfig {
+            arrivals: ArrivalProcess::Poisson { rate: lambda },
+            death: DeathProcess::PerTransmission { p: p_death },
+            mu,
+            loss: LossSpec::Bernoulli(p_loss),
+            service: ServiceModel::Exponential,
+            seed,
+            duration: SimDuration::from_secs(200_000),
+            series_spacing: None,
+        }
+    }
+}
+
+/// Everything measured in an open-loop run.
+#[derive(Clone, Debug)]
+pub struct OpenLoopReport {
+    /// The shared §2.1 measurements.
+    pub stats: JobStats,
+    /// Total announcements transmitted.
+    pub transmissions: u64,
+    /// Announcements of records the receiver already had (redundant).
+    pub redundant_transmissions: u64,
+    /// Empirical Table 1 transition counts.
+    pub transitions: TransitionCounts,
+    /// Fraction of announcements lost by the channel.
+    pub observed_loss_rate: f64,
+}
+
+impl OpenLoopReport {
+    /// Fraction of bandwidth spent on redundant retransmissions —
+    /// the Figure 4 quantity.
+    pub fn wasted_fraction(&self) -> f64 {
+        if self.transmissions == 0 {
+            0.0
+        } else {
+            self.redundant_transmissions as f64 / self.transmissions as f64
+        }
+    }
+}
+
+enum Ev {
+    Arrival,
+    ServiceDone(u64),
+    /// Lifetime-based expiry (only scheduled under
+    /// [`DeathProcess::Lifetime`]).
+    LifetimeEnd(u64),
+}
+
+struct Sim {
+    cfg: OpenLoopConfig,
+    queue: VecDeque<u64>,
+    serving: Option<u64>,
+    /// Records whose lifetime ended while in service; they die at the
+    /// service completion instead of vanishing off the wire.
+    doomed: std::collections::HashSet<u64>,
+    jobs: LiveJobs,
+    loss: Box<dyn LossModel>,
+    next_id: u64,
+    transmissions: u64,
+    redundant: u64,
+    lost: u64,
+    transitions: TransitionCounts,
+    rng_arrival: SimRng,
+    rng_service: SimRng,
+    rng_loss: SimRng,
+    rng_death: SimRng,
+    rng_update: SimRng,
+}
+
+impl Sim {
+    fn new(cfg: OpenLoopConfig) -> Self {
+        let root = SimRng::new(cfg.seed);
+        let loss = cfg.loss.build();
+        Sim {
+            queue: VecDeque::new(),
+            serving: None,
+            doomed: std::collections::HashSet::new(),
+            jobs: LiveJobs::new(SimTime::ZERO, cfg.series_spacing),
+            loss,
+            next_id: 0,
+            transmissions: 0,
+            redundant: 0,
+            lost: 0,
+            transitions: TransitionCounts::default(),
+            rng_arrival: root.derive("arrival"),
+            rng_service: root.derive("service"),
+            rng_loss: root.derive("loss"),
+            rng_death: root.derive("death"),
+            rng_update: root.derive("update"),
+            cfg,
+        }
+    }
+
+    fn spawn_record(&mut self, q: &mut EventQueue<Ev>) {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.jobs.arrive(q.now(), id);
+        if let Some(life) = self.cfg.death.lifetime(&mut self.rng_death) {
+            q.schedule_in(life, Ev::LifetimeEnd(id));
+        }
+        self.queue.push_back(id);
+        self.maybe_start_service(q);
+    }
+
+    fn maybe_start_service(&mut self, q: &mut EventQueue<Ev>) {
+        if self.serving.is_some() {
+            return;
+        }
+        let id = loop {
+            let Some(id) = self.queue.pop_front() else {
+                return;
+            };
+            if self.jobs.contains(id) {
+                break id;
+            }
+            // Expired while queued (lifetime death): skip.
+        };
+        self.serving = Some(id);
+        let st = self.cfg.service.service_time(self.cfg.mu, &mut self.rng_service);
+        q.schedule_in(st, Ev::ServiceDone(id));
+    }
+
+    /// An arrival event: a new record, or — once an update workload's
+    /// keyspace is full — an in-place update of a random live record,
+    /// which makes the receiver's copy stale again. The record keeps its
+    /// place in the announcement cycle, so the new version propagates on
+    /// its next announcement.
+    fn handle_arrival(&mut self, q: &mut EventQueue<Ev>) {
+        if let ArrivalProcess::PoissonUpdates { keys, .. } = self.cfg.arrivals {
+            if self.jobs.len() as u64 >= keys {
+                if let Some(id) = self.jobs.random_live(&mut self.rng_update) {
+                    self.jobs.invalidate(q.now(), id);
+                }
+                return;
+            }
+        }
+        self.spawn_record(q);
+    }
+
+    fn schedule_next_arrival(&mut self, q: &mut EventQueue<Ev>) {
+        if let Some(dt) = self.cfg.arrivals.next_interarrival(&mut self.rng_arrival) {
+            q.schedule_in(dt, Ev::Arrival);
+        }
+    }
+}
+
+impl World for Sim {
+    type Event = Ev;
+
+    fn handle(&mut self, q: &mut EventQueue<Ev>, ev: Ev) {
+        match ev {
+            Ev::Arrival => {
+                self.handle_arrival(q);
+                self.schedule_next_arrival(q);
+            }
+            Ev::LifetimeEnd(id) => {
+                if self.jobs.contains(id) {
+                    if self.serving == Some(id) {
+                        // In flight: die at service completion.
+                        self.doomed.insert(id);
+                    } else {
+                        // Waiting in the queue: removed lazily at pop.
+                        if self.jobs.kill(q.now(), id) {
+                            self.transitions.c_death += 1;
+                        } else {
+                            self.transitions.i_death += 1;
+                        }
+                    }
+                }
+            }
+            Ev::ServiceDone(id) => {
+                debug_assert_eq!(self.serving, Some(id));
+                self.serving = None;
+                self.transmissions += 1;
+
+                let was_consistent = self.jobs.is_consistent(id);
+                if was_consistent {
+                    self.redundant += 1;
+                }
+                let lost = self.loss.is_lost(&mut self.rng_loss);
+                if lost {
+                    self.lost += 1;
+                }
+                let dies = self.cfg.death.dies_after_service(&mut self.rng_death)
+                    || self.doomed.remove(&id);
+
+                // Delivery happens before the death draw takes the record
+                // out: a record can be received by its final announcement.
+                if !lost && !was_consistent {
+                    self.jobs.deliver(q.now(), id);
+                }
+
+                if dies {
+                    if was_consistent {
+                        self.transitions.c_death += 1;
+                    } else {
+                        self.transitions.i_death += 1;
+                    }
+                    self.jobs.kill(q.now(), id);
+                } else {
+                    match (was_consistent, lost) {
+                        (true, _) => self.transitions.c_to_c += 1,
+                        (false, false) => self.transitions.i_to_c += 1,
+                        (false, true) => self.transitions.i_to_i += 1,
+                    }
+                    self.queue.push_back(id);
+                }
+                self.maybe_start_service(q);
+            }
+        }
+    }
+}
+
+/// Runs an open-loop announce/listen simulation to completion and reports
+/// the paper's metrics.
+pub fn run(cfg: &OpenLoopConfig) -> OpenLoopReport {
+    let mut sim = Sim::new(cfg.clone());
+    let mut q: EventQueue<Ev> = EventQueue::new();
+    let end = SimTime::ZERO + cfg.duration;
+
+    for _ in 0..cfg.arrivals.initial_count() {
+        sim.spawn_record(&mut q);
+    }
+    sim.schedule_next_arrival(&mut q);
+
+    run_until(&mut sim, &mut q, end);
+
+    let observed_loss_rate = if sim.transmissions == 0 {
+        0.0
+    } else {
+        sim.lost as f64 / sim.transmissions as f64
+    };
+    OpenLoopReport {
+        stats: sim.jobs.finish(end),
+        transmissions: sim.transmissions,
+        redundant_transmissions: sim.redundant,
+        transitions: sim.transitions,
+        observed_loss_rate,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ss_queueing::OpenLoop;
+
+    /// A standard validation run: stable, moderate loss/death.
+    fn validation_cfg(seed: u64) -> OpenLoopConfig {
+        let mut c = OpenLoopConfig::analytic(2.0, 16.0, 0.2, 0.25, seed);
+        c.duration = SimDuration::from_secs(100_000);
+        c
+    }
+
+    #[test]
+    fn matches_jackson_consistency() {
+        let cfg = validation_cfg(11);
+        let report = run(&cfg);
+        let model = OpenLoop::new(2.0, 16.0, 0.2, 0.25);
+        assert!(model.is_stable());
+
+        let sim_busy = report.stats.consistency.busy.unwrap();
+        let th_busy = model.consistency_busy();
+        assert!(
+            (sim_busy - th_busy).abs() < 0.02,
+            "busy consistency: sim {sim_busy} vs theory {th_busy}"
+        );
+
+        let sim_un = report.stats.consistency.unnormalized;
+        let th_un = model.consistency_unnormalized();
+        assert!(
+            (sim_un - th_un).abs() < 0.02,
+            "unnormalized: sim {sim_un} vs theory {th_un}"
+        );
+    }
+
+    #[test]
+    fn matches_jackson_occupancy_and_waste() {
+        let cfg = validation_cfg(12);
+        let report = run(&cfg);
+        let model = OpenLoop::new(2.0, 16.0, 0.2, 0.25);
+
+        let sim_n = report.stats.mean_live_records;
+        let th_n = model.mean_live_records();
+        assert!(
+            (sim_n - th_n).abs() / th_n < 0.05,
+            "E[n]: sim {sim_n} vs theory {th_n}"
+        );
+
+        let sim_w = report.wasted_fraction();
+        let th_w = model.wasted_bandwidth_fraction();
+        assert!(
+            (sim_w - th_w).abs() < 0.02,
+            "wasted: sim {sim_w} vs theory {th_w}"
+        );
+    }
+
+    #[test]
+    fn empirical_transitions_match_table1() {
+        let cfg = validation_cfg(13);
+        let report = run(&cfg);
+        let t = ss_queueing::Transitions::new(0.2, 0.25);
+        let (ii, ic, id) = report.transitions.from_inconsistent().unwrap();
+        assert!((ii - t.i_to_i).abs() < 0.01, "I->I {ii} vs {}", t.i_to_i);
+        assert!((ic - t.i_to_c).abs() < 0.01, "I->C {ic} vs {}", t.i_to_c);
+        assert!((id - t.i_death).abs() < 0.01, "I->D {id} vs {}", t.i_death);
+        let (cc, cd) = report.transitions.from_consistent().unwrap();
+        assert!((cc - t.c_to_c).abs() < 0.01, "C->C {cc} vs {}", t.c_to_c);
+        assert!((cd - t.c_death).abs() < 0.01, "C->D {cd} vs {}", t.c_death);
+    }
+
+    #[test]
+    fn observed_loss_tracks_spec() {
+        let report = run(&validation_cfg(14));
+        assert!((report.observed_loss_rate - 0.2).abs() < 0.01);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = run(&validation_cfg(7));
+        let b = run(&validation_cfg(7));
+        assert_eq!(a.transmissions, b.transmissions);
+        assert_eq!(a.stats.arrivals, b.stats.arrivals);
+        assert_eq!(
+            a.stats.consistency.unnormalized,
+            b.stats.consistency.unnormalized
+        );
+    }
+
+    #[test]
+    fn bulk_workload_is_eventually_consistent() {
+        // Static input + no death: every record is eventually delivered
+        // despite 50% loss — the paper's "quasi-reliable" property.
+        let cfg = OpenLoopConfig {
+            arrivals: ArrivalProcess::Bulk { count: 50 },
+            death: DeathProcess::Immortal,
+            mu: 20.0,
+            loss: LossSpec::Bernoulli(0.5),
+            service: ServiceModel::Deterministic,
+            seed: 3,
+            duration: SimDuration::from_secs(500),
+            series_spacing: None,
+        };
+        let report = run(&cfg);
+        assert_eq!(report.stats.latency.count(), 50, "all records delivered");
+        assert_eq!(report.stats.final_live, 50);
+        // Consistency converges to 1 and stays: late-run instantaneous
+        // average is near 1.
+        assert!(report.stats.consistency.busy.unwrap() > 0.9);
+    }
+
+    #[test]
+    fn higher_loss_lowers_consistency() {
+        let lo = run(&OpenLoopConfig::analytic(2.0, 16.0, 0.05, 0.25, 5));
+        let hi = run(&OpenLoopConfig::analytic(2.0, 16.0, 0.60, 0.25, 5));
+        assert!(
+            lo.stats.consistency.busy.unwrap() > hi.stats.consistency.busy.unwrap() + 0.1
+        );
+    }
+
+    #[test]
+    fn deterministic_service_close_to_exponential_metric() {
+        // §3: the metric depends on the mean loss process, and the
+        // consistent-fraction is also insensitive to the service
+        // distribution (the class split is per-service, not per-time).
+        let mut cfg = validation_cfg(21);
+        let exp = run(&cfg);
+        cfg.service = ServiceModel::Deterministic;
+        let det = run(&cfg);
+        let a = exp.stats.consistency.busy.unwrap();
+        let b = det.stats.consistency.busy.unwrap();
+        assert!((a - b).abs() < 0.03, "exp {a} vs det {b}");
+    }
+}
+
+#[cfg(test)]
+mod update_workload_tests {
+    use super::*;
+
+    #[test]
+    fn keyspace_stays_bounded_and_updates_invalidate() {
+        let cfg = OpenLoopConfig {
+            arrivals: ArrivalProcess::PoissonUpdates {
+                rate: 5.0,
+                keys: 20,
+            },
+            death: DeathProcess::Immortal,
+            mu: 30.0,
+            loss: LossSpec::Bernoulli(0.1),
+            service: ServiceModel::Exponential,
+            seed: 77,
+            duration: SimDuration::from_secs(2_000),
+            series_spacing: None,
+        };
+        let r = run(&cfg);
+        assert_eq!(r.stats.final_live, 20, "keyspace bounded at 20");
+        assert_eq!(r.stats.arrivals, 20);
+        assert!(r.stats.updates > 1_000, "updates happened: {}", r.stats.updates);
+        // Updates keep knocking records inconsistent, so steady-state
+        // consistency sits strictly below 1 but well above 0: the cycle
+        // re-propagates each new version.
+        let c = r.stats.consistency.busy.unwrap();
+        assert!((0.5..0.999).contains(&c), "churned consistency {c}");
+    }
+
+    #[test]
+    fn faster_updates_lower_consistency() {
+        let mk = |rate: f64| OpenLoopConfig {
+            arrivals: ArrivalProcess::PoissonUpdates { rate, keys: 20 },
+            death: DeathProcess::Immortal,
+            mu: 30.0,
+            loss: LossSpec::Bernoulli(0.1),
+            service: ServiceModel::Exponential,
+            seed: 78,
+            duration: SimDuration::from_secs(2_000),
+            series_spacing: None,
+        };
+        let slow = run(&mk(1.0)).stats.consistency.busy.unwrap();
+        let fast = run(&mk(20.0)).stats.consistency.busy.unwrap();
+        assert!(
+            slow > fast + 0.1,
+            "churn must hurt: slow {slow} vs fast {fast}"
+        );
+    }
+}

@@ -1,0 +1,573 @@
+//! §4: multiple transmission queues — "hot" (foreground, new data) and
+//! "cold" (background, already-transmitted data).
+//!
+//! A new record is announced once through the hot queue and then moves to
+//! the cold queue, which cycles through its contents forever (periodic
+//! background retransmission). The data bandwidth `μ_data` is split
+//! between the queues; the paper evaluates the split's effect on
+//! consistency (Figure 5) and receive latency (Figure 6).
+//!
+//! Two sharing modes are provided:
+//!
+//! * [`Sharing::Partitioned`] — hot and cold are independent servers at
+//!   `μ_hot` and `μ_cold`. This matches the figures' sweeps directly
+//!   (e.g. `μ_cold → 0` really does mean "no retransmissions, ever"),
+//!   and is the default for the experiment presets.
+//! * [`Sharing::WorkConserving`] — one server at `μ_hot + μ_cold` with a
+//!   proportional-share scheduler (lottery/stride/SFQ/DRR/priority)
+//!   choosing the next queue, so "unused excess hot bandwidth is consumed
+//!   by transmissions from the cold queue" as §4 describes. Used by the
+//!   scheduler-ablation experiment.
+
+use super::jobs::{JobStats, LiveJobs};
+use super::LossSpec;
+use crate::workload::{ArrivalProcess, DeathProcess, ServiceModel};
+use ss_netsim::{
+    run_until, EventQueue, LossModel, SimDuration, SimRng, SimTime, TimeWeightedMean, World,
+};
+use ss_sched::{Drr, Lottery, Scheduler, Sfq, StrictPriority, Stride};
+use std::collections::VecDeque;
+
+/// Which transmission queue served a packet.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Src {
+    /// The foreground (new data) queue.
+    Hot,
+    /// The background (retransmission) queue.
+    Cold,
+}
+
+/// The proportional-share policy for work-conserving sharing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Policy {
+    /// Randomized lottery scheduling.
+    Lottery,
+    /// Deterministic stride scheduling.
+    Stride,
+    /// Start-time fair queueing.
+    Sfq,
+    /// Deficit round robin.
+    Drr,
+    /// Strict priority (hot first) — the starvation baseline.
+    Priority,
+}
+
+impl Policy {
+    /// Builds the scheduler with classes 0 = hot, 1 = cold.
+    pub fn build(&self) -> Box<dyn Scheduler> {
+        match self {
+            Policy::Lottery => Box::new(Lottery::new()),
+            Policy::Stride => Box::new(Stride::new()),
+            Policy::Sfq => Box::new(Sfq::new()),
+            Policy::Drr => Box::new(Drr::new(1)),
+            Policy::Priority => Box::new(StrictPriority::new()),
+        }
+    }
+}
+
+/// How the hot and cold queues share the data bandwidth.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Sharing {
+    /// Independent servers at `μ_hot` / `μ_cold`.
+    Partitioned,
+    /// One server at `μ_hot + μ_cold`, queue chosen per packet by the
+    /// policy with weights proportional to the two rates.
+    WorkConserving(Policy),
+}
+
+/// Configuration of a two-queue run.
+#[derive(Clone, Debug)]
+pub struct TwoQueueConfig {
+    /// How records enter the table.
+    pub arrivals: ArrivalProcess,
+    /// How records leave.
+    pub death: DeathProcess,
+    /// Foreground bandwidth in announcements/s (μ_hot).
+    pub mu_hot: f64,
+    /// Background bandwidth in announcements/s (μ_cold).
+    pub mu_cold: f64,
+    /// Channel loss process (shared by both queues — same channel).
+    pub loss: LossSpec,
+    /// Service-time distribution.
+    pub service: ServiceModel,
+    /// Bandwidth sharing mode.
+    pub sharing: Sharing,
+    /// Master seed.
+    pub seed: u64,
+    /// Simulated run length.
+    pub duration: SimDuration,
+    /// Record a `c(t)` series with this spacing, if set.
+    pub series_spacing: Option<SimDuration>,
+}
+
+/// Everything measured in a two-queue run.
+#[derive(Clone, Debug)]
+pub struct TwoQueueReport {
+    /// The shared §2.1 measurements.
+    pub stats: JobStats,
+    /// Announcements sent from the hot queue.
+    pub hot_transmissions: u64,
+    /// Announcements sent from the cold queue.
+    pub cold_transmissions: u64,
+    /// Announcements of already-consistent records.
+    pub redundant_transmissions: u64,
+    /// Fraction of announcements lost.
+    pub observed_loss_rate: f64,
+    /// Time-averaged hot-queue backlog (diverges when `λ > μ_hot`).
+    pub mean_hot_backlog: f64,
+    /// Hot-queue length at the end of the run.
+    pub final_hot_backlog: usize,
+}
+
+impl TwoQueueReport {
+    /// Total announcements.
+    pub fn transmissions(&self) -> u64 {
+        self.hot_transmissions + self.cold_transmissions
+    }
+
+    /// The Figure 4 quantity for this variant.
+    pub fn wasted_fraction(&self) -> f64 {
+        let t = self.transmissions();
+        if t == 0 {
+            0.0
+        } else {
+            self.redundant_transmissions as f64 / t as f64
+        }
+    }
+}
+
+enum Ev {
+    Arrival,
+    Done { id: u64, src: Src },
+    /// Lifetime-based expiry (only under [`DeathProcess::Lifetime`]).
+    LifetimeEnd(u64),
+}
+
+struct Sim {
+    cfg: TwoQueueConfig,
+    hot: VecDeque<u64>,
+    cold: VecDeque<u64>,
+    /// Partitioned mode: per-server busy records. Work-conserving mode:
+    /// only `busy_hot` is used, for the single shared server.
+    busy_hot: bool,
+    busy_cold: bool,
+    /// Records currently on the wire (for lifetime-death deferral).
+    in_service: std::collections::HashSet<u64>,
+    /// Records whose lifetime ended mid-service; killed at completion.
+    doomed: std::collections::HashSet<u64>,
+    sched: Option<Box<dyn Scheduler>>,
+    jobs: LiveJobs,
+    loss: Box<dyn LossModel>,
+    next_id: u64,
+    hot_tx: u64,
+    cold_tx: u64,
+    redundant: u64,
+    lost: u64,
+    hot_backlog: TimeWeightedMean,
+    rng_arrival: SimRng,
+    rng_service: SimRng,
+    rng_loss: SimRng,
+    rng_death: SimRng,
+    rng_sched: SimRng,
+    rng_update: SimRng,
+}
+
+const HOT: usize = 0;
+const COLD: usize = 1;
+
+/// Pops the next live record from `queue` (skipping lifetime-expired
+/// entries left behind for lazy removal).
+fn pop_live(queue: &mut VecDeque<u64>, jobs: &super::jobs::LiveJobs) -> Option<u64> {
+    while let Some(id) = queue.pop_front() {
+        if jobs.contains(id) {
+            return Some(id);
+        }
+    }
+    None
+}
+
+/// Drops dead records from the head of `queue`.
+fn purge_dead(queue: &mut VecDeque<u64>, jobs: &super::jobs::LiveJobs) {
+    while let Some(&id) = queue.front() {
+        if jobs.contains(id) {
+            break;
+        }
+        queue.pop_front();
+    }
+}
+
+/// Scales the two rates into small integer scheduler weights (granularity
+/// 1/20 of the total), keeping round-robin-style policies like DRR from
+/// serving enormous bursts per class visit.
+fn weights_of(mu_hot: f64, mu_cold: f64) -> (u64, u64) {
+    let total = mu_hot + mu_cold;
+    if total <= 0.0 {
+        return (0, 0);
+    }
+    let w = |mu: f64| -> u64 {
+        if mu <= 0.0 {
+            0
+        } else {
+            ((mu / total * 20.0).round() as u64).max(1)
+        }
+    };
+    (w(mu_hot), w(mu_cold))
+}
+
+impl Sim {
+    fn new(cfg: TwoQueueConfig) -> Self {
+        let root = SimRng::new(cfg.seed);
+        let loss = cfg.loss.build();
+        let sched = match cfg.sharing {
+            Sharing::Partitioned => None,
+            Sharing::WorkConserving(policy) => {
+                let mut s = policy.build();
+                let (wh, wc) = weights_of(cfg.mu_hot, cfg.mu_cold);
+                s.set_weight(HOT, wh);
+                s.set_weight(COLD, wc);
+                Some(s)
+            }
+        };
+        Sim {
+            hot: VecDeque::new(),
+            cold: VecDeque::new(),
+            busy_hot: false,
+            busy_cold: false,
+            in_service: std::collections::HashSet::new(),
+            doomed: std::collections::HashSet::new(),
+            sched,
+            jobs: LiveJobs::new(SimTime::ZERO, cfg.series_spacing),
+            loss,
+            next_id: 0,
+            hot_tx: 0,
+            cold_tx: 0,
+            redundant: 0,
+            lost: 0,
+            hot_backlog: TimeWeightedMean::new(SimTime::ZERO, 0.0),
+            rng_arrival: root.derive("arrival"),
+            rng_service: root.derive("service"),
+            rng_loss: root.derive("loss"),
+            rng_death: root.derive("death"),
+            rng_sched: root.derive("sched"),
+            rng_update: root.derive("update"),
+            cfg,
+        }
+    }
+
+    fn note_hot_backlog(&mut self, now: SimTime) {
+        self.hot_backlog.update(now, self.hot.len() as f64);
+    }
+
+    fn spawn_record(&mut self, q: &mut EventQueue<Ev>) {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.jobs.arrive(q.now(), id);
+        if let Some(life) = self.cfg.death.lifetime(&mut self.rng_death) {
+            q.schedule_in(life, Ev::LifetimeEnd(id));
+        }
+        self.hot.push_back(id);
+        self.note_hot_backlog(q.now());
+        self.kick(q);
+    }
+
+    /// Starts whatever service the sharing mode allows.
+    fn kick(&mut self, q: &mut EventQueue<Ev>) {
+        match self.cfg.sharing {
+            Sharing::Partitioned => {
+                if !self.busy_hot && self.cfg.mu_hot > 0.0 {
+                    if let Some(id) = pop_live(&mut self.hot, &self.jobs) {
+                        self.note_hot_backlog(q.now());
+                        self.busy_hot = true;
+                        self.in_service.insert(id);
+                        let st = self
+                            .cfg
+                            .service
+                            .service_time(self.cfg.mu_hot, &mut self.rng_service);
+                        q.schedule_in(st, Ev::Done { id, src: Src::Hot });
+                    }
+                }
+                if !self.busy_cold && self.cfg.mu_cold > 0.0 {
+                    if let Some(id) = pop_live(&mut self.cold, &self.jobs) {
+                        self.busy_cold = true;
+                        self.in_service.insert(id);
+                        let st = self
+                            .cfg
+                            .service
+                            .service_time(self.cfg.mu_cold, &mut self.rng_service);
+                        q.schedule_in(st, Ev::Done { id, src: Src::Cold });
+                    }
+                }
+            }
+            Sharing::WorkConserving(_) => {
+                if self.busy_hot {
+                    return;
+                }
+                let mu_data = self.cfg.mu_hot + self.cfg.mu_cold;
+                if mu_data <= 0.0 {
+                    return;
+                }
+                // Purge dead heads first so backlog flags are truthful.
+                purge_dead(&mut self.hot, &self.jobs);
+                purge_dead(&mut self.cold, &self.jobs);
+                let sched = self.sched.as_mut().expect("scheduler for WC mode");
+                sched.set_backlogged(HOT, !self.hot.is_empty());
+                sched.set_backlogged(COLD, !self.cold.is_empty());
+                let Some(class) = sched.pick(&mut self.rng_sched) else {
+                    return;
+                };
+                sched.charge(class, 1);
+                let (id, src) = if class == HOT {
+                    let id = self.hot.pop_front().expect("hot backlog flag stale");
+                    self.note_hot_backlog(q.now());
+                    (id, Src::Hot)
+                } else {
+                    (self.cold.pop_front().expect("cold backlog flag stale"), Src::Cold)
+                };
+                self.busy_hot = true;
+                self.in_service.insert(id);
+                let st = self.cfg.service.service_time(mu_data, &mut self.rng_service);
+                q.schedule_in(st, Ev::Done { id, src });
+            }
+        }
+    }
+
+    fn complete(&mut self, q: &mut EventQueue<Ev>, id: u64, src: Src) {
+        self.in_service.remove(&id);
+        match src {
+            Src::Hot => self.hot_tx += 1,
+            Src::Cold => self.cold_tx += 1,
+        }
+        let was_consistent = self.jobs.is_consistent(id);
+        if was_consistent {
+            self.redundant += 1;
+        }
+        let lost = self.loss.is_lost(&mut self.rng_loss);
+        if lost {
+            self.lost += 1;
+        }
+        if !lost && !was_consistent {
+            self.jobs.deliver(q.now(), id);
+        }
+        if self.cfg.death.dies_after_service(&mut self.rng_death) || self.doomed.remove(&id)
+        {
+            self.jobs.kill(q.now(), id);
+        } else {
+            // Hot-served records age into the cold queue; cold-served
+            // records cycle back to its tail.
+            self.cold.push_back(id);
+        }
+    }
+
+    /// An arrival: a new record, or — once an update workload's keyspace
+    /// is full — an in-place update of a random live record. The stale
+    /// record refreshes through its existing queue position (the cold
+    /// cycle); promotion-on-update is the feedback variant's job.
+    fn handle_arrival(&mut self, q: &mut EventQueue<Ev>) {
+        if let ArrivalProcess::PoissonUpdates { keys, .. } = self.cfg.arrivals {
+            if self.jobs.len() as u64 >= keys {
+                if let Some(id) = self.jobs.random_live(&mut self.rng_update) {
+                    self.jobs.invalidate(q.now(), id);
+                }
+                return;
+            }
+        }
+        self.spawn_record(q);
+    }
+
+    fn schedule_next_arrival(&mut self, q: &mut EventQueue<Ev>) {
+        if let Some(dt) = self.cfg.arrivals.next_interarrival(&mut self.rng_arrival) {
+            q.schedule_in(dt, Ev::Arrival);
+        }
+    }
+}
+
+impl World for Sim {
+    type Event = Ev;
+
+    fn handle(&mut self, q: &mut EventQueue<Ev>, ev: Ev) {
+        match ev {
+            Ev::Arrival => {
+                self.handle_arrival(q);
+                self.schedule_next_arrival(q);
+            }
+            Ev::LifetimeEnd(id) => {
+                if self.jobs.contains(id) {
+                    if self.in_service.contains(&id) {
+                        self.doomed.insert(id);
+                    } else {
+                        self.jobs.kill(q.now(), id);
+                    }
+                }
+            }
+            Ev::Done { id, src } => {
+                match (self.cfg.sharing, src) {
+                    (Sharing::Partitioned, Src::Hot) => self.busy_hot = false,
+                    (Sharing::Partitioned, Src::Cold) => self.busy_cold = false,
+                    (Sharing::WorkConserving(_), _) => self.busy_hot = false,
+                }
+                self.complete(q, id, src);
+                self.kick(q);
+            }
+        }
+    }
+}
+
+/// Runs a two-queue simulation and reports the paper's metrics.
+pub fn run(cfg: &TwoQueueConfig) -> TwoQueueReport {
+    let mut sim = Sim::new(cfg.clone());
+    let mut q: EventQueue<Ev> = EventQueue::new();
+    let end = SimTime::ZERO + cfg.duration;
+
+    for _ in 0..cfg.arrivals.initial_count() {
+        sim.spawn_record(&mut q);
+    }
+    sim.schedule_next_arrival(&mut q);
+
+    run_until(&mut sim, &mut q, end);
+
+    let total_tx = sim.hot_tx + sim.cold_tx;
+    let observed_loss_rate = if total_tx == 0 {
+        0.0
+    } else {
+        sim.lost as f64 / total_tx as f64
+    };
+    TwoQueueReport {
+        stats: sim.jobs.finish(end),
+        hot_transmissions: sim.hot_tx,
+        cold_transmissions: sim.cold_tx,
+        redundant_transmissions: sim.redundant,
+        observed_loss_rate,
+        mean_hot_backlog: sim.hot_backlog.mean_until(end),
+        final_hot_backlog: sim.hot.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Figure 5's workload in packets/s: λ = 1.875/s (15 kbps),
+    /// μ_data = 5.625/s (45 kbps), split by `hot_share`.
+    fn fig5_cfg(hot_share: f64, p_loss: f64, seed: u64) -> TwoQueueConfig {
+        let mu_data = 5.625;
+        TwoQueueConfig {
+            arrivals: ArrivalProcess::Poisson { rate: 1.875 },
+            death: DeathProcess::PerTransmission { p: 0.1 },
+            mu_hot: mu_data * hot_share,
+            mu_cold: mu_data * (1.0 - hot_share),
+            loss: LossSpec::Bernoulli(p_loss),
+            service: ServiceModel::Exponential,
+            sharing: Sharing::Partitioned,
+            seed,
+            duration: SimDuration::from_secs(40_000),
+            series_spacing: None,
+        }
+    }
+
+    #[test]
+    fn consistency_knee_at_lambda() {
+        // λ/μ_data = 1/3: hot shares below it starve new data, above it
+        // consistency plateaus (Figure 5's knee).
+        let starved = run(&fig5_cfg(0.10, 0.1, 1));
+        let at_knee = run(&fig5_cfg(0.40, 0.1, 1));
+        let plateau = run(&fig5_cfg(0.70, 0.1, 1));
+        let c_starved = starved.stats.consistency.busy.unwrap();
+        let c_knee = at_knee.stats.consistency.busy.unwrap();
+        let c_plateau = plateau.stats.consistency.busy.unwrap();
+        assert!(
+            c_knee > c_starved + 0.2,
+            "knee {c_knee} vs starved {c_starved}"
+        );
+        assert!(
+            (c_plateau - c_knee).abs() < 0.06,
+            "plateau {c_plateau} vs knee {c_knee}"
+        );
+        // The starved run's hot queue diverges.
+        assert!(starved.mean_hot_backlog > 10.0 * at_knee.mean_hot_backlog.max(0.1));
+    }
+
+    #[test]
+    fn zero_cold_means_no_retransmissions() {
+        let mut cfg = fig5_cfg(1.0, 0.5, 2);
+        cfg.mu_cold = 0.0;
+        let r = run(&cfg);
+        assert_eq!(r.cold_transmissions, 0);
+        // Every record is announced exactly once from hot; with 50% loss,
+        // about half are never delivered.
+        let delivered = r.stats.latency.count();
+        let frac = delivered as f64 / r.stats.arrivals as f64;
+        assert!((frac - 0.5).abs() < 0.05, "delivered fraction {frac}");
+    }
+
+    #[test]
+    fn cold_bandwidth_raises_delivery_and_latency_shape() {
+        // Figure 6's two competing effects: tiny cold bandwidth gives low
+        // measured latency (only first-shot successes are counted) but low
+        // delivery; ample cold bandwidth delivers everyone and brings the
+        // retransmission latency down again.
+        let mut tiny = fig5_cfg(0.40, 0.5, 3);
+        tiny.mu_cold = 0.01;
+        let mut mid = fig5_cfg(0.40, 0.5, 3);
+        mid.mu_cold = tiny.mu_hot * 0.3;
+        let mut ample = fig5_cfg(0.40, 0.5, 3);
+        ample.mu_cold = tiny.mu_hot * 3.0;
+
+        let rt = run(&tiny);
+        let rm = run(&mid);
+        let ra = run(&ample);
+
+        let lt = rt.stats.latency.mean().as_secs_f64();
+        let lm = rm.stats.latency.mean().as_secs_f64();
+        let la = ra.stats.latency.mean().as_secs_f64();
+        assert!(lm > lt, "latency should rise first: tiny {lt}, mid {lm}");
+        assert!(la < lm, "then fall: mid {lm}, ample {la}");
+
+        let ct = rt.stats.consistency.busy.unwrap();
+        let ca = ra.stats.consistency.busy.unwrap();
+        assert!(ca > ct, "ample cold consistency {ca} vs tiny {ct}");
+    }
+
+    #[test]
+    fn work_conserving_policies_agree() {
+        for policy in [Policy::Lottery, Policy::Stride, Policy::Sfq, Policy::Drr] {
+            let mut cfg = fig5_cfg(0.5, 0.2, 4);
+            cfg.sharing = Sharing::WorkConserving(policy);
+            let r = run(&cfg);
+            let c = r.stats.consistency.busy.unwrap();
+            assert!(c > 0.65, "{policy:?} consistency {c}");
+            assert!(r.hot_transmissions > 0 && r.cold_transmissions > 0);
+        }
+    }
+
+    #[test]
+    fn strict_priority_starves_cold_under_hot_load() {
+        // Saturate hot (λ > μ_data/2 with hot weight dominant): cold gets
+        // nothing under strict priority while stride still shares.
+        let mut cfg = fig5_cfg(0.5, 0.2, 5);
+        cfg.arrivals = ArrivalProcess::Poisson { rate: 10.0 }; // >> mu_data
+        cfg.sharing = Sharing::WorkConserving(Policy::Priority);
+        let pri = run(&cfg);
+        cfg.sharing = Sharing::WorkConserving(Policy::Stride);
+        let str_ = run(&cfg);
+        assert_eq!(pri.cold_transmissions, 0, "priority must starve cold");
+        assert!(str_.cold_transmissions > 0, "stride must not starve cold");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = run(&fig5_cfg(0.4, 0.3, 9));
+        let b = run(&fig5_cfg(0.4, 0.3, 9));
+        assert_eq!(a.transmissions(), b.transmissions());
+        assert_eq!(
+            a.stats.consistency.unnormalized,
+            b.stats.consistency.unnormalized
+        );
+    }
+
+    #[test]
+    fn wasted_fraction_counts_redundant_cold() {
+        let r = run(&fig5_cfg(0.4, 0.1, 10));
+        assert!(r.wasted_fraction() > 0.3, "waste {}", r.wasted_fraction());
+        assert!(r.wasted_fraction() < 1.0);
+    }
+}

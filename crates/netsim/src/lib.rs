@@ -1,0 +1,68 @@
+//! # ss-netsim — deterministic discrete-event network simulation substrate
+//!
+//! The SIGCOMM '99 soft-state paper evaluates its protocols on a
+//! single-sender/single-receiver simulator with a lossy, rate-limited
+//! channel. This crate is that simulator, rebuilt from scratch:
+//!
+//! * [`time`] — integer-microsecond virtual clock ([`SimTime`],
+//!   [`SimDuration`]).
+//! * [`units`] — [`Bandwidth`] in bits/s, with exact serialization delays.
+//! * [`engine`] — the event queue and run loop ([`EventQueue`], [`World`]).
+//! * [`rng`] — seeded, name-derivable random streams ([`SimRng`]) so
+//!   protocol variants can be compared on identical workloads.
+//! * [`loss`] — Bernoulli, Gilbert–Elliott, and scripted loss processes.
+//! * [`link`] — FIFO transmitters and lossy channels ([`Transmitter`],
+//!   [`Channel`]).
+//! * [`stats`] — exact time-weighted averages, Welford accumulators,
+//!   latency histograms, and time-series recorders for the paper's metrics.
+//! * [`trace`] — bounded protocol-action traces for tests and debugging.
+//!
+//! Everything is single-threaded and fully deterministic given a seed:
+//! two runs with the same seed produce identical event sequences, which is
+//! what lets the experiment harness regenerate every figure reproducibly.
+//!
+//! ## Example
+//!
+//! ```
+//! use ss_netsim::prelude::*;
+//!
+//! // A 128 kbps channel losing 10% of packets, 50 ms propagation delay.
+//! let mut ch = Channel::new(
+//!     Bandwidth::from_kbps(128),
+//!     SimDuration::from_millis(50),
+//!     Box::new(Bernoulli::new(0.1)),
+//!     SimRng::new(42),
+//! );
+//! let d = ch.send(SimTime::ZERO, 1000);
+//! assert_eq!(d.departs, SimTime::from_micros(62_500));
+//! ```
+
+pub mod engine;
+pub mod link;
+pub mod loss;
+pub mod rng;
+pub mod stats;
+pub mod time;
+pub mod trace;
+pub mod units;
+
+pub use engine::{run_to_completion, run_until, EventQueue, World};
+pub use link::{Channel, Delivery, Transmitter};
+pub use loss::{Bernoulli, GilbertElliott, LossModel, Pattern};
+pub use rng::SimRng;
+pub use stats::{DurationHistogram, TimeSeries, TimeWeightedMean, Welford};
+pub use time::{SimDuration, SimTime};
+pub use trace::{Trace, TraceRecord};
+pub use units::Bandwidth;
+
+/// Convenient glob import for simulations.
+pub mod prelude {
+    pub use crate::engine::{run_to_completion, run_until, EventQueue, World};
+    pub use crate::link::{Channel, Delivery, Transmitter};
+    pub use crate::loss::{Bernoulli, GilbertElliott, LossModel, Pattern};
+    pub use crate::rng::SimRng;
+    pub use crate::stats::{DurationHistogram, TimeSeries, TimeWeightedMean, Welford};
+    pub use crate::time::{SimDuration, SimTime};
+    pub use crate::trace::{Trace, TraceRecord};
+    pub use crate::units::Bandwidth;
+}

@@ -1,0 +1,243 @@
+//! Link/transmitter models: serialization delay, propagation delay, loss.
+//!
+//! The queueing model of §3 treats the announcement channel as a single
+//! FIFO server of rate `μ_ch`. [`Transmitter`] is exactly that server: a
+//! work-conserving FIFO pipe that serializes packets back to back.
+//! [`Channel`] composes a transmitter with a propagation delay and a
+//! [`LossModel`], producing per-packet delivery verdicts.
+
+use crate::loss::LossModel;
+use crate::rng::SimRng;
+use crate::time::{SimDuration, SimTime};
+use crate::units::Bandwidth;
+
+/// A work-conserving FIFO transmitter of fixed rate.
+///
+/// Submitting a packet reserves the next free slice of link time; the
+/// returned instant is when the *last bit* leaves the sender.
+#[derive(Clone, Debug)]
+pub struct Transmitter {
+    rate: Bandwidth,
+    busy_until: SimTime,
+    bytes_sent: u64,
+    packets_sent: u64,
+}
+
+impl Transmitter {
+    /// A transmitter of the given rate, idle at time zero.
+    pub fn new(rate: Bandwidth) -> Self {
+        assert!(!rate.is_zero(), "transmitter needs nonzero bandwidth");
+        Transmitter {
+            rate,
+            busy_until: SimTime::ZERO,
+            bytes_sent: 0,
+            packets_sent: 0,
+        }
+    }
+
+    /// The configured rate.
+    pub fn rate(&self) -> Bandwidth {
+        self.rate
+    }
+
+    /// Changes the rate for subsequent submissions (bandwidth reallocation).
+    /// Packets already accepted keep their departure times.
+    pub fn set_rate(&mut self, rate: Bandwidth) {
+        assert!(!rate.is_zero(), "transmitter needs nonzero bandwidth");
+        self.rate = rate;
+    }
+
+    /// True when the link would accept a packet at `now` without queueing.
+    pub fn is_idle_at(&self, now: SimTime) -> bool {
+        self.busy_until <= now
+    }
+
+    /// The instant the transmitter becomes free.
+    pub fn free_at(&self) -> SimTime {
+        self.busy_until
+    }
+
+    /// Accepts a packet at `now`; returns the departure instant (end of
+    /// serialization). The packet waits behind earlier submissions.
+    pub fn submit(&mut self, now: SimTime, bytes: usize) -> SimTime {
+        let start = self.busy_until.max(now);
+        let depart = start + self.rate.transmit_time(bytes);
+        self.busy_until = depart;
+        self.bytes_sent += bytes as u64;
+        self.packets_sent += 1;
+        depart
+    }
+
+    /// Total payload bytes accepted so far.
+    pub fn bytes_sent(&self) -> u64 {
+        self.bytes_sent
+    }
+
+    /// Total packets accepted so far.
+    pub fn packets_sent(&self) -> u64 {
+        self.packets_sent
+    }
+}
+
+/// The fate of one packet pushed through a [`Channel`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Delivery {
+    /// When the last bit leaves the sender.
+    pub departs: SimTime,
+    /// When the packet reaches the receiver — `None` if the channel lost it.
+    pub arrives: Option<SimTime>,
+}
+
+/// A lossy, delayed, rate-limited unidirectional channel.
+pub struct Channel {
+    tx: Transmitter,
+    prop_delay: SimDuration,
+    loss: Box<dyn LossModel>,
+    rng: SimRng,
+    lost: u64,
+}
+
+impl Channel {
+    /// Builds a channel from a rate, a propagation delay, a loss process,
+    /// and a dedicated random stream for loss draws.
+    pub fn new(
+        rate: Bandwidth,
+        prop_delay: SimDuration,
+        loss: Box<dyn LossModel>,
+        rng: SimRng,
+    ) -> Self {
+        Channel {
+            tx: Transmitter::new(rate),
+            prop_delay,
+            loss,
+            rng,
+            lost: 0,
+        }
+    }
+
+    /// Pushes one packet of `bytes` through the channel at `now`.
+    pub fn send(&mut self, now: SimTime, bytes: usize) -> Delivery {
+        let departs = self.tx.submit(now, bytes);
+        if self.loss.is_lost(&mut self.rng) {
+            self.lost += 1;
+            Delivery {
+                departs,
+                arrives: None,
+            }
+        } else {
+            Delivery {
+                departs,
+                arrives: Some(departs + self.prop_delay),
+            }
+        }
+    }
+
+    /// The underlying transmitter (for idle checks and rate changes).
+    pub fn transmitter(&self) -> &Transmitter {
+        &self.tx
+    }
+
+    /// Mutable access to the transmitter.
+    pub fn transmitter_mut(&mut self) -> &mut Transmitter {
+        &mut self.tx
+    }
+
+    /// Packets lost so far.
+    pub fn packets_lost(&self) -> u64 {
+        self.lost
+    }
+
+    /// Empirical loss fraction so far (0 before any traffic).
+    pub fn observed_loss_rate(&self) -> f64 {
+        let sent = self.tx.packets_sent();
+        if sent == 0 {
+            0.0
+        } else {
+            self.lost as f64 / sent as f64
+        }
+    }
+}
+
+impl std::fmt::Debug for Channel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Channel")
+            .field("tx", &self.tx)
+            .field("prop_delay", &self.prop_delay)
+            .field("lost", &self.lost)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loss::{Bernoulli, Pattern};
+
+    #[test]
+    fn transmitter_serializes_back_to_back() {
+        // 8 kbps, 1000-byte packets => 1 s each.
+        let mut tx = Transmitter::new(Bandwidth::from_kbps(8));
+        let d1 = tx.submit(SimTime::ZERO, 1000);
+        let d2 = tx.submit(SimTime::ZERO, 1000);
+        assert_eq!(d1, SimTime::from_secs(1));
+        assert_eq!(d2, SimTime::from_secs(2));
+        assert_eq!(tx.packets_sent(), 2);
+        assert_eq!(tx.bytes_sent(), 2000);
+    }
+
+    #[test]
+    fn transmitter_idles_between_packets() {
+        let mut tx = Transmitter::new(Bandwidth::from_kbps(8));
+        tx.submit(SimTime::ZERO, 1000); // busy until 1s
+        assert!(!tx.is_idle_at(SimTime::from_millis(500)));
+        assert!(tx.is_idle_at(SimTime::from_secs(1)));
+        // Submitting at 5s starts fresh (work conserving, no credit).
+        let d = tx.submit(SimTime::from_secs(5), 1000);
+        assert_eq!(d, SimTime::from_secs(6));
+    }
+
+    #[test]
+    fn transmitter_rate_change_applies_forward() {
+        let mut tx = Transmitter::new(Bandwidth::from_kbps(8));
+        tx.submit(SimTime::ZERO, 1000);
+        tx.set_rate(Bandwidth::from_kbps(16));
+        let d = tx.submit(SimTime::ZERO, 1000);
+        assert_eq!(d, SimTime::from_millis(1500));
+        assert_eq!(tx.rate(), Bandwidth::from_kbps(16));
+    }
+
+    #[test]
+    fn channel_applies_delay_and_loss() {
+        let loss = Pattern::new(vec![false, true]);
+        let mut ch = Channel::new(
+            Bandwidth::from_kbps(8),
+            SimDuration::from_millis(50),
+            Box::new(loss),
+            SimRng::new(0),
+        );
+        let a = ch.send(SimTime::ZERO, 1000);
+        let b = ch.send(SimTime::ZERO, 1000);
+        assert_eq!(a.arrives, Some(SimTime::from_millis(1050)));
+        assert_eq!(b.departs, SimTime::from_secs(2));
+        assert_eq!(b.arrives, None);
+        assert_eq!(ch.packets_lost(), 1);
+        assert!((ch.observed_loss_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn channel_empirical_loss_tracks_model() {
+        let mut ch = Channel::new(
+            Bandwidth::from_mbps(100),
+            SimDuration::ZERO,
+            Box::new(Bernoulli::new(0.25)),
+            SimRng::new(9),
+        );
+        let mut t = SimTime::ZERO;
+        for _ in 0..100_000 {
+            let d = ch.send(t, 100);
+            t = d.departs;
+        }
+        let r = ch.observed_loss_rate();
+        assert!((r - 0.25).abs() < 0.01, "loss {r}");
+    }
+}

@@ -1,0 +1,248 @@
+//! Packet-loss models for the lossy announcement channel.
+//!
+//! §3 of the paper argues that the consistency metric "is insensitive to
+//! the exact pattern of losses, but is only affected by the mean of the
+//! packet loss process". We therefore provide both an i.i.d. model
+//! ([`Bernoulli`]) and a bursty two-state Markov model ([`GilbertElliott`])
+//! with a matching mean, so that claim can be tested rather than assumed
+//! (see the `loss-pattern` experiment). [`Pattern`] gives scripted losses
+//! for unit tests.
+
+use crate::rng::SimRng;
+
+/// Decides, per transmission, whether a packet is lost.
+pub trait LossModel {
+    /// Draws the fate of the next transmission: `true` means lost.
+    fn is_lost(&mut self, rng: &mut SimRng) -> bool;
+
+    /// The long-run mean loss probability of this process.
+    fn mean_loss_rate(&self) -> f64;
+}
+
+/// Independent (i.i.d.) loss with fixed probability `p` — the process the
+/// paper's analysis assumes.
+#[derive(Clone, Copy, Debug)]
+pub struct Bernoulli {
+    p: f64,
+}
+
+impl Bernoulli {
+    /// A Bernoulli loss process with per-packet loss probability `p` in `[0,1]`.
+    pub fn new(p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "loss probability {p} out of range");
+        Bernoulli { p }
+    }
+}
+
+impl LossModel for Bernoulli {
+    fn is_lost(&mut self, rng: &mut SimRng) -> bool {
+        rng.chance(self.p)
+    }
+    fn mean_loss_rate(&self) -> f64 {
+        self.p
+    }
+}
+
+/// The classic two-state Gilbert–Elliott burst-loss channel.
+///
+/// The channel alternates between a Good and a Bad state; each packet first
+/// advances the state (with transition probabilities `p_gb`, `p_bg`), then
+/// is lost with the state's loss rate. The stationary probability of Bad is
+/// `π_B = p_gb / (p_gb + p_bg)`, giving mean loss
+/// `π_G·loss_good + π_B·loss_bad`.
+#[derive(Clone, Copy, Debug)]
+pub struct GilbertElliott {
+    p_gb: f64,
+    p_bg: f64,
+    loss_good: f64,
+    loss_bad: f64,
+    in_bad: bool,
+}
+
+impl GilbertElliott {
+    /// Builds the channel from its four parameters; starts in Good.
+    pub fn new(p_gb: f64, p_bg: f64, loss_good: f64, loss_bad: f64) -> Self {
+        for (name, v) in [
+            ("p_gb", p_gb),
+            ("p_bg", p_bg),
+            ("loss_good", loss_good),
+            ("loss_bad", loss_bad),
+        ] {
+            assert!((0.0..=1.0).contains(&v), "{name}={v} out of range");
+        }
+        assert!(
+            p_gb + p_bg > 0.0,
+            "degenerate chain: both transition probabilities zero"
+        );
+        GilbertElliott {
+            p_gb,
+            p_bg,
+            loss_good,
+            loss_bad,
+            in_bad: false,
+        }
+    }
+
+    /// Constructs a bursty channel with a target mean loss rate and mean
+    /// burst length (in packets), using a pure Gilbert model
+    /// (`loss_good = 0`, `loss_bad = 1`). With mean burst length `L`,
+    /// `p_bg = 1/L`; the mean loss rate pins `p_gb`.
+    ///
+    /// Panics when the pair is infeasible (`mean >= 1`, or the implied
+    /// `p_gb` exceeds 1).
+    pub fn bursty(mean_loss: f64, mean_burst_len: f64) -> Self {
+        assert!((0.0..1.0).contains(&mean_loss), "mean loss {mean_loss}");
+        assert!(mean_burst_len >= 1.0, "burst length {mean_burst_len}");
+        let p_bg = 1.0 / mean_burst_len;
+        // mean = pi_B = p_gb / (p_gb + p_bg)  =>  p_gb = mean*p_bg/(1-mean)
+        let p_gb = mean_loss * p_bg / (1.0 - mean_loss);
+        assert!(
+            p_gb <= 1.0,
+            "infeasible (mean_loss={mean_loss}, burst={mean_burst_len}) => p_gb={p_gb}"
+        );
+        GilbertElliott::new(p_gb, p_bg, 0.0, 1.0)
+    }
+}
+
+impl LossModel for GilbertElliott {
+    fn is_lost(&mut self, rng: &mut SimRng) -> bool {
+        let flip = if self.in_bad {
+            rng.chance(self.p_bg)
+        } else {
+            rng.chance(self.p_gb)
+        };
+        if flip {
+            self.in_bad = !self.in_bad;
+        }
+        let p = if self.in_bad {
+            self.loss_bad
+        } else {
+            self.loss_good
+        };
+        rng.chance(p)
+    }
+
+    fn mean_loss_rate(&self) -> f64 {
+        let pi_b = self.p_gb / (self.p_gb + self.p_bg);
+        (1.0 - pi_b) * self.loss_good + pi_b * self.loss_bad
+    }
+}
+
+/// A scripted loss sequence that repeats cyclically — for deterministic
+/// tests ("drop exactly the 2nd and 5th packets").
+#[derive(Clone, Debug)]
+pub struct Pattern {
+    drops: Vec<bool>,
+    idx: usize,
+}
+
+impl Pattern {
+    /// A cyclic pattern; `true` entries are dropped. Panics on empty input.
+    pub fn new(drops: Vec<bool>) -> Self {
+        assert!(!drops.is_empty(), "empty loss pattern");
+        Pattern { drops, idx: 0 }
+    }
+
+    /// A pattern that never drops.
+    pub fn lossless() -> Self {
+        Pattern::new(vec![false])
+    }
+}
+
+impl LossModel for Pattern {
+    fn is_lost(&mut self, _rng: &mut SimRng) -> bool {
+        let lost = self.drops[self.idx];
+        self.idx = (self.idx + 1) % self.drops.len();
+        lost
+    }
+
+    fn mean_loss_rate(&self) -> f64 {
+        self.drops.iter().filter(|&&d| d).count() as f64 / self.drops.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn empirical_rate(model: &mut dyn LossModel, n: usize, seed: u64) -> f64 {
+        let mut rng = SimRng::new(seed);
+        let lost = (0..n).filter(|_| model.is_lost(&mut rng)).count();
+        lost as f64 / n as f64
+    }
+
+    #[test]
+    fn bernoulli_mean_matches() {
+        let mut m = Bernoulli::new(0.4);
+        assert_eq!(m.mean_loss_rate(), 0.4);
+        let r = empirical_rate(&mut m, 200_000, 1);
+        assert!((r - 0.4).abs() < 0.01, "empirical {r}");
+    }
+
+    #[test]
+    fn bernoulli_extremes() {
+        let mut rng = SimRng::new(2);
+        let mut z = Bernoulli::new(0.0);
+        let mut o = Bernoulli::new(1.0);
+        for _ in 0..100 {
+            assert!(!z.is_lost(&mut rng));
+            assert!(o.is_lost(&mut rng));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bernoulli_rejects_bad_p() {
+        let _ = Bernoulli::new(1.5);
+    }
+
+    #[test]
+    fn gilbert_elliott_mean_matches() {
+        let mut m = GilbertElliott::bursty(0.2, 5.0);
+        assert!((m.mean_loss_rate() - 0.2).abs() < 1e-12);
+        let r = empirical_rate(&mut m, 400_000, 3);
+        assert!((r - 0.2).abs() < 0.01, "empirical {r}");
+    }
+
+    #[test]
+    fn gilbert_elliott_is_bursty() {
+        // Compare run-length of losses against Bernoulli at equal mean:
+        // the Markov channel must produce longer loss bursts on average.
+        fn mean_burst(model: &mut dyn LossModel, n: usize) -> f64 {
+            let mut rng = SimRng::new(7);
+            let (mut bursts, mut losses, mut in_burst) = (0u64, 0u64, false);
+            for _ in 0..n {
+                if model.is_lost(&mut rng) {
+                    losses += 1;
+                    if !in_burst {
+                        bursts += 1;
+                        in_burst = true;
+                    }
+                } else {
+                    in_burst = false;
+                }
+            }
+            losses as f64 / bursts.max(1) as f64
+        }
+        let b = mean_burst(&mut Bernoulli::new(0.2), 200_000);
+        let g = mean_burst(&mut GilbertElliott::bursty(0.2, 8.0), 200_000);
+        assert!(g > 2.0 * b, "GE burst {g} vs Bernoulli {b}");
+        assert!((g - 8.0).abs() < 1.0, "GE burst length {g} should be ~8");
+    }
+
+    #[test]
+    #[should_panic(expected = "infeasible")]
+    fn bursty_rejects_infeasible() {
+        let _ = GilbertElliott::bursty(0.9, 1.0);
+    }
+
+    #[test]
+    fn pattern_cycles() {
+        let mut rng = SimRng::new(0);
+        let mut p = Pattern::new(vec![false, true, false]);
+        assert!((p.mean_loss_rate() - 1.0 / 3.0).abs() < 1e-12);
+        let fates: Vec<bool> = (0..6).map(|_| p.is_lost(&mut rng)).collect();
+        assert_eq!(fates, vec![false, true, false, false, true, false]);
+        assert!(!Pattern::lossless().is_lost(&mut rng));
+    }
+}

@@ -1,0 +1,154 @@
+//! Lightweight event tracing for protocol debugging.
+//!
+//! A [`Trace`] is a bounded ring of human-readable records. It exists so
+//! that protocol simulations and integration tests can assert on the exact
+//! sequence of protocol actions ("the sender NACK-promoted key 7 before
+//! retransmitting it") without coupling the protocol code to any logging
+//! framework. Tracing is off by default and costs one branch per call.
+
+use crate::time::SimTime;
+use std::collections::VecDeque;
+use std::fmt;
+
+/// One traced protocol action.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Virtual time of the action.
+    pub at: SimTime,
+    /// A short machine-matchable category, e.g. `"tx"`, `"nack"`, `"expire"`.
+    pub kind: &'static str,
+    /// Free-form detail, e.g. the key and queue involved.
+    pub detail: String,
+}
+
+impl fmt::Display for TraceRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}: {}", self.at, self.kind, self.detail)
+    }
+}
+
+/// A bounded ring buffer of trace records.
+#[derive(Clone, Debug, Default)]
+pub struct Trace {
+    records: VecDeque<TraceRecord>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl Trace {
+    /// A disabled trace: records nothing, costs almost nothing.
+    pub fn disabled() -> Self {
+        Trace {
+            records: VecDeque::new(),
+            capacity: 0,
+            dropped: 0,
+        }
+    }
+
+    /// A trace retaining the most recent `capacity` records.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Trace {
+            records: VecDeque::with_capacity(capacity.min(4096)),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// True when this trace records events.
+    pub fn is_enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    /// Records an event if tracing is enabled. `detail` is only evaluated
+    /// by the caller; prefer `trace.log(t, "tx", || format!(...))` via
+    /// [`Trace::log_with`] when formatting is expensive.
+    pub fn log(&mut self, at: SimTime, kind: &'static str, detail: String) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.records.len() == self.capacity {
+            self.records.pop_front();
+            self.dropped += 1;
+        }
+        self.records.push_back(TraceRecord { at, kind, detail });
+    }
+
+    /// Records an event, building the detail lazily.
+    pub fn log_with<F: FnOnce() -> String>(&mut self, at: SimTime, kind: &'static str, f: F) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.log(at, kind, f());
+    }
+
+    /// The retained records, oldest first.
+    pub fn records(&self) -> impl Iterator<Item = &TraceRecord> {
+        self.records.iter()
+    }
+
+    /// Records of one kind, oldest first.
+    pub fn of_kind<'a>(&'a self, kind: &'a str) -> impl Iterator<Item = &'a TraceRecord> {
+        self.records.iter().filter(move |r| r.kind == kind)
+    }
+
+    /// Number of retained records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Number of records evicted by the ring bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_records_nothing() {
+        let mut t = Trace::disabled();
+        t.log(SimTime::ZERO, "tx", "k1".into());
+        assert!(!t.is_enabled());
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let mut t = Trace::with_capacity(3);
+        for i in 0..5 {
+            t.log(SimTime::from_secs(i), "tx", format!("k{i}"));
+        }
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.dropped(), 2);
+        let kinds: Vec<&str> = t.records().map(|r| r.detail.as_str()).collect();
+        assert_eq!(kinds, vec!["k2", "k3", "k4"]);
+    }
+
+    #[test]
+    fn filter_by_kind() {
+        let mut t = Trace::with_capacity(10);
+        t.log(SimTime::ZERO, "tx", "a".into());
+        t.log(SimTime::ZERO, "nack", "b".into());
+        t.log_with(SimTime::ZERO, "tx", || "c".into());
+        assert_eq!(t.of_kind("tx").count(), 2);
+        assert_eq!(t.of_kind("nack").count(), 1);
+        assert_eq!(t.of_kind("expire").count(), 0);
+    }
+
+    #[test]
+    fn display_format() {
+        let r = TraceRecord {
+            at: SimTime::from_millis(1500),
+            kind: "tx",
+            detail: "key=3".into(),
+        };
+        assert_eq!(r.to_string(), "[1.500000s] tx: key=3");
+    }
+}

@@ -1,0 +1,137 @@
+//! Property-based tests of the simulation substrate's invariants.
+
+use proptest::prelude::*;
+use ss_netsim::prelude::*;
+
+proptest! {
+    /// Events always pop in nondecreasing time order with FIFO ties,
+    /// regardless of insertion order.
+    #[test]
+    fn event_queue_pops_sorted(times in prop::collection::vec(0u64..1_000, 1..200)) {
+        let mut q: EventQueue<usize> = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_micros(t), i);
+        }
+        let mut last: Option<(SimTime, usize)> = None;
+        let mut popped = 0;
+        while let Some((t, idx)) = q.pop() {
+            popped += 1;
+            prop_assert_eq!(SimTime::from_micros(times[idx]), t, "payload/time pairing");
+            if let Some((lt, lidx)) = last {
+                prop_assert!(t >= lt, "time order");
+                if t == lt {
+                    prop_assert!(idx > lidx, "FIFO tie-break");
+                }
+            }
+            last = Some((t, idx));
+        }
+        prop_assert_eq!(popped, times.len());
+    }
+
+    /// The time-weighted mean always lies within the range of observed
+    /// values and matches a brute-force integral.
+    #[test]
+    fn time_weighted_mean_matches_bruteforce(
+        steps in prop::collection::vec((1u64..1_000, 0.0f64..1.0), 1..50),
+        tail in 1u64..1_000,
+    ) {
+        let mut m = TimeWeightedMean::new(SimTime::ZERO, 0.0);
+        let mut t = 0u64;
+        let mut integral = 0.0;
+        let mut prev_v = 0.0;
+        for &(dt, v) in &steps {
+            integral += prev_v * dt as f64;
+            t += dt;
+            m.update(SimTime::from_micros(t), v);
+            prev_v = v;
+        }
+        integral += prev_v * tail as f64;
+        let end = t + tail;
+        let want = integral / end as f64;
+        let got = m.mean_until(SimTime::from_micros(end));
+        prop_assert!((got - want).abs() < 1e-9, "got {got}, want {want}");
+        prop_assert!((0.0..=1.0).contains(&got));
+    }
+
+    /// Histogram quantiles are monotone, bounded by min/max, and the mean
+    /// is exact.
+    #[test]
+    fn histogram_invariants(samples in prop::collection::vec(0u64..10_000_000, 1..300)) {
+        let mut h = DurationHistogram::new();
+        for &us in &samples {
+            h.record(SimDuration::from_micros(us));
+        }
+        let true_mean = samples.iter().sum::<u64>() / samples.len() as u64;
+        prop_assert_eq!(h.mean().as_micros(), true_mean);
+        prop_assert_eq!(h.min().as_micros(), *samples.iter().min().unwrap());
+        prop_assert_eq!(h.max().as_micros(), *samples.iter().max().unwrap());
+        let mut last = SimDuration::ZERO;
+        for i in 0..=10 {
+            let q = h.quantile(i as f64 / 10.0);
+            prop_assert!(q >= last, "quantiles monotone");
+            prop_assert!(q >= h.min() && q <= h.max());
+            last = q;
+        }
+        // Bucketed median is within 10% (relative) of the exact median.
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        let exact = sorted[(sorted.len() - 1) / 2] as f64;
+        let approx = h.quantile(0.5).as_micros() as f64;
+        prop_assert!(
+            (approx - exact).abs() <= exact.max(10.0) * 0.10 + 1.0,
+            "median {approx} vs exact {exact}"
+        );
+    }
+
+    /// A transmitter never serves more than its rate allows: the total
+    /// busy time of back-to-back submissions equals sum(bytes)/rate.
+    #[test]
+    fn transmitter_conserves_capacity(
+        sizes in prop::collection::vec(1usize..10_000, 1..100),
+        kbps in 1u64..10_000,
+    ) {
+        let rate = Bandwidth::from_kbps(kbps);
+        let mut tx = Transmitter::new(rate);
+        let mut expected = SimTime::ZERO;
+        for &s in &sizes {
+            let depart = tx.submit(SimTime::ZERO, s);
+            expected += rate.transmit_time(s);
+            prop_assert_eq!(depart, expected, "back-to-back serialization");
+        }
+        prop_assert_eq!(tx.bytes_sent(), sizes.iter().map(|&s| s as u64).sum::<u64>());
+    }
+
+    /// Derived RNG streams are reproducible and label-disjoint.
+    #[test]
+    fn rng_derivation_properties(seed in any::<u64>(), label in "[a-z]{1,12}") {
+        let root = SimRng::new(seed);
+        let mut a = root.derive(&label);
+        let mut b = root.derive(&label);
+        for _ in 0..16 {
+            prop_assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = root.derive(&format!("{label}x"));
+        let va: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let vc: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        prop_assert_ne!(va, vc);
+    }
+
+    /// Gilbert–Elliott's configured mean matches its long-run empirical
+    /// loss rate for any feasible (mean, burst) pair.
+    #[test]
+    fn gilbert_elliott_mean_is_truthful(
+        mean in 0.02f64..0.7,
+        burst in 1.0f64..10.0,
+        seed in any::<u64>(),
+    ) {
+        // Skip infeasible combos (p_gb would exceed 1).
+        prop_assume!(mean * (1.0 / burst) / (1.0 - mean) <= 1.0);
+        let mut ge = GilbertElliott::bursty(mean, burst);
+        prop_assert!((ge.mean_loss_rate() - mean).abs() < 1e-9);
+        let mut rng = SimRng::new(seed);
+        let n = 60_000;
+        let lost = (0..n).filter(|_| ge.is_lost(&mut rng)).count();
+        let emp = lost as f64 / n as f64;
+        prop_assert!((emp - mean).abs() < 0.05, "empirical {emp} vs {mean}");
+    }
+}

@@ -1,0 +1,377 @@
+//! The §3 analytic model of open-loop announce/listen.
+//!
+//! Records enter a single FIFO server (the announcement channel, rate
+//! `μ_ch`) in the *inconsistent* class at rate λ. After each service
+//! (transmission), the record dies with probability `p_d`; a surviving
+//! inconsistent record becomes *consistent* with probability `1 − p_c`
+//! (the announcement got through) or re-enters inconsistent with
+//! probability `p_c`; a surviving consistent record re-enters consistent
+//! (Table 1). The paper closes the model with Jackson's theorem for a
+//! single queue with two job classes.
+//!
+//! Closed forms implemented here (see DESIGN.md §3 for the derivation):
+//!
+//! ```text
+//! λ_I = λ / (1 − p_c(1 − p_d))
+//! λ_C = λ (1 − p_c)(1 − p_d) / (p_d · (1 − p_c(1 − p_d)))
+//! λ̂  = λ_I + λ_C = λ / p_d
+//! ρ   = λ̂ / μ_ch = λ / (p_d μ_ch)
+//! q   = λ_C / λ̂ = (1 − p_c)(1 − p_d) / (1 − p_c(1 − p_d))
+//! E[c(t)]         = q · ρ              (paper's unnormalized sum)
+//! E[c(t) | n > 0] = q                  (conditioned on a non-empty system)
+//! W (wasted bw)   = λ_C / λ̂ = q        (Figure 4)
+//! ```
+//!
+//! The solution is valid only when `ρ < 1`, i.e. `p_d > λ/μ_ch` — exactly
+//! the paper's "`p_d > λ/μ` ⇒ the solution is valid" condition. The
+//! saturated variants clip `ρ` at 1 so Figure 3 can sweep through the
+//! paper's near-saturation operating points.
+
+/// Parameters of the open-loop announce/listen queueing model.
+///
+/// `lambda` and `mu` may be in any common rate unit (packets/s in the
+/// simulations; kbps works too since only the ratio enters).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct OpenLoop {
+    /// Rate of new/updated records entering the table (λ).
+    pub lambda: f64,
+    /// Announcement channel service rate (μ_ch).
+    pub mu: f64,
+    /// Per-transmission channel loss probability (p_c in the paper;
+    /// the probability an announcement misses the subscriber).
+    pub p_loss: f64,
+    /// Per-service death probability (p_d): the chance a record's lifetime
+    /// ends at a given transmission.
+    pub p_death: f64,
+}
+
+impl OpenLoop {
+    /// Builds the model, validating parameter ranges.
+    pub fn new(lambda: f64, mu: f64, p_loss: f64, p_death: f64) -> Self {
+        assert!(lambda >= 0.0 && lambda.is_finite(), "bad lambda {lambda}");
+        assert!(mu > 0.0 && mu.is_finite(), "bad mu {mu}");
+        assert!((0.0..=1.0).contains(&p_loss), "bad p_loss {p_loss}");
+        assert!(
+            (0.0..=1.0).contains(&p_death) && p_death > 0.0,
+            "p_death must be in (0, 1], got {p_death}"
+        );
+        OpenLoop {
+            lambda,
+            mu,
+            p_loss,
+            p_death,
+        }
+    }
+
+    /// Effective arrival rate of inconsistent-class work, `λ_I`.
+    pub fn lambda_i(&self) -> f64 {
+        self.lambda / (1.0 - self.p_loss * (1.0 - self.p_death))
+    }
+
+    /// Effective arrival rate of consistent-class work, `λ_C`.
+    pub fn lambda_c(&self) -> f64 {
+        let s = 1.0 - self.p_loss * (1.0 - self.p_death);
+        self.lambda * (1.0 - self.p_loss) * (1.0 - self.p_death) / (self.p_death * s)
+    }
+
+    /// Total service demand `λ̂ = λ_I + λ_C = λ/p_d`: each record is
+    /// announced `1/p_d` times on average before it dies.
+    pub fn lambda_hat(&self) -> f64 {
+        self.lambda / self.p_death
+    }
+
+    /// Server utilization `ρ = λ̂/μ_ch`.
+    pub fn rho(&self) -> f64 {
+        self.lambda_hat() / self.mu
+    }
+
+    /// True when the Jackson solution is valid: `p_d > λ/μ_ch`.
+    pub fn is_stable(&self) -> bool {
+        self.rho() < 1.0
+    }
+
+    /// The consistent-class fraction of service,
+    /// `q = (1−p_c)(1−p_d)/(1−p_c(1−p_d))` — the probability that a job in
+    /// the system is consistent, and the long-run fraction of transmissions
+    /// that are redundant.
+    pub fn consistent_fraction(&self) -> f64 {
+        let num = (1.0 - self.p_loss) * (1.0 - self.p_death);
+        num / (1.0 - self.p_loss * (1.0 - self.p_death))
+    }
+
+    /// The paper's average system consistency `E[c(t)] = q·ρ`: the sum of
+    /// `E[n_C/(n_I+n_C) | n] P[n]` over non-empty states, **not**
+    /// normalized by `P[n>0]`. `ρ` is clipped at 1 so the Figure 3 sweep
+    /// remains defined through its near-saturation points; at or above
+    /// saturation the busy probability is 1 and `E[c(t)] → q`.
+    pub fn consistency_unnormalized(&self) -> f64 {
+        self.consistent_fraction() * self.rho().min(1.0)
+    }
+
+    /// Average consistency conditioned on the system being non-empty,
+    /// `E[c(t) | n>0] = q`. This is the variant to compare against
+    /// simulations that only score instants with live data.
+    pub fn consistency_busy(&self) -> f64 {
+        self.consistent_fraction()
+    }
+
+    /// Average consistency counting empty-system instants as fully
+    /// consistent (sender and receiver trivially agree on an empty table):
+    /// `(1−ρ) + ρ·q`. The most natural convention for end-to-end systems.
+    pub fn consistency_empty_is_consistent(&self) -> f64 {
+        let rho = self.rho().min(1.0);
+        (1.0 - rho) + rho * self.consistent_fraction()
+    }
+
+    /// Fraction of channel bandwidth consumed by redundant retransmissions
+    /// of already-consistent records (Figure 4): `W = λ_C/λ̂ = q`.
+    pub fn wasted_bandwidth_fraction(&self) -> f64 {
+        self.consistent_fraction()
+    }
+
+    /// Joint stationary probability of `n_i` inconsistent and `n_c`
+    /// consistent records, by Jackson's theorem for one queue with two
+    /// classes:
+    ///
+    /// ```text
+    /// p(n_I, n_C) = C(n_I+n_C, n_I) (λ_I/λ̂)^{n_I} (λ_C/λ̂)^{n_C} (1−ρ)ρ^{n_I+n_C}
+    /// ```
+    ///
+    /// Panics when the model is unstable.
+    pub fn joint_occupancy(&self, n_i: u32, n_c: u32) -> f64 {
+        assert!(self.is_stable(), "no stationary distribution at rho >= 1");
+        let rho = self.rho();
+        let q = self.consistent_fraction();
+        let n = n_i + n_c;
+        let binom = binomial(n, n_i);
+        binom * (1.0 - q).powi(n_i as i32) * q.powi(n_c as i32) * (1.0 - rho) * rho.powi(n as i32)
+    }
+
+    /// Mean number of live records in the system, `ρ/(1−ρ)` (the marginal
+    /// total occupancy is geometric as in M/M/1). Panics when unstable.
+    pub fn mean_live_records(&self) -> f64 {
+        assert!(self.is_stable(), "unstable");
+        let rho = self.rho();
+        rho / (1.0 - rho)
+    }
+
+    /// The Table 1 state-change probabilities for these parameters.
+    pub fn transitions(&self) -> Transitions {
+        Transitions::new(self.p_loss, self.p_death)
+    }
+}
+
+/// Table 1 of the paper: probabilities of class changes as a record
+/// leaves the server.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Transitions {
+    /// I → I (announcement lost, record survives): `p_c(1−p_d)`.
+    pub i_to_i: f64,
+    /// I → C (announcement delivered, record survives): `(1−p_c)(1−p_d)`.
+    pub i_to_c: f64,
+    /// I → death: `p_d`.
+    pub i_death: f64,
+    /// C → C (record survives): `1−p_d`.
+    pub c_to_c: f64,
+    /// C → death: `p_d`.
+    pub c_death: f64,
+}
+
+impl Transitions {
+    /// Builds Table 1 from the loss and death probabilities.
+    pub fn new(p_loss: f64, p_death: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p_loss), "bad p_loss {p_loss}");
+        assert!((0.0..=1.0).contains(&p_death), "bad p_death {p_death}");
+        Transitions {
+            i_to_i: p_loss * (1.0 - p_death),
+            i_to_c: (1.0 - p_loss) * (1.0 - p_death),
+            i_death: p_death,
+            c_to_c: 1.0 - p_death,
+            c_death: p_death,
+        }
+    }
+
+    /// Rows sum to 1 by construction; exposed for sanity checks.
+    pub fn row_sums(&self) -> (f64, f64) {
+        (
+            self.i_to_i + self.i_to_c + self.i_death,
+            self.c_to_c + self.c_death,
+        )
+    }
+}
+
+/// Exact binomial coefficient as f64 (stable for the small n used in
+/// occupancy sums).
+fn binomial(n: u32, k: u32) -> f64 {
+    if k > n {
+        return 0.0;
+    }
+    let k = k.min(n - k);
+    let mut acc = 1.0f64;
+    for i in 0..k {
+        acc = acc * (n - i) as f64 / (i + 1) as f64;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_fig3() -> OpenLoop {
+        // λ = 20 kbps, μ_ch = 128 kbps, in packets/s with 1000-byte ADUs.
+        OpenLoop::new(20_000.0 / 8_000.0, 128_000.0 / 8_000.0, 0.1, 0.25)
+    }
+
+    #[test]
+    fn flow_balance_identities() {
+        let m = paper_fig3();
+        // λ_I + λ_C = λ/p_d must hold identically.
+        assert!((m.lambda_i() + m.lambda_c() - m.lambda_hat()).abs() < 1e-9);
+        // Flow into I: λ + p_c(1-p_d)·λ_I = λ_I.
+        let infl = m.lambda + m.p_loss * (1.0 - m.p_death) * m.lambda_i();
+        assert!((infl - m.lambda_i()).abs() < 1e-9);
+        // Flow into C: (1-p_c)(1-p_d)·λ_I + (1-p_d)·λ_C = λ_C.
+        let infc = (1.0 - m.p_loss) * (1.0 - m.p_death) * m.lambda_i()
+            + (1.0 - m.p_death) * m.lambda_c();
+        assert!((infc - m.lambda_c()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stability_condition_matches_paper() {
+        // Valid only when p_d > λ/μ.
+        let m = paper_fig3();
+        assert_eq!(m.is_stable(), m.p_death > m.lambda / m.mu);
+        // λ/μ = 0.15625 > p_d = 0.15 -> unstable.
+        let unstable = OpenLoop::new(2.5, 16.0, 0.1, 0.15);
+        assert!(unstable.p_death < unstable.lambda / unstable.mu);
+        assert!(!unstable.is_stable());
+    }
+
+    #[test]
+    fn consistent_fraction_limits() {
+        // No loss, rare death: almost everything in the table is consistent.
+        let m = OpenLoop::new(1.0, 100.0, 0.0, 0.05);
+        assert!((m.consistent_fraction() - 0.95).abs() < 1e-12);
+        // Total loss: nothing ever becomes consistent.
+        let m = OpenLoop::new(1.0, 100.0, 1.0, 0.05);
+        assert!(m.consistent_fraction().abs() < 1e-12);
+        // Monotone decreasing in loss.
+        let mut last = 1.0;
+        for i in 0..=10 {
+            let m = OpenLoop::new(1.0, 100.0, i as f64 / 10.0, 0.1);
+            let q = m.consistent_fraction();
+            assert!(q <= last + 1e-12);
+            last = q;
+        }
+    }
+
+    #[test]
+    fn paper_text_fig3_claim() {
+        // "the system consistency lies between 85% and 95% for loss rates
+        // in the 1-10% range and an announcement death rate of 15%" —
+        // the busy-conditioned consistency at p_d = 0.15:
+        let lo = OpenLoop::new(1.0, 100.0, 0.10, 0.15).consistency_busy();
+        let hi = OpenLoop::new(1.0, 100.0, 0.01, 0.15).consistency_busy();
+        assert!(lo > 0.80 && hi < 0.95, "range [{lo}, {hi}]");
+        assert!(hi > lo);
+    }
+
+    #[test]
+    fn paper_text_fig4_claim() {
+        // "At loss rates between 0-20% and an announcement death rate of
+        // 10%, about 90% of the total available bandwidth is wasted."
+        for p_loss in [0.0, 0.1, 0.2] {
+            let w = OpenLoop::new(1.0, 100.0, p_loss, 0.10).wasted_bandwidth_fraction();
+            assert!((0.85..=0.91).contains(&w), "W({p_loss}) = {w}");
+        }
+    }
+
+    #[test]
+    fn joint_occupancy_normalizes_and_marginalizes() {
+        let m = OpenLoop::new(1.0, 10.0, 0.2, 0.3); // rho = 1/3
+        let mut total = 0.0;
+        let mut mean_n = 0.0;
+        for n_i in 0..60 {
+            for n_c in 0..60 {
+                let p = m.joint_occupancy(n_i, n_c);
+                total += p;
+                mean_n += p * (n_i + n_c) as f64;
+            }
+        }
+        assert!((total - 1.0).abs() < 1e-9, "total {total}");
+        assert!((mean_n - m.mean_live_records()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn occupancy_class_split_matches_q() {
+        let m = OpenLoop::new(1.0, 10.0, 0.2, 0.3);
+        let q = m.consistent_fraction();
+        // E[n_C] / E[n_I + n_C] must equal q under the product form.
+        let mut mean_c = 0.0;
+        let mut mean_n = 0.0;
+        for n_i in 0..80 {
+            for n_c in 0..80 {
+                let p = m.joint_occupancy(n_i, n_c);
+                mean_c += p * n_c as f64;
+                mean_n += p * (n_i + n_c) as f64;
+            }
+        }
+        assert!((mean_c / mean_n - q).abs() < 1e-6);
+    }
+
+    #[test]
+    fn unnormalized_vs_conditional() {
+        let m = OpenLoop::new(1.0, 10.0, 0.2, 0.3);
+        // E_unnorm = q * rho; conditional = q; empty-as-consistent in
+        // between conditional and 1.
+        assert!((m.consistency_unnormalized() - m.consistency_busy() * m.rho()).abs() < 1e-12);
+        let e = m.consistency_empty_is_consistent();
+        assert!(e > m.consistency_busy() && e < 1.0);
+    }
+
+    #[test]
+    fn saturation_clips() {
+        let m = OpenLoop::new(10.0, 10.0, 0.1, 0.2); // rho = 5
+        assert!(!m.is_stable());
+        assert!((m.consistency_unnormalized() - m.consistent_fraction()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn table1_rows_sum_to_one() {
+        for p_c in [0.0, 0.3, 1.0] {
+            for p_d in [0.0, 0.5, 1.0] {
+                let t = Transitions::new(p_c, p_d);
+                let (r1, r2) = t.row_sums();
+                assert!((r1 - 1.0).abs() < 1e-12);
+                assert!((r2 - 1.0).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn table1_values() {
+        let t = Transitions::new(0.2, 0.1);
+        assert!((t.i_to_i - 0.18).abs() < 1e-12);
+        assert!((t.i_to_c - 0.72).abs() < 1e-12);
+        assert!((t.i_death - 0.1).abs() < 1e-12);
+        assert!((t.c_to_c - 0.9).abs() < 1e-12);
+        assert!((t.c_death - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn binomial_basics() {
+        assert_eq!(binomial(5, 0), 1.0);
+        assert_eq!(binomial(5, 5), 1.0);
+        assert_eq!(binomial(5, 2), 10.0);
+        assert_eq!(binomial(2, 5), 0.0);
+        assert_eq!(binomial(10, 3), 120.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "p_death must be in")]
+    fn zero_death_rejected() {
+        // p_d = 0 means records live forever: λ̂ diverges.
+        let _ = OpenLoop::new(1.0, 10.0, 0.1, 0.0);
+    }
+}

@@ -1,0 +1,109 @@
+//! Property-based tests of the §3 closed-form identities over random
+//! parameters.
+
+use proptest::prelude::*;
+use ss_queueing::{Mm1, OpenLoop, Transitions};
+
+proptest! {
+    /// Flow-balance identities hold for every valid parameterization.
+    #[test]
+    fn flow_balance(
+        lambda in 0.01f64..10.0,
+        mu in 0.1f64..100.0,
+        p_loss in 0.0f64..1.0,
+        p_death in 0.01f64..1.0,
+    ) {
+        let m = OpenLoop::new(lambda, mu, p_loss, p_death);
+        // lambda_I + lambda_C = lambda / p_d.
+        prop_assert!((m.lambda_i() + m.lambda_c() - m.lambda_hat()).abs() < 1e-9);
+        // Balance into I: lambda + p_c(1-p_d) lambda_I = lambda_I.
+        let infl = lambda + p_loss * (1.0 - p_death) * m.lambda_i();
+        prop_assert!((infl - m.lambda_i()).abs() < 1e-9);
+        // q = lambda_C / lambda_hat.
+        let q = m.lambda_c() / m.lambda_hat();
+        prop_assert!((q - m.consistent_fraction()).abs() < 1e-9);
+    }
+
+    /// All probability-like outputs stay in `[0, 1]` and respect ordering:
+    /// unnormalized <= busy <= empty-consistent convention relations.
+    #[test]
+    fn outputs_are_probabilities(
+        lambda in 0.01f64..10.0,
+        mu in 0.1f64..100.0,
+        p_loss in 0.0f64..1.0,
+        p_death in 0.01f64..1.0,
+    ) {
+        let m = OpenLoop::new(lambda, mu, p_loss, p_death);
+        for v in [
+            m.consistent_fraction(),
+            m.consistency_unnormalized(),
+            m.consistency_busy(),
+            m.consistency_empty_is_consistent(),
+            m.wasted_bandwidth_fraction(),
+        ] {
+            prop_assert!((0.0..=1.0).contains(&v), "{v}");
+        }
+        prop_assert!(m.consistency_unnormalized() <= m.consistency_busy() + 1e-12);
+        prop_assert!(m.consistency_busy() <= m.consistency_empty_is_consistent() + 1e-12);
+    }
+
+    /// Consistency is monotone: nonincreasing in loss and in death rate.
+    #[test]
+    fn monotonicity(
+        p_loss in 0.0f64..0.95,
+        p_death in 0.02f64..0.95,
+        d_loss in 0.001f64..0.05,
+        d_death in 0.001f64..0.05,
+    ) {
+        let base = OpenLoop::new(1.0, 100.0, p_loss, p_death);
+        let worse_loss = OpenLoop::new(1.0, 100.0, p_loss + d_loss, p_death);
+        let worse_death = OpenLoop::new(1.0, 100.0, p_loss, p_death + d_death);
+        prop_assert!(worse_loss.consistency_busy() <= base.consistency_busy() + 1e-12);
+        prop_assert!(worse_death.consistency_busy() <= base.consistency_busy() + 1e-12);
+    }
+
+    /// The joint occupancy distribution is a distribution: nonnegative and
+    /// summing to ~1 (for stable parameters).
+    #[test]
+    fn occupancy_normalizes(
+        p_loss in 0.0f64..0.9,
+        p_death in 0.3f64..0.9,
+        lambda in 0.1f64..2.0,
+    ) {
+        let m = OpenLoop::new(lambda, 10.0, p_loss, p_death);
+        prop_assume!(m.is_stable() && m.rho() < 0.8);
+        let mut total = 0.0;
+        for ni in 0..60u32 {
+            for nc in 0..60u32 {
+                let p = m.joint_occupancy(ni, nc);
+                prop_assert!(p >= 0.0);
+                total += p;
+            }
+        }
+        prop_assert!((total - 1.0).abs() < 1e-6, "sum {total}");
+    }
+
+    /// Table 1 rows always sum to 1.
+    #[test]
+    fn transitions_are_stochastic(p_loss in 0.0f64..1.0, p_death in 0.0f64..1.0) {
+        let t = Transitions::new(p_loss, p_death);
+        let (r1, r2) = t.row_sums();
+        prop_assert!((r1 - 1.0).abs() < 1e-12);
+        prop_assert!((r2 - 1.0).abs() < 1e-12);
+        for v in [t.i_to_i, t.i_to_c, t.i_death, t.c_to_c, t.c_death] {
+            prop_assert!((0.0..=1.0).contains(&v));
+        }
+    }
+
+    /// Little's law holds identically for stable M/M/1 queues.
+    #[test]
+    fn mm1_littles_law(lambda in 0.01f64..5.0, extra in 0.05f64..10.0) {
+        let q = Mm1::new(lambda, lambda + extra);
+        prop_assert!(q.is_stable());
+        prop_assert!((q.mean_jobs() - lambda * q.mean_sojourn()).abs() < 1e-9);
+        prop_assert!((q.mean_sojourn() - q.mean_wait() - 1.0 / (lambda + extra)).abs() < 1e-9);
+        // Occupancy distribution normalizes.
+        let total: f64 = (0..2_000).map(|n| q.p_n(n)).sum();
+        prop_assert!((total - 1.0).abs() < 1e-6);
+    }
+}

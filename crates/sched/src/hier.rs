@@ -1,0 +1,355 @@
+//! Hierarchical link sharing — the CBQ / H-FSC-style class tree §6.1 uses
+//! for application-controlled bandwidth allocation (Figure 12's allocation
+//! hierarchy: session → {data, feedback}, data → {hot, cold}, or arbitrary
+//! per-data-class subtrees).
+//!
+//! Each interior node shares its bandwidth among its children in
+//! proportion to their weights, using stride scheduling at every level
+//! (deterministic, starvation-free). Leaves map to external [`ClassId`]s
+//! so a [`Hierarchy`] can drop in anywhere a flat [`Scheduler`] is used.
+
+use crate::{ClassId, Scheduler};
+use ss_netsim::SimRng;
+
+/// Identifies a node inside a [`Hierarchy`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct NodeId(usize);
+
+const STRIDE1: u128 = 1 << 40;
+
+#[derive(Clone, Debug)]
+struct Node {
+    parent: Option<usize>,
+    children: Vec<usize>,
+    weight: u64,
+    /// Stride pass value within the parent's competition.
+    pass: u128,
+    /// Virtual time at this node: pass of the child most recently served.
+    vtime: u128,
+    /// For leaves: the external class and its backlog flag.
+    leaf: Option<(ClassId, bool)>,
+}
+
+/// A weighted class tree scheduling among leaf classes.
+#[derive(Clone, Debug)]
+pub struct Hierarchy {
+    nodes: Vec<Node>,
+    /// Maps external class ids to leaf node indices.
+    class_to_leaf: Vec<Option<usize>>,
+}
+
+impl Default for Hierarchy {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Hierarchy {
+    /// A tree containing only the root.
+    pub fn new() -> Self {
+        Hierarchy {
+            nodes: vec![Node {
+                parent: None,
+                children: Vec::new(),
+                weight: 1,
+                pass: 0,
+                vtime: 0,
+                leaf: None,
+            }],
+            class_to_leaf: Vec::new(),
+        }
+    }
+
+    /// The root node.
+    pub fn root(&self) -> NodeId {
+        NodeId(0)
+    }
+
+    /// Adds an interior node under `parent` with the given share weight.
+    pub fn add_interior(&mut self, parent: NodeId, weight: u64) -> NodeId {
+        self.add_node(parent, weight, None)
+    }
+
+    /// Adds a leaf under `parent` carrying external class `class`.
+    /// Panics if `class` is already attached to a leaf.
+    pub fn add_leaf(&mut self, parent: NodeId, weight: u64, class: ClassId) -> NodeId {
+        if class < self.class_to_leaf.len() {
+            assert!(
+                self.class_to_leaf[class].is_none(),
+                "class {class} already has a leaf"
+            );
+        }
+        let id = self.add_node(parent, weight, Some((class, false)));
+        if class >= self.class_to_leaf.len() {
+            self.class_to_leaf.resize(class + 1, None);
+        }
+        self.class_to_leaf[class] = Some(id.0);
+        id
+    }
+
+    fn add_node(
+        &mut self,
+        parent: NodeId,
+        weight: u64,
+        leaf: Option<(ClassId, bool)>,
+    ) -> NodeId {
+        assert!(parent.0 < self.nodes.len(), "bad parent");
+        assert!(
+            self.nodes[parent.0].leaf.is_none(),
+            "cannot add children under a leaf"
+        );
+        let idx = self.nodes.len();
+        let parent_vtime = self.nodes[parent.0].vtime;
+        self.nodes.push(Node {
+            parent: Some(parent.0),
+            children: Vec::new(),
+            weight,
+            pass: parent_vtime,
+            vtime: 0,
+            leaf,
+        });
+        self.nodes[parent.0].children.push(idx);
+        NodeId(idx)
+    }
+
+    /// Changes a node's share weight directly (interior nodes included);
+    /// the flat [`Scheduler::set_weight`] only reaches leaves.
+    pub fn set_node_weight(&mut self, node: NodeId, weight: u64) {
+        self.nodes[node.0].weight = weight;
+    }
+
+    /// A node's weight.
+    pub fn node_weight(&self, node: NodeId) -> u64 {
+        self.nodes[node.0].weight
+    }
+
+    fn leaf_of(&self, class: ClassId) -> Option<usize> {
+        self.class_to_leaf.get(class).copied().flatten()
+    }
+
+    /// True if any leaf under `idx` is backlogged (with positive weights
+    /// along the way).
+    fn subtree_backlogged(&self, idx: usize) -> bool {
+        let n = &self.nodes[idx];
+        if n.weight == 0 {
+            return false;
+        }
+        match n.leaf {
+            Some((_, b)) => b,
+            None => n.children.iter().any(|&c| self.subtree_backlogged(c)),
+        }
+    }
+
+    /// Resyncs `idx`'s pass to its parent's virtual time when it wakes.
+    fn resync_up(&mut self, mut idx: usize) {
+        while let Some(p) = self.nodes[idx].parent {
+            let pv = self.nodes[p].vtime;
+            if self.nodes[idx].pass < pv {
+                self.nodes[idx].pass = pv;
+            }
+            idx = p;
+        }
+    }
+}
+
+impl Scheduler for Hierarchy {
+    fn set_weight(&mut self, class: ClassId, weight: u64) {
+        let leaf = self
+            .leaf_of(class)
+            .unwrap_or_else(|| panic!("class {class} has no leaf; call add_leaf first"));
+        self.nodes[leaf].weight = weight;
+    }
+
+    fn weight(&self, class: ClassId) -> u64 {
+        self.leaf_of(class).map_or(0, |l| self.nodes[l].weight)
+    }
+
+    fn set_backlogged(&mut self, class: ClassId, backlogged: bool) {
+        let leaf = self
+            .leaf_of(class)
+            .unwrap_or_else(|| panic!("class {class} has no leaf; call add_leaf first"));
+        let was = match self.nodes[leaf].leaf {
+            Some((_, b)) => b,
+            None => unreachable!(),
+        };
+        if let Some((c, _)) = self.nodes[leaf].leaf {
+            self.nodes[leaf].leaf = Some((c, backlogged));
+        }
+        if backlogged && !was {
+            self.resync_up(leaf);
+        }
+    }
+
+    fn is_backlogged(&self, class: ClassId) -> bool {
+        self.leaf_of(class)
+            .and_then(|l| self.nodes[l].leaf)
+            .is_some_and(|(_, b)| b)
+    }
+
+    fn pick(&mut self, _rng: &mut SimRng) -> Option<ClassId> {
+        let mut idx = 0;
+        if !self.subtree_backlogged(idx) {
+            return None;
+        }
+        loop {
+            let node = &self.nodes[idx];
+            if let Some((class, _)) = node.leaf {
+                return Some(class);
+            }
+            let best = node
+                .children
+                .iter()
+                .copied()
+                .filter(|&c| self.subtree_backlogged(c))
+                .min_by_key(|&c| (self.nodes[c].pass, c))?;
+            self.nodes[idx].vtime = self.nodes[best].pass;
+            idx = best;
+        }
+    }
+
+    fn charge(&mut self, class: ClassId, cost: u64) {
+        let Some(mut idx) = self.leaf_of(class) else {
+            return;
+        };
+        // Charge the leaf and every ancestor: each level's competition
+        // advances by cost scaled by that node's weight.
+        loop {
+            let w = self.nodes[idx].weight as u128;
+            if let Some(step) = (STRIDE1 * cost as u128).checked_div(w) {
+                self.nodes[idx].pass += step;
+            }
+            match self.nodes[idx].parent {
+                Some(p) => idx = p,
+                None => break,
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "hierarchy"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::assert_proportional;
+
+    fn run(h: &mut Hierarchy, n: usize, classes: usize) -> Vec<u64> {
+        let mut rng = SimRng::new(0);
+        let mut counts = vec![0u64; classes];
+        for _ in 0..n {
+            let c = h.pick(&mut rng).expect("work conservation");
+            counts[c] += 1;
+            h.charge(c, 1);
+        }
+        counts
+    }
+
+    #[test]
+    fn flat_tree_is_proportional() {
+        let mut h = Hierarchy::new();
+        let root = h.root();
+        h.add_leaf(root, 1, 0);
+        h.add_leaf(root, 2, 1);
+        h.add_leaf(root, 3, 2);
+        for c in 0..3 {
+            h.set_backlogged(c, true);
+        }
+        let counts = run(&mut h, 60_000, 3);
+        assert_proportional(&counts, &[1, 2, 3], 0.001);
+    }
+
+    #[test]
+    fn nested_shares_multiply() {
+        // root -> {data (3), feedback (1)}; data -> {hot (2), cold (1)}.
+        // Expected: hot 50%, cold 25%, feedback 25%.
+        let mut h = Hierarchy::new();
+        let root = h.root();
+        let data = h.add_interior(root, 3);
+        h.add_leaf(data, 2, 0); // hot
+        h.add_leaf(data, 1, 1); // cold
+        h.add_leaf(root, 1, 2); // feedback
+        for c in 0..3 {
+            h.set_backlogged(c, true);
+        }
+        let counts = run(&mut h, 80_000, 3);
+        let total: u64 = counts.iter().sum();
+        let shares: Vec<f64> = counts.iter().map(|&c| c as f64 / total as f64).collect();
+        assert!((shares[0] - 0.50).abs() < 0.002, "hot {shares:?}");
+        assert!((shares[1] - 0.25).abs() < 0.002, "cold {shares:?}");
+        assert!((shares[2] - 0.25).abs() < 0.002, "fb {shares:?}");
+    }
+
+    #[test]
+    fn sibling_absorbs_idle_excess() {
+        // The paper: "Unused excess hot bandwidth is consumed by
+        // transmissions from the cold queue."
+        let mut h = Hierarchy::new();
+        let root = h.root();
+        let data = h.add_interior(root, 1);
+        h.add_leaf(data, 9, 0); // hot, idle
+        h.add_leaf(data, 1, 1); // cold, backlogged
+        h.set_backlogged(1, true);
+        let counts = run(&mut h, 1000, 2);
+        assert_eq!(counts[0], 0);
+        assert_eq!(counts[1], 1000, "cold gets the whole link when hot idle");
+    }
+
+    #[test]
+    fn waking_leaf_gets_no_back_credit() {
+        let mut h = Hierarchy::new();
+        let root = h.root();
+        h.add_leaf(root, 1, 0);
+        h.add_leaf(root, 1, 1);
+        h.set_backlogged(0, true);
+        let _ = run(&mut h, 1000, 2);
+        h.set_backlogged(1, true);
+        let counts = run(&mut h, 100, 2);
+        assert!(
+            (40..=60).contains(&(counts[1] as i64)),
+            "woken leaf took {counts:?}"
+        );
+    }
+
+    #[test]
+    fn empty_tree_returns_none() {
+        let mut h = Hierarchy::new();
+        let mut rng = SimRng::new(0);
+        assert_eq!(h.pick(&mut rng), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "already has a leaf")]
+    fn duplicate_class_rejected() {
+        let mut h = Hierarchy::new();
+        let root = h.root();
+        h.add_leaf(root, 1, 0);
+        h.add_leaf(root, 1, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot add children under a leaf")]
+    fn leaf_cannot_have_children() {
+        let mut h = Hierarchy::new();
+        let root = h.root();
+        let leaf = h.add_leaf(root, 1, 0);
+        h.add_interior(leaf, 1);
+    }
+
+    #[test]
+    fn interior_reweighting_applies() {
+        let mut h = Hierarchy::new();
+        let root = h.root();
+        let a = h.add_interior(root, 1);
+        let b = h.add_interior(root, 1);
+        h.add_leaf(a, 1, 0);
+        h.add_leaf(b, 1, 1);
+        h.set_backlogged(0, true);
+        h.set_backlogged(1, true);
+        h.set_node_weight(a, 3);
+        assert_eq!(h.node_weight(a), 3);
+        let counts = run(&mut h, 40_000, 2);
+        assert_proportional(&counts, &[3, 1], 0.001);
+    }
+}

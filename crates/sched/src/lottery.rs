@@ -1,0 +1,115 @@
+//! Lottery scheduling (Waldspurger & Weihl, OSDI '95) — the first
+//! proportional-share mechanism the paper cites for hot/cold bandwidth
+//! sharing.
+//!
+//! Each class holds tickets equal to its weight; every transmission slot
+//! holds a lottery among backlogged classes and the winner transmits.
+//! Fairness is probabilistic: over `n` slots a class with ticket share
+//! `s` receives `s·n ± O(√n)` slots.
+
+use crate::{ClassId, ClassTable, Scheduler};
+use ss_netsim::SimRng;
+
+/// A randomized proportional-share scheduler.
+#[derive(Clone, Debug, Default)]
+pub struct Lottery {
+    table: ClassTable,
+}
+
+impl Lottery {
+    /// An empty lottery scheduler.
+    pub fn new() -> Self {
+        Lottery::default()
+    }
+}
+
+impl Scheduler for Lottery {
+    fn set_weight(&mut self, class: ClassId, weight: u64) {
+        self.table.set_weight(class, weight);
+    }
+
+    fn weight(&self, class: ClassId) -> u64 {
+        self.table.weight(class)
+    }
+
+    fn set_backlogged(&mut self, class: ClassId, backlogged: bool) {
+        self.table.set_backlogged(class, backlogged);
+    }
+
+    fn is_backlogged(&self, class: ClassId) -> bool {
+        self.table.is_backlogged(class)
+    }
+
+    fn pick(&mut self, rng: &mut SimRng) -> Option<ClassId> {
+        let total: u64 = self.table.eligible().map(|c| self.table.weight(c)).sum();
+        if total == 0 {
+            return None;
+        }
+        let mut ticket = rng.below(total);
+        for c in self.table.eligible() {
+            let w = self.table.weight(c);
+            if ticket < w {
+                return Some(c);
+            }
+            ticket -= w;
+        }
+        unreachable!("ticket {ticket} beyond total {total}")
+    }
+
+    fn charge(&mut self, _class: ClassId, _cost: u64) {
+        // Memoryless: a lottery holds no service history.
+    }
+
+    fn name(&self) -> &'static str {
+        "lottery"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::{assert_proportional, service_counts};
+
+    #[test]
+    fn shares_track_tickets() {
+        let weights = [10, 30, 60];
+        let counts = service_counts(&mut Lottery::new(), &weights, 100_000, 1);
+        assert_proportional(&counts, &weights, 0.01);
+    }
+
+    #[test]
+    fn ignores_idle_and_zero_weight() {
+        let mut s = Lottery::new();
+        let mut rng = SimRng::new(2);
+        s.set_weight(0, 5);
+        s.set_weight(1, 5);
+        s.set_weight(2, 0); // zero weight, backlogged
+        s.set_backlogged(0, true);
+        s.set_backlogged(2, true);
+        // class 1 idle, class 2 weightless: only 0 may win.
+        for _ in 0..200 {
+            assert_eq!(s.pick(&mut rng), Some(0));
+        }
+    }
+
+    #[test]
+    fn none_when_nothing_eligible() {
+        let mut s = Lottery::new();
+        let mut rng = SimRng::new(3);
+        assert_eq!(s.pick(&mut rng), None);
+        s.set_weight(0, 10);
+        assert_eq!(s.pick(&mut rng), None, "weighted but idle");
+        s.set_backlogged(0, true);
+        assert_eq!(s.pick(&mut rng), Some(0));
+        s.set_backlogged(0, false);
+        assert_eq!(s.pick(&mut rng), None);
+    }
+
+    #[test]
+    fn two_queue_hot_cold_split() {
+        // The paper's §4 configuration: hot/cold sharing 2:1.
+        let weights = [2, 1];
+        let counts = service_counts(&mut Lottery::new(), &weights, 90_000, 4);
+        assert_proportional(&counts, &weights, 0.01);
+    }
+}

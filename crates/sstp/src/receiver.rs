@@ -1,0 +1,646 @@
+//! The SSTP receiver endpoint.
+//!
+//! Receivers hold a soft-state replica (entries expire without refresh)
+//! and a mirror of the sender's namespace built from received data and
+//! summaries. Loss recovery is the §6.2 recursive descent: a root-summary
+//! digest mismatch triggers a repair query; the sender's node summary is
+//! compared child by child; mismatched interiors are queried one level
+//! deeper and mismatched or missing leaves are NACKed. Repair for
+//! subtrees the application declared no interest in is skipped entirely
+//! ("a receiver may refrain from requesting further repair along a
+//! branch if there is no application-level interest").
+//!
+//! Feedback is scheduled, not sent inline: every query/NACK gets a fire
+//! time (immediate for unicast, a random slot for multicast) and can be
+//! *damped* by overhearing another receiver's equivalent request — the
+//! slotting-and-damping scheme the paper imports from SRM/wb. The
+//! session harness polls [`SstpReceiver::poll_feedback`] at fire times.
+
+use crate::digest::HashAlgorithm;
+use crate::namespace::{MetaTag, Namespace, Path};
+use crate::reports::ReceiverReporter;
+use crate::wire::{NackPacket, Packet, RepairQueryPacket};
+use softstate::{Key, SubscriberTable, Value};
+use ss_netsim::{SimDuration, SimRng, SimTime};
+use std::collections::{BTreeMap, HashMap};
+
+/// Which content classes this receiver repairs.
+#[derive(Clone, Debug)]
+pub enum Interest {
+    /// Repair everything.
+    All,
+    /// Repair only ADUs/subtrees carrying one of these tags.
+    Tags(Vec<MetaTag>),
+}
+
+impl Interest {
+    /// Whether this receiver wants content tagged `tag`.
+    pub fn wants(&self, tag: MetaTag) -> bool {
+        match self {
+            Interest::All => true,
+            Interest::Tags(ts) => ts.contains(&tag),
+        }
+    }
+}
+
+/// When scheduled feedback fires.
+#[derive(Clone, Copy, Debug)]
+pub enum FeedbackTiming {
+    /// Fire as soon as the session polls (unicast).
+    Immediate,
+    /// Fire after a uniform random delay in `[0, window)` so that in a
+    /// multicast group one receiver's request can suppress the others'.
+    Slotted {
+        /// The slot window.
+        window: SimDuration,
+    },
+}
+
+/// Receiver configuration.
+#[derive(Clone, Debug)]
+pub struct ReceiverConfig {
+    /// This receiver's id (appears in reports).
+    pub id: u32,
+    /// Soft-state TTL for replica entries.
+    pub ttl: SimDuration,
+    /// Summary hash (must match the sender's).
+    pub algo: HashAlgorithm,
+    /// Interest scoping.
+    pub interest: Interest,
+    /// Whether feedback (queries + NACKs) is enabled.
+    pub feedback: bool,
+    /// Minimum interval between repair attempts for the same node/key.
+    pub repair_backoff: SimDuration,
+    /// Feedback scheduling policy.
+    pub timing: FeedbackTiming,
+}
+
+impl ReceiverConfig {
+    /// A sensible unicast receiver: interested in everything, immediate
+    /// feedback, 1 s backoff, 30 s TTL.
+    pub fn unicast(id: u32, algo: HashAlgorithm) -> Self {
+        ReceiverConfig {
+            id,
+            ttl: SimDuration::from_secs(30),
+            algo,
+            interest: Interest::All,
+            feedback: true,
+            repair_backoff: SimDuration::from_secs(1),
+            timing: FeedbackTiming::Immediate,
+        }
+    }
+}
+
+/// A repair request awaiting its fire time.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+enum FbKind {
+    Query(Path),
+    Nack(Key),
+}
+
+/// Counters exposed for experiments and tests.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ReceiverStats {
+    /// Data packets received.
+    pub data_rx: u64,
+    /// Data packets that changed the replica (new key or newer version).
+    pub data_applied: u64,
+    /// Root summaries received.
+    pub root_summaries_rx: u64,
+    /// Node summaries received.
+    pub node_summaries_rx: u64,
+    /// NACK packets sent.
+    pub nacks_sent: u64,
+    /// NACKed keys sent (one packet may carry several).
+    pub nacked_keys: u64,
+    /// Repair queries sent.
+    pub queries_sent: u64,
+    /// Own pending requests damped by overheard feedback.
+    pub damped: u64,
+    /// Repair skipped because the content class is uninteresting.
+    pub uninterested_skips: u64,
+    /// Replica entries expired by the soft-state timer.
+    pub expired: u64,
+    /// Fragments that advanced a reassembly right edge.
+    pub fragments_advanced: u64,
+}
+
+/// The SSTP receiver endpoint.
+pub struct SstpReceiver {
+    cfg: ReceiverConfig,
+    replica: SubscriberTable,
+    mirror: Namespace,
+    reporter: ReceiverReporter,
+    /// Pending feedback, ordered by fire time (seq breaks ties).
+    pending: BTreeMap<(SimTime, u64), FbKind>,
+    /// Reverse index for cancellation/damping.
+    pending_index: HashMap<FbKind, (SimTime, u64)>,
+    /// Backoff bookkeeping: when each request was last issued (by us or
+    /// an overheard peer).
+    last_attempt: HashMap<FbKind, SimTime>,
+    /// Fragment reassembly: per key, the version being assembled and the
+    /// contiguous right edge held so far.
+    reasm: HashMap<Key, (u64, u32)>,
+    next_seq: u64,
+    rng: SimRng,
+    stats: ReceiverStats,
+}
+
+impl SstpReceiver {
+    /// Builds a receiver; `rng` drives slotted feedback delays.
+    pub fn new(cfg: ReceiverConfig, rng: SimRng) -> Self {
+        let replica = SubscriberTable::new(cfg.ttl);
+        let mirror = Namespace::new(cfg.algo);
+        let reporter = ReceiverReporter::new(cfg.id);
+        SstpReceiver {
+            cfg,
+            replica,
+            mirror,
+            reporter,
+            pending: BTreeMap::new(),
+            pending_index: HashMap::new(),
+            last_attempt: HashMap::new(),
+            reasm: HashMap::new(),
+            next_seq: 0,
+            rng,
+            stats: ReceiverStats::default(),
+        }
+    }
+
+    fn cancel(&mut self, kind: &FbKind) -> bool {
+        if let Some(slot) = self.pending_index.remove(kind) {
+            self.pending.remove(&slot);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn schedule(&mut self, now: SimTime, kind: FbKind) {
+        if !self.cfg.feedback {
+            return;
+        }
+        if self.pending_index.contains_key(&kind) {
+            return;
+        }
+        if let Some(&last) = self.last_attempt.get(&kind) {
+            if now.saturating_since(last) < self.cfg.repair_backoff {
+                return;
+            }
+        }
+        let delay = match self.cfg.timing {
+            FeedbackTiming::Immediate => SimDuration::ZERO,
+            FeedbackTiming::Slotted { window } => {
+                if window.is_zero() {
+                    SimDuration::ZERO
+                } else {
+                    SimDuration::from_micros(self.rng.below(window.as_micros().max(1)))
+                }
+            }
+        };
+        let fire = now + delay;
+        let slot = (fire, self.next_seq);
+        self.next_seq += 1;
+        self.pending.insert(slot, kind.clone());
+        self.pending_index.insert(kind.clone(), slot);
+        self.last_attempt.insert(kind, now);
+    }
+
+    /// Processes a packet heard on the data channel, or an overheard
+    /// peer feedback packet (multicast damping).
+    pub fn on_packet(&mut self, now: SimTime, pkt: &Packet) {
+        if let Some(seq) = pkt.data_seq() {
+            self.reporter.on_data_channel_packet(seq);
+        }
+        match pkt {
+            Packet::Data(d) => {
+                self.stats.data_rx += 1;
+                if !self.cfg.interest.wants(d.tag) {
+                    self.stats.uninterested_skips += 1;
+                    return;
+                }
+                // Fragment reassembly: track the contiguous right edge of
+                // the version being received; the replica only takes the
+                // value once the whole ADU is in hand.
+                let entry = self.reasm.entry(d.key).or_insert((d.version, 0));
+                if d.version > entry.0 {
+                    // A newer version supersedes any partial assembly.
+                    *entry = (d.version, 0);
+                } else if d.version < entry.0 {
+                    return; // stale fragment of an old version
+                }
+                if d.offset <= entry.1 && d.end() > entry.1 {
+                    entry.1 = d.end();
+                    self.stats.fragments_advanced += 1;
+                }
+                let contiguous = entry.1;
+                self.mirror.mirror_adu(
+                    &d.parent_path,
+                    d.slot,
+                    d.key,
+                    d.version,
+                    u64::from(contiguous),
+                    d.tag,
+                );
+                if contiguous == d.total_len {
+                    let changed = self.replica.apply(
+                        now,
+                        d.key,
+                        Value {
+                            version: d.version,
+                            payload_len: d.total_len,
+                        },
+                    );
+                    if changed {
+                        self.stats.data_applied += 1;
+                    }
+                    self.reasm.remove(&d.key);
+                    // Data in hand: a pending NACK for it is moot.
+                    self.cancel(&FbKind::Nack(d.key));
+                }
+            }
+            Packet::RootSummary(rs) => {
+                self.stats.root_summaries_rx += 1;
+                if self.cfg.feedback {
+                    // With a repair channel, the summary itself is the
+                    // soft-state refresh: the publisher is alive, and any
+                    // divergence (including withdrawals) will be
+                    // reconciled by the digest descent rather than by
+                    // letting entries time out one by one.
+                    self.replica.refresh_all(now);
+                }
+                if self.mirror.root_digest() != rs.digest {
+                    self.schedule(now, FbKind::Query(vec![]));
+                }
+            }
+            Packet::NodeSummary(ns) => {
+                self.stats.node_summaries_rx += 1;
+                // The response satisfies our outstanding query.
+                self.cancel(&FbKind::Query(ns.path.clone()));
+                self.apply_node_summary(now, &ns.path, &ns.entries);
+            }
+            Packet::Nack(n) => {
+                // Overheard peer NACK: damp our own.
+                for &key in &n.keys {
+                    if self.cancel(&FbKind::Nack(key)) {
+                        self.stats.damped += 1;
+                    }
+                    self.last_attempt.insert(FbKind::Nack(key), now);
+                }
+            }
+            Packet::RepairQuery(q) => {
+                // Overheard peer query: damp ours for the same node.
+                if self.cancel(&FbKind::Query(q.path.clone())) {
+                    self.stats.damped += 1;
+                }
+                self.last_attempt.insert(FbKind::Query(q.path.clone()), now);
+            }
+            Packet::ReceiverReport(_) => {}
+        }
+    }
+
+    fn apply_node_summary(
+        &mut self,
+        now: SimTime,
+        path: &Path,
+        entries: &[crate::wire::WireChildEntry],
+    ) {
+        use crate::wire::WireChildEntry as E;
+        for entry in entries {
+            match entry {
+                E::Dead { slot } => {
+                    if let Some(key) = self.mirror.mirror_tombstone(path, *slot) {
+                        self.replica.remove(key);
+                    }
+                }
+                E::Interior { slot, digest, tag } => {
+                    if !self.cfg.interest.wants(*tag) {
+                        self.stats.uninterested_skips += 1;
+                        continue;
+                    }
+                    let mut child_path = path.clone();
+                    child_path.push(*slot);
+                    let mismatch = match self.mirror.node_at(&child_path) {
+                        None => true,
+                        Some(node) => {
+                            self.mirror.is_leaf(node) || self.mirror.digest(node) != *digest
+                        }
+                    };
+                    if mismatch {
+                        self.schedule(now, FbKind::Query(child_path));
+                    }
+                }
+                E::Leaf {
+                    key, digest, tag, ..
+                } => {
+                    if !self.cfg.interest.wants(*tag) {
+                        self.stats.uninterested_skips += 1;
+                        continue;
+                    }
+                    let mismatch = match self.mirror.leaf_of(*key) {
+                        None => true,
+                        Some(leaf) => self.mirror.digest(leaf) != *digest,
+                    };
+                    if mismatch {
+                        self.schedule(now, FbKind::Nack(*key));
+                    }
+                }
+            }
+        }
+    }
+
+    /// All feedback due at or before `now`, NACKs batched into one packet.
+    pub fn poll_feedback(&mut self, now: SimTime) -> Vec<Packet> {
+        let mut queries = Vec::new();
+        let mut nacks = Vec::new();
+        while let Some((&slot, _)) = self.pending.first_key_value() {
+            if slot.0 > now {
+                break;
+            }
+            let kind = self.pending.remove(&slot).expect("peeked entry");
+            self.pending_index.remove(&kind);
+            match kind {
+                FbKind::Query(path) => queries.push(path),
+                FbKind::Nack(key) => nacks.push(key),
+            }
+        }
+        let mut out: Vec<Packet> = queries
+            .into_iter()
+            .map(|path| {
+                self.stats.queries_sent += 1;
+                Packet::RepairQuery(RepairQueryPacket { path })
+            })
+            .collect();
+        // Batch NACKed keys, at most 64 per packet.
+        for chunk in nacks.chunks(64) {
+            self.stats.nacks_sent += 1;
+            self.stats.nacked_keys += chunk.len() as u64;
+            out.push(Packet::Nack(NackPacket {
+                keys: chunk.to_vec(),
+            }));
+        }
+        out
+    }
+
+    /// When the earliest pending feedback fires, if any.
+    pub fn next_feedback_at(&self) -> Option<SimTime> {
+        self.pending.first_key_value().map(|(&(t, _), _)| t)
+    }
+
+    /// Runs the soft-state expiry sweep; expired entries leave both the
+    /// replica and the mirror (so they will be re-fetched if the sender
+    /// still announces them). Returns the expired keys.
+    pub fn expire(&mut self, now: SimTime) -> Vec<Key> {
+        let dead = self.replica.expire_until(now);
+        for &key in &dead {
+            self.mirror.remove_adu(key);
+            self.reasm.remove(&key);
+            self.stats.expired += 1;
+        }
+        dead
+    }
+
+    /// Builds the periodic receiver report.
+    pub fn make_report(&self) -> Packet {
+        Packet::ReceiverReport(self.reporter.make_report())
+    }
+
+    /// The replica (for consistency probes).
+    pub fn replica(&self) -> &SubscriberTable {
+        &self.replica
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> ReceiverStats {
+        self.stats
+    }
+
+    /// The receiver id.
+    pub fn id(&self) -> u32 {
+        self.cfg.id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sender::SstpSender;
+
+    fn pair() -> (SstpSender, SstpReceiver) {
+        let s = SstpSender::new(HashAlgorithm::Fnv64, 1000);
+        let r = SstpReceiver::new(
+            ReceiverConfig::unicast(0, HashAlgorithm::Fnv64),
+            SimRng::new(7),
+        );
+        (s, r)
+    }
+
+    /// Delivers every queued hot packet from sender to receiver.
+    fn flush(now: SimTime, s: &mut SstpSender, r: &mut SstpReceiver) {
+        while let Some(p) = s.next_hot_packet() {
+            r.on_packet(now, &p);
+        }
+    }
+
+    /// One full lossless repair round: summary, queries, responses, NACKs,
+    /// retransmissions. Returns the number of feedback packets exchanged.
+    fn repair_round(now: SimTime, s: &mut SstpSender, r: &mut SstpReceiver) -> usize {
+        let summary = s.summary_packet();
+        r.on_packet(now, &summary);
+        let mut fb_count = 0;
+        loop {
+            let fb = r.poll_feedback(now);
+            if fb.is_empty() {
+                break;
+            }
+            fb_count += fb.len();
+            for p in &fb {
+                s.on_packet(p);
+            }
+            flush(now, s, r);
+        }
+        fb_count
+    }
+
+    #[test]
+    fn lossless_delivery_matches_tables() {
+        let (mut s, mut r) = pair();
+        let root = s.root();
+        for _ in 0..10 {
+            s.publish(SimTime::ZERO, root, MetaTag(0));
+        }
+        flush(SimTime::ZERO, &mut s, &mut r);
+        assert_eq!(softstate::measure_tables(s.table(), r.replica()), Some(1.0));
+        assert_eq!(r.stats().data_applied, 10);
+        // In-sync summary generates no feedback.
+        let fb = repair_round(SimTime::ZERO, &mut s, &mut r);
+        assert_eq!(fb, 0);
+    }
+
+    #[test]
+    fn recursive_descent_repairs_a_lost_packet() {
+        let (mut s, mut r) = pair();
+        let root = s.root();
+        let branch = s.add_branch(root, MetaTag(0));
+        let k_lost = s.publish(SimTime::ZERO, branch, MetaTag(0));
+        let _k_ok = s.publish(SimTime::ZERO, branch, MetaTag(0));
+        // Deliver all but the first data packet (simulate its loss).
+        let lost = s.next_hot_packet().unwrap();
+        match &lost {
+            Packet::Data(d) => assert_eq!(d.key, k_lost),
+            p => panic!("{p:?}"),
+        }
+        flush(SimTime::ZERO, &mut s, &mut r);
+        assert_eq!(softstate::measure_tables(s.table(), r.replica()), Some(0.5));
+
+        // Repair: root mismatch -> query root -> query branch -> NACK key
+        // -> retransmission.
+        let now = SimTime::from_secs(2);
+        let fb = repair_round(now, &mut s, &mut r);
+        assert!(fb >= 2, "expected query+nack, got {fb}");
+        assert_eq!(softstate::measure_tables(s.table(), r.replica()), Some(1.0));
+        assert!(r.stats().nacked_keys >= 1);
+        assert!(r.stats().queries_sent >= 1);
+    }
+
+    #[test]
+    fn stale_version_is_renacked() {
+        let (mut s, mut r) = pair();
+        let root = s.root();
+        let k = s.publish(SimTime::ZERO, root, MetaTag(0));
+        flush(SimTime::ZERO, &mut s, &mut r);
+        // Update is lost.
+        s.update(k);
+        let _lost = s.next_hot_packet().unwrap();
+        assert_eq!(softstate::measure_tables(s.table(), r.replica()), Some(0.0));
+
+        let fb = repair_round(SimTime::from_secs(2), &mut s, &mut r);
+        assert!(fb >= 1);
+        assert_eq!(softstate::measure_tables(s.table(), r.replica()), Some(1.0));
+        assert_eq!(r.replica().get(k).unwrap().value.version, 2);
+    }
+
+    #[test]
+    fn withdrawal_propagates_via_tombstone() {
+        let (mut s, mut r) = pair();
+        let root = s.root();
+        let k1 = s.publish(SimTime::ZERO, root, MetaTag(0));
+        let _k2 = s.publish(SimTime::ZERO, root, MetaTag(0));
+        flush(SimTime::ZERO, &mut s, &mut r);
+        s.withdraw(k1);
+        let fb = repair_round(SimTime::from_secs(2), &mut s, &mut r);
+        assert!(fb >= 1);
+        assert!(r.replica().get(k1).is_none(), "tombstone must purge replica");
+        assert_eq!(softstate::measure_tables(s.table(), r.replica()), Some(1.0));
+    }
+
+    #[test]
+    fn backoff_limits_requery_storms() {
+        let (mut s, mut r) = pair();
+        let root = s.root();
+        s.publish(SimTime::ZERO, root, MetaTag(0));
+        // Receiver never gets the data; summaries arrive rapid-fire.
+        for i in 0..10 {
+            let summary = s.summary_packet();
+            r.on_packet(SimTime::from_millis(i * 10), &summary);
+        }
+        let fb = r.poll_feedback(SimTime::from_secs(1));
+        // One query despite 10 mismatched summaries within the backoff.
+        assert_eq!(fb.len(), 1);
+        assert!(matches!(fb[0], Packet::RepairQuery(_)));
+    }
+
+    #[test]
+    fn interest_scoping_skips_repair() {
+        let mut s = SstpSender::new(HashAlgorithm::Fnv64, 1000);
+        let mut cfg = ReceiverConfig::unicast(0, HashAlgorithm::Fnv64);
+        cfg.interest = Interest::Tags(vec![MetaTag(1)]);
+        let mut r = SstpReceiver::new(cfg, SimRng::new(1));
+
+        let root = s.root();
+        let wanted = s.add_branch(root, MetaTag(1));
+        let unwanted = s.add_branch(root, MetaTag(2)); // high-res images
+        let kw = s.publish(SimTime::ZERO, wanted, MetaTag(1));
+        let ku = s.publish(SimTime::ZERO, unwanted, MetaTag(2));
+        // Everything is lost; repair must only chase the wanted branch.
+        while s.next_hot_packet().is_some() {}
+
+        let now = SimTime::from_secs(1);
+        let summary = s.summary_packet();
+        r.on_packet(now, &summary);
+        for _ in 0..5 {
+            let fb = r.poll_feedback(now);
+            if fb.is_empty() {
+                break;
+            }
+            for p in &fb {
+                s.on_packet(p);
+            }
+            while let Some(p) = s.next_hot_packet() {
+                r.on_packet(now, &p);
+            }
+        }
+        assert!(r.replica().get(kw).is_some(), "wanted key repaired");
+        assert!(r.replica().get(ku).is_none(), "unwanted key not fetched");
+        assert!(r.stats().uninterested_skips >= 1);
+    }
+
+    #[test]
+    fn slotted_timing_delays_and_damps() {
+        let mut s = SstpSender::new(HashAlgorithm::Fnv64, 1000);
+        let mut cfg = ReceiverConfig::unicast(0, HashAlgorithm::Fnv64);
+        cfg.timing = FeedbackTiming::Slotted {
+            window: SimDuration::from_secs(2),
+        };
+        let mut r = SstpReceiver::new(cfg, SimRng::new(3));
+        let root = s.root();
+        s.publish(SimTime::ZERO, root, MetaTag(0));
+        while s.next_hot_packet().is_some() {} // lose it
+
+        let now = SimTime::from_secs(10);
+        r.on_packet(now, &s.summary_packet());
+        let fire = r.next_feedback_at().expect("query scheduled");
+        assert!(fire >= now && fire < now + SimDuration::from_secs(2));
+        assert!(r.poll_feedback(now).is_empty(), "not due yet");
+
+        // Overhear a peer's identical query before the slot fires: damp.
+        r.on_packet(now, &Packet::RepairQuery(RepairQueryPacket { path: vec![] }));
+        assert_eq!(r.next_feedback_at(), None);
+        assert_eq!(r.stats().damped, 1);
+    }
+
+    #[test]
+    fn expiry_purges_replica_and_mirror() {
+        let (mut s, mut r) = pair();
+        let root = s.root();
+        let k = s.publish(SimTime::ZERO, root, MetaTag(0));
+        flush(SimTime::ZERO, &mut s, &mut r);
+        assert!(r.replica().get(k).is_some());
+        // No refresh for > TTL (30 s).
+        let later = SimTime::from_secs(31);
+        let dead = r.expire(later);
+        assert_eq!(dead, vec![k]);
+        assert!(r.replica().get(k).is_none());
+        assert_eq!(r.stats().expired, 1);
+        // The sender still has it; the next summary round re-fetches it.
+        let fb = repair_round(later, &mut s, &mut r);
+        assert!(fb >= 1);
+        assert!(r.replica().get(k).is_some(), "re-fetched after expiry");
+    }
+
+    #[test]
+    fn report_counts_data_channel_packets() {
+        let (mut s, mut r) = pair();
+        let root = s.root();
+        s.publish(SimTime::ZERO, root, MetaTag(0));
+        flush(SimTime::ZERO, &mut s, &mut r);
+        r.on_packet(SimTime::ZERO, &s.summary_packet());
+        match r.make_report() {
+            Packet::ReceiverReport(rr) => {
+                assert_eq!(rr.received, 2);
+                assert_eq!(rr.receiver_id, 0);
+            }
+            p => panic!("{p:?}"),
+        }
+    }
+}

@@ -1,0 +1,159 @@
+//! The reliability continuum — §6's "parameterized framework that can be
+//! tuned to provide one of a continuum of 'reliability levels'", from
+//! plain announce/listen up to feedback-driven reliable transport.
+//!
+//! A [`ReliabilityLevel`] is the coarse application-facing dial; it
+//! lowers to [`ReliabilityParams`], the knob set the session machinery
+//! actually consumes. Applications with unusual needs can construct
+//! `ReliabilityParams` directly.
+
+use ss_netsim::SimDuration;
+
+/// Application-facing reliability levels.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ReliabilityLevel {
+    /// Fire-and-forget: data is announced once; no summaries, no
+    /// feedback. The cheapest level — suited to data that is superseded
+    /// faster than it could be repaired.
+    BestEffort,
+    /// Classic announce/listen: periodic root summaries let receivers
+    /// detect divergence and late joiners catch up, but no receiver
+    /// feedback is sent (the §3 regime, hierarchically summarized).
+    AnnounceListen,
+    /// Announce/listen plus NACK-based repair with a bounded feedback
+    /// budget — the §5 regime. The share is the cap on the fraction of
+    /// session bandwidth the allocator may give to feedback.
+    Quasi {
+        /// Maximum feedback share of the session bandwidth.
+        max_fb_share: f64,
+    },
+    /// Full repair: feedback budget up to half the session bandwidth and
+    /// aggressive repair timers; converges to sender state as fast as the
+    /// channel allows.
+    Reliable,
+}
+
+/// The exact knob set the session consumes.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ReliabilityParams {
+    /// Whether the sender emits periodic root summaries (cold traffic).
+    pub summaries: bool,
+    /// Whether receivers send repair queries and NACKs.
+    pub feedback: bool,
+    /// The cap on the feedback share of the session bandwidth.
+    pub max_fb_share: f64,
+    /// Minimum interval between repair attempts for the same namespace
+    /// node or key at one receiver (damps repair storms).
+    pub repair_backoff: SimDuration,
+}
+
+impl ReliabilityParams {
+    /// Validates invariants (call after hand-constructing).
+    pub fn validate(&self) -> Result<(), String> {
+        if !(0.0..=0.9).contains(&self.max_fb_share) {
+            return Err(format!("max_fb_share {} out of [0, 0.9]", self.max_fb_share));
+        }
+        if self.feedback && self.max_fb_share == 0.0 {
+            return Err("feedback enabled with a zero feedback budget".into());
+        }
+        if self.feedback && !self.summaries {
+            return Err("feedback requires summaries (losses are detected via digests)".into());
+        }
+        Ok(())
+    }
+}
+
+impl From<ReliabilityLevel> for ReliabilityParams {
+    fn from(level: ReliabilityLevel) -> Self {
+        match level {
+            ReliabilityLevel::BestEffort => ReliabilityParams {
+                summaries: false,
+                feedback: false,
+                max_fb_share: 0.0,
+                repair_backoff: SimDuration::from_secs(1),
+            },
+            ReliabilityLevel::AnnounceListen => ReliabilityParams {
+                summaries: true,
+                feedback: false,
+                max_fb_share: 0.0,
+                repair_backoff: SimDuration::from_secs(1),
+            },
+            ReliabilityLevel::Quasi { max_fb_share } => ReliabilityParams {
+                summaries: true,
+                feedback: true,
+                max_fb_share: max_fb_share.clamp(0.01, 0.9),
+                repair_backoff: SimDuration::from_secs(1),
+            },
+            ReliabilityLevel::Reliable => ReliabilityParams {
+                summaries: true,
+                feedback: true,
+                max_fb_share: 0.5,
+                repair_backoff: SimDuration::from_millis(250),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_lower_to_valid_params() {
+        for level in [
+            ReliabilityLevel::BestEffort,
+            ReliabilityLevel::AnnounceListen,
+            ReliabilityLevel::Quasi { max_fb_share: 0.3 },
+            ReliabilityLevel::Reliable,
+        ] {
+            let p: ReliabilityParams = level.into();
+            p.validate().unwrap_or_else(|e| panic!("{level:?}: {e}"));
+        }
+    }
+
+    #[test]
+    fn continuum_orders_feedback_budget() {
+        let be: ReliabilityParams = ReliabilityLevel::BestEffort.into();
+        let al: ReliabilityParams = ReliabilityLevel::AnnounceListen.into();
+        let q: ReliabilityParams = ReliabilityLevel::Quasi { max_fb_share: 0.2 }.into();
+        let r: ReliabilityParams = ReliabilityLevel::Reliable.into();
+        assert!(!be.summaries && !be.feedback);
+        assert!(al.summaries && !al.feedback);
+        assert!(q.feedback && q.max_fb_share < r.max_fb_share);
+        assert!(r.repair_backoff < q.repair_backoff);
+    }
+
+    #[test]
+    fn quasi_clamps_share() {
+        let p: ReliabilityParams = ReliabilityLevel::Quasi { max_fb_share: 5.0 }.into();
+        assert!(p.max_fb_share <= 0.9);
+        let p: ReliabilityParams = ReliabilityLevel::Quasi { max_fb_share: 0.0 }.into();
+        assert!(p.max_fb_share >= 0.01);
+        p.validate().unwrap();
+    }
+
+    #[test]
+    fn validate_catches_contradictions() {
+        let bad = ReliabilityParams {
+            summaries: false,
+            feedback: true,
+            max_fb_share: 0.2,
+            repair_backoff: SimDuration::from_secs(1),
+        };
+        assert!(bad.validate().is_err());
+        let bad2 = ReliabilityParams {
+            summaries: true,
+            feedback: true,
+            max_fb_share: 0.0,
+            repair_backoff: SimDuration::from_secs(1),
+        };
+        assert!(bad2.validate().is_err());
+        let bad3 = ReliabilityParams {
+            summaries: true,
+            feedback: false,
+            max_fb_share: 2.0,
+            repair_backoff: SimDuration::from_secs(1),
+        };
+        assert!(bad3.validate().is_err());
+    }
+}

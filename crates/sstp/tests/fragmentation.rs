@@ -1,0 +1,226 @@
+//! ADU fragmentation tests: the §6.2 `right_edge` semantics — large ADUs
+//! travel as multiple fragments, leaf digests cover the bytes actually
+//! held, and a partially received ADU is detected and repaired through
+//! the ordinary digest-descent machinery.
+
+use softstate::measure_tables;
+use sstp::digest::HashAlgorithm;
+use sstp::namespace::MetaTag;
+use sstp::receiver::{ReceiverConfig, SstpReceiver};
+use sstp::sender::SstpSender;
+use sstp::wire::Packet;
+use ss_netsim::{SimDuration, SimRng, SimTime};
+
+fn pair(mtu: u32) -> (SstpSender, SstpReceiver) {
+    let tx = SstpSender::new(HashAlgorithm::Fnv64, 1000).with_mtu(mtu);
+    let mut cfg = ReceiverConfig::unicast(0, HashAlgorithm::Fnv64);
+    cfg.ttl = SimDuration::from_secs(1_000_000);
+    cfg.repair_backoff = SimDuration::from_millis(1);
+    (tx, SstpReceiver::new(cfg, SimRng::new(4)))
+}
+
+/// Collects all currently queued hot packets.
+fn drain_hot(tx: &mut SstpSender) -> Vec<Packet> {
+    std::iter::from_fn(|| tx.next_hot_packet()).collect()
+}
+
+/// Runs lossless repair rounds until convergence; returns rounds used.
+fn repair_until_consistent(tx: &mut SstpSender, rx: &mut SstpReceiver) -> usize {
+    let mut now = SimTime::from_secs(10);
+    for round in 1..=30 {
+        now += SimDuration::from_secs(1);
+        rx.on_packet(now, &tx.summary_packet());
+        loop {
+            let fb = rx.poll_feedback(now);
+            if fb.is_empty() {
+                break;
+            }
+            for p in &fb {
+                tx.on_packet(p);
+            }
+            for p in drain_hot(tx) {
+                rx.on_packet(now, &p);
+            }
+        }
+        if measure_tables(tx.table(), rx.replica()) == Some(1.0) {
+            return round;
+        }
+    }
+    panic!("repair did not converge");
+}
+
+#[test]
+fn large_adu_fragments_and_reassembles() {
+    let (mut tx, mut rx) = pair(1000);
+    let root = tx.root();
+    let key = tx.publish_sized(SimTime::ZERO, root, MetaTag(0), 3500);
+
+    let frags = drain_hot(&mut tx);
+    assert_eq!(frags.len(), 4, "3500 B at 1000 B MTU = 4 fragments");
+    let mut offsets = Vec::new();
+    for p in &frags {
+        let Packet::Data(d) = p else { panic!("{p:?}") };
+        assert_eq!(d.key, key);
+        assert_eq!(d.total_len, 3500);
+        offsets.push((d.offset, d.payload_len));
+    }
+    assert_eq!(offsets, vec![(0, 1000), (1000, 1000), (2000, 1000), (3000, 500)]);
+
+    // Deliver all fragments: the replica takes the complete value once.
+    for (i, p) in frags.iter().enumerate() {
+        rx.on_packet(SimTime::from_millis(i as u64), p);
+        let done = rx.replica().get(key).is_some();
+        assert_eq!(done, i == frags.len() - 1, "complete only at the last fragment");
+    }
+    assert_eq!(measure_tables(tx.table(), rx.replica()), Some(1.0));
+    assert_eq!(rx.stats().fragments_advanced, 4);
+}
+
+#[test]
+fn small_adu_is_a_single_whole_packet() {
+    let (mut tx, mut rx) = pair(1000);
+    let root = tx.root();
+    tx.publish_sized(SimTime::ZERO, root, MetaTag(0), 400);
+    let frags = drain_hot(&mut tx);
+    assert_eq!(frags.len(), 1);
+    let Packet::Data(d) = &frags[0] else { panic!() };
+    assert!(d.is_whole());
+    rx.on_packet(SimTime::ZERO, &frags[0]);
+    assert_eq!(measure_tables(tx.table(), rx.replica()), Some(1.0));
+}
+
+#[test]
+fn lost_middle_fragment_is_repaired_via_digest_descent() {
+    let (mut tx, mut rx) = pair(1000);
+    let root = tx.root();
+    let key = tx.publish_sized(SimTime::ZERO, root, MetaTag(0), 3000);
+    let frags = drain_hot(&mut tx);
+    assert_eq!(frags.len(), 3);
+
+    // Fragment 1 (offset 1000) is lost.
+    rx.on_packet(SimTime::ZERO, &frags[0]);
+    rx.on_packet(SimTime::ZERO, &frags[2]);
+    assert!(rx.replica().get(key).is_none(), "partial ADU not applied");
+    assert_ne!(
+        measure_tables(tx.table(), rx.replica()),
+        Some(1.0),
+        "partial ADU counts as inconsistent"
+    );
+
+    // Digest descent detects the short right edge and NACKs; the sender
+    // retransmits the whole ADU and the receiver completes.
+    let rounds = repair_until_consistent(&mut tx, &mut rx);
+    assert!(rounds <= 3, "repair took {rounds} rounds");
+    assert!(rx.replica().get(key).is_some());
+}
+
+#[test]
+fn version_update_mid_flight_restarts_reassembly() {
+    let (mut tx, mut rx) = pair(1000);
+    let root = tx.root();
+    let key = tx.publish_sized(SimTime::ZERO, root, MetaTag(0), 2500);
+
+    // Deliver only the first fragment of version 1.
+    let p0 = tx.next_hot_packet().unwrap();
+    rx.on_packet(SimTime::ZERO, &p0);
+
+    // The application updates the record: the sender abandons the old
+    // version's remaining fragments (the update has its own queue entry).
+    tx.update(key);
+    let rest = drain_hot(&mut tx);
+    let versions: Vec<u64> = rest
+        .iter()
+        .map(|p| match p {
+            Packet::Data(d) => d.version,
+            other => panic!("{other:?}"),
+        })
+        .collect();
+    assert!(
+        versions.iter().all(|&v| v == 2),
+        "superseded version must not continue: {versions:?}"
+    );
+
+    for p in &rest {
+        rx.on_packet(SimTime::from_secs(1), p);
+    }
+    assert_eq!(rx.replica().get(key).unwrap().value.version, 2);
+    assert_eq!(measure_tables(tx.table(), rx.replica()), Some(1.0));
+}
+
+#[test]
+fn stale_fragments_of_old_versions_are_ignored() {
+    let (mut tx, mut rx) = pair(1000);
+    let root = tx.root();
+    let key = tx.publish_sized(SimTime::ZERO, root, MetaTag(0), 2000);
+    let v1_frags = drain_hot(&mut tx);
+    tx.update(key);
+    let v2_frags = drain_hot(&mut tx);
+
+    // v2 arrives first (complete), then delayed v1 fragments straggle in.
+    for p in &v2_frags {
+        rx.on_packet(SimTime::ZERO, p);
+    }
+    assert_eq!(rx.replica().get(key).unwrap().value.version, 2);
+    for p in &v1_frags {
+        rx.on_packet(SimTime::from_secs(1), p);
+    }
+    assert_eq!(
+        rx.replica().get(key).unwrap().value.version,
+        2,
+        "stale fragments must not regress the replica"
+    );
+    assert_eq!(measure_tables(tx.table(), rx.replica()), Some(1.0));
+}
+
+#[test]
+fn duplicate_and_reordered_fragments_are_harmless() {
+    let (mut tx, mut rx) = pair(500);
+    let root = tx.root();
+    let key = tx.publish_sized(SimTime::ZERO, root, MetaTag(0), 1500);
+    let frags = drain_hot(&mut tx);
+    assert_eq!(frags.len(), 3);
+
+    // Duplicate fragment 0, then deliver in order with repeats.
+    rx.on_packet(SimTime::ZERO, &frags[0]);
+    rx.on_packet(SimTime::ZERO, &frags[0]);
+    rx.on_packet(SimTime::ZERO, &frags[1]);
+    rx.on_packet(SimTime::ZERO, &frags[1]);
+    rx.on_packet(SimTime::ZERO, &frags[2]);
+    assert_eq!(rx.replica().get(key).unwrap().value.version, 1);
+    assert_eq!(measure_tables(tx.table(), rx.replica()), Some(1.0));
+}
+
+#[test]
+fn cycle_stream_fragments_too() {
+    let (mut tx, _rx) = pair(1000);
+    let root = tx.root();
+    tx.publish_sized(SimTime::ZERO, root, MetaTag(0), 2200);
+    let _ = drain_hot(&mut tx);
+
+    // The cold cycle re-announces the ADU in fragments as well.
+    let mut sizes = Vec::new();
+    for _ in 0..3 {
+        let p = tx.next_cycle_packet().expect("cycle packet");
+        let Packet::Data(d) = p else { panic!() };
+        sizes.push(d.payload_len);
+    }
+    assert_eq!(sizes, vec![1000, 1000, 200]);
+}
+
+#[test]
+fn fragmented_store_converges_under_random_loss() {
+    let (mut tx, mut rx) = pair(700);
+    let root = tx.root();
+    for i in 0..12u32 {
+        tx.publish_sized(SimTime::ZERO, root, MetaTag(0), 500 + i * 333);
+    }
+    // Initial transmission with every third fragment lost.
+    let frags = drain_hot(&mut tx);
+    for (i, p) in frags.iter().enumerate() {
+        if i % 3 != 2 {
+            rx.on_packet(SimTime::ZERO, p);
+        }
+    }
+    let rounds = repair_until_consistent(&mut tx, &mut rx);
+    assert!(rounds <= 6, "converged in {rounds} rounds");
+}

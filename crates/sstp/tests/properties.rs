@@ -1,0 +1,277 @@
+//! Property-based tests of the SSTP building blocks: wire-codec
+//! round-trips for arbitrary packets, namespace digest coherence under
+//! random operation sequences, and sender/receiver mirror equivalence.
+
+use bytes::BytesMut;
+use proptest::prelude::*;
+use softstate::Key;
+use sstp::digest::{Digest, HashAlgorithm};
+use sstp::namespace::{MetaTag, Namespace};
+use sstp::wire::{
+    DataPacket, NackPacket, NodeSummaryPacket, Packet, ReceiverReportPacket,
+    RepairQueryPacket, RootSummaryPacket, WireChildEntry,
+};
+
+fn arb_digest() -> impl Strategy<Value = Digest> {
+    prop_oneof![
+        any::<u64>().prop_map(Digest::from_u64),
+        any::<[u8; 16]>().prop_map(Digest::from_md5),
+    ]
+}
+
+fn arb_path() -> impl Strategy<Value = Vec<u16>> {
+    prop::collection::vec(any::<u16>(), 0..8)
+}
+
+fn arb_entry() -> impl Strategy<Value = WireChildEntry> {
+    prop_oneof![
+        any::<u16>().prop_map(|slot| WireChildEntry::Dead { slot }),
+        (any::<u16>(), arb_digest(), any::<u32>()).prop_map(|(slot, digest, tag)| {
+            WireChildEntry::Interior {
+                slot,
+                digest,
+                tag: MetaTag(tag),
+            }
+        }),
+        (any::<u16>(), any::<u64>(), arb_digest(), any::<u32>()).prop_map(
+            |(slot, key, digest, tag)| WireChildEntry::Leaf {
+                slot,
+                key: Key(key),
+                digest,
+                tag: MetaTag(tag),
+            }
+        ),
+    ]
+}
+
+fn arb_packet() -> impl Strategy<Value = Packet> {
+    prop_oneof![
+        (
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+            arb_path(),
+            any::<u16>(),
+            any::<u32>(),
+            (0u32..100_000, 0u32..10_000, 0u32..100_000),
+        )
+            .prop_map(|(seq, key, version, parent_path, slot, tag, (offset, payload_len, total_len))| {
+                Packet::Data(DataPacket {
+                    seq,
+                    key: Key(key),
+                    version,
+                    parent_path,
+                    slot,
+                    tag: MetaTag(tag),
+                    offset,
+                    payload_len,
+                    total_len,
+                })
+            }),
+        (any::<u64>(), arb_digest(), any::<u32>()).prop_map(|(seq, digest, live_adus)| {
+            Packet::RootSummary(RootSummaryPacket {
+                seq,
+                digest,
+                live_adus,
+            })
+        }),
+        (any::<u64>(), arb_path(), prop::collection::vec(arb_entry(), 0..40)).prop_map(
+            |(seq, path, entries)| Packet::NodeSummary(NodeSummaryPacket { seq, path, entries })
+        ),
+        arb_path().prop_map(|path| Packet::RepairQuery(RepairQueryPacket { path })),
+        prop::collection::vec(any::<u64>().prop_map(Key), 0..64)
+            .prop_map(|keys| Packet::Nack(NackPacket { keys })),
+        (any::<u32>(), any::<u64>(), any::<u64>()).prop_map(
+            |(receiver_id, highest_seq, received)| {
+                Packet::ReceiverReport(ReceiverReportPacket {
+                    receiver_id,
+                    highest_seq,
+                    received,
+                })
+            }
+        ),
+    ]
+}
+
+/// A random namespace mutation.
+#[derive(Clone, Debug)]
+enum Op {
+    AddBranch(u8),
+    AddAdu(u8),
+    Update(u8, u16),
+    Remove(u8),
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            (any::<u8>()).prop_map(Op::AddBranch),
+            (any::<u8>()).prop_map(Op::AddAdu),
+            (any::<u8>(), any::<u16>()).prop_map(|(k, v)| Op::Update(k, v)),
+            (any::<u8>()).prop_map(Op::Remove),
+        ],
+        1..60,
+    )
+}
+
+/// Applies ops to a namespace, tracking live keys; returns branch nodes.
+fn apply_ops(ns: &mut Namespace, ops: &[Op]) {
+    let mut branches = vec![ns.root()];
+    let mut next_key = 0u64;
+    let mut live: Vec<Key> = Vec::new();
+    for op in ops {
+        match *op {
+            Op::AddBranch(sel) => {
+                if branches.len() < 12 {
+                    let parent = branches[sel as usize % branches.len()];
+                    branches.push(ns.add_interior(parent, MetaTag(u32::from(sel))));
+                }
+            }
+            Op::AddAdu(sel) => {
+                let parent = branches[sel as usize % branches.len()];
+                let key = Key(next_key);
+                next_key += 1;
+                ns.add_adu(parent, key, MetaTag(0));
+                live.push(key);
+            }
+            Op::Update(sel, v) => {
+                if !live.is_empty() {
+                    let key = live[sel as usize % live.len()];
+                    ns.update_adu(key, u64::from(v) + 2, u64::from(v));
+                }
+            }
+            Op::Remove(sel) => {
+                if !live.is_empty() {
+                    let idx = sel as usize % live.len();
+                    let key = live.swap_remove(idx);
+                    ns.remove_adu(key);
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    /// The decoder never panics on arbitrary bytes — it either parses a
+    /// packet or returns an error. (The receiver feeds raw datagrams
+    /// straight into it in `sstp::udp`.)
+    #[test]
+    fn decoder_is_total_on_garbage(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        let _ = Packet::decode(bytes::Bytes::from(bytes));
+    }
+
+    /// Decoding a valid encoding with trailing garbage still yields the
+    /// original packet (datagram padding is ignored).
+    #[test]
+    fn decoder_ignores_trailing_bytes(pkt in arb_packet(), junk in prop::collection::vec(any::<u8>(), 0..64)) {
+        let mut buf = BytesMut::new();
+        pkt.encode(&mut buf);
+        buf.extend_from_slice(&junk);
+        let decoded = Packet::decode(buf.freeze()).expect("decode with padding");
+        prop_assert_eq!(decoded, pkt);
+    }
+
+    /// Every packet round-trips the codec bit-exactly, and every strict
+    /// prefix of the encoding fails to decode as that packet (no silent
+    /// truncation).
+    #[test]
+    fn wire_roundtrip(pkt in arb_packet()) {
+        let mut buf = BytesMut::new();
+        pkt.encode(&mut buf);
+        let bytes = buf.freeze();
+        let decoded = Packet::decode(bytes.clone()).expect("decode");
+        prop_assert_eq!(&decoded, &pkt);
+        // Prefix robustness: decoding a truncated buffer must error or
+        // yield a *different* packet, never panic.
+        for cut in 0..bytes.len() {
+            if let Ok(other) = Packet::decode(bytes.slice(0..cut)) { prop_assert_ne!(&other, &pkt, "prefix {} decoded equal", cut) }
+        }
+    }
+
+    /// Identical operation sequences produce identical digests; any two
+    /// different live states (almost surely) differ.
+    #[test]
+    fn namespace_digest_deterministic(ops in arb_ops()) {
+        let mut a = Namespace::new(HashAlgorithm::Fnv64);
+        let mut b = Namespace::new(HashAlgorithm::Fnv64);
+        apply_ops(&mut a, &ops);
+        apply_ops(&mut b, &ops);
+        prop_assert_eq!(a.root_digest(), b.root_digest());
+        prop_assert_eq!(a.live_adus(), b.live_adus());
+        // A post-hoc mutation changes the digest.
+        if let Some(leaf) = (0..100).find_map(|k| a.leaf_of(Key(k))) {
+            let before = a.root_digest();
+            let (key, v, r) = a.adu_info(leaf);
+            a.update_adu(key, v + 1, r);
+            prop_assert_ne!(a.root_digest(), before);
+        }
+    }
+
+    /// Digest reads never mutate observable state: two consecutive reads
+    /// agree, and interleaving reads with mutations equals batching them.
+    #[test]
+    fn namespace_lazy_refresh_transparent(ops in arb_ops()) {
+        let mut eager = Namespace::new(HashAlgorithm::Fnv64);
+        let mut lazy = Namespace::new(HashAlgorithm::Fnv64);
+        // Eager: read the digest after every op. Lazy: only at the end.
+        let mut branches_e = vec![eager.root()];
+        let mut branches_l = vec![lazy.root()];
+        let mut next_key = 0u64;
+        let mut live: Vec<Key> = Vec::new();
+        for op in &ops {
+            for (ns, branches) in [(&mut eager, &mut branches_e), (&mut lazy, &mut branches_l)] {
+                match *op {
+                    Op::AddBranch(sel) => {
+                        if branches.len() < 12 {
+                            let parent = branches[sel as usize % branches.len()];
+                            branches.push(ns.add_interior(parent, MetaTag(u32::from(sel))));
+                        }
+                    }
+                    Op::AddAdu(sel) => {
+                        let parent = branches[sel as usize % branches.len()];
+                        ns.add_adu(parent, Key(next_key), MetaTag(0));
+                    }
+                    Op::Update(sel, v) => {
+                        if !live.is_empty() {
+                            let key = live[sel as usize % live.len()];
+                            ns.update_adu(key, u64::from(v) + 2, u64::from(v));
+                        }
+                    }
+                    Op::Remove(sel) => {
+                        if !live.is_empty() {
+                            let idx = sel as usize % live.len();
+                            ns.remove_adu(live[idx]);
+                        }
+                    }
+                }
+            }
+            // Book-keep shared state after both applied.
+            match *op {
+                Op::AddAdu(_) => {
+                    live.push(Key(next_key));
+                    next_key += 1;
+                }
+                Op::Remove(sel)
+                    if !live.is_empty() => {
+                        let idx = sel as usize % live.len();
+                        live.swap_remove(idx);
+                    }
+                _ => {}
+            }
+            let _ = eager.root_digest(); // interleaved read
+        }
+        prop_assert_eq!(eager.root_digest(), lazy.root_digest());
+    }
+
+    /// MD5 and FNV namespaces agree on *structure*: equal ops give equal
+    /// digests within each algorithm, and the algorithms never produce
+    /// digests of the wrong length.
+    #[test]
+    fn namespace_algorithms_consistent(ops in arb_ops()) {
+        for algo in [HashAlgorithm::Fnv64, HashAlgorithm::Md5] {
+            let mut ns = Namespace::new(algo);
+            apply_ops(&mut ns, &ops);
+            prop_assert_eq!(ns.root_digest().len(), algo.digest_len());
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! SSTP over real UDP on loopback: the sans-I/O endpoints driven by wall
+//! clocks and actual sockets. Loss is injected deterministically at the
+//! receiving side so repair paths run even on a lossless loopback.
+//!
+//! Timing bounds are generous (seconds of budget for sub-second
+//! convergence) to stay robust on loaded CI machines.
+
+use sstp::digest::HashAlgorithm;
+use sstp::namespace::MetaTag;
+use sstp::receiver::ReceiverConfig;
+use sstp::udp::{UdpConfig, UdpPublisher, UdpSubscriber};
+use ss_netsim::SimDuration;
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+fn any_loopback() -> SocketAddr {
+    "127.0.0.1:0".parse().unwrap()
+}
+
+/// Builds a connected publisher/subscriber pair on ephemeral ports.
+fn connected_pair(ingress_drop: f64, seed: u64) -> (UdpPublisher, UdpSubscriber) {
+    let placeholder = any_loopback();
+    let mut pub_cfg = UdpConfig::loopback(any_loopback(), placeholder);
+    pub_cfg.summary_interval = Duration::from_millis(50);
+    let mut publisher =
+        UdpPublisher::bind(&pub_cfg, HashAlgorithm::Fnv64, 400).expect("bind publisher");
+
+    let mut sub_cfg = UdpConfig::loopback(any_loopback(), publisher.local_addr().unwrap());
+    sub_cfg.ingress_drop = ingress_drop;
+    sub_cfg.seed = seed;
+    sub_cfg.report_interval = Duration::from_millis(100);
+    sub_cfg.expiry_interval = Duration::from_millis(100);
+    let mut rcfg = ReceiverConfig::unicast(0, HashAlgorithm::Fnv64);
+    rcfg.ttl = SimDuration::from_secs(3600);
+    rcfg.repair_backoff = SimDuration::from_millis(60);
+    let subscriber = UdpSubscriber::bind(&sub_cfg, rcfg).expect("bind subscriber");
+
+    publisher.set_peer(subscriber.local_addr().unwrap());
+    (publisher, subscriber)
+}
+
+/// Drives both ends until the subscriber holds `want` keys or `budget`
+/// elapses; returns whether it converged.
+fn drive_until(
+    publisher: &mut UdpPublisher,
+    subscriber: &mut UdpSubscriber,
+    want: usize,
+    budget: Duration,
+) -> bool {
+    let end = Instant::now() + budget;
+    while Instant::now() < end {
+        publisher.poll().expect("publisher poll");
+        subscriber.poll().expect("subscriber poll");
+        if subscriber.receiver().replica().len() >= want {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    false
+}
+
+#[test]
+fn lossless_loopback_delivers_everything() {
+    let (mut publisher, mut subscriber) = connected_pair(0.0, 1);
+    let root = publisher.sender().root();
+    let now = publisher.now();
+    let keys: Vec<_> = (0..20)
+        .map(|_| publisher.sender_mut().publish(now, root, MetaTag(0)))
+        .collect();
+
+    assert!(
+        drive_until(&mut publisher, &mut subscriber, keys.len(), Duration::from_secs(5)),
+        "subscriber should hold all {} records; has {}",
+        keys.len(),
+        subscriber.receiver().replica().len()
+    );
+    for k in &keys {
+        assert!(subscriber.receiver().replica().get(*k).is_some());
+    }
+    assert!(publisher.stats().datagrams_tx >= 20);
+    assert!(subscriber.stats().datagrams_rx >= 20);
+}
+
+#[test]
+fn injected_loss_is_repaired_via_real_feedback() {
+    // 30% of datagrams into the subscriber are dropped; summaries +
+    // queries + NACKs over the real socket must repair the gaps.
+    let (mut publisher, mut subscriber) = connected_pair(0.3, 7);
+    let root = publisher.sender().root();
+    let now = publisher.now();
+    let n = 30;
+    for _ in 0..n {
+        publisher.sender_mut().publish(now, root, MetaTag(0));
+    }
+
+    assert!(
+        drive_until(&mut publisher, &mut subscriber, n, Duration::from_secs(10)),
+        "repair did not converge: {}/{} held, {} drops injected",
+        subscriber.receiver().replica().len(),
+        n,
+        subscriber.stats().injected_drops
+    );
+    assert!(subscriber.stats().injected_drops > 0, "loss must have occurred");
+    // Feedback really flowed: the publisher processed NACKs or queries.
+    let s = publisher.sender().stats();
+    assert!(
+        s.nacks_rx + s.queries_rx > 0,
+        "repair must have used the feedback channel: {s:?}"
+    );
+}
+
+#[test]
+fn updates_and_withdrawals_propagate() {
+    let (mut publisher, mut subscriber) = connected_pair(0.0, 3);
+    let root = publisher.sender().root();
+    let now = publisher.now();
+    let k1 = publisher.sender_mut().publish(now, root, MetaTag(0));
+    let k2 = publisher.sender_mut().publish(now, root, MetaTag(0));
+    assert!(drive_until(&mut publisher, &mut subscriber, 2, Duration::from_secs(5)));
+
+    // Update k1, withdraw k2.
+    publisher.sender_mut().update(k1);
+    publisher.sender_mut().withdraw(k2);
+
+    let end = Instant::now() + Duration::from_secs(5);
+    loop {
+        publisher.poll().unwrap();
+        subscriber.poll().unwrap();
+        let v_ok = subscriber
+            .receiver()
+            .replica()
+            .get(k1)
+            .is_some_and(|e| e.value.version == 2);
+        let gone = subscriber.receiver().replica().get(k2).is_none();
+        if v_ok && gone {
+            break;
+        }
+        assert!(Instant::now() < end, "update/withdrawal did not propagate");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+}
+
+#[test]
+fn reports_reach_the_publisher() {
+    let (mut publisher, mut subscriber) = connected_pair(0.0, 5);
+    let root = publisher.sender().root();
+    let now = publisher.now();
+    publisher.sender_mut().publish(now, root, MetaTag(0));
+
+    let end = Instant::now() + Duration::from_secs(5);
+    while publisher.sender().stats().reports_rx == 0 {
+        publisher.poll().unwrap();
+        subscriber.poll().unwrap();
+        assert!(Instant::now() < end, "no receiver report arrived");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+}

@@ -1,0 +1,63 @@
+//! Consistency profiles from the closed forms — what the §6.1 allocator
+//! consults. Prints the Figure 3/4 analytic curves and, for a set of
+//! measured loss rates, the bandwidth split the profile-driven allocator
+//! recommends for the paper's 45 kbps session.
+//!
+//! ```text
+//! cargo run --example consistency_profiles
+//! ```
+
+use sstp::allocator::{Allocator, AllocatorConfig};
+use sstp::reliability::ReliabilityLevel;
+use ss_netsim::Bandwidth;
+use ss_queueing::OpenLoop;
+
+fn main() {
+    // Figure 3/4 closed forms: lambda = 20 kbps, mu = 128 kbps (pkt/s with
+    // 1000-byte ADUs).
+    let (lambda, mu) = (2.5, 16.0);
+    println!("open-loop closed forms (lambda = 20 kbps, mu_ch = 128 kbps):\n");
+    println!("{:>5}  {:>9} {:>9} {:>9}  {:>8}", "loss", "pd=0.10", "pd=0.25", "pd=0.50", "waste@.1");
+    for i in 0..=9 {
+        let p_loss = i as f64 * 0.1;
+        let c = |pd: f64| OpenLoop::new(lambda, mu, p_loss, pd).consistency_unnormalized();
+        let w = OpenLoop::new(lambda, mu, p_loss, 0.10).wasted_bandwidth_fraction();
+        println!(
+            "{:>4.0}%  {:>9.4} {:>9.4} {:>9.4}  {:>8.4}",
+            p_loss * 100.0,
+            c(0.10),
+            c(0.25),
+            c(0.50),
+            w
+        );
+    }
+
+    // The allocator's recommendations as measured loss climbs.
+    println!("\nprofile-driven allocation for a 45 kbps session (lambda = 1.875 rec/s):\n");
+    let allocator = Allocator::new(AllocatorConfig {
+        reliability: ReliabilityLevel::Quasi { max_fb_share: 0.5 }.into(),
+        ..AllocatorConfig::default()
+    });
+    let total = Bandwidth::from_kbps(45);
+    println!(
+        "{:>5}  {:>12} {:>12} {:>12}  {:>10} {:>9}",
+        "loss", "hot", "cold", "feedback", "predicted", "max rate"
+    );
+    for i in 0..=10 {
+        let loss = i as f64 * 0.05;
+        let a = allocator.allocate(total, loss, 1.875);
+        println!(
+            "{:>4.0}%  {:>12} {:>12} {:>12}  {:>9.1}% {:>7.2}/s",
+            loss * 100.0,
+            a.hot.to_string(),
+            a.cold.to_string(),
+            a.feedback.to_string(),
+            a.predicted_consistency * 100.0,
+            a.max_sustainable_rate
+        );
+    }
+    println!(
+        "\nthe allocator shifts budget toward feedback as loss grows, while \
+         keeping mu_hot above lambda (the Figure 5/10 knee)"
+    );
+}

@@ -1,0 +1,118 @@
+//! Route advertisements as soft state — the paper's other recurring
+//! motivation ("several protocols have inherently 'soft' or periodically
+//! changing data, e.g., route advertisements").
+//!
+//! A RIP-flavored scenario: a router advertises a table of routes whose
+//! metrics change over time. We then *crash the announcer* and watch the
+//! listener's soft-state timers expire every route — Clark's
+//! "survivability in the face of failure": no teardown protocol ran, yet
+//! the stale state vanished by itself. When the router comes back, the
+//! normal announce/listen process rebuilds the table without any special
+//! recovery path.
+//!
+//! ```text
+//! cargo run --example routing_updates
+//! ```
+
+use softstate::{measure_tables, Key};
+use sstp::digest::HashAlgorithm;
+use sstp::namespace::MetaTag;
+use sstp::receiver::{ReceiverConfig, SstpReceiver};
+use sstp::sender::SstpSender;
+use ss_netsim::{Bernoulli, LossModel, SimDuration, SimRng, SimTime};
+
+const ROUTES: usize = 24;
+const TTL_SECS: u64 = 30;
+
+fn main() {
+    let mut rng = SimRng::new(11);
+    let mut loss = Bernoulli::new(0.1);
+
+    let mut router = SstpSender::new(HashAlgorithm::Fnv64, 64);
+    let root = router.root();
+    let routes: Vec<Key> = (0..ROUTES)
+        .map(|_| router.publish(SimTime::ZERO, root, MetaTag(0)))
+        .collect();
+
+    let mut cfg = ReceiverConfig::unicast(0, HashAlgorithm::Fnv64);
+    cfg.ttl = SimDuration::from_secs(TTL_SECS);
+    let mut listener = SstpReceiver::new(cfg, SimRng::new(3));
+
+    // Helper: one announce/listen round at time `now`.
+    let round = |router: &mut SstpSender,
+                     listener: &mut SstpReceiver,
+                     now: SimTime,
+                     rng: &mut SimRng,
+                     loss: &mut Bernoulli| {
+        listener.expire(now);
+        let summary = router.summary_packet();
+        if !loss.is_lost(rng) {
+            listener.on_packet(now, &summary);
+        }
+        for fb in listener.poll_feedback(now) {
+            router.on_packet(&fb);
+        }
+        while let Some(pkt) = router.next_hot_packet() {
+            if !loss.is_lost(rng) {
+                listener.on_packet(now, &pkt);
+            }
+        }
+    };
+
+    // Phase 1: normal operation with metric churn, one round per 2 s.
+    let mut now = SimTime::ZERO;
+    for step in 1..=40u64 {
+        now = SimTime::from_secs(step * 2);
+        if step % 3 == 0 {
+            // A link cost changed: update a random route's metric.
+            let idx = rng.below(ROUTES as u64) as usize;
+            router.update(routes[idx]);
+        }
+        round(&mut router, &mut listener, now, &mut rng, &mut loss);
+    }
+    let c = measure_tables(router.table(), listener.replica()).unwrap();
+    println!(
+        "phase 1 (steady churn, 10% loss): listener tracks {}/{} routes ({:.0}%)",
+        listener.replica().len(),
+        ROUTES,
+        c * 100.0
+    );
+    assert!(c > 0.9, "listener failed to track the routing table");
+
+    // Phase 2: the router crashes — total silence. Soft-state timers at
+    // the listener clean everything up with no teardown protocol.
+    println!("\nrouter crashes at t = {now}; no goodbye is sent");
+    let silence_end = now + SimDuration::from_secs(TTL_SECS + 10);
+    while now < silence_end {
+        now += SimDuration::from_secs(5);
+        let expired = listener.expire(now);
+        if !expired.is_empty() {
+            println!("  t = {now}: {} routes expired", expired.len());
+        }
+    }
+    assert!(
+        listener.replica().is_empty(),
+        "stale routes must expire during silence"
+    );
+    println!("listener table empty: stale state aged out by itself");
+
+    // Phase 3: the router reboots with fresh state (different metrics).
+    // Ordinary protocol operation rebuilds the listener's table.
+    println!("\nrouter reboots at t = {now}");
+    for r in &routes {
+        router.update(*r); // rebooted daemon re-learns its routes
+    }
+    for step in 1..=30u64 {
+        now += SimDuration::from_secs(2);
+        round(&mut router, &mut listener, now, &mut rng, &mut loss);
+        let _ = step;
+        if measure_tables(router.table(), listener.replica()) == Some(1.0) {
+            println!(
+                "listener fully reconverged {}s after reboot — no special-case recovery code ran",
+                step * 2
+            );
+            return;
+        }
+    }
+    panic!("listener failed to reconverge after reboot");
+}

@@ -1,0 +1,138 @@
+//! A session-directory (SAP/sdr-style) scenario — the workload the paper
+//! repeatedly cites: "it has been successfully used in the multicast-
+//! based session directory tools to disseminate MBone conference
+//! information to large groups."
+//!
+//! Conference announcements are published into a namespace organized by
+//! category; a *late joiner* tunes in after the fact and catches up
+//! purely from the periodic root summary plus recursive-descent repair —
+//! no connection setup, no sender state about the receiver.
+//!
+//! ```text
+//! cargo run --example session_directory
+//! ```
+
+use softstate::measure_tables;
+use sstp::digest::HashAlgorithm;
+use sstp::namespace::MetaTag;
+use sstp::receiver::{ReceiverConfig, SstpReceiver};
+use sstp::sender::SstpSender;
+use sstp::wire::Packet;
+use ss_netsim::{Bernoulli, LossModel, SimDuration, SimRng, SimTime};
+
+/// Delivers a packet through 30% loss.
+fn lossy_deliver(
+    rx: &mut SstpReceiver,
+    now: SimTime,
+    pkt: &Packet,
+    loss: &mut Bernoulli,
+    rng: &mut SimRng,
+) -> bool {
+    if loss.is_lost(rng) {
+        false
+    } else {
+        rx.on_packet(now, pkt);
+        true
+    }
+}
+
+fn main() {
+    let mut rng = SimRng::new(7);
+    let mut loss = Bernoulli::new(0.3);
+
+    // The directory announcer.
+    let mut sdr = SstpSender::new(HashAlgorithm::Fnv64, 400);
+    let root = sdr.root();
+    let audio = sdr.add_branch(root, MetaTag(1));
+    let video = sdr.add_branch(root, MetaTag(2));
+    let text = sdr.add_branch(root, MetaTag(3));
+
+    // Announce 30 conferences across the categories.
+    let mut now = SimTime::ZERO;
+    for i in 0..30u32 {
+        let branch = match i % 3 {
+            0 => audio,
+            1 => video,
+            _ => text,
+        };
+        sdr.publish(now, branch, MetaTag(i % 3 + 1));
+    }
+    println!("directory holds {} conference entries", sdr.table().live_count());
+
+    // A receiver listening from the start, over 30% loss.
+    let mut early = SstpReceiver::new(
+        ReceiverConfig::unicast(0, HashAlgorithm::Fnv64),
+        SimRng::new(1),
+    );
+    while let Some(pkt) = sdr.next_hot_packet() {
+        lossy_deliver(&mut early, now, &pkt, &mut loss, &mut rng);
+    }
+    let c0 = measure_tables(sdr.table(), early.replica()).unwrap();
+    println!("early receiver after the initial announcements: {:.0}% consistent", c0 * 100.0);
+
+    // A late joiner arrives two minutes in, knowing nothing.
+    now = SimTime::from_secs(120);
+    let mut late = SstpReceiver::new(
+        ReceiverConfig::unicast(1, HashAlgorithm::Fnv64),
+        SimRng::new(2),
+    );
+
+    // Both receivers participate in summary rounds; the announce/listen
+    // process repairs the early receiver and bootstraps the late one.
+    let mut rounds = 0;
+    loop {
+        rounds += 1;
+        now += SimDuration::from_secs(5);
+        let summary = sdr.summary_packet();
+        for r in [&mut early, &mut late] {
+            lossy_deliver(r, now, &summary, &mut loss, &mut rng);
+        }
+        for r in [&mut early, &mut late] {
+            for fb in r.poll_feedback(now) {
+                sdr.on_packet(&fb);
+            }
+        }
+        while let Some(pkt) = sdr.next_hot_packet() {
+            for r in [&mut early, &mut late] {
+                lossy_deliver(r, now, &pkt, &mut loss, &mut rng);
+            }
+        }
+        let ce = measure_tables(sdr.table(), early.replica()).unwrap();
+        let cl = measure_tables(sdr.table(), late.replica()).unwrap();
+        println!(
+            "round {rounds:2}: early {:5.1}%  late joiner {:5.1}%",
+            ce * 100.0,
+            cl * 100.0
+        );
+        if ce == 1.0 && cl == 1.0 {
+            break;
+        }
+        assert!(rounds < 60, "directory failed to converge");
+    }
+    println!("\nboth receivers fully consistent after {rounds} summary rounds at 30% loss");
+
+    // A conference ends: the entry is withdrawn, and the next summary
+    // round propagates the tombstone.
+    let gone = sdr.table().live().next().unwrap().key;
+    sdr.withdraw(gone);
+    for _ in 0..20 {
+        now += SimDuration::from_secs(5);
+        let summary = sdr.summary_packet();
+        for r in [&mut early, &mut late] {
+            lossy_deliver(r, now, &summary, &mut loss, &mut rng);
+            for fb in r.poll_feedback(now) {
+                sdr.on_packet(&fb);
+            }
+        }
+        while let Some(pkt) = sdr.next_hot_packet() {
+            for r in [&mut early, &mut late] {
+                lossy_deliver(r, now, &pkt, &mut loss, &mut rng);
+            }
+        }
+        if early.replica().get(gone).is_none() && late.replica().get(gone).is_none() {
+            println!("withdrawn conference purged from both replicas");
+            return;
+        }
+    }
+    panic!("withdrawal failed to propagate");
+}

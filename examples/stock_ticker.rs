@@ -1,0 +1,66 @@
+//! A stock-ticker / information-dissemination workload — the paper's
+//! PointCast-style motivation ("stock quote or general information
+//! dissemination services"): a fixed universe of symbols whose values
+//! update continuously, where *freshness* matters more than per-update
+//! delivery.
+//!
+//! The same workload runs at three points on SSTP's reliability
+//! continuum, showing the consistency/overhead trade each level buys.
+//!
+//! ```text
+//! cargo run --example stock_ticker
+//! ```
+
+use softstate::{ArrivalProcess, LossSpec};
+use sstp::reliability::ReliabilityLevel;
+use sstp::session::{self, SessionConfig, SessionWorkload};
+use ss_netsim::SimDuration;
+
+fn run_level(level: ReliabilityLevel, label: &str) {
+    let mut cfg = SessionConfig::unicast_default(2024);
+    cfg.allocator.reliability = level.into();
+    cfg.data_loss = LossSpec::Bernoulli(0.25);
+    cfg.fb_loss = LossSpec::Bernoulli(0.25);
+    // 40 symbols updated ~4 times per second in aggregate.
+    cfg.workload = SessionWorkload {
+        arrivals: ArrivalProcess::PoissonUpdates { rate: 4.0, keys: 40 },
+        mean_lifetime_secs: None,
+        branches: 4,
+        class_weights: None,
+    };
+    cfg.adu_bytes = 250; // quotes are small
+    cfg.allocator.adu_bytes = 250;
+    cfg.total_bandwidth = ss_netsim::Bandwidth::from_kbps(24);
+    cfg.ttl = SimDuration::from_secs(60);
+    cfg.duration = SimDuration::from_secs(400);
+
+    let report = session::run(&cfg);
+    let rx = &report.receivers[0];
+    println!(
+        "{label:<16} {:>10.1}% {:>11} {:>10} {:>10}",
+        report.mean_consistency() * 100.0,
+        report.packets.data_channel_tx,
+        report.packets.feedback_tx,
+        rx.stats.nacked_keys,
+    );
+}
+
+fn main() {
+    println!("stock ticker: 40 symbols, 4 updates/s, 25% loss, 24 kbps budget\n");
+    println!(
+        "{:<16} {:>11} {:>11} {:>10} {:>10}",
+        "level", "consistency", "data pkts", "fb pkts", "repairs"
+    );
+    run_level(ReliabilityLevel::BestEffort, "best-effort");
+    run_level(ReliabilityLevel::AnnounceListen, "announce/listen");
+    run_level(
+        ReliabilityLevel::Quasi { max_fb_share: 0.3 },
+        "quasi-reliable",
+    );
+    run_level(ReliabilityLevel::Reliable, "reliable");
+    println!(
+        "\nthe reliability dial trades feedback traffic for freshness; note the\n\
+         'reliable' level over-spends feedback at this tight budget (the\n\
+         Figure 8 collapse) — quasi-reliable sits at the knee"
+    );
+}

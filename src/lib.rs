@@ -1,0 +1,9 @@
+//! Root package: hosts the workspace-spanning integration tests (`tests/`)
+//! and the runnable examples (`examples/`). Re-exports the workspace crates
+//! for convenience.
+
+pub use softstate;
+pub use ss_netsim as netsim;
+pub use ss_queueing as queueing;
+pub use ss_sched as sched;
+pub use sstp;

@@ -1,0 +1,116 @@
+//! Cross-crate validation: the `ss-queueing` closed forms against the
+//! `softstate` discrete-event simulation, including the joint occupancy
+//! distribution — the strongest check that the simulator implements the
+//! §3 model exactly.
+
+use softstate::protocol::open_loop::{self, OpenLoopConfig};
+use ss_netsim::SimDuration;
+use ss_queueing::{Mm1, OpenLoop, Transitions};
+
+fn sim(lambda: f64, mu: f64, p_loss: f64, p_death: f64, seed: u64) -> open_loop::OpenLoopReport {
+    let mut cfg = OpenLoopConfig::analytic(lambda, mu, p_loss, p_death, seed);
+    cfg.duration = SimDuration::from_secs(60_000);
+    open_loop::run(&cfg)
+}
+
+#[test]
+fn class_throughput_ratio_matches_lambda_c_over_lambda_hat() {
+    let m = OpenLoop::new(1.5, 12.0, 0.3, 0.3);
+    let r = sim(1.5, 12.0, 0.3, 0.3, 21);
+    // Redundant transmissions are exactly the consistent-class services:
+    // their fraction estimates lambda_C / lambda_hat = q.
+    let q_sim = r.redundant_transmissions as f64 / r.transmissions as f64;
+    let q = m.consistent_fraction();
+    assert!((q_sim - q).abs() < 0.02, "q: sim {q_sim} vs theory {q}");
+}
+
+#[test]
+fn per_record_service_count_is_one_over_pd() {
+    // lambda_hat = lambda / p_d: each record is served 1/p_d times on
+    // average before dying.
+    let r = sim(1.0, 10.0, 0.2, 0.25, 22);
+    let services_per_record = r.transmissions as f64 / r.stats.deaths.max(1) as f64;
+    assert!(
+        (services_per_record - 4.0).abs() < 0.15,
+        "1/p_d = 4 vs {services_per_record}"
+    );
+}
+
+#[test]
+fn occupancy_distribution_is_geometric() {
+    // The marginal total-occupancy distribution is geometric with ratio
+    // rho (M/M/1); check E[n] and the busy probability.
+    let m = OpenLoop::new(2.0, 16.0, 0.2, 0.25);
+    let mm1 = Mm1::new(m.lambda_hat(), 16.0);
+    let r = sim(2.0, 16.0, 0.2, 0.25, 23);
+    assert!(
+        (r.stats.mean_live_records - mm1.mean_jobs()).abs() < 0.15,
+        "E[n]: sim {} vs {}",
+        r.stats.mean_live_records,
+        mm1.mean_jobs()
+    );
+    // Busy probability = rho: measured via the meter's busy fraction
+    // proxy — unnormalized/busy consistency ratio.
+    let busy_frac = r.stats.consistency.unnormalized / r.stats.consistency.busy.unwrap();
+    assert!(
+        (busy_frac - m.rho()).abs() < 0.03,
+        "P[busy]: sim {busy_frac} vs rho {}",
+        m.rho()
+    );
+}
+
+#[test]
+fn transition_frequencies_match_table1_across_parameters() {
+    for (p_loss, p_death, seed) in [(0.1, 0.3, 24), (0.5, 0.5, 25), (0.0, 0.2, 26)] {
+        let th = Transitions::new(p_loss, p_death);
+        let r = sim(1.0, 10.0, p_loss, p_death, seed);
+        let (ii, ic, id) = r.transitions.from_inconsistent().unwrap();
+        let (cc, cd) = r.transitions.from_consistent().unwrap();
+        for (name, a, b) in [
+            ("I->I", th.i_to_i, ii),
+            ("I->C", th.i_to_c, ic),
+            ("I->D", th.i_death, id),
+            ("C->C", th.c_to_c, cc),
+            ("C->D", th.c_death, cd),
+        ] {
+            assert!(
+                (a - b).abs() < 0.02,
+                "{name} at ({p_loss},{p_death}): {a} vs {b}"
+            );
+        }
+    }
+}
+
+#[test]
+fn latency_matches_mm1_when_lossless() {
+    // With no loss and no death-before-delivery complications, T_rec is
+    // the M/M/1 sojourn of the first service: E[T] = 1/(mu - lambda_hat)
+    // does NOT apply directly (retransmissions share the queue), but for
+    // p_death = 1 every record is served exactly once, making the system
+    // a true M/M/1 and T_rec its sojourn time.
+    let lambda = 2.0;
+    let mu = 5.0;
+    let mut cfg = OpenLoopConfig::analytic(lambda, mu, 0.0, 1.0, 27);
+    cfg.duration = SimDuration::from_secs(60_000);
+    let r = open_loop::run(&cfg);
+    let want = Mm1::new(lambda, mu).mean_sojourn();
+    let got = r.stats.latency.mean().as_secs_f64();
+    assert!((got - want).abs() / want < 0.05, "T: sim {got} vs {want}");
+}
+
+#[test]
+fn waste_scales_with_death_rate() {
+    // W = q falls as p_d rises (short-lived records are announced fewer
+    // redundant times); verify the ordering analytically and empirically.
+    let mut last_theory = 1.0;
+    let mut last_sim = 1.0;
+    for (i, p_death) in [0.2, 0.4, 0.8].into_iter().enumerate() {
+        let th = OpenLoop::new(1.0, 10.0, 0.1, p_death).wasted_bandwidth_fraction();
+        let s = sim(1.0, 10.0, 0.1, p_death, 30 + i as u64).wasted_fraction();
+        assert!(th < last_theory);
+        assert!(s < last_sim + 0.02);
+        assert!((th - s).abs() < 0.03, "W({p_death}): {th} vs {s}");
+        last_theory = th;
+        last_sim = s;
+    }
+}

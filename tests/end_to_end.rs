@@ -1,0 +1,156 @@
+//! End-to-end integration: full SSTP sessions over the simulated network,
+//! spanning netsim, sched, queueing, softstate, and sstp.
+
+use softstate::{ArrivalProcess, LossSpec};
+use sstp::reliability::ReliabilityLevel;
+use sstp::session::{self, SessionConfig, SessionWorkload};
+use ss_netsim::{Bandwidth, SimDuration};
+
+fn quick(seed: u64) -> SessionConfig {
+    let mut cfg = SessionConfig::unicast_default(seed);
+    cfg.duration = SimDuration::from_secs(300);
+    cfg
+}
+
+#[test]
+fn session_is_deterministic_across_runs() {
+    let a = session::run(&quick(1));
+    let b = session::run(&quick(1));
+    assert_eq!(a.packets.data_channel_tx, b.packets.data_channel_tx);
+    assert_eq!(a.packets.feedback_tx, b.packets.feedback_tx);
+    assert_eq!(a.sender.data_tx, b.sender.data_tx);
+    assert_eq!(a.final_loss_estimate, b.final_loss_estimate);
+    assert_eq!(
+        a.receivers[0].stats.data_applied,
+        b.receivers[0].stats.data_applied
+    );
+}
+
+#[test]
+fn different_seeds_differ() {
+    let a = session::run(&quick(1));
+    let b = session::run(&quick(2));
+    assert_ne!(
+        (a.packets.data_channel_tx, a.receivers[0].stats.data_applied),
+        (b.packets.data_channel_tx, b.receivers[0].stats.data_applied)
+    );
+}
+
+#[test]
+fn consistency_degrades_gracefully_with_loss() {
+    let mut last = 1.1;
+    for loss in [0.0, 0.2, 0.5] {
+        let mut cfg = quick(3);
+        cfg.data_loss = LossSpec::Bernoulli(loss);
+        cfg.fb_loss = LossSpec::Bernoulli(loss);
+        let c = session::run(&cfg).mean_consistency();
+        assert!(
+            c <= last + 0.05,
+            "consistency should not improve with loss: c({loss}) = {c}, prev {last}"
+        );
+        assert!(c > 0.3, "even at 50% loss the session must limp along: {c}");
+        last = c;
+    }
+}
+
+#[test]
+fn reliability_levels_order_feedback_traffic() {
+    let mut counts = Vec::new();
+    for level in [
+        ReliabilityLevel::BestEffort,
+        ReliabilityLevel::AnnounceListen,
+        ReliabilityLevel::Quasi { max_fb_share: 0.4 },
+    ] {
+        let mut cfg = quick(4);
+        cfg.allocator.reliability = level.into();
+        cfg.data_loss = LossSpec::Bernoulli(0.3);
+        let r = session::run(&cfg);
+        counts.push((r.receivers[0].stats.nacks_sent, r.mean_consistency()));
+    }
+    // Only the quasi level NACKs; it also wins on consistency.
+    assert_eq!(counts[0].0, 0);
+    assert_eq!(counts[1].0, 0);
+    assert!(counts[2].0 > 0);
+    assert!(counts[2].1 >= counts[0].1 - 0.02);
+}
+
+#[test]
+fn bursty_and_bernoulli_loss_both_converge() {
+    for loss in [
+        LossSpec::Bernoulli(0.25),
+        LossSpec::Bursty {
+            mean: 0.25,
+            burst_len: 6.0,
+        },
+    ] {
+        let mut cfg = quick(5);
+        cfg.data_loss = loss;
+        let c = session::run(&cfg).mean_consistency();
+        assert!(c > 0.6, "{loss:?} gave consistency {c}");
+    }
+}
+
+#[test]
+fn gilbert_burst_loss_is_repaired_by_feedback() {
+    let mut open = quick(6);
+    open.allocator.reliability = ReliabilityLevel::AnnounceListen.into();
+    open.data_loss = LossSpec::Bursty {
+        mean: 0.3,
+        burst_len: 10.0,
+    };
+    let mut fb = open.clone();
+    fb.allocator.reliability = ReliabilityLevel::Quasi { max_fb_share: 0.5 }.into();
+    let c_open = session::run(&open).mean_consistency();
+    let c_fb = session::run(&fb).mean_consistency();
+    assert!(
+        c_fb > c_open,
+        "feedback must help under burst loss: {c_fb} vs {c_open}"
+    );
+}
+
+#[test]
+fn tiny_bandwidth_overload_reports_backpressure() {
+    let mut cfg = quick(7);
+    cfg.total_bandwidth = Bandwidth::from_kbps(10);
+    cfg.workload = SessionWorkload {
+        arrivals: ArrivalProcess::Poisson { rate: 5.0 }, // 40 kbps demand
+        mean_lifetime_secs: Some(60.0),
+        branches: 2,
+        class_weights: None,
+    };
+    let r = session::run(&cfg);
+    assert!(r.rate_warnings > 0, "allocator must signal the app to slow down");
+}
+
+#[test]
+fn multicast_group_converges_with_damping() {
+    let mut cfg = quick(8);
+    cfg.n_receivers = 5;
+    cfg.slot_window = Some(SimDuration::from_secs(1));
+    cfg.data_loss = LossSpec::Bernoulli(0.2);
+    cfg.workload.arrivals = ArrivalProcess::Poisson { rate: 1.0 };
+    let r = session::run(&cfg);
+    assert_eq!(r.receivers.len(), 5);
+    for (i, rx) in r.receivers.iter().enumerate() {
+        let c = rx.consistency.busy.unwrap_or(0.0);
+        assert!(c > 0.6, "receiver {i} consistency {c}");
+    }
+    let total_damped: u64 = r.receivers.iter().map(|x| x.stats.damped).sum();
+    assert!(total_damped > 0, "a 5-receiver group should damp duplicates");
+}
+
+#[test]
+fn md5_and_fnv_namespaces_interoperate_within_algorithm() {
+    use sstp::digest::HashAlgorithm;
+    for algo in [HashAlgorithm::Fnv64, HashAlgorithm::Md5] {
+        let mut cfg = quick(9);
+        cfg.algo = algo;
+        cfg.duration = SimDuration::from_secs(200);
+        let r = session::run(&cfg);
+        assert!(
+            r.mean_consistency() > 0.6,
+            "{algo:?} session consistency {}",
+            r.mean_consistency()
+        );
+    }
+}

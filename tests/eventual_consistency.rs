@@ -1,0 +1,128 @@
+//! Property-based tests of the paper's central qualitative claim:
+//! announce/listen over a lossy channel is *eventually consistent* —
+//! "for a static input at the source ... eventually the receiver's state
+//! will match the sender's once all the records have been successfully
+//! transmitted" (§2.1).
+
+use proptest::prelude::*;
+use softstate::protocol::open_loop::{self, OpenLoopConfig};
+use softstate::protocol::LossSpec;
+use softstate::{ArrivalProcess, DeathProcess, ServiceModel};
+use ss_netsim::{SimDuration, SimRng, SimTime};
+use sstp::digest::HashAlgorithm;
+use sstp::namespace::MetaTag;
+use sstp::receiver::{ReceiverConfig, SstpReceiver};
+use sstp::sender::SstpSender;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Open-loop announce/listen with a static table and no deaths
+    /// delivers every record, for any loss rate strictly below 1 and any
+    /// seed, given enough time.
+    #[test]
+    fn open_loop_eventually_consistent(
+        seed in 0u64..1_000,
+        count in 1u64..40,
+        p_loss in 0.0f64..0.9,
+    ) {
+        let cfg = OpenLoopConfig {
+            arrivals: ArrivalProcess::Bulk { count },
+            death: DeathProcess::Immortal,
+            mu: 50.0,
+            loss: LossSpec::Bernoulli(p_loss),
+            service: ServiceModel::Deterministic,
+            seed,
+            // Generous horizon: E[attempts per record] = 1/(1-p) <= 10.
+            duration: SimDuration::from_secs(60 + count * 20),
+            series_spacing: None,
+        };
+        let report = open_loop::run(&cfg);
+        prop_assert_eq!(report.stats.latency.count(), count, "all records delivered");
+        prop_assert_eq!(report.stats.final_live, count as usize);
+    }
+
+    /// SSTP's recursive-descent repair reconverges from an arbitrary loss
+    /// pattern over the initial transmissions, for any seed and store
+    /// shape, in a bounded number of lossless summary rounds.
+    #[test]
+    fn sstp_repair_always_converges(
+        seed in 0u64..1_000,
+        n in 1usize..60,
+        branches in 1usize..6,
+        drop_mask in any::<u64>(),
+    ) {
+        let mut tx = SstpSender::new(HashAlgorithm::Fnv64, 500);
+        let root = tx.root();
+        let parents: Vec<_> = (0..branches)
+            .map(|i| tx.add_branch(root, MetaTag(i as u32)))
+            .collect();
+        for i in 0..n {
+            tx.publish(SimTime::ZERO, parents[i % branches], MetaTag((i % branches) as u32));
+        }
+        let mut cfg = ReceiverConfig::unicast(0, HashAlgorithm::Fnv64);
+        cfg.ttl = SimDuration::from_secs(1_000_000);
+        cfg.repair_backoff = SimDuration::from_millis(1);
+        let mut rx = SstpReceiver::new(cfg, SimRng::new(seed));
+
+        // Drop initial transmissions per the mask bits.
+        let mut i = 0;
+        while let Some(pkt) = tx.next_hot_packet() {
+            if drop_mask & (1 << (i % 64)) == 0 {
+                rx.on_packet(SimTime::ZERO, &pkt);
+            }
+            i += 1;
+        }
+
+        // Lossless repair rounds.
+        let mut now = SimTime::from_secs(1);
+        for _ in 0..20 {
+            if softstate::measure_tables(tx.table(), rx.replica()) == Some(1.0) {
+                break;
+            }
+            now += SimDuration::from_secs(1);
+            rx.on_packet(now, &tx.summary_packet());
+            loop {
+                let fb = rx.poll_feedback(now);
+                if fb.is_empty() {
+                    break;
+                }
+                for p in &fb {
+                    tx.on_packet(p);
+                }
+                while let Some(p) = tx.next_hot_packet() {
+                    rx.on_packet(now, &p);
+                }
+            }
+        }
+        prop_assert_eq!(
+            softstate::measure_tables(tx.table(), rx.replica()),
+            Some(1.0),
+            "repair must converge for any loss pattern"
+        );
+    }
+
+    /// The §2.1 consistency metric is always a probability, whatever the
+    /// protocol and parameters.
+    #[test]
+    fn consistency_always_in_unit_interval(
+        seed in 0u64..500,
+        p_loss in 0.0f64..1.0,
+        p_death in 0.05f64..0.9,
+        lambda in 0.1f64..4.0,
+    ) {
+        let mut cfg = OpenLoopConfig::analytic(lambda, 8.0, p_loss, p_death, seed);
+        cfg.duration = SimDuration::from_secs(2_000);
+        let r = open_loop::run(&cfg);
+        let a = r.stats.consistency;
+        prop_assert!((0.0..=1.0).contains(&a.unnormalized));
+        prop_assert!((0.0..=1.0).contains(&a.empty_consistent));
+        if let Some(b) = a.busy {
+            prop_assert!((0.0..=1.0).contains(&b));
+            prop_assert!(a.unnormalized <= b + 1e-9, "unnormalized <= busy");
+        }
+        prop_assert!(a.empty_consistent + 1e-9 >= a.unnormalized);
+        // Waste is a fraction too.
+        prop_assert!((0.0..=1.0).contains(&r.wasted_fraction()));
+    }
+}

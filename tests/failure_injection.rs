@@ -1,0 +1,177 @@
+//! Failure injection: the robustness stories from the paper's
+//! introduction, driven end to end — receiver crash/restart, network
+//! partition and heal, sender silence, and the light-weight-sessions
+//! membership narrative ("group membership knowledge that had spanned
+//! the partition eventually times out ... the group state quickly
+//! converges to accurately track the reformed session").
+
+use softstate::measure_tables;
+use sstp::digest::HashAlgorithm;
+use sstp::namespace::MetaTag;
+use sstp::receiver::{ReceiverConfig, SstpReceiver};
+use sstp::sender::SstpSender;
+use ss_netsim::{Bernoulli, LossModel, SimDuration, SimRng, SimTime};
+
+/// A driver for endpoint pairs over a configurable-loss channel.
+struct Harness {
+    tx: SstpSender,
+    rx: SstpReceiver,
+    loss: Bernoulli,
+    rng: SimRng,
+    now: SimTime,
+    /// Simulates a partition: when true, nothing gets through either way.
+    partitioned: bool,
+}
+
+impl Harness {
+    fn new(ttl_secs: u64, p_loss: f64) -> Self {
+        let tx = SstpSender::new(HashAlgorithm::Fnv64, 500);
+        let mut cfg = ReceiverConfig::unicast(0, HashAlgorithm::Fnv64);
+        cfg.ttl = SimDuration::from_secs(ttl_secs);
+        Harness {
+            tx,
+            rx: SstpReceiver::new(cfg, SimRng::new(1)),
+            loss: Bernoulli::new(p_loss),
+            rng: SimRng::new(2),
+            now: SimTime::ZERO,
+            partitioned: false,
+        }
+    }
+
+    /// One announce/listen round: expiry sweep, summary, feedback, repair.
+    fn round(&mut self) {
+        self.now += SimDuration::from_secs(2);
+        self.rx.expire(self.now);
+        let summary = self.tx.summary_packet();
+        if !self.partitioned && !self.loss.is_lost(&mut self.rng) {
+            self.rx.on_packet(self.now, &summary);
+        }
+        for fb in self.rx.poll_feedback(self.now) {
+            if !self.partitioned && !self.loss.is_lost(&mut self.rng) {
+                self.tx.on_packet(&fb);
+            }
+        }
+        while let Some(pkt) = self.tx.next_hot_packet() {
+            if !self.partitioned && !self.loss.is_lost(&mut self.rng) {
+                self.rx.on_packet(self.now, &pkt);
+            }
+        }
+    }
+
+    fn consistency(&self) -> Option<f64> {
+        measure_tables(self.tx.table(), self.rx.replica())
+    }
+
+    fn rounds_until_consistent(&mut self, max: usize) -> Option<usize> {
+        for i in 1..=max {
+            self.round();
+            if self.consistency() == Some(1.0) {
+                return Some(i);
+            }
+        }
+        None
+    }
+}
+
+#[test]
+fn receiver_crash_and_cold_restart_catches_up() {
+    let mut h = Harness::new(600, 0.2);
+    let root = h.tx.root();
+    for _ in 0..25 {
+        h.tx.publish(SimTime::ZERO, root, MetaTag(0));
+    }
+    assert!(h.rounds_until_consistent(40).is_some(), "initial convergence");
+
+    // The receiver crashes and restarts empty (fresh state, same id).
+    let mut cfg = ReceiverConfig::unicast(0, HashAlgorithm::Fnv64);
+    cfg.ttl = SimDuration::from_secs(600);
+    h.rx = SstpReceiver::new(cfg, SimRng::new(99));
+    assert_eq!(h.consistency(), Some(0.0), "restart wiped the replica");
+
+    // Periodic announcements alone rebuild it — "periodic source
+    // announcements allow the receiver to reconstruct the data store
+    // following a crash".
+    let rounds = h.rounds_until_consistent(60).expect("catch-up after crash");
+    assert!(rounds > 0);
+}
+
+#[test]
+fn partition_expires_state_then_heals() {
+    let mut h = Harness::new(20, 0.1);
+    let root = h.tx.root();
+    for _ in 0..15 {
+        h.tx.publish(SimTime::ZERO, root, MetaTag(0));
+    }
+    assert!(h.rounds_until_consistent(40).is_some());
+
+    // Partition: nothing flows. The receiver's soft state times out.
+    h.partitioned = true;
+    for _ in 0..20 {
+        h.round(); // 40 simulated seconds >> 20 s TTL
+    }
+    assert!(
+        h.rx.replica().is_empty(),
+        "partitioned replica must expire to empty"
+    );
+
+    // Heal: normal protocol operation reconverges, no special recovery.
+    h.partitioned = false;
+    let rounds = h.rounds_until_consistent(60).expect("reconvergence after heal");
+    assert!(rounds > 0);
+}
+
+#[test]
+fn sender_state_churn_during_partition_is_reconciled() {
+    let mut h = Harness::new(1_000, 0.0);
+    let root = h.tx.root();
+    let keys: Vec<_> = (0..20)
+        .map(|_| h.tx.publish(SimTime::ZERO, root, MetaTag(0)))
+        .collect();
+    assert!(h.rounds_until_consistent(20).is_some());
+
+    // During the partition the publisher keeps evolving: half the records
+    // are withdrawn, others updated, new ones added.
+    h.partitioned = true;
+    for k in &keys[..10] {
+        h.tx.withdraw(*k);
+    }
+    for k in &keys[10..15] {
+        h.tx.update(*k);
+    }
+    for _ in 0..5 {
+        h.tx.publish(h.now, root, MetaTag(0));
+    }
+    for _ in 0..3 {
+        h.round();
+    }
+    let c_mid = h.consistency().unwrap();
+    assert!(c_mid < 1.0, "divergence during partition: {c_mid}");
+
+    // After healing, digest descent reconciles adds, updates, and
+    // tombstones alike. The TTL here is long, so expiry cannot be the
+    // mechanism — repair must do it.
+    h.partitioned = false;
+    assert!(h.rounds_until_consistent(60).is_some(), "reconciliation");
+    // Withdrawn records must actually be gone at the receiver.
+    for k in &keys[..10] {
+        assert!(h.rx.replica().get(*k).is_none(), "{k:?} should be purged");
+    }
+}
+
+#[test]
+fn heavy_loss_slows_but_does_not_prevent_convergence() {
+    let mut fast = Harness::new(10_000, 0.1);
+    let mut slow = Harness::new(10_000, 0.6);
+    for h in [&mut fast, &mut slow] {
+        let root = h.tx.root();
+        for _ in 0..20 {
+            h.tx.publish(SimTime::ZERO, root, MetaTag(0));
+        }
+    }
+    let r_fast = fast.rounds_until_consistent(200).expect("10% loss converges");
+    let r_slow = slow.rounds_until_consistent(200).expect("60% loss converges");
+    assert!(
+        r_slow >= r_fast,
+        "higher loss cannot converge faster: {r_slow} vs {r_fast}"
+    );
+}

@@ -1,0 +1,148 @@
+//! Property-based tests over whole SSTP sessions: for arbitrary loss
+//! rates, workloads, group sizes, and reliability knobs, the session's
+//! counters and metrics must satisfy structural invariants.
+
+use proptest::prelude::*;
+use softstate::{ArrivalProcess, LossSpec};
+use sstp::reliability::ReliabilityLevel;
+use sstp::session::{self, SessionConfig, SessionWorkload};
+use ss_netsim::{Bandwidth, SimDuration};
+
+fn arb_reliability() -> impl Strategy<Value = ReliabilityLevel> {
+    prop_oneof![
+        Just(ReliabilityLevel::BestEffort),
+        Just(ReliabilityLevel::AnnounceListen),
+        (0.05f64..0.6).prop_map(|s| ReliabilityLevel::Quasi { max_fb_share: s }),
+        Just(ReliabilityLevel::Reliable),
+    ]
+}
+
+fn arb_config() -> impl Strategy<Value = SessionConfig> {
+    (
+        any::<u64>(),                 // seed
+        0.0f64..0.6,                  // loss
+        0.2f64..3.0,                  // arrival rate
+        1usize..5,                    // receivers
+        arb_reliability(),
+        prop::bool::ANY,              // lifetimes on/off
+        20u64..120,                   // bandwidth kbps
+    )
+        .prop_map(|(seed, loss, rate, n_receivers, level, lifetimes, kbps)| {
+            let mut cfg = SessionConfig::unicast_default(seed);
+            cfg.total_bandwidth = Bandwidth::from_kbps(kbps);
+            cfg.data_loss = LossSpec::Bernoulli(loss);
+            cfg.fb_loss = LossSpec::Bernoulli(loss);
+            cfg.n_receivers = n_receivers;
+            if n_receivers > 1 {
+                cfg.slot_window = Some(SimDuration::from_secs(1));
+            }
+            cfg.allocator.reliability = level.into();
+            cfg.workload = SessionWorkload {
+                arrivals: ArrivalProcess::Poisson { rate },
+                mean_lifetime_secs: lifetimes.then_some(90.0),
+                branches: 3,
+                class_weights: None,
+            };
+            cfg.duration = SimDuration::from_secs(120);
+            cfg
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn session_counters_are_structurally_sound(cfg in arb_config()) {
+        let report = session::run(&cfg);
+
+        // Consistency metrics are probabilities.
+        for rx in &report.receivers {
+            let a = rx.consistency;
+            prop_assert!((0.0..=1.0).contains(&a.unnormalized));
+            prop_assert!((0.0..=1.0).contains(&a.empty_consistent));
+            if let Some(b) = a.busy {
+                prop_assert!((0.0..=1.0).contains(&b));
+            }
+            if let Some(f) = rx.final_consistency {
+                prop_assert!((0.0..=1.0).contains(&f));
+            }
+        }
+
+        // Delivery accounting: every transmission is received or lost at
+        // each receiver, except the handful still in flight when the run
+        // ends (at most one per server per receiver plus the propagation
+        // pipe).
+        let total_rx: u64 = report
+            .receivers
+            .iter()
+            .map(|r| r.stats.data_rx + r.stats.root_summaries_rx + r.stats.node_summaries_rx)
+            .sum();
+        let accounted = total_rx + report.packets.data_rx_lost;
+        let offered = report.packets.data_channel_tx * cfg.n_receivers as u64;
+        prop_assert!(
+            accounted <= offered,
+            "over-delivery: {accounted} > {offered}"
+        );
+        prop_assert!(
+            offered - accounted <= 8 + 4 * cfg.n_receivers as u64,
+            "too many unaccounted in-flight packets: {offered} - {accounted}"
+        );
+        for rx in &report.receivers {
+            prop_assert!(rx.stats.data_applied <= rx.stats.data_rx);
+        }
+
+        // Sender-side packet counters add up to the data-channel total.
+        let s = report.sender;
+        prop_assert_eq!(
+            s.data_tx + s.root_summaries_tx + s.node_summaries_tx,
+            report.packets.data_channel_tx
+        );
+
+        // Reliability semantics: no feedback levels never NACK or query.
+        let reliability = cfg.allocator.reliability;
+        if !reliability.feedback {
+            prop_assert_eq!(s.nacks_rx, 0);
+            prop_assert_eq!(s.queries_rx, 0);
+        }
+        if !reliability.summaries {
+            prop_assert_eq!(s.root_summaries_tx, 0);
+        }
+
+        // The loss estimate is a probability and roughly tracks the truth
+        // when any reports flowed.
+        prop_assert!((0.0..=1.0).contains(&report.final_loss_estimate));
+        if s.reports_rx >= 10 {
+            let true_loss = cfg.data_loss.mean();
+            prop_assert!(
+                (report.final_loss_estimate - true_loss).abs() < 0.25,
+                "estimate {} vs true {}",
+                report.final_loss_estimate,
+                true_loss
+            );
+        }
+
+        // Allocations always partition the budget.
+        for (_, a) in &report.allocations {
+            prop_assert_eq!(a.data + a.feedback, cfg.total_bandwidth);
+            prop_assert_eq!(a.hot + a.cold, a.data);
+        }
+
+        // Latency samples only exist for keys that were actually applied.
+        for rx in &report.receivers {
+            prop_assert!(rx.latency.count() <= rx.stats.data_applied);
+        }
+    }
+
+    /// Determinism holds across the whole configuration space.
+    #[test]
+    fn sessions_are_deterministic(cfg in arb_config()) {
+        let a = session::run(&cfg);
+        let b = session::run(&cfg);
+        prop_assert_eq!(a.packets.data_channel_tx, b.packets.data_channel_tx);
+        prop_assert_eq!(a.packets.feedback_tx, b.packets.feedback_tx);
+        prop_assert_eq!(a.final_loss_estimate, b.final_loss_estimate);
+        for (x, y) in a.receivers.iter().zip(&b.receivers) {
+            prop_assert_eq!(x.stats, y.stats);
+        }
+    }
+}
