@@ -10,23 +10,19 @@ use ss_sched::{Drr, Hierarchy, Lottery, Scfq, Scheduler, Sfq, StrictPriority, St
 fn bench_policy(c: &mut Criterion, name: &str, make: fn() -> Box<dyn Scheduler>) {
     let mut group = c.benchmark_group("scheduler");
     for &classes in &[2usize, 64] {
-        group.bench_with_input(
-            BenchmarkId::new(name, classes),
-            &classes,
-            |b, &classes| {
-                let mut s = make();
-                for cl in 0..classes {
-                    s.set_weight(cl, (cl as u64 % 7) + 1);
-                    s.set_backlogged(cl, true);
-                }
-                let mut rng = SimRng::new(1);
-                b.iter(|| {
-                    let cl = s.pick(&mut rng).expect("backlogged");
-                    s.charge(cl, 1);
-                    cl
-                });
-            },
-        );
+        group.bench_with_input(BenchmarkId::new(name, classes), &classes, |b, &classes| {
+            let mut s = make();
+            for cl in 0..classes {
+                s.set_weight(cl, (cl as u64 % 7) + 1);
+                s.set_backlogged(cl, true);
+            }
+            let mut rng = SimRng::new(1);
+            b.iter(|| {
+                let cl = s.pick(&mut rng).expect("backlogged");
+                s.charge(cl, 1);
+                cl
+            });
+        });
     }
     group.finish();
 }

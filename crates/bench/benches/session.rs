@@ -5,8 +5,8 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use softstate::LossSpec;
-use sstp::session::{self, SessionConfig};
 use ss_netsim::SimDuration;
+use sstp::session::{self, SessionConfig};
 
 fn benches(c: &mut Criterion) {
     let mut group = c.benchmark_group("session");

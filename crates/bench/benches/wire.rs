@@ -8,8 +8,8 @@ use softstate::Key;
 use sstp::digest::Digest;
 use sstp::namespace::MetaTag;
 use sstp::wire::{
-    DataPacket, NackPacket, NodeSummaryPacket, Packet, ReceiverReportPacket,
-    RepairQueryPacket, RootSummaryPacket, WireChildEntry,
+    DataPacket, NackPacket, NodeSummaryPacket, Packet, ReceiverReportPacket, RepairQueryPacket,
+    RootSummaryPacket, WireChildEntry,
 };
 
 fn sample_packets() -> Vec<(&'static str, Packet)> {
@@ -59,7 +59,9 @@ fn sample_packets() -> Vec<(&'static str, Packet)> {
         ),
         (
             "query",
-            Packet::RepairQuery(RepairQueryPacket { path: vec![1, 2, 3] }),
+            Packet::RepairQuery(RepairQueryPacket {
+                path: vec![1, 2, 3],
+            }),
         ),
         (
             "report",

@@ -8,6 +8,7 @@
 //! ```
 
 use ss_bench::{all_experiments, find_experiment, results_dir};
+// lint: allow(D001, wall-clock progress reporting for the human running the suite)
 use std::time::Instant;
 
 fn usage() -> ! {
@@ -24,6 +25,7 @@ fn run_one(id: &str, fast: bool) {
         eprintln!("unknown experiment '{id}'");
         usage();
     };
+    // lint: allow(D001, timing printed to the operator; never feeds results)
     let started = Instant::now();
     println!("# {} — {}", exp.id, exp.description);
     let tables = (exp.run)(fast);
@@ -59,6 +61,7 @@ fn main() {
             }
         }
         "all" => {
+            // lint: allow(D001, timing printed to the operator; never feeds results)
             let started = Instant::now();
             for e in all_experiments() {
                 run_one(e.id, fast);

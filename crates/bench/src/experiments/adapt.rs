@@ -9,8 +9,8 @@
 
 use crate::table::{fmt_frac, fmt_pct, Table};
 use softstate::LossSpec;
-use sstp::session::{self, SessionConfig};
 use ss_netsim::SimDuration;
+use sstp::session::{self, SessionConfig};
 
 /// Runs the experiment.
 pub fn run(fast: bool) -> Vec<Table> {
@@ -68,9 +68,7 @@ mod tests {
         assert!((est_lo - 0.05).abs() < 0.06, "estimate {est_lo} vs 5%");
         assert!((est_hi - 0.40).abs() < 0.12, "estimate {est_hi} vs 40%");
         // Higher loss earns a larger feedback allocation.
-        let fb = |i: usize| -> f64 {
-            rows[i][2].trim_end_matches(" kbps").parse().unwrap()
-        };
+        let fb = |i: usize| -> f64 { rows[i][2].trim_end_matches(" kbps").parse().unwrap() };
         assert!(fb(1) >= fb(0), "fb at 40% loss {} vs 5% {}", fb(1), fb(0));
     }
 }

@@ -64,8 +64,7 @@ pub fn run(fast: bool) -> Vec<Table> {
     let reps = if fast { 8 } else { 24 };
     for (n, p) in cases {
         let analytic = expected_sync_time(n, MU, p);
-        let mean_sim: f64 =
-            (0..reps).map(|r| simulate(n, p, 1000 + r)).sum::<f64>() / reps as f64;
+        let mean_sim: f64 = (0..reps).map(|r| simulate(n, p, 1000 + r)).sum::<f64>() / reps as f64;
         let rel = (mean_sim - analytic).abs() / analytic;
         t.push_row(vec![
             n.to_string(),

@@ -5,14 +5,17 @@
 
 use crate::table::{fmt_frac, Table};
 use softstate::{ArrivalProcess, LossSpec};
+use ss_netsim::SimDuration;
 use sstp::reliability::ReliabilityLevel;
 use sstp::session::{self, SessionConfig, SessionWorkload};
-use ss_netsim::SimDuration;
 
 const LEVELS: [(&str, ReliabilityLevel); 4] = [
     ("best-effort", ReliabilityLevel::BestEffort),
     ("announce/listen", ReliabilityLevel::AnnounceListen),
-    ("quasi (fb<=30%)", ReliabilityLevel::Quasi { max_fb_share: 0.3 }),
+    (
+        "quasi (fb<=30%)",
+        ReliabilityLevel::Quasi { max_fb_share: 0.3 },
+    ),
     ("reliable", ReliabilityLevel::Reliable),
 ];
 
@@ -22,7 +25,10 @@ fn cfg(level: ReliabilityLevel, loss: f64, fast: bool) -> SessionConfig {
     cfg.data_loss = LossSpec::Bernoulli(loss);
     cfg.fb_loss = LossSpec::Bernoulli(loss);
     cfg.workload = SessionWorkload {
-        arrivals: ArrivalProcess::PoissonUpdates { rate: 2.0, keys: 50 },
+        arrivals: ArrivalProcess::PoissonUpdates {
+            rate: 2.0,
+            keys: 50,
+        },
         mean_lifetime_secs: None,
         branches: 4,
         class_weights: None,
@@ -46,7 +52,11 @@ pub fn run(fast: bool) -> Vec<Table> {
             "repairs",
         ],
     );
-    let losses: Vec<f64> = if fast { vec![0.25] } else { vec![0.10, 0.25, 0.40] };
+    let losses: Vec<f64> = if fast {
+        vec![0.25]
+    } else {
+        vec![0.10, 0.25, 0.40]
+    };
     for loss in losses {
         for (name, level) in LEVELS {
             let report = session::run(&cfg(level, loss, fast));

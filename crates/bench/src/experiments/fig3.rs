@@ -43,7 +43,11 @@ pub fn run(fast: bool) -> Vec<Table> {
         "fig3_sim",
         &["loss", "pd", "analytic", "simulated", "abs err"],
     );
-    let loss_points: &[f64] = if fast { &[0.1, 0.4] } else { &[0.05, 0.2, 0.4, 0.6, 0.8] };
+    let loss_points: &[f64] = if fast {
+        &[0.1, 0.4]
+    } else {
+        &[0.05, 0.2, 0.4, 0.6, 0.8]
+    };
     for &pd in &DEATH_RATES {
         for &p_loss in loss_points {
             let m = OpenLoop::new(lambda, mu, p_loss, pd);
@@ -75,7 +79,10 @@ mod tests {
         for col in 1..=4 {
             let first: f64 = tables[0].rows[0][col].parse().unwrap();
             let last: f64 = tables[0].rows[19][col].parse().unwrap();
-            assert!(first > last, "column {col} must decrease: {first} -> {last}");
+            assert!(
+                first > last,
+                "column {col} must decrease: {first} -> {last}"
+            );
         }
         // Stable configurations should agree with theory; near-saturation
         // ones (pd=0.10, 0.15 at these rates) are excluded from the bound.

@@ -64,7 +64,10 @@ mod tests {
         let knee: f64 = rows[1][1].parse().unwrap();
         let plateau: f64 = rows[2][1].parse().unwrap();
         assert!(knee > starved + 0.1, "knee {knee} vs starved {starved}");
-        assert!((plateau - knee).abs() < 0.1, "plateau {plateau} vs knee {knee}");
+        assert!(
+            (plateau - knee).abs() < 0.1,
+            "plateau {plateau} vs knee {knee}"
+        );
         // Loss limits attainable consistency at the plateau.
         let plateau50: f64 = rows[2][3].parse().unwrap();
         assert!(plateau > plateau50, "10% loss must beat 50% loss");

@@ -63,12 +63,13 @@ pub fn run(fast: bool) -> Vec<Table> {
     let ratios: Vec<f64> = if fast {
         vec![0.01, 0.20, 2.0]
     } else {
-        vec![0.01, 0.02, 0.05, 0.10, 0.20, 0.35, 0.50, 0.75, 1.0, 1.5, 2.0]
+        vec![
+            0.01, 0.02, 0.05, 0.10, 0.20, 0.35, 0.50, 0.75, 1.0, 1.5, 2.0,
+        ]
     };
     for ratio in ratios {
         let report = two_queue::run(&cfg(ratio, fast));
-        let delivered = report.stats.latency.count() as f64
-            / report.stats.arrivals.max(1) as f64;
+        let delivered = report.stats.latency.count() as f64 / report.stats.arrivals.max(1) as f64;
         t.push_row(vec![
             fmt_frac(ratio),
             fmt_secs(report.stats.latency.mean().as_secs_f64()),
@@ -87,13 +88,16 @@ mod tests {
     fn smoke() {
         let tables = super::run(true);
         let rows = &tables[0].rows;
-        let mean = |i: usize| -> f64 {
-            rows[i][1].trim_end_matches('s').parse().unwrap()
-        };
+        let mean = |i: usize| -> f64 { rows[i][1].trim_end_matches('s').parse().unwrap() };
         let delivered = |i: usize| -> f64 { rows[i][4].parse().unwrap() };
         // Survivorship at tiny cold bandwidth: low latency, low delivery.
         // More cold: latency first rises, then falls; delivery rises.
-        assert!(mean(1) > mean(0), "latency must rise: {} -> {}", mean(0), mean(1));
+        assert!(
+            mean(1) > mean(0),
+            "latency must rise: {} -> {}",
+            mean(0),
+            mean(1)
+        );
         assert!(mean(2) < mean(1), "then fall: {} -> {}", mean(1), mean(2));
         assert!(delivered(2) > delivered(0) + 0.2);
     }

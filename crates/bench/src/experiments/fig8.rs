@@ -73,7 +73,13 @@ pub fn run(fast: bool) -> Vec<Table> {
     let mut avg = Table::new(
         "Figure 8 (averages): time-averaged consistency per feedback share",
         "fig8_avg",
-        &["fb share", "consistency", "nacks", "promotions", "hot backlog"],
+        &[
+            "fb share",
+            "consistency",
+            "nacks",
+            "promotions",
+            "hot backlog",
+        ],
     );
     for (share, r) in FB_SHARES.iter().zip(&reports) {
         avg.push_row(vec![
@@ -96,6 +102,11 @@ mod tests {
         let c = |i: usize| -> f64 { avg.rows[i][1].parse().unwrap() };
         // Moderate feedback beats open loop; 70% share collapses.
         assert!(c(1) > c(0), "20% fb {} must beat open loop {}", c(1), c(0));
-        assert!(c(3) < c(1) - 0.2, "70% fb {} must collapse vs {}", c(3), c(1));
+        assert!(
+            c(3) < c(1) - 0.2,
+            "70% fb {} must collapse vs {}",
+            c(3),
+            c(1)
+        );
     }
 }

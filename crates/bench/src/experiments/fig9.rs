@@ -45,7 +45,9 @@ pub fn run(fast: bool) -> Vec<Table> {
     let shares: Vec<f64> = if fast {
         vec![0.0, 0.3, 0.8]
     } else {
-        vec![0.0, 0.05, 0.10, 0.20, 0.30, 0.40, 0.50, 0.60, 0.70, 0.80, 0.90]
+        vec![
+            0.0, 0.05, 0.10, 0.20, 0.30, 0.40, 0.50, 0.60, 0.70, 0.80, 0.90,
+        ]
     };
     for share in shares {
         let mut row = vec![fmt_pct(share)];
@@ -71,6 +73,9 @@ mod tests {
         let mid = cell(1, 3);
         let starved = cell(2, 3);
         assert!(mid > open, "fb must help at 50% loss: {mid} vs {open}");
-        assert!(mid > starved, "over-allocating fb must hurt: {mid} vs {starved}");
+        assert!(
+            mid > starved,
+            "over-allocating fb must hurt: {mid} vs {starved}"
+        );
     }
 }

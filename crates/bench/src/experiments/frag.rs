@@ -8,8 +8,8 @@
 
 use crate::table::{fmt_frac, Table};
 use softstate::{ArrivalProcess, LossSpec};
-use sstp::session::{self, SessionConfig, SessionWorkload};
 use ss_netsim::SimDuration;
+use sstp::session::{self, SessionConfig, SessionWorkload};
 
 fn cfg(mtu: Option<u32>, fast: bool) -> SessionConfig {
     let mut cfg = SessionConfig::unicast_default(123);
@@ -42,12 +42,8 @@ pub fn run(fast: bool) -> Vec<Table> {
             "nacked keys",
         ],
     );
-    let cases: Vec<(Option<u32>, u32)> = vec![
-        (Some(500), 8),
-        (Some(1000), 4),
-        (Some(2000), 2),
-        (None, 1),
-    ];
+    let cases: Vec<(Option<u32>, u32)> =
+        vec![(Some(500), 8), (Some(1000), 4), (Some(2000), 2), (None, 1)];
     for (mtu, frags) in cases {
         let report = session::run(&cfg(mtu, fast));
         let rx = &report.receivers[0];
@@ -72,12 +68,7 @@ mod tests {
         let c = |i: usize| -> f64 { rows[i][2].parse().unwrap() };
         // Whole-ADU transmission (one loss draw per ADU) beats 8-way
         // fragmentation (compounded loss) at equal per-packet loss.
-        assert!(
-            c(3) > c(0),
-            "whole {} must beat 8-fragment {}",
-            c(3),
-            c(0)
-        );
+        assert!(c(3) > c(0), "whole {} must beat 8-fragment {}", c(3), c(0));
         // All variants still converge reasonably (repair works).
         for i in 0..4 {
             assert!(c(i) > 0.5, "row {i} consistency {}", c(i));

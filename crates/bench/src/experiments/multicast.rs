@@ -8,8 +8,8 @@
 
 use crate::table::{fmt_frac, Table};
 use softstate::{ArrivalProcess, LossSpec};
-use sstp::session::{self, SessionConfig, SessionWorkload};
 use ss_netsim::SimDuration;
+use sstp::session::{self, SessionConfig, SessionWorkload};
 
 fn cfg(n: usize, fast: bool) -> SessionConfig {
     let mut cfg = SessionConfig::unicast_default(88);

@@ -12,12 +12,12 @@
 
 use crate::table::Table;
 use softstate::measure_tables;
+use ss_netsim::{SimDuration, SimRng, SimTime};
 use sstp::digest::HashAlgorithm;
 use sstp::namespace::MetaTag;
 use sstp::receiver::{ReceiverConfig, SstpReceiver};
 use sstp::sender::SstpSender;
 use sstp::wire::Packet;
-use ss_netsim::{SimDuration, SimRng, SimTime};
 
 /// Builds a store of `n` records, flat or hierarchical, loses records in
 /// `lost_branch`, then repairs losslessly. Returns

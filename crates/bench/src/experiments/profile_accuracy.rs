@@ -48,23 +48,13 @@ pub fn run(fast: bool) -> Vec<Table> {
         .iter()
         .map(|&l| SHARES.iter().map(|&s| simulate(l, s, fast)).collect())
         .collect();
-    let empirical = ConsistencyProfile::empirical(
-        LOSSES.to_vec(),
-        SHARES.to_vec(),
-        grid.clone(),
-    );
+    let empirical = ConsistencyProfile::empirical(LOSSES.to_vec(), SHARES.to_vec(), grid.clone());
     let analytic = ConsistencyProfile::analytic(pkts(15.0), pkts(45.0), 0.1, 0.67);
 
     let mut t = Table::new(
         "Profile accuracy: analytic prediction vs simulated grid (45 kbps, lambda = 15 kbps)",
         "profile_accuracy",
-        &[
-            "loss",
-            "fb share",
-            "simulated",
-            "analytic",
-            "abs err",
-        ],
+        &["loss", "fb share", "simulated", "analytic", "abs err"],
     );
     for (i, &l) in LOSSES.iter().enumerate() {
         for (j, &s) in SHARES.iter().enumerate() {

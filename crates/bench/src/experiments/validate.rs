@@ -17,27 +17,65 @@ struct Point {
 /// Runs the experiment.
 pub fn run(fast: bool) -> Vec<Table> {
     let grid = [
-        Point { lambda: 1.0, mu: 10.0, p_loss: 0.1, p_death: 0.20 },
-        Point { lambda: 2.0, mu: 16.0, p_loss: 0.2, p_death: 0.25 },
-        Point { lambda: 2.0, mu: 16.0, p_loss: 0.5, p_death: 0.25 },
-        Point { lambda: 0.5, mu: 4.0, p_loss: 0.3, p_death: 0.40 },
-        Point { lambda: 4.0, mu: 40.0, p_loss: 0.05, p_death: 0.15 },
-        Point { lambda: 1.0, mu: 20.0, p_loss: 0.7, p_death: 0.30 },
+        Point {
+            lambda: 1.0,
+            mu: 10.0,
+            p_loss: 0.1,
+            p_death: 0.20,
+        },
+        Point {
+            lambda: 2.0,
+            mu: 16.0,
+            p_loss: 0.2,
+            p_death: 0.25,
+        },
+        Point {
+            lambda: 2.0,
+            mu: 16.0,
+            p_loss: 0.5,
+            p_death: 0.25,
+        },
+        Point {
+            lambda: 0.5,
+            mu: 4.0,
+            p_loss: 0.3,
+            p_death: 0.40,
+        },
+        Point {
+            lambda: 4.0,
+            mu: 40.0,
+            p_loss: 0.05,
+            p_death: 0.15,
+        },
+        Point {
+            lambda: 1.0,
+            mu: 20.0,
+            p_loss: 0.7,
+            p_death: 0.30,
+        },
     ];
     let mut t = Table::new(
         "Validation: simulation vs Jackson closed forms (busy consistency, waste, E[n])",
         "validate",
         &[
-            "lambda", "mu", "loss", "pd", "rho", //
-            "c theory", "c sim", "W theory", "W sim", "E[n] theory", "E[n] sim",
+            "lambda",
+            "mu",
+            "loss",
+            "pd",
+            "rho", //
+            "c theory",
+            "c sim",
+            "W theory",
+            "W sim",
+            "E[n] theory",
+            "E[n] sim",
         ],
     );
     let points: &[Point] = if fast { &grid[..2] } else { &grid };
     for p in points {
         let m = OpenLoop::new(p.lambda, p.mu, p.p_loss, p.p_death);
         assert!(m.is_stable(), "grid points must be stable");
-        let mut cfg =
-            OpenLoopConfig::analytic(p.lambda, p.mu, p.p_loss, p.p_death, 101);
+        let mut cfg = OpenLoopConfig::analytic(p.lambda, p.mu, p.p_loss, p.p_death, 101);
         cfg.duration = secs(fast, 80_000);
         let r = open_loop::run(&cfg);
         t.push_row(vec![

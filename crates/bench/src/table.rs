@@ -18,11 +18,7 @@ pub struct Table {
 
 impl Table {
     /// An empty table.
-    pub fn new(
-        title: impl Into<String>,
-        csv_name: impl Into<String>,
-        columns: &[&str],
-    ) -> Self {
+    pub fn new(title: impl Into<String>, csv_name: impl Into<String>, columns: &[&str]) -> Self {
         Table {
             title: title.into(),
             csv_name: csv_name.into(),
@@ -91,7 +87,11 @@ impl Table {
         let _ = writeln!(
             out,
             "{}",
-            self.columns.iter().map(|c| quote(c)).collect::<Vec<_>>().join(",")
+            self.columns
+                .iter()
+                .map(|c| quote(c))
+                .collect::<Vec<_>>()
+                .join(",")
         );
         for row in &self.rows {
             let _ = writeln!(

@@ -78,7 +78,10 @@ impl ConsistencyMeter {
     /// Records that from `now` on, `consistent` of `total` live records
     /// agree between publisher and subscriber. Call on every change.
     pub fn observe(&mut self, now: SimTime, consistent: usize, total: usize) {
-        assert!(consistent <= total, "consistent {consistent} > total {total}");
+        assert!(
+            consistent <= total,
+            "consistent {consistent} > total {total}"
+        );
         self.integrate_to(now);
         self.last_busy = total > 0;
         self.last_ratio = if total > 0 {
@@ -217,8 +220,7 @@ mod tests {
 
     #[test]
     fn series_records_when_enabled() {
-        let mut m =
-            ConsistencyMeter::new(SimTime::ZERO).with_series(SimDuration::ZERO);
+        let mut m = ConsistencyMeter::new(SimTime::ZERO).with_series(SimDuration::ZERO);
         m.observe(SimTime::from_secs(1), 1, 2);
         m.observe(SimTime::from_secs(2), 0, 0);
         let pts = m.series().unwrap().points();

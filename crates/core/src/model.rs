@@ -8,8 +8,8 @@
 //! without a refresh is deleted (the soft-state expiry rule).
 
 use ss_netsim::{SimDuration, SimTime};
-use std::collections::hash_map::Entry;
-use std::collections::HashMap;
+use std::collections::btree_map::Entry;
+use std::collections::BTreeMap;
 
 /// Identifies a record in the table. Keys are opaque 64-bit names; the
 /// hierarchical namespaces of SSTP (§6.2) layer structure on top.
@@ -62,7 +62,7 @@ pub struct Record {
 /// timestamped so instrumentation can integrate the live set over time.
 #[derive(Clone, Debug, Default)]
 pub struct PublisherTable {
-    records: HashMap<Key, Record>,
+    records: BTreeMap<Key, Record>,
     next_key: u64,
     inserts: u64,
     updates: u64,
@@ -139,7 +139,7 @@ impl PublisherTable {
         self.records.len()
     }
 
-    /// Iterates the live data set (unordered).
+    /// Iterates the live data set in ascending key order.
     pub fn live(&self) -> impl Iterator<Item = &Record> {
         self.records.values()
     }
@@ -169,7 +169,7 @@ pub struct ReplicaEntry {
 /// table independent of any particular event loop.
 #[derive(Clone, Debug)]
 pub struct SubscriberTable {
-    entries: HashMap<Key, ReplicaEntry>,
+    entries: BTreeMap<Key, ReplicaEntry>,
     ttl: SimDuration,
     expirations: u64,
     refreshes: u64,
@@ -180,7 +180,7 @@ impl SubscriberTable {
     pub fn new(ttl: SimDuration) -> Self {
         assert!(!ttl.is_zero(), "zero TTL would expire entries instantly");
         SubscriberTable {
-            entries: HashMap::new(),
+            entries: BTreeMap::new(),
             ttl,
             expirations: 0,
             refreshes: 0,
@@ -238,15 +238,14 @@ impl SubscriberTable {
     }
 
     /// Deletes every entry whose deadline is at or before `now`; returns
-    /// the expired keys (sorted, for deterministic downstream handling).
+    /// the expired keys in ascending order (the map iterates sorted).
     pub fn expire_until(&mut self, now: SimTime) -> Vec<Key> {
-        let mut dead: Vec<Key> = self
+        let dead: Vec<Key> = self
             .entries
             .iter()
             .filter(|(_, e)| e.expires_at <= now)
             .map(|(&k, _)| k)
             .collect();
-        dead.sort();
         for k in &dead {
             self.entries.remove(k);
             self.expirations += 1;
@@ -269,7 +268,7 @@ impl SubscriberTable {
         self.entries.is_empty()
     }
 
-    /// Iterates stored entries (unordered).
+    /// Iterates stored entries in ascending key order.
     pub fn entries(&self) -> impl Iterator<Item = (&Key, &ReplicaEntry)> {
         self.entries.iter()
     }

@@ -7,7 +7,7 @@
 
 use crate::consistency::{ConsistencyAverages, ConsistencyMeter};
 use ss_netsim::{DurationHistogram, SimDuration, SimTime, TimeWeightedMean};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Per-record simulation state.
 #[derive(Clone, Copy, Debug)]
@@ -21,12 +21,12 @@ pub(crate) struct JobState {
 /// The live set plus all §2.1 instrumentation.
 #[derive(Clone, Debug)]
 pub(crate) struct LiveJobs {
-    jobs: HashMap<u64, JobState>,
+    jobs: BTreeMap<u64, JobState>,
     /// Dense list of live ids for O(1) uniform sampling (update
     /// workloads pick a random live record to supersede).
     ids: Vec<u64>,
     /// Position of each id in `ids`.
-    pos: HashMap<u64, usize>,
+    pos: BTreeMap<u64, usize>,
     n_consistent: usize,
     updates: u64,
     meter: ConsistencyMeter,
@@ -43,9 +43,9 @@ impl LiveJobs {
             None => ConsistencyMeter::new(start),
         };
         LiveJobs {
-            jobs: HashMap::new(),
+            jobs: BTreeMap::new(),
             ids: Vec::new(),
-            pos: HashMap::new(),
+            pos: BTreeMap::new(),
             n_consistent: 0,
             updates: 0,
             meter,
@@ -153,10 +153,7 @@ impl LiveJobs {
     /// Finalizes the instrumentation at `end`.
     pub(crate) fn finish(self, end: SimTime) -> JobStats {
         let averages = self.meter.averages(end);
-        let series = self
-            .meter
-            .series()
-            .map(|s| s.points().to_vec());
+        let series = self.meter.series().map(|s| s.points().to_vec());
         JobStats {
             consistency: averages,
             mean_live_records: self.occupancy.mean_until(end),

@@ -101,7 +101,7 @@ struct Sim {
     serving: Option<u64>,
     /// Records whose lifetime ended while in service; they die at the
     /// service completion instead of vanishing off the wire.
-    doomed: std::collections::HashSet<u64>,
+    doomed: std::collections::BTreeSet<u64>,
     jobs: LiveJobs,
     loss: Box<dyn LossModel>,
     next_id: u64,
@@ -123,7 +123,7 @@ impl Sim {
         Sim {
             queue: VecDeque::new(),
             serving: None,
-            doomed: std::collections::HashSet::new(),
+            doomed: std::collections::BTreeSet::new(),
             jobs: LiveJobs::new(SimTime::ZERO, cfg.series_spacing),
             loss,
             next_id: 0,
@@ -165,7 +165,10 @@ impl Sim {
             // Expired while queued (lifetime death): skip.
         };
         self.serving = Some(id);
-        let st = self.cfg.service.service_time(self.cfg.mu, &mut self.rng_service);
+        let st = self
+            .cfg
+            .service
+            .service_time(self.cfg.mu, &mut self.rng_service);
         q.schedule_in(st, Ev::ServiceDone(id));
     }
 
@@ -401,9 +404,7 @@ mod tests {
     fn higher_loss_lowers_consistency() {
         let lo = run(&OpenLoopConfig::analytic(2.0, 16.0, 0.05, 0.25, 5));
         let hi = run(&OpenLoopConfig::analytic(2.0, 16.0, 0.60, 0.25, 5));
-        assert!(
-            lo.stats.consistency.busy.unwrap() > hi.stats.consistency.busy.unwrap() + 0.1
-        );
+        assert!(lo.stats.consistency.busy.unwrap() > hi.stats.consistency.busy.unwrap() + 0.1);
     }
 
     #[test]
@@ -443,7 +444,11 @@ mod update_workload_tests {
         let r = run(&cfg);
         assert_eq!(r.stats.final_live, 20, "keyspace bounded at 20");
         assert_eq!(r.stats.arrivals, 20);
-        assert!(r.stats.updates > 1_000, "updates happened: {}", r.stats.updates);
+        assert!(
+            r.stats.updates > 1_000,
+            "updates happened: {}",
+            r.stats.updates
+        );
         // Updates keep knocking records inconsistent, so steady-state
         // consistency sits strictly below 1 but well above 0: the cycle
         // re-propagates each new version.

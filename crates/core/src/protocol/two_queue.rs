@@ -138,7 +138,10 @@ impl TwoQueueReport {
 
 enum Ev {
     Arrival,
-    Done { id: u64, src: Src },
+    Done {
+        id: u64,
+        src: Src,
+    },
     /// Lifetime-based expiry (only under [`DeathProcess::Lifetime`]).
     LifetimeEnd(u64),
 }
@@ -152,9 +155,9 @@ struct Sim {
     busy_hot: bool,
     busy_cold: bool,
     /// Records currently on the wire (for lifetime-death deferral).
-    in_service: std::collections::HashSet<u64>,
+    in_service: std::collections::BTreeSet<u64>,
     /// Records whose lifetime ended mid-service; killed at completion.
-    doomed: std::collections::HashSet<u64>,
+    doomed: std::collections::BTreeSet<u64>,
     sched: Option<Box<dyn Scheduler>>,
     jobs: LiveJobs,
     loss: Box<dyn LossModel>,
@@ -233,8 +236,8 @@ impl Sim {
             cold: VecDeque::new(),
             busy_hot: false,
             busy_cold: false,
-            in_service: std::collections::HashSet::new(),
-            doomed: std::collections::HashSet::new(),
+            in_service: std::collections::BTreeSet::new(),
+            doomed: std::collections::BTreeSet::new(),
             sched,
             jobs: LiveJobs::new(SimTime::ZERO, cfg.series_spacing),
             loss,
@@ -321,11 +324,17 @@ impl Sim {
                     self.note_hot_backlog(q.now());
                     (id, Src::Hot)
                 } else {
-                    (self.cold.pop_front().expect("cold backlog flag stale"), Src::Cold)
+                    (
+                        self.cold.pop_front().expect("cold backlog flag stale"),
+                        Src::Cold,
+                    )
                 };
                 self.busy_hot = true;
                 self.in_service.insert(id);
-                let st = self.cfg.service.service_time(mu_data, &mut self.rng_service);
+                let st = self
+                    .cfg
+                    .service
+                    .service_time(mu_data, &mut self.rng_service);
                 q.schedule_in(st, Ev::Done { id, src });
             }
         }
@@ -348,8 +357,7 @@ impl Sim {
         if !lost && !was_consistent {
             self.jobs.deliver(q.now(), id);
         }
-        if self.cfg.death.dies_after_service(&mut self.rng_death) || self.doomed.remove(&id)
-        {
+        if self.cfg.death.dies_after_service(&mut self.rng_death) || self.doomed.remove(&id) {
             self.jobs.kill(q.now(), id);
         } else {
             // Hot-served records age into the cold queue; cold-served
@@ -544,7 +552,7 @@ mod tests {
         // Saturate hot (λ > μ_data/2 with hot weight dominant): cold gets
         // nothing under strict priority while stride still shares.
         let mut cfg = fig5_cfg(0.5, 0.2, 5);
-        cfg.arrivals = ArrivalProcess::Poisson { rate: 10.0 }; // >> mu_data
+        cfg.arrivals = ArrivalProcess::Poisson { rate: 50.0 }; // >> mu_data
         cfg.sharing = Sharing::WorkConserving(Policy::Priority);
         let pri = run(&cfg);
         cfg.sharing = Sharing::WorkConserving(Policy::Stride);

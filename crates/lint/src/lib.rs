@@ -1,0 +1,480 @@
+//! `ss-lint`: a determinism-enforcing static analysis pass for this
+//! workspace.
+//!
+//! The reproduction's central claim is that every simulation result is a
+//! pure function of its configuration and seed. That property is easy to
+//! lose silently: one `Instant::now()` in a hot path, one `HashMap`
+//! iteration feeding an event order, one `thread_rng()` in a test helper,
+//! and runs stop being comparable. This crate enforces the invariants
+//! mechanically, with a hand-rolled lexical scanner so the gate itself has
+//! **zero external dependencies** and keeps working when the crate
+//! registry is unreachable.
+//!
+//! Rules (see `DESIGN.md`, "Determinism invariants", for the rationale):
+//!
+//! - **D001** — no `std::time::Instant` / `std::time::SystemTime` outside
+//!   the allowlist (`crates/sstp/src/udp.rs`, anything under a `tests/`
+//!   directory). Wall clocks make runs time-dependent.
+//! - **D002** — no `HashMap` / `HashSet` in the simulation crates
+//!   (`core`, `netsim`, `sched`, `queueing`, `sstp`). Hash iteration
+//!   order is randomized per-process; ordered collections (`BTreeMap`,
+//!   `BTreeSet`) or explicit sorts are required.
+//! - **D003** — no `thread_rng` / `rand::random` anywhere. All
+//!   randomness must flow through the seeded `SimRng`.
+//! - **D004** — no `unwrap()` / `expect()` / slice indexing in the wire
+//!   parse path (`crates/sstp/src/wire.rs`). Decoding untrusted bytes
+//!   must be total.
+//!
+//! A line may opt out of a rule with an annotation on the same line or
+//! the line directly above:
+//!
+//! ```text
+//! // lint: allow(D002, reason the hash container is safe here)
+//! ```
+//!
+//! The reason is mandatory; an annotation without one does not suppress.
+//! Module-level `#[cfg(test)]` blocks are exempt: scanning stops at the
+//! first `#[cfg(test)]` attribute in a file (test modules are last by
+//! convention, enforced socially rather than mechanically).
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One rule violation, addressable as `path:line`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Workspace-relative path with `/` separators.
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Rule identifier, e.g. `"D002"`.
+    pub rule: &'static str,
+    /// Human-readable explanation of the violation.
+    pub message: String,
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: {} {}",
+            self.path, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Simulation crates where hash-ordered containers are forbidden (D002).
+const SIM_CRATE_PREFIXES: [&str; 5] = [
+    "crates/core/src",
+    "crates/netsim/src",
+    "crates/sched/src",
+    "crates/queueing/src",
+    "crates/sstp/src",
+];
+
+/// Files allowed to read the wall clock (D001): the real-socket UDP
+/// bridge needs actual time, and test harnesses may time themselves.
+fn d001_allowed(path: &str) -> bool {
+    path == "crates/sstp/src/udp.rs" || path.starts_with("tests/") || path.contains("/tests/")
+}
+
+fn in_sim_crate(path: &str) -> bool {
+    SIM_CRATE_PREFIXES.iter().any(|p| path.starts_with(p))
+}
+
+/// One source line split into scannable code and its trailing comments.
+struct ScanLine {
+    /// Code with comments, string contents, and char literals blanked out
+    /// (replaced by spaces, so columns are preserved).
+    code: String,
+    /// The concatenated comment text of the line (for `lint: allow`).
+    comment: String,
+}
+
+/// Carry-over lexical state between lines.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Carry {
+    /// Plain code.
+    None,
+    /// Inside a `/* */` comment, with nesting depth.
+    BlockComment(u32),
+    /// Inside a raw string literal with `hashes` trailing `#`s.
+    RawString(u32),
+}
+
+/// Strips one physical line given the carry-over state, returning the
+/// scan view and the state to carry into the next line.
+fn strip_line(line: &str, carry: Carry) -> (ScanLine, Carry) {
+    let mut code = String::with_capacity(line.len());
+    let mut comment = String::new();
+    let bytes = line.as_bytes();
+    let mut i = 0;
+    let mut state = carry;
+
+    while i < bytes.len() {
+        match state {
+            Carry::BlockComment(depth) => {
+                if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                    state = if depth == 1 {
+                        Carry::None
+                    } else {
+                        Carry::BlockComment(depth - 1)
+                    };
+                    i += 2;
+                } else if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                    state = Carry::BlockComment(depth + 1);
+                    i += 2;
+                } else {
+                    comment.push(bytes[i] as char);
+                    i += 1;
+                }
+                continue;
+            }
+            Carry::RawString(hashes) => {
+                if bytes[i] == b'"' {
+                    let h = hashes as usize;
+                    if bytes.len() >= i + 1 + h
+                        && bytes[i + 1..i + 1 + h].iter().all(|&b| b == b'#')
+                    {
+                        state = Carry::None;
+                        code.push('"');
+                        for _ in 0..h {
+                            code.push(' ');
+                        }
+                        i += 1 + h;
+                        continue;
+                    }
+                }
+                code.push(' ');
+                i += 1;
+                continue;
+            }
+            Carry::None => {}
+        }
+
+        let c = bytes[i];
+        if c == b'/' && bytes.get(i + 1) == Some(&b'/') {
+            // Line comment: the rest of the line is comment text.
+            comment.push_str(&line[i + 2..]);
+            break;
+        }
+        if c == b'/' && bytes.get(i + 1) == Some(&b'*') {
+            state = Carry::BlockComment(1);
+            code.push(' ');
+            code.push(' ');
+            i += 2;
+            continue;
+        }
+        if c == b'r' {
+            // Possible raw string: r"..." or r#"..."#.
+            let mut j = i + 1;
+            while bytes.get(j) == Some(&b'#') {
+                j += 1;
+            }
+            if bytes.get(j) == Some(&b'"') {
+                let hashes = (j - (i + 1)) as u32;
+                code.push('r');
+                for _ in i + 1..=j {
+                    code.push(' ');
+                }
+                i = j + 1;
+                state = Carry::RawString(hashes);
+                continue;
+            }
+        }
+        if c == b'"' {
+            // Ordinary string literal: blank to the closing quote.
+            code.push('"');
+            i += 1;
+            while i < bytes.len() {
+                if bytes[i] == b'\\' {
+                    code.push(' ');
+                    code.push(' ');
+                    i += 2;
+                    continue;
+                }
+                if bytes[i] == b'"' {
+                    code.push('"');
+                    i += 1;
+                    break;
+                }
+                code.push(' ');
+                i += 1;
+            }
+            continue;
+        }
+        if c == b'\'' {
+            // Char literal vs lifetime: a literal closes within a few
+            // bytes ('x', '\n', '\u{..}'); a lifetime never closes.
+            let close = if bytes.get(i + 1) == Some(&b'\\') {
+                bytes[i + 2..].iter().take(8).position(|&b| b == b'\'')
+            } else {
+                (bytes.get(i + 2) == Some(&b'\'')).then_some(0)
+            };
+            if let Some(off) = close {
+                let end = if bytes.get(i + 1) == Some(&b'\\') {
+                    i + 2 + off
+                } else {
+                    i + 2
+                };
+                for _ in i..=end {
+                    code.push(' ');
+                }
+                i = end + 1;
+                continue;
+            }
+        }
+        code.push(c as char);
+        i += 1;
+    }
+
+    (ScanLine { code, comment }, state)
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Yields the identifier tokens of a stripped code line.
+fn idents(code: &str) -> Vec<&str> {
+    let bytes = code.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        if is_ident_byte(bytes[i]) {
+            let start = i;
+            while i < bytes.len() && is_ident_byte(bytes[i]) {
+                i += 1;
+            }
+            out.push(&code[start..i]);
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+/// True when `comment` carries a well-formed suppression for `rule`:
+/// `lint: allow(DXXX, non-empty reason)`.
+fn allows(comment: &str, rule: &str) -> bool {
+    let Some(pos) = comment.find("lint: allow(") else {
+        return false;
+    };
+    let body = &comment[pos + "lint: allow(".len()..];
+    let Some(end) = body.find(')') else {
+        return false;
+    };
+    let body = &body[..end];
+    let Some((id, reason)) = body.split_once(',') else {
+        return false;
+    };
+    id.trim() == rule && !reason.trim().is_empty()
+}
+
+/// True when the stripped line contains slice-index syntax: a `[` directly
+/// following an identifier character, `)`, or `]` (so array type syntax
+/// `[u64; 4]` and attributes `#[...]` do not match).
+fn has_indexing(code: &str) -> bool {
+    let bytes = code.as_bytes();
+    bytes.iter().enumerate().any(|(i, &b)| {
+        b == b'['
+            && i > 0
+            && (is_ident_byte(bytes[i - 1]) || bytes[i - 1] == b')' || bytes[i - 1] == b']')
+    })
+}
+
+/// Scans one source file's content. `path` must be workspace-relative with
+/// `/` separators; it selects which rules apply.
+pub fn scan_source(path: &str, src: &str) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let mut carry = Carry::None;
+    let mut prev_comment = String::new();
+
+    let check_d001 = !d001_allowed(path);
+    let check_d002 = in_sim_crate(path);
+    let check_d004 = path == "crates/sstp/src/wire.rs";
+
+    for (idx, raw) in src.lines().enumerate() {
+        let line_no = idx + 1;
+        let (scan, next_carry) = strip_line(raw, carry);
+        let was_code = carry == Carry::None || matches!(carry, Carry::RawString(_));
+        carry = next_carry;
+
+        if was_code && scan.code.trim_start().starts_with("#[cfg(test)]") {
+            // Test modules sit at the end of each file; everything after
+            // this attribute is test-only and exempt from the rules.
+            break;
+        }
+
+        let suppressed = |rule: &str| allows(&scan.comment, rule) || allows(&prev_comment, rule);
+        let toks = idents(&scan.code);
+        let has = |t: &str| toks.iter().any(|&x| x == t);
+
+        if check_d001 && (has("Instant") || has("SystemTime")) && !suppressed("D001") {
+            out.push(Diagnostic {
+                path: path.to_string(),
+                line: line_no,
+                rule: "D001",
+                message: "wall-clock time source outside the allowlist; use the simulated clock"
+                    .to_string(),
+            });
+        }
+        if check_d002 && (has("HashMap") || has("HashSet")) && !suppressed("D002") {
+            out.push(Diagnostic {
+                path: path.to_string(),
+                line: line_no,
+                rule: "D002",
+                message: "hash-ordered container in a simulation crate; use BTreeMap/BTreeSet or \
+                     annotate with `// lint: allow(D002, reason)`"
+                    .to_string(),
+            });
+        }
+        if (has("thread_rng") || scan.code.contains("rand::random")) && !suppressed("D003") {
+            out.push(Diagnostic {
+                path: path.to_string(),
+                line: line_no,
+                rule: "D003",
+                message: "ambient randomness source; all draws must come from the seeded SimRng"
+                    .to_string(),
+            });
+        }
+        if check_d004 && !suppressed("D004") {
+            if has("unwrap") || has("expect") {
+                out.push(Diagnostic {
+                    path: path.to_string(),
+                    line: line_no,
+                    rule: "D004",
+                    message: "panicking accessor in the wire parse path; decoding must be total"
+                        .to_string(),
+                });
+            } else if has_indexing(&scan.code) {
+                out.push(Diagnostic {
+                    path: path.to_string(),
+                    line: line_no,
+                    rule: "D004",
+                    message:
+                        "slice indexing in the wire parse path; use checked access (get/split)"
+                            .to_string(),
+                });
+            }
+        }
+
+        prev_comment = scan.comment;
+    }
+    out
+}
+
+/// Collects the `.rs` files the lint covers: everything under
+/// `crates/*/src`, plus the root `src/` and `tests/` trees. `vendor/` and
+/// build output are never scanned.
+fn collect_sources(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    let mut roots: Vec<PathBuf> = Vec::new();
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        for entry in fs::read_dir(&crates_dir)? {
+            let src = entry?.path().join("src");
+            if src.is_dir() {
+                roots.push(src);
+            }
+        }
+    }
+    for extra in ["src", "tests"] {
+        let p = root.join(extra);
+        if p.is_dir() {
+            roots.push(p);
+        }
+    }
+    let mut stack = roots;
+    while let Some(dir) = stack.pop() {
+        for entry in fs::read_dir(&dir)? {
+            let path = entry?.path();
+            if path.is_dir() {
+                stack.push(path);
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                files.push(path);
+            }
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+/// Scans the whole workspace rooted at `root`, returning all diagnostics
+/// in deterministic (path, line) order.
+pub fn scan_workspace(root: &Path) -> io::Result<Vec<Diagnostic>> {
+    let mut out = Vec::new();
+    for file in collect_sources(root)? {
+        let rel = file
+            .strip_prefix(root)
+            .unwrap_or(&file)
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        let src = fs::read_to_string(&file)?;
+        out.extend(scan_source(&rel, &src));
+    }
+    Ok(out)
+}
+
+/// Locates the workspace root from this crate's build-time manifest path
+/// (`crates/lint` → two levels up).
+pub fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/lint has a workspace root two levels up")
+        .to_path_buf()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_and_comments_do_not_trigger() {
+        let src = r#"
+            // HashMap in a comment is fine
+            /* Instant::now() in a block comment too */
+            fn f() -> &'static str { "HashMap thread_rng Instant" }
+        "#;
+        assert!(scan_source("crates/core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn allow_requires_reason() {
+        let with_reason = "use std::collections::HashMap; // lint: allow(D002, keyed by opaque id, order never observed)\n";
+        let without = "use std::collections::HashMap; // lint: allow(D002)\n";
+        assert!(scan_source("crates/core/src/x.rs", with_reason).is_empty());
+        assert_eq!(scan_source("crates/core/src/x.rs", without).len(), 1);
+    }
+
+    #[test]
+    fn allow_on_preceding_line() {
+        let src = "// lint: allow(D002, justified)\nuse std::collections::HashSet;\n";
+        assert!(scan_source("crates/sched/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn cfg_test_stops_scanning() {
+        let src = "fn ok() {}\n#[cfg(test)]\nmod tests {\n    use std::collections::HashMap;\n}\n";
+        assert!(scan_source("crates/core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn indexing_detection() {
+        assert!(has_indexing("let x = buf[0];"));
+        assert!(has_indexing("let y = &data[..4];"));
+        assert!(!has_indexing("let s: [u64; 4] = t;"));
+        assert!(!has_indexing("#[derive(Debug)]"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let (scan, carry) = strip_line("fn f<'a>(x: &'a str) -> &'a str { x }", Carry::None);
+        assert!(carry == Carry::None);
+        assert!(scan.code.contains("str"));
+    }
+}

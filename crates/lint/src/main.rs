@@ -1,0 +1,33 @@
+//! The `ss-lint` binary: scans the workspace sources for violations of
+//! the determinism rules D001-D004 and exits non-zero if any are found.
+//!
+//! Usage: `cargo run -p ss-lint [--] [workspace-root]`. With no argument
+//! the root is derived from this crate's location in the tree.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let root = std::env::args()
+        .nth(1)
+        .map(PathBuf::from)
+        .unwrap_or_else(ss_lint::workspace_root);
+
+    let diagnostics = match ss_lint::scan_workspace(&root) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("ss-lint: failed to scan {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    if diagnostics.is_empty() {
+        println!("ss-lint: clean (rules D001-D004)");
+        return ExitCode::SUCCESS;
+    }
+    for d in &diagnostics {
+        eprintln!("{d}");
+    }
+    eprintln!("ss-lint: {} violation(s)", diagnostics.len());
+    ExitCode::FAILURE
+}

@@ -1,0 +1,28 @@
+// Fixture: a fully compliant simulation source file. Hash containers,
+// clocks, and panicking accessors appear only in strings, comments, and
+// the trailing test module — none may be flagged.
+
+use std::collections::BTreeMap;
+
+/* A block comment mentioning HashMap and Instant::now() is fine. */
+
+fn describe() -> &'static str {
+    "uses HashMap, thread_rng, and Instant only inside a string"
+}
+
+fn lookup(m: &BTreeMap<u64, u32>, k: u64) -> Option<u32> {
+    m.get(&k).copied()
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+    use std::time::Instant;
+
+    fn helper() {
+        let _ = Instant::now();
+        let _: HashMap<u64, u64> = HashMap::new();
+        let v = vec![1u8];
+        let _ = v[0];
+    }
+}

@@ -1,0 +1,12 @@
+// Fixture: D001 violation — wall-clock time in simulation code.
+// Not compiled; scanned by tests/fixtures.rs with a synthetic path.
+
+fn elapsed_wrong() -> u64 {
+    let start = std::time::Instant::now(); // line 5: flagged
+    start.elapsed().as_secs()
+}
+
+fn epoch_wrong() -> u64 {
+    let now = std::time::SystemTime::now(); // line 10: flagged
+    now.elapsed().map(|d| d.as_secs()).unwrap_or(0)
+}

@@ -1,0 +1,10 @@
+// Fixture: D002 violation — hash-ordered container in a sim crate.
+// Not compiled; scanned by tests/fixtures.rs with a synthetic path.
+
+use std::collections::HashMap; // line 4: flagged
+
+struct State {
+    by_id: HashMap<u64, u32>, // line 7: flagged
+    // lint: allow(D002, membership only; iteration order never observed)
+    seen: std::collections::HashSet<u64>, // line 9: suppressed
+}

@@ -1,0 +1,8 @@
+// Fixture: D003 violation — ambient randomness source.
+// Not compiled; scanned by tests/fixtures.rs with a synthetic path.
+
+fn jitter() -> f64 {
+    let mut rng = rand::thread_rng(); // line 5: flagged
+    let x: f64 = rand::random(); // line 6: flagged
+    x
+}

@@ -1,0 +1,9 @@
+// Fixture: D004 violation — panicking access in the wire parse path.
+// Not compiled; scanned by tests/fixtures.rs as crates/sstp/src/wire.rs.
+
+fn decode(buf: &[u8]) -> u16 {
+    let hi = buf[0]; // line 5: flagged (slice indexing)
+    let lo = buf.get(1).copied().unwrap(); // line 6: flagged (unwrap)
+    let tag = buf.first().expect("tag byte"); // line 7: flagged (expect)
+    u16::from(hi) << 8 | u16::from(lo) | u16::from(*tag)
+}

@@ -215,7 +215,10 @@ mod tests {
 
     #[test]
     fn run_until_respects_horizon() {
-        let mut w = Counter { fired: vec![], limit: 100 };
+        let mut w = Counter {
+            fired: vec![],
+            limit: 100,
+        };
         let mut q = EventQueue::new();
         q.schedule(SimTime::ZERO, 0);
         run_until(&mut w, &mut q, SimTime::from_secs(5));
@@ -227,7 +230,10 @@ mod tests {
 
     #[test]
     fn run_to_completion_drains() {
-        let mut w = Counter { fired: vec![], limit: 10 };
+        let mut w = Counter {
+            fired: vec![],
+            limit: 10,
+        };
         let mut q = EventQueue::new();
         q.schedule(SimTime::ZERO, 0);
         run_to_completion(&mut w, &mut q);

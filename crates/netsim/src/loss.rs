@@ -29,7 +29,10 @@ pub struct Bernoulli {
 impl Bernoulli {
     /// A Bernoulli loss process with per-packet loss probability `p` in `[0,1]`.
     pub fn new(p: f64) -> Self {
-        assert!((0.0..=1.0).contains(&p), "loss probability {p} out of range");
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "loss probability {p} out of range"
+        );
         Bernoulli { p }
     }
 }

@@ -7,21 +7,67 @@
 //! identical workloads ("common random numbers").
 
 use crate::time::SimDuration;
-use rand::rngs::SmallRng;
-use rand::{Rng, RngCore, SeedableRng};
+
+/// The xoshiro256++ generator backing [`SimRng`] — the same algorithm
+/// `rand`'s 64-bit `SmallRng` uses, implemented locally so the
+/// simulation stack has **zero** external randomness dependencies and
+/// every draw is a pure function of the seed. No constructor reads the
+/// OS entropy pool or the clock; determinism rule D003 (`ss-lint`)
+/// forbids any other randomness source in the workspace.
+#[derive(Clone, Debug)]
+struct Xoshiro256PlusPlus {
+    s: [u64; 4],
+}
+
+impl Xoshiro256PlusPlus {
+    /// Expands a 64-bit seed into the 256-bit state via splitmix64, the
+    /// initialization Vigna recommends (and `SmallRng::seed_from_u64`
+    /// performs) so that similar seeds yield uncorrelated streams.
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut x = seed;
+        let mut next = || {
+            x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        Xoshiro256PlusPlus {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// A uniform draw in `[0, 1)` from the high 53 bits.
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
 
 /// A seeded random stream with the distribution helpers the simulations
 /// need (Bernoulli trials, exponential interarrivals, uniform picks).
 #[derive(Clone, Debug)]
 pub struct SimRng {
-    inner: SmallRng,
+    inner: Xoshiro256PlusPlus,
 }
 
 impl SimRng {
     /// Creates a stream from a 64-bit seed.
     pub fn new(seed: u64) -> Self {
         SimRng {
-            inner: SmallRng::seed_from_u64(seed),
+            inner: Xoshiro256PlusPlus::seed_from_u64(seed),
         }
     }
 
@@ -48,20 +94,20 @@ impl SimRng {
         } else if p >= 1.0 {
             true
         } else {
-            self.inner.gen::<f64>() < p
+            self.inner.next_f64() < p
         }
     }
 
     /// A uniform draw in `[lo, hi)`. Panics if `lo >= hi`.
     pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
         assert!(lo < hi, "empty uniform range [{lo}, {hi})");
-        self.inner.gen_range(lo..hi)
+        lo + self.inner.next_f64() * (hi - lo)
     }
 
     /// A uniform integer draw in `[0, n)`. Panics if `n == 0`.
     pub fn below(&mut self, n: u64) -> u64 {
         assert!(n > 0, "below(0)");
-        self.inner.gen_range(0..n)
+        self.inner.next_u64() % n
     }
 
     /// An exponential variate with the given rate (events per second),
@@ -69,7 +115,7 @@ impl SimRng {
     pub fn exp(&mut self, rate: f64) -> f64 {
         assert!(rate > 0.0 && rate.is_finite(), "invalid rate {rate}");
         // 1 - U in (0, 1] avoids ln(0).
-        let u: f64 = 1.0 - self.inner.gen::<f64>();
+        let u: f64 = 1.0 - self.inner.next_f64();
         -u.ln() / rate
     }
 
@@ -88,7 +134,7 @@ impl SimRng {
         if p >= 1.0 {
             return 0;
         }
-        let u: f64 = 1.0 - self.inner.gen::<f64>();
+        let u: f64 = 1.0 - self.inner.next_f64();
         (u.ln() / (1.0 - p).ln()).floor() as u64
     }
 

@@ -232,8 +232,8 @@ mod tests {
         let infl = m.lambda + m.p_loss * (1.0 - m.p_death) * m.lambda_i();
         assert!((infl - m.lambda_i()).abs() < 1e-9);
         // Flow into C: (1-p_c)(1-p_d)·λ_I + (1-p_d)·λ_C = λ_C.
-        let infc = (1.0 - m.p_loss) * (1.0 - m.p_death) * m.lambda_i()
-            + (1.0 - m.p_death) * m.lambda_c();
+        let infc =
+            (1.0 - m.p_loss) * (1.0 - m.p_death) * m.lambda_i() + (1.0 - m.p_death) * m.lambda_c();
         assert!((infc - m.lambda_c()).abs() < 1e-9);
     }
 

@@ -21,7 +21,10 @@
 /// loss `p`. (`E[max of n iid Geometric(1−p)]`, support starting at 1.)
 pub fn expected_cycles_to_sync(n: u64, p_loss: f64) -> f64 {
     assert!(n > 0, "empty store");
-    assert!((0.0..1.0).contains(&p_loss), "loss {p_loss} must be in [0,1)");
+    assert!(
+        (0.0..1.0).contains(&p_loss),
+        "loss {p_loss} must be in [0,1)"
+    );
     if p_loss == 0.0 {
         return 1.0;
     }
@@ -104,7 +107,10 @@ mod tests {
         let e2 = expected_cycles_to_sync(128, p);
         let increment = e2 - e1;
         let want = 2.0f64.ln() / (1.0 / p).ln(); // = 1 for p = 0.5
-        assert!((increment - want).abs() < 0.1, "increment {increment} vs {want}");
+        assert!(
+            (increment - want).abs() < 0.1,
+            "increment {increment} vs {want}"
+        );
     }
 
     #[test]

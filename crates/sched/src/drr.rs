@@ -93,8 +93,7 @@ impl Scheduler for Drr {
                         self.cursor = c;
                         return Some(c);
                     }
-                    self.deficit[c] +=
-                        (self.quantum as i128) * (self.table.weight(c) as i128);
+                    self.deficit[c] += (self.quantum as i128) * (self.table.weight(c) as i128);
                     if self.deficit[c] > 0 {
                         self.cursor = c;
                         return Some(c);

@@ -87,12 +87,7 @@ impl Hierarchy {
         id
     }
 
-    fn add_node(
-        &mut self,
-        parent: NodeId,
-        weight: u64,
-        leaf: Option<(ClassId, bool)>,
-    ) -> NodeId {
+    fn add_node(&mut self, parent: NodeId, weight: u64, leaf: Option<(ClassId, bool)>) -> NodeId {
         assert!(parent.0 < self.nodes.len(), "bad parent");
         assert!(
             self.nodes[parent.0].leaf.is_none(),

@@ -180,8 +180,7 @@ mod tests {
         for i in 0..10 {
             q.enqueue(0, 100, i);
         }
-        let order: Vec<u32> =
-            std::iter::from_fn(|| q.dequeue().map(|(_, _, x)| x)).collect();
+        let order: Vec<u32> = std::iter::from_fn(|| q.dequeue().map(|(_, _, x)| x)).collect();
         assert_eq!(order, (0..10).collect::<Vec<_>>());
     }
 

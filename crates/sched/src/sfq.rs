@@ -63,10 +63,7 @@ impl Scheduler for Sfq {
     }
 
     fn pick(&mut self, _rng: &mut SimRng) -> Option<ClassId> {
-        let best = self
-            .table
-            .eligible()
-            .min_by_key(|&c| (self.start[c], c))?;
+        let best = self.table.eligible().min_by_key(|&c| (self.start[c], c))?;
         self.vtime = self.start[best];
         Some(best)
     }

@@ -69,10 +69,7 @@ impl Scheduler for Stride {
     }
 
     fn pick(&mut self, _rng: &mut SimRng) -> Option<ClassId> {
-        let best = self
-            .table
-            .eligible()
-            .min_by_key(|&c| (self.pass[c], c))?;
+        let best = self.table.eligible().min_by_key(|&c| (self.pass[c], c))?;
         self.global_pass = self.pass[best];
         Some(best)
     }

@@ -88,8 +88,7 @@ impl Default for AllocatorConfig {
             feedback_bytes: 64,
             consistency_target: 0.9,
             hot_headroom: 1.2,
-            reliability: crate::reliability::ReliabilityLevel::Quasi { max_fb_share: 0.5 }
-                .into(),
+            reliability: crate::reliability::ReliabilityLevel::Quasi { max_fb_share: 0.5 }.into(),
         }
     }
 }
@@ -162,12 +161,8 @@ impl Allocator {
         //    ADUs, so the share found in packet units is scaled by the
         //    byte ratio when converting to bandwidth.
         let fb_share = if self.cfg.reliability.feedback && total_pkts > 0.0 {
-            let profile = ConsistencyProfile::analytic(
-                lambda_records.max(1e-3),
-                total_pkts,
-                0.1,
-                0.67,
-            );
+            let profile =
+                ConsistencyProfile::analytic(lambda_records.max(1e-3), total_pkts, 0.1, 0.67);
             profile.best_fb_share(loss, self.cfg.reliability.max_fb_share)
         } else {
             0.0
@@ -183,12 +178,7 @@ impl Allocator {
         let byte_ratio = self.cfg.feedback_bytes as f64 / self.cfg.adu_bytes as f64;
         let nack_term = total.mul_f64(fb_share * byte_ratio.min(1.0));
         let feedback = if self.cfg.reliability.feedback {
-            let backoff_secs = self
-                .cfg
-                .reliability
-                .repair_backoff
-                .as_secs_f64()
-                .max(0.05);
+            let backoff_secs = self.cfg.reliability.repair_backoff.as_secs_f64().max(0.05);
             let pkt_bits = ((self.cfg.feedback_bytes + 28) * 8) as f64;
             let floor = (4.0 / backoff_secs * pkt_bits) as u64;
             let cap = total.mul_f64(self.cfg.reliability.max_fb_share);
@@ -230,13 +220,8 @@ impl Allocator {
 
         // 4. Predict the outcome for the application.
         let predicted = if total_pkts > 0.0 {
-            ConsistencyProfile::analytic(
-                lambda_records.max(1e-3),
-                total_pkts,
-                0.1,
-                hot_share,
-            )
-            .predict(loss, fb_share)
+            ConsistencyProfile::analytic(lambda_records.max(1e-3), total_pkts, 0.1, hot_share)
+                .predict(loss, fb_share)
         } else {
             0.0
         };
@@ -350,9 +335,18 @@ mod tests {
             (SimTime::ZERO, Bandwidth::from_kbps(45)),
             (SimTime::from_secs(100), Bandwidth::from_kbps(20)),
         ]);
-        assert_eq!(sched.total(SimTime::from_secs(50)), Bandwidth::from_kbps(45));
-        assert_eq!(sched.total(SimTime::from_secs(100)), Bandwidth::from_kbps(20));
-        assert_eq!(sched.total(SimTime::from_secs(500)), Bandwidth::from_kbps(20));
+        assert_eq!(
+            sched.total(SimTime::from_secs(50)),
+            Bandwidth::from_kbps(45)
+        );
+        assert_eq!(
+            sched.total(SimTime::from_secs(100)),
+            Bandwidth::from_kbps(20)
+        );
+        assert_eq!(
+            sched.total(SimTime::from_secs(500)),
+            Bandwidth::from_kbps(20)
+        );
     }
 
     #[test]

@@ -50,7 +50,10 @@ impl ConsistencyProfile {
     /// Builds the analytic profile for a workload (rates in packets/s).
     pub fn analytic(lambda: f64, mu_total: f64, p_death: f64, hot_share: f64) -> Self {
         assert!(lambda > 0.0 && mu_total > 0.0, "rates must be positive");
-        assert!((0.0..=1.0).contains(&hot_share), "bad hot share {hot_share}");
+        assert!(
+            (0.0..=1.0).contains(&hot_share),
+            "bad hot share {hot_share}"
+        );
         ConsistencyProfile::Analytic {
             lambda,
             mu_total,
@@ -69,10 +72,7 @@ impl ConsistencyProfile {
             "fb_shares not sorted"
         );
         assert_eq!(grid.len(), losses.len(), "grid rows");
-        assert!(
-            grid.iter().all(|r| r.len() == fb_shares.len()),
-            "grid cols"
-        );
+        assert!(grid.iter().all(|r| r.len() == fb_shares.len()), "grid cols");
         ConsistencyProfile::Empirical {
             losses,
             fb_shares,
@@ -137,13 +137,8 @@ fn analytic_predict(
     // Death-limited ceiling: even a lossless channel cannot do better
     // than the §3 consistent fraction at zero loss, because a fraction
     // p_d of records die at their first announcement.
-    let ceiling = OpenLoop::new(
-        lambda.min(mu_data * p_death * 0.999),
-        mu_data,
-        0.0,
-        p_death,
-    )
-    .consistency_busy();
+    let ceiling = OpenLoop::new(lambda.min(mu_data * p_death * 0.999), mu_data, 0.0, p_death)
+        .consistency_busy();
 
     // Feedback coverage: the fraction of loss events a NACK can repair
     // promptly. Loss events arise at ~loss × data rate; each NACK itself
@@ -283,7 +278,10 @@ mod tests {
     fn analytic_feedback_helps_then_collapses() {
         let p = paper_profile();
         let at = |s: f64| p.predict(0.4, s);
-        assert!(at(0.25) > at(0.0) + 0.05, "moderate fb must help at 40% loss");
+        assert!(
+            at(0.25) > at(0.0) + 0.05,
+            "moderate fb must help at 40% loss"
+        );
         assert!(at(0.9) < at(0.25) - 0.2, "fb starving data must collapse");
     }
 
@@ -323,11 +321,8 @@ mod tests {
     #[test]
     #[should_panic(expected = "not sorted")]
     fn empirical_rejects_unsorted() {
-        let _ = ConsistencyProfile::empirical(
-            vec![0.5, 0.0],
-            vec![0.0],
-            vec![vec![1.0], vec![1.0]],
-        );
+        let _ =
+            ConsistencyProfile::empirical(vec![0.5, 0.0], vec![0.0], vec![vec![1.0], vec![1.0]]);
     }
 
     #[test]

@@ -22,7 +22,7 @@ use crate::reports::ReceiverReporter;
 use crate::wire::{NackPacket, Packet, RepairQueryPacket};
 use softstate::{Key, SubscriberTable, Value};
 use ss_netsim::{SimDuration, SimRng, SimTime};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
 /// Which content classes this receiver repairs.
 #[derive(Clone, Debug)]
@@ -92,7 +92,7 @@ impl ReceiverConfig {
 }
 
 /// A repair request awaiting its fire time.
-#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
 enum FbKind {
     Query(Path),
     Nack(Key),
@@ -134,13 +134,13 @@ pub struct SstpReceiver {
     /// Pending feedback, ordered by fire time (seq breaks ties).
     pending: BTreeMap<(SimTime, u64), FbKind>,
     /// Reverse index for cancellation/damping.
-    pending_index: HashMap<FbKind, (SimTime, u64)>,
+    pending_index: BTreeMap<FbKind, (SimTime, u64)>,
     /// Backoff bookkeeping: when each request was last issued (by us or
     /// an overheard peer).
-    last_attempt: HashMap<FbKind, SimTime>,
+    last_attempt: BTreeMap<FbKind, SimTime>,
     /// Fragment reassembly: per key, the version being assembled and the
     /// contiguous right edge held so far.
-    reasm: HashMap<Key, (u64, u32)>,
+    reasm: BTreeMap<Key, (u64, u32)>,
     next_seq: u64,
     rng: SimRng,
     stats: ReceiverStats,
@@ -158,9 +158,9 @@ impl SstpReceiver {
             mirror,
             reporter,
             pending: BTreeMap::new(),
-            pending_index: HashMap::new(),
-            last_attempt: HashMap::new(),
-            reasm: HashMap::new(),
+            pending_index: BTreeMap::new(),
+            last_attempt: BTreeMap::new(),
+            reasm: BTreeMap::new(),
             next_seq: 0,
             rng,
             stats: ReceiverStats::default(),
@@ -530,7 +530,10 @@ mod tests {
         s.withdraw(k1);
         let fb = repair_round(SimTime::from_secs(2), &mut s, &mut r);
         assert!(fb >= 1);
-        assert!(r.replica().get(k1).is_none(), "tombstone must purge replica");
+        assert!(
+            r.replica().get(k1).is_none(),
+            "tombstone must purge replica"
+        );
         assert_eq!(softstate::measure_tables(s.table(), r.replica()), Some(1.0));
     }
 
@@ -604,7 +607,10 @@ mod tests {
         assert!(r.poll_feedback(now).is_empty(), "not due yet");
 
         // Overhear a peer's identical query before the slot fires: damp.
-        r.on_packet(now, &Packet::RepairQuery(RepairQueryPacket { path: vec![] }));
+        r.on_packet(
+            now,
+            &Packet::RepairQuery(RepairQueryPacket { path: vec![] }),
+        );
         assert_eq!(r.next_feedback_at(), None);
         assert_eq!(r.stats().damped, 1);
     }

@@ -51,7 +51,10 @@ impl ReliabilityParams {
     /// Validates invariants (call after hand-constructing).
     pub fn validate(&self) -> Result<(), String> {
         if !(0.0..=0.9).contains(&self.max_fb_share) {
-            return Err(format!("max_fb_share {} out of [0, 0.9]", self.max_fb_share));
+            return Err(format!(
+                "max_fb_share {} out of [0, 0.9]",
+                self.max_fb_share
+            ));
         }
         if self.feedback && self.max_fb_share == 0.0 {
             return Err("feedback enabled with a zero feedback budget".into());

@@ -61,7 +61,10 @@ impl LossEstimator {
     /// An estimator smoothing interval losses with weight `alpha` for the
     /// newest observation (RTCP implementations typically use ~1/8–1/4).
     pub fn new(alpha: f64) -> Self {
-        assert!((0.0..=1.0).contains(&alpha) && alpha > 0.0, "bad alpha {alpha}");
+        assert!(
+            (0.0..=1.0).contains(&alpha) && alpha > 0.0,
+            "bad alpha {alpha}"
+        );
         LossEstimator {
             alpha,
             ewma: None,
@@ -123,7 +126,7 @@ mod tests {
     #[test]
     fn estimator_computes_interval_loss() {
         let mut est = LossEstimator::new(1.0); // no smoothing: direct
-        // Interval 1: seqs 0..=9 sent, 8 received.
+                                               // Interval 1: seqs 0..=9 sent, 8 received.
         let l1 = est
             .on_report(&ReceiverReportPacket {
                 receiver_id: 0,

@@ -19,10 +19,10 @@ use crate::wire::{DataPacket, NodeSummaryPacket, Packet, RootSummaryPacket};
 use softstate::{Key, PublisherTable};
 use ss_netsim::{SimRng, SimTime};
 use ss_sched::{Scheduler, Stride};
-use std::collections::{BTreeMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 /// What waits in the hot (foreground) queue.
-#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
 enum HotItem {
     /// (Re)transmission of a record's current value.
     Data(Key),
@@ -74,7 +74,7 @@ pub struct SstpSender {
     /// control class carrying repair responses).
     class_of_tag: BTreeMap<u32, usize>,
     sched_rng: SimRng,
-    queued: HashSet<HotItem>,
+    queued: BTreeSet<HotItem>,
     /// Round-robin snapshot for cold data cycling.
     cycle: Vec<Key>,
     /// Maximum application payload per data packet; ADUs above this are
@@ -112,7 +112,7 @@ impl SstpSender {
             hot_sched,
             class_of_tag: BTreeMap::new(),
             sched_rng: SimRng::new(0x5f3d),
-            queued: HashSet::new(),
+            queued: BTreeSet::new(),
             cycle: Vec::new(),
             mtu: u32::MAX,
             hot_frag: None,
@@ -401,10 +401,9 @@ impl SstpSender {
         }
         loop {
             if self.cycle.is_empty() {
+                // live() iterates the BTreeMap-backed table in ascending
+                // key order (lint rule D002 guarantees it stays ordered).
                 self.cycle = self.table.live().map(|r| r.key).collect();
-                // HashMap order is nondeterministic across runs; sort so
-                // equal seeds give identical simulations.
-                self.cycle.sort();
                 self.cycle.reverse(); // pop() serves in ascending order
                 if self.cycle.is_empty() {
                     return None;

@@ -29,10 +29,10 @@ use crate::wire::Packet;
 use softstate::consistency::ConsistencyAverages;
 use softstate::{ArrivalProcess, ConsistencyMeter, Key, LossSpec};
 use ss_netsim::{
-    run_until, Bandwidth, DurationHistogram, EventQueue, LossModel, SimDuration, SimRng,
-    SimTime, World,
+    run_until, Bandwidth, DurationHistogram, EventQueue, LossModel, SimDuration, SimRng, SimTime,
+    World,
 };
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// The application workload driving a session.
 #[derive(Clone, Debug)]
@@ -238,8 +238,8 @@ struct Sim {
     /// Ground-truth instrumentation.
     meters: Vec<ConsistencyMeter>,
     latencies: Vec<DurationHistogram>,
-    latency_seen: Vec<HashSet<Key>>,
-    born_at: HashMap<Key, SimTime>,
+    latency_seen: Vec<BTreeSet<Key>>,
+    born_at: BTreeMap<Key, SimTime>,
     /// Workload state.
     rng_arrival: SimRng,
     rng_lifetime: SimRng,
@@ -305,11 +305,7 @@ impl Sim {
 
         let allocator = Allocator::new(cfg.allocator.clone());
         let bw_source = StaticBandwidth(cfg.total_bandwidth);
-        let allocation = allocator.allocate(
-            cfg.total_bandwidth,
-            0.0,
-            cfg.workload.arrivals.rate(),
-        );
+        let allocation = allocator.allocate(cfg.total_bandwidth, 0.0, cfg.workload.arrivals.rate());
 
         Sim {
             sender,
@@ -329,9 +325,11 @@ impl Sim {
             meters: (0..cfg.n_receivers)
                 .map(|_| ConsistencyMeter::new(SimTime::ZERO))
                 .collect(),
-            latencies: (0..cfg.n_receivers).map(|_| DurationHistogram::new()).collect(),
-            latency_seen: vec![HashSet::new(); cfg.n_receivers],
-            born_at: HashMap::new(),
+            latencies: (0..cfg.n_receivers)
+                .map(|_| DurationHistogram::new())
+                .collect(),
+            latency_seen: vec![BTreeSet::new(); cfg.n_receivers],
+            born_at: BTreeMap::new(),
             rng_arrival: root_rng.derive("arrival"),
             rng_lifetime: root_rng.derive("lifetime"),
             branches,
@@ -397,7 +395,11 @@ impl Sim {
     }
 
     fn schedule_next_arrival(&mut self, q: &mut EventQueue<Ev>) {
-        if let Some(dt) = self.cfg.workload.arrivals.next_interarrival(&mut self.rng_arrival)
+        if let Some(dt) = self
+            .cfg
+            .workload
+            .arrivals
+            .next_interarrival(&mut self.rng_arrival)
         {
             q.schedule_in(dt, Ev::AppArrival);
         }
@@ -478,7 +480,10 @@ impl Sim {
         if ch.loss.is_lost(&mut ch.rng) {
             self.packets.feedback_lost += 1;
         } else {
-            q.schedule(depart + self.cfg.prop_delay, Ev::FbArriveSender(pkt.clone()));
+            q.schedule(
+                depart + self.cfg.prop_delay,
+                Ev::FbArriveSender(pkt.clone()),
+            );
         }
         // Overheard by peers (multicast feedback), when there are any.
         if self.receivers.len() > 1 {
@@ -839,8 +844,7 @@ mod tests {
         let c = report.mean_consistency();
         assert!(c > 0.7, "fragmented session consistency {c}");
         assert!(
-            report.receivers[0].stats.fragments_advanced
-                > report.receivers[0].stats.data_applied,
+            report.receivers[0].stats.fragments_advanced > report.receivers[0].stats.data_applied,
             "multiple fragments per applied ADU"
         );
     }

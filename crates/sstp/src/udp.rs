@@ -433,7 +433,7 @@ mod tests {
     #[test]
     fn token_bucket_enforces_rate() {
         let mut b = TokenBucket::new(Bandwidth::from_kbps(8)); // 1000 B/s
-        // The bucket starts full (one second of burst).
+                                                               // The bucket starts full (one second of burst).
         assert!(b.try_take(1000));
         // Immediately asking for another 1000 B must fail.
         assert!(!b.try_take(1000));

@@ -417,7 +417,11 @@ impl Packet {
                         other => return Err(WireError::BadTag(other)),
                     });
                 }
-                Ok(Packet::NodeSummary(NodeSummaryPacket { seq, path, entries }))
+                Ok(Packet::NodeSummary(NodeSummaryPacket {
+                    seq,
+                    path,
+                    entries,
+                }))
             }
             TAG_QUERY => Ok(Packet::RepairQuery(RepairQueryPacket {
                 path: get_path(b)?,
@@ -563,10 +567,7 @@ mod tests {
 
     #[test]
     fn data_seq_only_on_data_channel_packets() {
-        assert_eq!(
-            Packet::Nack(NackPacket { keys: vec![] }).data_seq(),
-            None
-        );
+        assert_eq!(Packet::Nack(NackPacket { keys: vec![] }).data_seq(), None);
         assert_eq!(
             Packet::RepairQuery(RepairQueryPacket { path: vec![] }).data_seq(),
             None

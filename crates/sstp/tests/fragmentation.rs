@@ -4,12 +4,12 @@
 //! the ordinary digest-descent machinery.
 
 use softstate::measure_tables;
+use ss_netsim::{SimDuration, SimRng, SimTime};
 use sstp::digest::HashAlgorithm;
 use sstp::namespace::MetaTag;
 use sstp::receiver::{ReceiverConfig, SstpReceiver};
 use sstp::sender::SstpSender;
 use sstp::wire::Packet;
-use ss_netsim::{SimDuration, SimRng, SimTime};
 
 fn pair(mtu: u32) -> (SstpSender, SstpReceiver) {
     let tx = SstpSender::new(HashAlgorithm::Fnv64, 1000).with_mtu(mtu);
@@ -64,13 +64,20 @@ fn large_adu_fragments_and_reassembles() {
         assert_eq!(d.total_len, 3500);
         offsets.push((d.offset, d.payload_len));
     }
-    assert_eq!(offsets, vec![(0, 1000), (1000, 1000), (2000, 1000), (3000, 500)]);
+    assert_eq!(
+        offsets,
+        vec![(0, 1000), (1000, 1000), (2000, 1000), (3000, 500)]
+    );
 
     // Deliver all fragments: the replica takes the complete value once.
     for (i, p) in frags.iter().enumerate() {
         rx.on_packet(SimTime::from_millis(i as u64), p);
         let done = rx.replica().get(key).is_some();
-        assert_eq!(done, i == frags.len() - 1, "complete only at the last fragment");
+        assert_eq!(
+            done,
+            i == frags.len() - 1,
+            "complete only at the last fragment"
+        );
     }
     assert_eq!(measure_tables(tx.table(), rx.replica()), Some(1.0));
     assert_eq!(rx.stats().fragments_advanced, 4);

@@ -8,8 +8,8 @@ use softstate::Key;
 use sstp::digest::{Digest, HashAlgorithm};
 use sstp::namespace::{MetaTag, Namespace};
 use sstp::wire::{
-    DataPacket, NackPacket, NodeSummaryPacket, Packet, ReceiverReportPacket,
-    RepairQueryPacket, RootSummaryPacket, WireChildEntry,
+    DataPacket, NackPacket, NodeSummaryPacket, Packet, ReceiverReportPacket, RepairQueryPacket,
+    RootSummaryPacket, WireChildEntry,
 };
 
 fn arb_digest() -> impl Strategy<Value = Digest> {
@@ -55,19 +55,21 @@ fn arb_packet() -> impl Strategy<Value = Packet> {
             any::<u32>(),
             (0u32..100_000, 0u32..10_000, 0u32..100_000),
         )
-            .prop_map(|(seq, key, version, parent_path, slot, tag, (offset, payload_len, total_len))| {
-                Packet::Data(DataPacket {
-                    seq,
-                    key: Key(key),
-                    version,
-                    parent_path,
-                    slot,
-                    tag: MetaTag(tag),
-                    offset,
-                    payload_len,
-                    total_len,
-                })
-            }),
+            .prop_map(
+                |(seq, key, version, parent_path, slot, tag, (offset, payload_len, total_len))| {
+                    Packet::Data(DataPacket {
+                        seq,
+                        key: Key(key),
+                        version,
+                        parent_path,
+                        slot,
+                        tag: MetaTag(tag),
+                        offset,
+                        payload_len,
+                        total_len,
+                    })
+                }
+            ),
         (any::<u64>(), arb_digest(), any::<u32>()).prop_map(|(seq, digest, live_adus)| {
             Packet::RootSummary(RootSummaryPacket {
                 seq,
@@ -75,9 +77,18 @@ fn arb_packet() -> impl Strategy<Value = Packet> {
                 live_adus,
             })
         }),
-        (any::<u64>(), arb_path(), prop::collection::vec(arb_entry(), 0..40)).prop_map(
-            |(seq, path, entries)| Packet::NodeSummary(NodeSummaryPacket { seq, path, entries })
-        ),
+        (
+            any::<u64>(),
+            arb_path(),
+            prop::collection::vec(arb_entry(), 0..40)
+        )
+            .prop_map(
+                |(seq, path, entries)| Packet::NodeSummary(NodeSummaryPacket {
+                    seq,
+                    path,
+                    entries
+                })
+            ),
         arb_path().prop_map(|path| Packet::RepairQuery(RepairQueryPacket { path })),
         prop::collection::vec(any::<u64>().prop_map(Key), 0..64)
             .prop_map(|keys| Packet::Nack(NackPacket { keys })),

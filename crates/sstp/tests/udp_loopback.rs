@@ -5,11 +5,11 @@
 //! Timing bounds are generous (seconds of budget for sub-second
 //! convergence) to stay robust on loaded CI machines.
 
+use ss_netsim::SimDuration;
 use sstp::digest::HashAlgorithm;
 use sstp::namespace::MetaTag;
 use sstp::receiver::ReceiverConfig;
 use sstp::udp::{UdpConfig, UdpPublisher, UdpSubscriber};
-use ss_netsim::SimDuration;
 use std::net::SocketAddr;
 use std::time::{Duration, Instant};
 
@@ -69,7 +69,12 @@ fn lossless_loopback_delivers_everything() {
         .collect();
 
     assert!(
-        drive_until(&mut publisher, &mut subscriber, keys.len(), Duration::from_secs(5)),
+        drive_until(
+            &mut publisher,
+            &mut subscriber,
+            keys.len(),
+            Duration::from_secs(5)
+        ),
         "subscriber should hold all {} records; has {}",
         keys.len(),
         subscriber.receiver().replica().len()
@@ -100,7 +105,10 @@ fn injected_loss_is_repaired_via_real_feedback() {
         n,
         subscriber.stats().injected_drops
     );
-    assert!(subscriber.stats().injected_drops > 0, "loss must have occurred");
+    assert!(
+        subscriber.stats().injected_drops > 0,
+        "loss must have occurred"
+    );
     // Feedback really flowed: the publisher processed NACKs or queries.
     let s = publisher.sender().stats();
     assert!(
@@ -116,7 +124,12 @@ fn updates_and_withdrawals_propagate() {
     let now = publisher.now();
     let k1 = publisher.sender_mut().publish(now, root, MetaTag(0));
     let k2 = publisher.sender_mut().publish(now, root, MetaTag(0));
-    assert!(drive_until(&mut publisher, &mut subscriber, 2, Duration::from_secs(5)));
+    assert!(drive_until(
+        &mut publisher,
+        &mut subscriber,
+        2,
+        Duration::from_secs(5)
+    ));
 
     // Update k1, withdraw k2.
     publisher.sender_mut().update(k1);

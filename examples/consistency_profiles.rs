@@ -7,17 +7,20 @@
 //! cargo run --example consistency_profiles
 //! ```
 
-use sstp::allocator::{Allocator, AllocatorConfig};
-use sstp::reliability::ReliabilityLevel;
 use ss_netsim::Bandwidth;
 use ss_queueing::OpenLoop;
+use sstp::allocator::{Allocator, AllocatorConfig};
+use sstp::reliability::ReliabilityLevel;
 
 fn main() {
     // Figure 3/4 closed forms: lambda = 20 kbps, mu = 128 kbps (pkt/s with
     // 1000-byte ADUs).
     let (lambda, mu) = (2.5, 16.0);
     println!("open-loop closed forms (lambda = 20 kbps, mu_ch = 128 kbps):\n");
-    println!("{:>5}  {:>9} {:>9} {:>9}  {:>8}", "loss", "pd=0.10", "pd=0.25", "pd=0.50", "waste@.1");
+    println!(
+        "{:>5}  {:>9} {:>9} {:>9}  {:>8}",
+        "loss", "pd=0.10", "pd=0.25", "pd=0.50", "waste@.1"
+    );
     for i in 0..=9 {
         let p_loss = i as f64 * 0.1;
         let c = |pd: f64| OpenLoop::new(lambda, mu, p_loss, pd).consistency_unnormalized();

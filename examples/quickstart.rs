@@ -6,8 +6,8 @@
 //! ```
 
 use softstate::{ArrivalProcess, LossSpec};
-use sstp::session::{self, SessionConfig, SessionWorkload};
 use ss_netsim::SimDuration;
+use sstp::session::{self, SessionConfig, SessionWorkload};
 
 fn main() {
     // A unicast SSTP session: 45 kbps budget, 20% packet loss both ways,
@@ -28,7 +28,10 @@ fn main() {
     let rx = &report.receivers[0];
 
     println!();
-    println!("consistency (time-averaged):   {:.1}%", report.mean_consistency() * 100.0);
+    println!(
+        "consistency (time-averaged):   {:.1}%",
+        report.mean_consistency() * 100.0
+    );
     println!(
         "receive latency (mean / p90):  {:.0} ms / {:.0} ms",
         rx.latency.mean().as_secs_f64() * 1000.0,
@@ -54,6 +57,9 @@ fn main() {
         );
     }
 
-    assert!(report.mean_consistency() > 0.7, "session failed to converge");
+    assert!(
+        report.mean_consistency() > 0.7,
+        "session failed to converge"
+    );
     println!("\nok: the subscriber tracked the publisher through 20% loss.");
 }

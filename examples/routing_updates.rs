@@ -15,11 +15,11 @@
 //! ```
 
 use softstate::{measure_tables, Key};
+use ss_netsim::{Bernoulli, LossModel, SimDuration, SimRng, SimTime};
 use sstp::digest::HashAlgorithm;
 use sstp::namespace::MetaTag;
 use sstp::receiver::{ReceiverConfig, SstpReceiver};
 use sstp::sender::SstpSender;
-use ss_netsim::{Bernoulli, LossModel, SimDuration, SimRng, SimTime};
 
 const ROUTES: usize = 24;
 const TTL_SECS: u64 = 30;
@@ -40,10 +40,10 @@ fn main() {
 
     // Helper: one announce/listen round at time `now`.
     let round = |router: &mut SstpSender,
-                     listener: &mut SstpReceiver,
-                     now: SimTime,
-                     rng: &mut SimRng,
-                     loss: &mut Bernoulli| {
+                 listener: &mut SstpReceiver,
+                 now: SimTime,
+                 rng: &mut SimRng,
+                 loss: &mut Bernoulli| {
         listener.expire(now);
         let summary = router.summary_packet();
         if !loss.is_lost(rng) {

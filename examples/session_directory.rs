@@ -13,12 +13,12 @@
 //! ```
 
 use softstate::measure_tables;
+use ss_netsim::{Bernoulli, LossModel, SimDuration, SimRng, SimTime};
 use sstp::digest::HashAlgorithm;
 use sstp::namespace::MetaTag;
 use sstp::receiver::{ReceiverConfig, SstpReceiver};
 use sstp::sender::SstpSender;
 use sstp::wire::Packet;
-use ss_netsim::{Bernoulli, LossModel, SimDuration, SimRng, SimTime};
 
 /// Delivers a packet through 30% loss.
 fn lossy_deliver(
@@ -57,7 +57,10 @@ fn main() {
         };
         sdr.publish(now, branch, MetaTag(i % 3 + 1));
     }
-    println!("directory holds {} conference entries", sdr.table().live_count());
+    println!(
+        "directory holds {} conference entries",
+        sdr.table().live_count()
+    );
 
     // A receiver listening from the start, over 30% loss.
     let mut early = SstpReceiver::new(
@@ -68,7 +71,10 @@ fn main() {
         lossy_deliver(&mut early, now, &pkt, &mut loss, &mut rng);
     }
     let c0 = measure_tables(sdr.table(), early.replica()).unwrap();
-    println!("early receiver after the initial announcements: {:.0}% consistent", c0 * 100.0);
+    println!(
+        "early receiver after the initial announcements: {:.0}% consistent",
+        c0 * 100.0
+    );
 
     // A late joiner arrives two minutes in, knowing nothing.
     now = SimTime::from_secs(120);

@@ -12,9 +12,9 @@
 //! ```
 
 use softstate::{ArrivalProcess, LossSpec};
+use ss_netsim::SimDuration;
 use sstp::reliability::ReliabilityLevel;
 use sstp::session::{self, SessionConfig, SessionWorkload};
-use ss_netsim::SimDuration;
 
 fn run_level(level: ReliabilityLevel, label: &str) {
     let mut cfg = SessionConfig::unicast_default(2024);
@@ -23,7 +23,10 @@ fn run_level(level: ReliabilityLevel, label: &str) {
     cfg.fb_loss = LossSpec::Bernoulli(0.25);
     // 40 symbols updated ~4 times per second in aggregate.
     cfg.workload = SessionWorkload {
-        arrivals: ArrivalProcess::PoissonUpdates { rate: 4.0, keys: 40 },
+        arrivals: ArrivalProcess::PoissonUpdates {
+            rate: 4.0,
+            keys: 40,
+        },
         mean_lifetime_secs: None,
         branches: 4,
         class_weights: None,

@@ -9,11 +9,11 @@
 //! cargo run --example udp_live
 //! ```
 
+use ss_netsim::SimDuration;
 use sstp::digest::HashAlgorithm;
 use sstp::namespace::MetaTag;
 use sstp::receiver::ReceiverConfig;
 use sstp::udp::{UdpConfig, UdpPublisher, UdpSubscriber};
-use ss_netsim::SimDuration;
 use std::time::{Duration, Instant};
 
 fn main() -> std::io::Result<()> {

@@ -1,0 +1,74 @@
+//! The double-run reproducibility harness.
+//!
+//! The claim the `ss-lint` rules exist to protect: every simulation
+//! result is a pure function of its configuration and seed. This test
+//! drives the Figure 5 two-queue experiment end to end **twice** with the
+//! same seed and requires the serialized reports to be byte-identical —
+//! not merely "statistically close". Any nondeterminism that creeps in
+//! (hash iteration order feeding event order, a wall clock, ambient
+//! randomness) breaks the byte comparison long before it would move an
+//! average. A different seed must, conversely, produce a different
+//! trajectory, proving the comparison has teeth.
+
+use softstate::protocol::two_queue::{run, Sharing, TwoQueueConfig};
+use softstate::{ArrivalProcess, DeathProcess, LossSpec, ServiceModel};
+use ss_netsim::SimDuration;
+
+/// Figure 5's workload in packets/s (λ = 1.875/s, μ_data = 5.625/s split
+/// 40/60 hot/cold), shortened to keep the double run fast.
+fn fig5_cfg(seed: u64) -> TwoQueueConfig {
+    let mu_data = 5.625;
+    let hot_share = 0.40;
+    TwoQueueConfig {
+        arrivals: ArrivalProcess::Poisson { rate: 1.875 },
+        death: DeathProcess::PerTransmission { p: 0.1 },
+        mu_hot: mu_data * hot_share,
+        mu_cold: mu_data * (1.0 - hot_share),
+        loss: LossSpec::Bernoulli(0.2),
+        service: ServiceModel::Exponential,
+        sharing: Sharing::Partitioned,
+        seed,
+        duration: SimDuration::from_secs(4_000),
+        series_spacing: Some(SimDuration::from_secs(100)),
+    }
+}
+
+/// Serializes a report for exact comparison. `Debug` formatting prints
+/// every counter, histogram, and the sampled `c(t)` series, so two equal
+/// strings mean the full observable state of the runs matched.
+fn serialized(seed: u64) -> String {
+    format!("{:#?}", run(&fig5_cfg(seed)))
+}
+
+#[test]
+fn same_seed_is_byte_identical() {
+    let a = serialized(11);
+    let b = serialized(11);
+    assert!(
+        a == b,
+        "two runs with the same seed diverged; a determinism invariant \
+         (D001-D003) has been violated somewhere in the stack"
+    );
+}
+
+#[test]
+fn different_seed_diverges() {
+    let a = serialized(11);
+    let b = serialized(12);
+    assert!(
+        a != b,
+        "different seeds produced identical trajectories; the seed is \
+         not reaching the simulation and the identity check is vacuous"
+    );
+}
+
+#[test]
+fn work_conserving_variant_is_also_byte_identical() {
+    // The scheduler path draws from its own RNG streams; cover it too.
+    use softstate::protocol::two_queue::Policy;
+    let mut cfg = fig5_cfg(7);
+    cfg.sharing = Sharing::WorkConserving(Policy::Stride);
+    let a = format!("{:#?}", run(&cfg));
+    let b = format!("{:#?}", run(&cfg));
+    assert!(a == b, "work-conserving run not reproducible");
+}

@@ -2,9 +2,9 @@
 //! spanning netsim, sched, queueing, softstate, and sstp.
 
 use softstate::{ArrivalProcess, LossSpec};
+use ss_netsim::{Bandwidth, SimDuration};
 use sstp::reliability::ReliabilityLevel;
 use sstp::session::{self, SessionConfig, SessionWorkload};
-use ss_netsim::{Bandwidth, SimDuration};
 
 fn quick(seed: u64) -> SessionConfig {
     let mut cfg = SessionConfig::unicast_default(seed);
@@ -119,7 +119,10 @@ fn tiny_bandwidth_overload_reports_backpressure() {
         class_weights: None,
     };
     let r = session::run(&cfg);
-    assert!(r.rate_warnings > 0, "allocator must signal the app to slow down");
+    assert!(
+        r.rate_warnings > 0,
+        "allocator must signal the app to slow down"
+    );
 }
 
 #[test]
@@ -136,7 +139,10 @@ fn multicast_group_converges_with_damping() {
         assert!(c > 0.6, "receiver {i} consistency {c}");
     }
     let total_damped: u64 = r.receivers.iter().map(|x| x.stats.damped).sum();
-    assert!(total_damped > 0, "a 5-receiver group should damp duplicates");
+    assert!(
+        total_damped > 0,
+        "a 5-receiver group should damp duplicates"
+    );
 }
 
 #[test]

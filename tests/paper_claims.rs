@@ -75,7 +75,10 @@ fn section3_stability_condition() {
     let stable_short = occupancy(0.25, 10_000);
     let stable_long = occupancy(0.25, 40_000);
     assert!((stable_long - stable.mean_live_records()).abs() < 0.3);
-    assert!((stable_long - stable_short).abs() < 0.5, "stable occupancy settles");
+    assert!(
+        (stable_long - stable_short).abs() < 0.5,
+        "stable occupancy settles"
+    );
     let unstable_short = occupancy(0.10, 10_000);
     let unstable_long = occupancy(0.10, 40_000);
     assert!(
@@ -109,8 +112,14 @@ fn section4_knee_and_figure5_range() {
         at.stats.consistency.busy.unwrap(),
         above.stats.consistency.busy.unwrap(),
     );
-    assert!(ca - cb > 0.10, "crossing the knee gains >=10%: {cb} -> {ca}");
-    assert!((cu - ca).abs() < 0.08, "beyond the knee is flat: {ca} vs {cu}");
+    assert!(
+        ca - cb > 0.10,
+        "crossing the knee gains >=10%: {cb} -> {ca}"
+    );
+    assert!(
+        (cu - ca).abs() < 0.08,
+        "beyond the knee is flat: {ca} vs {cu}"
+    );
 }
 
 #[test]
@@ -184,5 +193,8 @@ fn conclusion_claim_aging_plus_feedback_range() {
     // data a protected lane.
     assert!(c_two > c_single, "aging helps: {c_single} -> {c_two}");
     assert!(c_fb > c_two, "feedback helps further: {c_two} -> {c_fb}");
-    assert!(c_fb - c_single >= 0.10, "combined gain >= 10%: {c_single} -> {c_fb}");
+    assert!(
+        c_fb - c_single >= 0.10,
+        "combined gain >= 10%: {c_single} -> {c_fb}"
+    );
 }

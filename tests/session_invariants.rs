@@ -4,9 +4,9 @@
 
 use proptest::prelude::*;
 use softstate::{ArrivalProcess, LossSpec};
+use ss_netsim::{Bandwidth, SimDuration};
 use sstp::reliability::ReliabilityLevel;
 use sstp::session::{self, SessionConfig, SessionWorkload};
-use ss_netsim::{Bandwidth, SimDuration};
 
 fn arb_reliability() -> impl Strategy<Value = ReliabilityLevel> {
     prop_oneof![
@@ -19,13 +19,13 @@ fn arb_reliability() -> impl Strategy<Value = ReliabilityLevel> {
 
 fn arb_config() -> impl Strategy<Value = SessionConfig> {
     (
-        any::<u64>(),                 // seed
-        0.0f64..0.6,                  // loss
-        0.2f64..3.0,                  // arrival rate
-        1usize..5,                    // receivers
+        any::<u64>(), // seed
+        0.0f64..0.6,  // loss
+        0.2f64..3.0,  // arrival rate
+        1usize..5,    // receivers
         arb_reliability(),
-        prop::bool::ANY,              // lifetimes on/off
-        20u64..120,                   // bandwidth kbps
+        prop::bool::ANY, // lifetimes on/off
+        20u64..120,      // bandwidth kbps
     )
         .prop_map(|(seed, loss, rate, n_receivers, level, lifetimes, kbps)| {
             let mut cfg = SessionConfig::unicast_default(seed);
