@@ -38,6 +38,7 @@ fn benches(c: &mut Criterion) {
                 seed: 2,
                 duration: SimDuration::from_secs(SIM_SECS),
                 series_spacing: None,
+                event_capacity: 0,
             };
             two_queue::run(&cfg).transmissions()
         });
@@ -58,6 +59,7 @@ fn benches(c: &mut Criterion) {
                 duration: SimDuration::from_secs(SIM_SECS),
                 series_spacing: None,
                 trace_capacity: 0,
+                event_capacity: 0,
             };
             feedback::run(&cfg).transmissions()
         });

@@ -7,7 +7,7 @@
 //! experiments --fast all       # shortened runs (smoke testing)
 //! ```
 
-use ss_bench::{all_experiments, find_experiment, results_dir};
+use ss_bench::{all_experiments, find_experiment, metrics_dir, results_dir};
 // lint: allow(D001, wall-clock progress reporting for the human running the suite)
 use std::time::Instant;
 
@@ -28,20 +28,30 @@ fn run_one(id: &str, fast: bool) {
     // lint: allow(D001, timing printed to the operator; never feeds results)
     let started = Instant::now();
     println!("# {} — {}", exp.id, exp.description);
-    let tables = (exp.run)(fast);
+    let output = (exp.run)(fast);
     let dir = results_dir();
-    for t in &tables {
+    for t in &output.tables {
         t.print();
         if let Err(e) = t.write_csv(&dir) {
             eprintln!("warning: could not write {}: {e}", t.csv_name);
         }
     }
+    if !output.metrics.is_empty() {
+        let mdir = metrics_dir();
+        for m in &output.metrics {
+            let path = mdir.join(format!("{}.jsonl", m.name));
+            if let Err(e) = std::fs::write(&path, &m.jsonl) {
+                eprintln!("warning: could not write {}: {e}", path.display());
+            }
+        }
+    }
     println!(
-        "# {} done in {:.1}s ({} table(s) -> {}/)\n",
+        "# {} done in {:.1}s ({} table(s) -> {}/, {} metrics artifact(s))\n",
         exp.id,
         started.elapsed().as_secs_f64(),
-        tables.len(),
-        dir.display()
+        output.tables.len(),
+        dir.display(),
+        output.metrics.len()
     );
 }
 

@@ -13,7 +13,7 @@ use ss_netsim::SimDuration;
 use sstp::session::{self, SessionConfig};
 
 /// Runs the experiment.
-pub fn run(fast: bool) -> Vec<Table> {
+pub fn run(fast: bool) -> crate::ExperimentOutput {
     let mut t = Table::new(
         "SSTP adaptation: measured loss drives the bandwidth split",
         "adapt",
@@ -53,14 +53,14 @@ pub fn run(fast: bool) -> Vec<Table> {
             fmt_frac(last.predicted_consistency),
         ]);
     }
-    vec![t]
+    vec![t].into()
 }
 
 #[cfg(test)]
 mod tests {
     #[test]
     fn smoke() {
-        let tables = super::run(true);
+        let tables = super::run(true).tables;
         let rows = &tables[0].rows;
         // Loss estimates track the truth.
         let est_lo: f64 = rows[0][1].trim_end_matches('%').parse::<f64>().unwrap() / 100.0;

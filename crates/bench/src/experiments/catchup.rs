@@ -28,6 +28,7 @@ fn simulate(n: u64, p_loss: f64, seed: u64) -> f64 {
         seed,
         duration: SimDuration::from_secs(((n as f64 / MU) * 200.0) as u64 + 600),
         series_spacing: None,
+        event_capacity: 0,
     };
     let report = open_loop::run(&cfg);
     assert_eq!(report.stats.latency.count(), n, "all records delivered");
@@ -35,7 +36,7 @@ fn simulate(n: u64, p_loss: f64, seed: u64) -> f64 {
 }
 
 /// Runs the experiment.
-pub fn run(fast: bool) -> Vec<Table> {
+pub fn run(fast: bool) -> crate::ExperimentOutput {
     let mut t = Table::new(
         "Late-joiner catch-up: analytic vs simulated full-sync time (mu = 20/s)",
         "catchup",
@@ -75,14 +76,14 @@ pub fn run(fast: bool) -> Vec<Table> {
             fmt_pct(rel),
         ]);
     }
-    vec![t]
+    vec![t].into()
 }
 
 #[cfg(test)]
 mod tests {
     #[test]
     fn smoke() {
-        let tables = super::run(true);
+        let tables = super::run(true).tables;
         for row in &tables[0].rows {
             let rel: f64 = row[5].trim_end_matches('%').parse::<f64>().unwrap() / 100.0;
             // The first-order analysis should land within ~20% of the

@@ -39,7 +39,7 @@ fn cfg(level: ReliabilityLevel, loss: f64, fast: bool) -> SessionConfig {
 }
 
 /// Runs the experiment.
-pub fn run(fast: bool) -> Vec<Table> {
+pub fn run(fast: bool) -> crate::ExperimentOutput {
     let mut t = Table::new(
         "Reliability continuum: consistency and overhead per level (50-key update workload)",
         "continuum",
@@ -71,14 +71,14 @@ pub fn run(fast: bool) -> Vec<Table> {
             ]);
         }
     }
-    vec![t]
+    vec![t].into()
 }
 
 #[cfg(test)]
 mod tests {
     #[test]
     fn smoke() {
-        let tables = super::run(true);
+        let tables = super::run(true).tables;
         let rows = &tables[0].rows;
         let c = |i: usize| -> f64 { rows[i][2].parse().unwrap() };
         let fb = |i: usize| -> u64 { rows[i][4].parse().unwrap() };

@@ -27,11 +27,12 @@ pub(crate) fn cfg(hot_share: f64, p_loss: f64, fast: bool) -> FeedbackConfig {
         duration: secs(fast, 30_000),
         series_spacing: None,
         trace_capacity: 0,
+        event_capacity: 0,
     }
 }
 
 /// Runs the experiment.
-pub fn run(fast: bool) -> Vec<Table> {
+pub fn run(fast: bool) -> crate::ExperimentOutput {
     let mut t = Table::new(
         "Figure 10: consistency vs hot share (mu_data=38kbps, mu_fb=7kbps, loss=10%, knee at 39%)",
         "fig10",
@@ -51,14 +52,14 @@ pub fn run(fast: bool) -> Vec<Table> {
             report.promotions.to_string(),
         ]);
     }
-    vec![t]
+    vec![t].into()
 }
 
 #[cfg(test)]
 mod tests {
     #[test]
     fn smoke() {
-        let tables = super::run(true);
+        let tables = super::run(true).tables;
         let rows = &tables[0].rows;
         let c = |i: usize| -> f64 { rows[i][1].parse().unwrap() };
         // Below the knee: degraded. Above: plateau.

@@ -15,7 +15,7 @@ use softstate::protocol::feedback;
 const LOSS_RATES: [f64; 5] = [0.01, 0.20, 0.30, 0.40, 0.50];
 
 /// Runs the experiment.
-pub fn run(fast: bool) -> Vec<Table> {
+pub fn run(fast: bool) -> crate::ExperimentOutput {
     let mut t = Table::new(
         "Figure 11: consistency vs hot share per loss rate (mu_data=38kbps, mu_fb=7kbps)",
         "fig11",
@@ -41,14 +41,14 @@ pub fn run(fast: bool) -> Vec<Table> {
         }
         t.push_row(row);
     }
-    vec![t]
+    vec![t].into()
 }
 
 #[cfg(test)]
 mod tests {
     #[test]
     fn smoke() {
-        let tables = super::run(true);
+        let tables = super::run(true).tables;
         let rows = &tables[0].rows;
         let cell = |i: usize, j: usize| -> f64 { rows[i][j].parse().unwrap() };
         // Loss rate caps the plateau: at the mid hot share, 1% loss must

@@ -17,7 +17,7 @@ use ss_queueing::OpenLoop;
 const DEATH_RATES: [f64; 4] = [0.10, 0.15, 0.25, 0.50];
 
 /// Runs the experiment.
-pub fn run(fast: bool) -> Vec<Table> {
+pub fn run(fast: bool) -> crate::ExperimentOutput {
     let lambda = pkts(20.0);
     let mu = pkts(128.0);
 
@@ -37,7 +37,9 @@ pub fn run(fast: bool) -> Vec<Table> {
         analytic.push_row(row);
     }
 
-    // Simulation spot checks at a coarser loss grid.
+    // Simulation spot checks at a coarser loss grid. Each run's numbers
+    // come out of its metrics registry; the raw snapshots are exported
+    // as one labeled JSONL artifact.
     let mut sim = Table::new(
         "Figure 3 (simulation spot checks): unnormalized consistency",
         "fig3_sim",
@@ -48,13 +50,19 @@ pub fn run(fast: bool) -> Vec<Table> {
     } else {
         &[0.05, 0.2, 0.4, 0.6, 0.8]
     };
+    let mut jsonl = String::new();
     for &pd in &DEATH_RATES {
         for &p_loss in loss_points {
             let m = OpenLoop::new(lambda, mu, p_loss, pd);
             let mut cfg = OpenLoopConfig::analytic(lambda, mu, p_loss, pd, 3);
             cfg.duration = secs(fast, 60_000);
             let report = open_loop::run(&cfg);
-            let s = report.stats.consistency.unnormalized;
+            let s = report.metrics.gauge("consistency.unnormalized");
+            jsonl.push_str(
+                &report
+                    .metrics
+                    .to_jsonl_labeled(&format!("pd={pd:.2},loss={p_loss:.2}")),
+            );
             let a = m.consistency_unnormalized();
             sim.push_row(vec![
                 fmt_frac(p_loss),
@@ -65,14 +73,20 @@ pub fn run(fast: bool) -> Vec<Table> {
             ]);
         }
     }
-    vec![analytic, sim]
+    crate::ExperimentOutput {
+        tables: vec![analytic, sim],
+        metrics: vec![crate::MetricsArtifact {
+            name: "fig3".into(),
+            jsonl,
+        }],
+    }
 }
 
 #[cfg(test)]
 mod tests {
     #[test]
     fn smoke() {
-        let tables = super::run(true);
+        let tables = super::run(true).tables;
         assert_eq!(tables.len(), 2);
         assert_eq!(tables[0].rows.len(), 20);
         // Shape check: consistency decreases along each analytic column.

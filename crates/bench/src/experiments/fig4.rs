@@ -12,7 +12,7 @@ use softstate::protocol::open_loop::{self, OpenLoopConfig};
 use ss_queueing::OpenLoop;
 
 /// Runs the experiment.
-pub fn run(fast: bool) -> Vec<Table> {
+pub fn run(fast: bool) -> crate::ExperimentOutput {
     let lambda = pkts(20.0);
     let mu = pkts(128.0);
     let pd = 0.10;
@@ -42,14 +42,14 @@ the paper's own parameters saturate the channel, so the simulation runs below th
             format!("{:.4}", (a - s).abs()),
         ]);
     }
-    vec![t]
+    vec![t].into()
 }
 
 #[cfg(test)]
 mod tests {
     #[test]
     fn smoke() {
-        let tables = super::run(true);
+        let tables = super::run(true).tables;
         let rows = &tables[0].rows;
         // Paper claim: ~90% wasted at low loss with pd = 0.10.
         let w0: f64 = rows[0][1].parse().unwrap();

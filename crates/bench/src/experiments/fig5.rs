@@ -27,11 +27,12 @@ fn cfg(hot_share: f64, p_loss: f64, fast: bool) -> TwoQueueConfig {
         seed: 5,
         duration: secs(fast, 30_000),
         series_spacing: None,
+        event_capacity: 0,
     }
 }
 
 /// Runs the experiment.
-pub fn run(fast: bool) -> Vec<Table> {
+pub fn run(fast: bool) -> crate::ExperimentOutput {
     let mut t = Table::new(
         "Figure 5: consistency vs hot share (mu_data = 45 kbps, lambda = 15 kbps, pd = 0.1)",
         "fig5",
@@ -42,22 +43,52 @@ pub fn run(fast: bool) -> Vec<Table> {
     } else {
         (1..=16).map(|i| i as f64 * 0.05).collect()
     };
-    for share in shares {
+    let mut jsonl = String::new();
+    let mut events_jsonl = String::new();
+    for (si, share) in shares.into_iter().enumerate() {
         let mut row = vec![fmt_pct(share)];
-        for p_loss in LOSS_RATES {
-            let report = two_queue::run(&cfg(share, p_loss, fast));
-            row.push(fmt_frac(report.stats.consistency.busy.unwrap_or(0.0)));
+        for (li, p_loss) in LOSS_RATES.into_iter().enumerate() {
+            let mut c = cfg(share, p_loss, fast);
+            // One representative point also exports its typed event
+            // trace (logging consumes no randomness, so enabling it
+            // cannot perturb the sweep).
+            if si == 0 && li == 0 {
+                c.event_capacity = 4096;
+            }
+            let report = two_queue::run(&c);
+            let busy = report.metrics.gauge("consistency.busy");
+            row.push(fmt_frac(if busy.is_finite() { busy } else { 0.0 }));
+            jsonl.push_str(
+                &report
+                    .metrics
+                    .to_jsonl_labeled(&format!("share={share:.2},loss={p_loss:.2}")),
+            );
+            if si == 0 && li == 0 {
+                events_jsonl = report.events.to_jsonl();
+            }
         }
         t.push_row(row);
     }
-    vec![t]
+    crate::ExperimentOutput {
+        tables: vec![t],
+        metrics: vec![
+            crate::MetricsArtifact {
+                name: "fig5".into(),
+                jsonl,
+            },
+            crate::MetricsArtifact {
+                name: "fig5_events".into(),
+                jsonl: events_jsonl,
+            },
+        ],
+    }
 }
 
 #[cfg(test)]
 mod tests {
     #[test]
     fn smoke() {
-        let tables = super::run(true);
+        let tables = super::run(true).tables;
         let rows = &tables[0].rows;
         // Knee shape at 10% loss: starved < knee, knee ~ plateau.
         let starved: f64 = rows[0][1].parse().unwrap();

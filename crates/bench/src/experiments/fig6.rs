@@ -38,11 +38,12 @@ fn cfg(ratio: f64, fast: bool) -> TwoQueueConfig {
         seed: 6,
         duration: secs(fast, 30_000),
         series_spacing: None,
+        event_capacity: 0,
     }
 }
 
 /// Runs the experiment.
-pub fn run(fast: bool) -> Vec<Table> {
+pub fn run(fast: bool) -> crate::ExperimentOutput {
     let lambda = pkts(15.0);
     let mm1 = Mm1::new(lambda, lambda * 1.4);
     let mut t = Table::new(
@@ -67,26 +68,41 @@ pub fn run(fast: bool) -> Vec<Table> {
             0.01, 0.02, 0.05, 0.10, 0.20, 0.35, 0.50, 0.75, 1.0, 1.5, 2.0,
         ]
     };
+    let mut jsonl = String::new();
     for ratio in ratios {
         let report = two_queue::run(&cfg(ratio, fast));
-        let delivered = report.stats.latency.count() as f64 / report.stats.arrivals.max(1) as f64;
+        let lat = report.metrics.histogram("latency.t_rec");
+        let arrivals = report.metrics.counter("records.arrivals");
+        let delivered = lat.count as f64 / arrivals.max(1) as f64;
+        let busy = report.metrics.gauge("consistency.busy");
         t.push_row(vec![
             fmt_frac(ratio),
-            fmt_secs(report.stats.latency.mean().as_secs_f64()),
-            fmt_secs(report.stats.latency.quantile(0.5).as_secs_f64()),
-            fmt_secs(report.stats.latency.quantile(0.9).as_secs_f64()),
+            fmt_secs(lat.mean_us as f64 / 1e6),
+            fmt_secs(lat.p50_us as f64 / 1e6),
+            fmt_secs(lat.p90_us as f64 / 1e6),
             fmt_frac(delivered),
-            fmt_frac(report.stats.consistency.busy.unwrap_or(0.0)),
+            fmt_frac(if busy.is_finite() { busy } else { 0.0 }),
         ]);
+        jsonl.push_str(
+            &report
+                .metrics
+                .to_jsonl_labeled(&format!("ratio={ratio:.2}")),
+        );
     }
-    vec![t]
+    crate::ExperimentOutput {
+        tables: vec![t],
+        metrics: vec![crate::MetricsArtifact {
+            name: "fig6".into(),
+            jsonl,
+        }],
+    }
 }
 
 #[cfg(test)]
 mod tests {
     #[test]
     fn smoke() {
-        let tables = super::run(true);
+        let tables = super::run(true).tables;
         let rows = &tables[0].rows;
         let mean = |i: usize| -> f64 { rows[i][1].trim_end_matches('s').parse().unwrap() };
         let delivered = |i: usize| -> f64 { rows[i][4].parse().unwrap() };

@@ -34,6 +34,7 @@ fn cfg(fb_share: f64, fast: bool) -> FeedbackConfig {
         duration: secs(fast, 2_000),
         series_spacing: Some(SimDuration::from_secs(if fast { 5 } else { 20 })),
         trace_capacity: 0,
+        event_capacity: 0,
     }
 }
 
@@ -48,7 +49,7 @@ fn sample(series: &[(SimTime, f64)], at: SimTime) -> f64 {
 }
 
 /// Runs the experiment.
-pub fn run(fast: bool) -> Vec<Table> {
+pub fn run(fast: bool) -> crate::ExperimentOutput {
     let mut t = Table::new(
         "Figure 8: c(t) over time per feedback share (lambda=15kbps, mu_tot=45kbps, loss=40%)",
         "fig8",
@@ -90,14 +91,14 @@ pub fn run(fast: bool) -> Vec<Table> {
             format!("{:.1}", r.mean_hot_backlog),
         ]);
     }
-    vec![t, avg]
+    vec![t, avg].into()
 }
 
 #[cfg(test)]
 mod tests {
     #[test]
     fn smoke() {
-        let tables = super::run(true);
+        let tables = super::run(true).tables;
         let avg = &tables[1];
         let c = |i: usize| -> f64 { avg.rows[i][1].parse().unwrap() };
         // Moderate feedback beats open loop; 70% share collapses.

@@ -32,11 +32,12 @@ fn cfg(fb_share: f64, p_loss: f64, fast: bool) -> FeedbackConfig {
         duration: secs(fast, 40_000),
         series_spacing: None,
         trace_capacity: 0,
+        event_capacity: 0,
     }
 }
 
 /// Runs the experiment.
-pub fn run(fast: bool) -> Vec<Table> {
+pub fn run(fast: bool) -> crate::ExperimentOutput {
     let mut t = Table::new(
         "Figure 9: consistency vs feedback share per loss rate (lambda=1.5kbps, mu_tot=30kbps)",
         "fig9",
@@ -57,14 +58,14 @@ pub fn run(fast: bool) -> Vec<Table> {
         }
         t.push_row(row);
     }
-    vec![t]
+    vec![t].into()
 }
 
 #[cfg(test)]
 mod tests {
     #[test]
     fn smoke() {
-        let tables = super::run(true);
+        let tables = super::run(true).tables;
         let rows = &tables[0].rows;
         let cell = |i: usize, j: usize| -> f64 { rows[i][j].parse().unwrap() };
         // At 50% loss, 30% feedback share must beat both the open loop

@@ -29,7 +29,7 @@ fn cfg(mtu: Option<u32>, fast: bool) -> SessionConfig {
 }
 
 /// Runs the experiment.
-pub fn run(fast: bool) -> Vec<Table> {
+pub fn run(fast: bool) -> crate::ExperimentOutput {
     let mut t = Table::new(
         "Fragmentation: 4000-byte ADUs at varying MTU, 15% per-packet loss",
         "frag",
@@ -56,14 +56,14 @@ pub fn run(fast: bool) -> Vec<Table> {
             rx.stats.nacked_keys.to_string(),
         ]);
     }
-    vec![t]
+    vec![t].into()
 }
 
 #[cfg(test)]
 mod tests {
     #[test]
     fn smoke() {
-        let tables = super::run(true);
+        let tables = super::run(true).tables;
         let rows = &tables[0].rows;
         let c = |i: usize| -> f64 { rows[i][2].parse().unwrap() };
         // Whole-ADU transmission (one loss draw per ADU) beats 8-way

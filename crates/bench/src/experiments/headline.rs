@@ -30,11 +30,12 @@ fn cfg(fb_share: f64, p_loss: f64, fast: bool) -> FeedbackConfig {
         duration: secs(fast, 40_000),
         series_spacing: None,
         trace_capacity: 0,
+        event_capacity: 0,
     }
 }
 
 /// Runs the experiment.
-pub fn run(fast: bool) -> Vec<Table> {
+pub fn run(fast: bool) -> crate::ExperimentOutput {
     let mut t = Table::new(
         "Headline: open-loop vs feedback at equal 45 kbps total (fb share = 20%)",
         "headline",
@@ -52,28 +53,53 @@ pub fn run(fast: bool) -> Vec<Table> {
     } else {
         vec![0.05, 0.10, 0.20, 0.30, 0.40, 0.50]
     };
+    let mut jsonl = String::new();
     for p_loss in losses {
         let open = feedback::run(&cfg(0.0, p_loss, fast));
         let fb = feedback::run(&cfg(0.20, p_loss, fast));
-        let c_open = open.stats.consistency.busy.unwrap_or(0.0);
-        let c_fb = fb.stats.consistency.busy.unwrap_or(0.0);
+        let busy = |m: &ss_netsim::MetricsSnapshot| {
+            let v = m.gauge("consistency.busy");
+            if v.is_finite() {
+                v
+            } else {
+                0.0
+            }
+        };
+        let tx = |m: &ss_netsim::MetricsSnapshot| m.counter("tx.hot") + m.counter("tx.cold");
+        let c_open = busy(&open.metrics);
+        let c_fb = busy(&fb.metrics);
         t.push_row(vec![
             fmt_pct(p_loss),
             fmt_frac(c_open),
             fmt_frac(c_fb),
             fmt_pct(c_fb - c_open),
-            open.transmissions().to_string(),
-            fb.transmissions().to_string(),
+            tx(&open.metrics).to_string(),
+            tx(&fb.metrics).to_string(),
         ]);
+        jsonl.push_str(
+            &open
+                .metrics
+                .to_jsonl_labeled(&format!("loss={p_loss:.2},variant=open")),
+        );
+        jsonl.push_str(
+            &fb.metrics
+                .to_jsonl_labeled(&format!("loss={p_loss:.2},variant=fb")),
+        );
     }
-    vec![t]
+    crate::ExperimentOutput {
+        tables: vec![t],
+        metrics: vec![crate::MetricsArtifact {
+            name: "headline".into(),
+            jsonl,
+        }],
+    }
 }
 
 #[cfg(test)]
 mod tests {
     #[test]
     fn smoke() {
-        let tables = super::run(true);
+        let tables = super::run(true).tables;
         let rows = &tables[0].rows;
         for row in rows {
             let open: f64 = row[1].parse().unwrap();

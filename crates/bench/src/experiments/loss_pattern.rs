@@ -20,11 +20,12 @@ fn cfg(loss: LossSpec, fast: bool) -> OpenLoopConfig {
         seed: 31,
         duration: secs(fast, 60_000),
         series_spacing: None,
+        event_capacity: 0,
     }
 }
 
 /// Runs the experiment.
-pub fn run(fast: bool) -> Vec<Table> {
+pub fn run(fast: bool) -> crate::ExperimentOutput {
     let mut t = Table::new(
         "Loss-pattern insensitivity: open-loop consistency at equal mean loss",
         "loss_pattern",
@@ -72,14 +73,14 @@ pub fn run(fast: bool) -> Vec<Table> {
             fmt_frac(spread),
         ]);
     }
-    vec![t]
+    vec![t].into()
 }
 
 #[cfg(test)]
 mod tests {
     #[test]
     fn smoke() {
-        let tables = super::run(true);
+        let tables = super::run(true).tables;
         for row in &tables[0].rows {
             // The paper's claim holds for moderate burstiness: Bernoulli
             // and 5-packet bursts agree closely. Very long bursts (20

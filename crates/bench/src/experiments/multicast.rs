@@ -29,7 +29,7 @@ fn cfg(n: usize, fast: bool) -> SessionConfig {
 }
 
 /// Runs the experiment.
-pub fn run(fast: bool) -> Vec<Table> {
+pub fn run(fast: bool) -> crate::ExperimentOutput {
     let mut t = Table::new(
         "Multicast feedback: slotting and damping vs group size (loss = 20%)",
         "multicast",
@@ -57,14 +57,14 @@ pub fn run(fast: bool) -> Vec<Table> {
             fmt_frac(report.mean_consistency()),
         ]);
     }
-    vec![t]
+    vec![t].into()
 }
 
 #[cfg(test)]
 mod tests {
     #[test]
     fn smoke() {
-        let tables = super::run(true);
+        let tables = super::run(true).tables;
         let rows = &tables[0].rows;
         let fb1: f64 = rows[0][1].parse().unwrap();
         let fb8: f64 = rows[1][1].parse().unwrap();

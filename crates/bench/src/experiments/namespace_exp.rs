@@ -101,7 +101,7 @@ fn run_case(n: usize, branches: usize, hierarchical: bool) -> (u64, u64, u64, u3
 }
 
 /// Runs the experiment.
-pub fn run(fast: bool) -> Vec<Table> {
+pub fn run(fast: bool) -> crate::ExperimentOutput {
     let mut t = Table::new(
         "Namespace repair cost: flat vs hierarchical, one branch lost",
         "namespace",
@@ -133,14 +133,14 @@ pub fn run(fast: bool) -> Vec<Table> {
             ]);
         }
     }
-    vec![t]
+    vec![t].into()
 }
 
 #[cfg(test)]
 mod tests {
     #[test]
     fn smoke() {
-        let tables = super::run(true);
+        let tables = super::run(true).tables;
         let rows = &tables[0].rows;
         // At 256 records, hierarchical control bytes must undercut flat.
         let flat_ctl: u64 = rows[2][4].parse().unwrap();

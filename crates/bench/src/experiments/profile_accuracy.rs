@@ -37,12 +37,13 @@ fn simulate(loss: f64, fb_share: f64, fast: bool) -> f64 {
         duration: secs(fast, 20_000),
         series_spacing: None,
         trace_capacity: 0,
+        event_capacity: 0,
     };
     feedback::run(&cfg).stats.consistency.busy.unwrap_or(0.0)
 }
 
 /// Runs the experiment.
-pub fn run(fast: bool) -> Vec<Table> {
+pub fn run(fast: bool) -> crate::ExperimentOutput {
     // 1. Build the empirical grid.
     let grid: Vec<Vec<f64>> = LOSSES
         .iter()
@@ -93,14 +94,14 @@ pub fn run(fast: bool) -> Vec<Table> {
             fmt_frac(regret.max(0.0)),
         ]);
     }
-    vec![t, pick]
+    vec![t, pick].into()
 }
 
 #[cfg(test)]
 mod tests {
     #[test]
     fn smoke() {
-        let tables = super::run(true);
+        let tables = super::run(true).tables;
         // Following the analytic profile instead of the measured optimum
         // must cost little consistency (regret < 0.08 everywhere).
         for row in &tables[1].rows {

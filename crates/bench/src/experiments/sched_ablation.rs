@@ -33,11 +33,12 @@ fn cfg(policy: Policy, fast: bool) -> TwoQueueConfig {
         seed: 41,
         duration: secs(fast, 20_000),
         series_spacing: None,
+        event_capacity: 0,
     }
 }
 
 /// Runs the experiment.
-pub fn run(fast: bool) -> Vec<Table> {
+pub fn run(fast: bool) -> crate::ExperimentOutput {
     let mut t = Table::new(
         "Scheduler ablation: hot/cold sharing policies under hot overload (loss=30%)",
         "sched_ablation",
@@ -62,14 +63,14 @@ pub fn run(fast: bool) -> Vec<Table> {
             fmt_frac(r.cold_transmissions as f64 / total as f64),
         ]);
     }
-    vec![t]
+    vec![t].into()
 }
 
 #[cfg(test)]
 mod tests {
     #[test]
     fn smoke() {
-        let tables = super::run(true);
+        let tables = super::run(true).tables;
         let rows = &tables[0].rows;
         // The four proportional policies give cold ~50% service.
         for row in rows.iter().take(4) {

@@ -10,7 +10,7 @@ use softstate::protocol::open_loop::{self, OpenLoopConfig};
 use ss_queueing::Transitions;
 
 /// Runs the experiment.
-pub fn run(fast: bool) -> Vec<Table> {
+pub fn run(fast: bool) -> crate::ExperimentOutput {
     let p_loss = 0.2;
     let p_death = 0.25;
     let mut cfg = OpenLoopConfig::analytic(pkts(20.0), pkts(128.0), p_loss, p_death, 1999);
@@ -47,14 +47,14 @@ pub fn run(fast: bool) -> Vec<Table> {
             format!("{:.5}", (a - s).abs()),
         ]);
     }
-    vec![t]
+    vec![t].into()
 }
 
 #[cfg(test)]
 mod tests {
     #[test]
     fn smoke() {
-        let tables = super::run(true);
+        let tables = super::run(true).tables;
         assert_eq!(tables.len(), 1);
         assert_eq!(tables[0].rows.len(), 5);
         // All absolute errors under 3% even in fast mode.

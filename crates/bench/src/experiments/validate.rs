@@ -15,7 +15,7 @@ struct Point {
 }
 
 /// Runs the experiment.
-pub fn run(fast: bool) -> Vec<Table> {
+pub fn run(fast: bool) -> crate::ExperimentOutput {
     let grid = [
         Point {
             lambda: 1.0,
@@ -92,14 +92,14 @@ pub fn run(fast: bool) -> Vec<Table> {
             format!("{:.2}", r.stats.mean_live_records),
         ]);
     }
-    vec![t]
+    vec![t].into()
 }
 
 #[cfg(test)]
 mod tests {
     #[test]
     fn smoke() {
-        let tables = super::run(true);
+        let tables = super::run(true).tables;
         for row in &tables[0].rows {
             let c_th: f64 = row[5].parse().unwrap();
             let c_sim: f64 = row[6].parse().unwrap();

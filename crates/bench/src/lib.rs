@@ -28,6 +28,42 @@ pub fn results_dir() -> PathBuf {
     dir
 }
 
+/// The directory metrics JSONL artifacts are written to (created on
+/// demand). See EXPERIMENTS.md for the artifact catalogue.
+pub fn metrics_dir() -> PathBuf {
+    let dir = PathBuf::from("results").join("metrics");
+    std::fs::create_dir_all(&dir).expect("create results/metrics dir");
+    dir
+}
+
+/// A deterministic metrics artifact: the JSON Lines export of one or
+/// more [`ss_netsim::MetricsSnapshot`]s (one labeled block per sweep
+/// point), written to `results/metrics/<name>.jsonl`.
+pub struct MetricsArtifact {
+    /// Basename (no extension) under `results/metrics/`.
+    pub name: String,
+    /// The JSONL payload; byte-identical across runs with one seed.
+    pub jsonl: String,
+}
+
+/// What one experiment run produces: the paper-shaped tables plus any
+/// metrics artifacts exported from the runs' registries.
+pub struct ExperimentOutput {
+    /// Tables, printed and written as CSV under `results/`.
+    pub tables: Vec<Table>,
+    /// Metrics artifacts, written under `results/metrics/`.
+    pub metrics: Vec<MetricsArtifact>,
+}
+
+impl From<Vec<Table>> for ExperimentOutput {
+    fn from(tables: Vec<Table>) -> Self {
+        ExperimentOutput {
+            tables,
+            metrics: Vec::new(),
+        }
+    }
+}
+
 /// An experiment: a named runner producing one or more tables.
 pub struct Experiment {
     /// CLI id, e.g. `"fig3"`.
@@ -35,7 +71,7 @@ pub struct Experiment {
     /// The paper artifact or question this regenerates.
     pub description: &'static str,
     /// Runner; `fast` shortens simulated durations for smoke tests.
-    pub run: fn(fast: bool) -> Vec<Table>,
+    pub run: fn(fast: bool) -> ExperimentOutput,
 }
 
 /// Every registered experiment, in presentation order.

@@ -37,6 +37,8 @@
 //! assert!((sim - theory.consistency_busy()).abs() < 0.05);
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod consistency;
 pub mod model;
 pub mod protocol;

@@ -1,12 +1,17 @@
 //! Shared live-record bookkeeping for the protocol simulations.
 //!
 //! Tracks which live records the receiver currently agrees on, feeds the
-//! [`ConsistencyMeter`] on every change, integrates the live-set size, and
-//! records receive latencies — the measurement core every protocol
-//! variant shares.
+//! [`ConsistencyMeter`] on every change, and owns the run's `ss-metrics`
+//! [`MetricsRegistry`] and [`EventLog`]: arrivals, deliveries, deaths,
+//! updates, receive latency `T_rec`, live-set occupancy, and the `c(t)`
+//! signal all flow through registered metrics, so every protocol variant
+//! shares one measurement core and one export path.
 
 use crate::consistency::{ConsistencyAverages, ConsistencyMeter};
-use ss_netsim::{DurationHistogram, SimDuration, SimTime, TimeWeightedMean};
+use ss_netsim::metrics::{
+    AverageId, CounterId, EventKind, EventLog, HistogramId, MetricsRegistry, MetricsSnapshot,
+};
+use ss_netsim::{DurationHistogram, SimDuration, SimTime};
 use std::collections::BTreeMap;
 
 /// Per-record simulation state.
@@ -28,37 +33,82 @@ pub(crate) struct LiveJobs {
     /// Position of each id in `ids`.
     pos: BTreeMap<u64, usize>,
     n_consistent: usize,
-    updates: u64,
     meter: ConsistencyMeter,
-    occupancy: TimeWeightedMean,
-    latency: DurationHistogram,
-    arrivals: u64,
-    deaths: u64,
+    registry: MetricsRegistry,
+    events: EventLog,
+    c_arrivals: CounterId,
+    c_delivered: CounterId,
+    c_deaths: CounterId,
+    c_updates: CounterId,
+    h_latency: HistogramId,
+    a_live: AverageId,
+    a_consistency: AverageId,
 }
 
 impl LiveJobs {
-    pub(crate) fn new(start: SimTime, series_spacing: Option<SimDuration>) -> Self {
+    /// Starts the measurement core at `start`. `series_spacing` enables
+    /// the legacy `c(t)` series (and sets the `consistency.c_t` window
+    /// width); `event_capacity` bounds the typed event log (0 disables).
+    pub(crate) fn new(
+        start: SimTime,
+        series_spacing: Option<SimDuration>,
+        event_capacity: usize,
+    ) -> Self {
         let meter = match series_spacing {
             Some(sp) => ConsistencyMeter::new(start).with_series(sp),
             None => ConsistencyMeter::new(start),
         };
+        let mut registry = MetricsRegistry::new();
+        let c_arrivals = registry.counter("records.arrivals");
+        let c_delivered = registry.counter("records.delivered");
+        let c_deaths = registry.counter("records.deaths");
+        let c_updates = registry.counter("records.updates");
+        let h_latency = registry.histogram("latency.t_rec");
+        let a_live = registry.time_average("records.live", start, 0.0, SimDuration::ZERO);
+        let a_consistency = registry.time_average(
+            "consistency.c_t",
+            start,
+            0.0,
+            series_spacing.unwrap_or(SimDuration::ZERO),
+        );
         LiveJobs {
             jobs: BTreeMap::new(),
             ids: Vec::new(),
             pos: BTreeMap::new(),
             n_consistent: 0,
-            updates: 0,
             meter,
-            occupancy: TimeWeightedMean::new(start, 0.0),
-            latency: DurationHistogram::new(),
-            arrivals: 0,
-            deaths: 0,
+            registry,
+            events: EventLog::with_capacity(event_capacity),
+            c_arrivals,
+            c_delivered,
+            c_deaths,
+            c_updates,
+            h_latency,
+            a_live,
+            a_consistency,
         }
+    }
+
+    /// The run's metrics registry, for protocol-specific counters.
+    pub(crate) fn metrics(&mut self) -> &mut MetricsRegistry {
+        &mut self.registry
+    }
+
+    /// The run's typed event log, for protocol-specific events.
+    pub(crate) fn events(&mut self) -> &mut EventLog {
+        &mut self.events
     }
 
     fn observe(&mut self, now: SimTime) {
         self.meter.observe(now, self.n_consistent, self.jobs.len());
-        self.occupancy.update(now, self.jobs.len() as f64);
+        self.registry
+            .record_sample(self.a_live, now, self.jobs.len() as f64);
+        let c = if self.jobs.is_empty() {
+            0.0
+        } else {
+            self.n_consistent as f64 / self.jobs.len() as f64
+        };
+        self.registry.record_sample(self.a_consistency, now, c);
     }
 
     /// A new (inconsistent) record enters the live set.
@@ -73,7 +123,8 @@ impl LiveJobs {
         assert!(prev.is_none(), "job {id} already live");
         self.pos.insert(id, self.ids.len());
         self.ids.push(id);
-        self.arrivals += 1;
+        self.registry.inc(self.c_arrivals);
+        self.events.log(now, EventKind::Arrival, id);
         self.observe(now);
     }
 
@@ -87,7 +138,9 @@ impl LiveJobs {
         job.consistent = true;
         let born = job.born;
         self.n_consistent += 1;
-        self.latency.record(now.since(born));
+        self.registry.inc(self.c_delivered);
+        self.registry.observe(self.h_latency, now.since(born));
+        self.events.log(now, EventKind::Deliver, id);
         self.observe(now);
         true
     }
@@ -105,7 +158,8 @@ impl LiveJobs {
         if job.consistent {
             self.n_consistent -= 1;
         }
-        self.deaths += 1;
+        self.registry.inc(self.c_deaths);
+        self.events.log(now, EventKind::Expire, id);
         self.observe(now);
         job.consistent
     }
@@ -115,7 +169,8 @@ impl LiveJobs {
     /// consistent before the update.
     pub(crate) fn invalidate(&mut self, now: SimTime, id: u64) -> bool {
         let job = self.jobs.get_mut(&id).expect("invalidate of dead job");
-        self.updates += 1;
+        self.registry.inc(self.c_updates);
+        self.events.log(now, EventKind::Update, id);
         if job.consistent {
             job.consistent = false;
             self.n_consistent -= 1;
@@ -150,20 +205,34 @@ impl LiveJobs {
         self.jobs.len()
     }
 
-    /// Finalizes the instrumentation at `end`.
-    pub(crate) fn finish(self, end: SimTime) -> JobStats {
+    /// Finalizes the instrumentation at `end`: the three consistency
+    /// conventions become gauges, every metric is frozen into a
+    /// [`MetricsSnapshot`], and the event log is released.
+    pub(crate) fn finish(mut self, end: SimTime) -> (JobStats, MetricsSnapshot, EventLog) {
         let averages = self.meter.averages(end);
         let series = self.meter.series().map(|s| s.points().to_vec());
-        JobStats {
+
+        let g_un = self.registry.gauge("consistency.unnormalized");
+        self.registry.set_gauge(g_un, averages.unnormalized);
+        let g_busy = self.registry.gauge("consistency.busy");
+        self.registry
+            .set_gauge(g_busy, averages.busy.unwrap_or(f64::NAN));
+        let g_empty = self.registry.gauge("consistency.empty_consistent");
+        self.registry.set_gauge(g_empty, averages.empty_consistent);
+
+        let latency = self.registry.histogram_value(self.h_latency).clone();
+        let snapshot = self.registry.snapshot(end);
+        let stats = JobStats {
             consistency: averages,
-            mean_live_records: self.occupancy.mean_until(end),
-            latency: self.latency,
-            arrivals: self.arrivals,
-            updates: self.updates,
-            deaths: self.deaths,
+            mean_live_records: snapshot.time_average("records.live"),
+            latency,
+            arrivals: snapshot.counter("records.arrivals"),
+            updates: snapshot.counter("records.updates"),
+            deaths: snapshot.counter("records.deaths"),
             final_live: self.jobs.len(),
             series,
-        }
+        };
+        (stats, snapshot, self.events)
     }
 }
 
@@ -194,7 +263,7 @@ mod tests {
 
     #[test]
     fn lifecycle_and_metrics() {
-        let mut j = LiveJobs::new(SimTime::ZERO, None);
+        let mut j = LiveJobs::new(SimTime::ZERO, None, 0);
         j.arrive(SimTime::ZERO, 1);
         j.arrive(SimTime::ZERO, 2);
         assert_eq!(j.len(), 2);
@@ -208,7 +277,7 @@ mod tests {
         assert!(!j.kill(SimTime::from_secs(4), 2));
         assert!(!j.contains(1));
 
-        let stats = j.finish(SimTime::from_secs(4));
+        let (stats, snapshot, _events) = j.finish(SimTime::from_secs(4));
         assert_eq!(stats.arrivals, 2);
         assert_eq!(stats.deaths, 2);
         assert_eq!(stats.final_live, 0);
@@ -218,23 +287,49 @@ mod tests {
         assert!((stats.consistency.busy.unwrap() - 0.375).abs() < 1e-12);
         // occupancy: 2 jobs for all 4 seconds.
         assert!((stats.mean_live_records - 2.0).abs() < 1e-12);
+        // The registry mirrors everything.
+        assert_eq!(snapshot.counter("records.arrivals"), 2);
+        assert_eq!(snapshot.counter("records.delivered"), 1);
+        assert_eq!(snapshot.histogram("latency.t_rec").count, 1);
+        assert!((snapshot.time_average("consistency.c_t") - 0.375).abs() < 1e-12);
+        assert!((snapshot.gauge("consistency.busy") - 0.375).abs() < 1e-12);
     }
 
     #[test]
     fn series_enabled() {
-        let mut j = LiveJobs::new(SimTime::ZERO, Some(SimDuration::ZERO));
+        let mut j = LiveJobs::new(SimTime::ZERO, Some(SimDuration::ZERO), 0);
         j.arrive(SimTime::ZERO, 7);
         j.deliver(SimTime::from_secs(1), 7);
-        let stats = j.finish(SimTime::from_secs(2));
+        let (stats, _, _) = j.finish(SimTime::from_secs(2));
         let series = stats.series.unwrap();
         assert_eq!(series.len(), 2);
         assert_eq!(series[1].1, 1.0);
     }
 
     #[test]
+    fn event_log_records_lifecycle() {
+        let mut j = LiveJobs::new(SimTime::ZERO, None, 16);
+        j.arrive(SimTime::ZERO, 1);
+        j.deliver(SimTime::from_secs(1), 1);
+        j.invalidate(SimTime::from_secs(2), 1);
+        j.kill(SimTime::from_secs(3), 1);
+        let (_, _, events) = j.finish(SimTime::from_secs(3));
+        let kinds: Vec<_> = events.events().iter().map(|e| e.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                EventKind::Arrival,
+                EventKind::Deliver,
+                EventKind::Update,
+                EventKind::Expire
+            ]
+        );
+    }
+
+    #[test]
     #[should_panic(expected = "already live")]
     fn double_arrive_panics() {
-        let mut j = LiveJobs::new(SimTime::ZERO, None);
+        let mut j = LiveJobs::new(SimTime::ZERO, None, 0);
         j.arrive(SimTime::ZERO, 1);
         j.arrive(SimTime::ZERO, 1);
     }
@@ -242,7 +337,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "dead job")]
     fn deliver_dead_panics() {
-        let mut j = LiveJobs::new(SimTime::ZERO, None);
+        let mut j = LiveJobs::new(SimTime::ZERO, None, 0);
         j.deliver(SimTime::ZERO, 1);
     }
 }

@@ -17,6 +17,7 @@
 use super::jobs::{JobStats, LiveJobs};
 use super::{LossSpec, TransitionCounts};
 use crate::workload::{ArrivalProcess, DeathProcess, ServiceModel};
+use ss_netsim::metrics::{CounterId, EventKind, EventLog, MetricsSnapshot, QueueClass};
 use ss_netsim::{run_until, EventQueue, LossModel, SimDuration, SimRng, SimTime, World};
 use std::collections::VecDeque;
 
@@ -39,6 +40,9 @@ pub struct OpenLoopConfig {
     pub duration: SimDuration,
     /// Record a `c(t)` time series with this spacing, if set.
     pub series_spacing: Option<SimDuration>,
+    /// Keep up to this many typed events in the run's [`EventLog`]
+    /// (0 disables event tracing).
+    pub event_capacity: usize,
 }
 
 impl OpenLoopConfig {
@@ -56,6 +60,7 @@ impl OpenLoopConfig {
             seed,
             duration: SimDuration::from_secs(200_000),
             series_spacing: None,
+            event_capacity: 0,
         }
     }
 }
@@ -73,6 +78,10 @@ pub struct OpenLoopReport {
     pub transitions: TransitionCounts,
     /// Fraction of announcements lost by the channel.
     pub observed_loss_rate: f64,
+    /// Every metric of the run, frozen at the end time.
+    pub metrics: MetricsSnapshot,
+    /// The typed event trace (empty unless `event_capacity` was set).
+    pub events: EventLog,
 }
 
 impl OpenLoopReport {
@@ -105,9 +114,9 @@ struct Sim {
     jobs: LiveJobs,
     loss: Box<dyn LossModel>,
     next_id: u64,
-    transmissions: u64,
-    redundant: u64,
-    lost: u64,
+    c_tx: CounterId,
+    c_redundant: CounterId,
+    c_lost: CounterId,
     transitions: TransitionCounts,
     rng_arrival: SimRng,
     rng_service: SimRng,
@@ -120,16 +129,20 @@ impl Sim {
     fn new(cfg: OpenLoopConfig) -> Self {
         let root = SimRng::new(cfg.seed);
         let loss = cfg.loss.build();
+        let mut jobs = LiveJobs::new(SimTime::ZERO, cfg.series_spacing, cfg.event_capacity);
+        let c_tx = jobs.metrics().counter("tx.total");
+        let c_redundant = jobs.metrics().counter("tx.redundant");
+        let c_lost = jobs.metrics().counter("tx.lost");
         Sim {
             queue: VecDeque::new(),
             serving: None,
             doomed: std::collections::BTreeSet::new(),
-            jobs: LiveJobs::new(SimTime::ZERO, cfg.series_spacing),
+            jobs,
             loss,
             next_id: 0,
-            transmissions: 0,
-            redundant: 0,
-            lost: 0,
+            c_tx,
+            c_redundant,
+            c_lost,
             transitions: TransitionCounts::default(),
             rng_arrival: root.derive("arrival"),
             rng_service: root.derive("service"),
@@ -223,15 +236,23 @@ impl World for Sim {
             Ev::ServiceDone(id) => {
                 debug_assert_eq!(self.serving, Some(id));
                 self.serving = None;
-                self.transmissions += 1;
+                let now = q.now();
+                self.jobs
+                    .events()
+                    .log(now, EventKind::Announce(QueueClass::Hot), id);
+                let c_tx = self.c_tx;
+                self.jobs.metrics().inc(c_tx);
 
                 let was_consistent = self.jobs.is_consistent(id);
                 if was_consistent {
-                    self.redundant += 1;
+                    let c_redundant = self.c_redundant;
+                    self.jobs.metrics().inc(c_redundant);
                 }
                 let lost = self.loss.is_lost(&mut self.rng_loss);
                 if lost {
-                    self.lost += 1;
+                    let c_lost = self.c_lost;
+                    self.jobs.metrics().inc(c_lost);
+                    self.jobs.events().log(now, EventKind::Drop, id);
                 }
                 let dies = self.cfg.death.dies_after_service(&mut self.rng_death)
                     || self.doomed.remove(&id);
@@ -277,17 +298,28 @@ pub fn run(cfg: &OpenLoopConfig) -> OpenLoopReport {
 
     run_until(&mut sim, &mut q, end);
 
-    let observed_loss_rate = if sim.transmissions == 0 {
+    let transmissions = sim.jobs.metrics().counter_value(sim.c_tx);
+    let redundant = sim.jobs.metrics().counter_value(sim.c_redundant);
+    let lost = sim.jobs.metrics().counter_value(sim.c_lost);
+    let c_dispatched = sim.jobs.metrics().counter("engine.events_dispatched");
+    sim.jobs.metrics().add(c_dispatched, q.dispatched());
+    let c_scheduled = sim.jobs.metrics().counter("engine.events_scheduled");
+    sim.jobs.metrics().add(c_scheduled, q.scheduled());
+
+    let observed_loss_rate = if transmissions == 0 {
         0.0
     } else {
-        sim.lost as f64 / sim.transmissions as f64
+        lost as f64 / transmissions as f64
     };
+    let (stats, metrics, events) = sim.jobs.finish(end);
     OpenLoopReport {
-        stats: sim.jobs.finish(end),
-        transmissions: sim.transmissions,
-        redundant_transmissions: sim.redundant,
+        stats,
+        transmissions,
+        redundant_transmissions: redundant,
         transitions: sim.transitions,
         observed_loss_rate,
+        metrics,
+        events,
     }
 }
 
@@ -391,6 +423,7 @@ mod tests {
             seed: 3,
             duration: SimDuration::from_secs(500),
             series_spacing: None,
+            event_capacity: 0,
         };
         let report = run(&cfg);
         assert_eq!(report.stats.latency.count(), 50, "all records delivered");
@@ -440,6 +473,7 @@ mod update_workload_tests {
             seed: 77,
             duration: SimDuration::from_secs(2_000),
             series_spacing: None,
+            event_capacity: 0,
         };
         let r = run(&cfg);
         assert_eq!(r.stats.final_live, 20, "keyspace bounded at 20");
@@ -467,6 +501,7 @@ mod update_workload_tests {
             seed: 78,
             duration: SimDuration::from_secs(2_000),
             series_spacing: None,
+            event_capacity: 0,
         };
         let slow = run(&mk(1.0)).stats.consistency.busy.unwrap();
         let fast = run(&mk(20.0)).stats.consistency.busy.unwrap();

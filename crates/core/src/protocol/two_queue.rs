@@ -22,10 +22,9 @@
 use super::jobs::{JobStats, LiveJobs};
 use super::LossSpec;
 use crate::workload::{ArrivalProcess, DeathProcess, ServiceModel};
-use ss_netsim::{
-    run_until, EventQueue, LossModel, SimDuration, SimRng, SimTime, TimeWeightedMean, World,
-};
-use ss_sched::{Drr, Lottery, Scheduler, Sfq, StrictPriority, Stride};
+use ss_netsim::metrics::{AverageId, CounterId, EventKind, EventLog, MetricsSnapshot, QueueClass};
+use ss_netsim::{run_until, EventQueue, LossModel, SimDuration, SimRng, SimTime, World};
+use ss_sched::{Drr, Lottery, Metered, Scheduler, Sfq, StrictPriority, Stride};
 use std::collections::VecDeque;
 
 /// Which transmission queue served a packet.
@@ -98,6 +97,9 @@ pub struct TwoQueueConfig {
     pub duration: SimDuration,
     /// Record a `c(t)` series with this spacing, if set.
     pub series_spacing: Option<SimDuration>,
+    /// Keep up to this many typed events in the run's [`EventLog`]
+    /// (0 disables event tracing).
+    pub event_capacity: usize,
 }
 
 /// Everything measured in a two-queue run.
@@ -117,6 +119,11 @@ pub struct TwoQueueReport {
     pub mean_hot_backlog: f64,
     /// Hot-queue length at the end of the run.
     pub final_hot_backlog: usize,
+    /// Every metric of the run, frozen at the end time. Work-conserving
+    /// runs additionally carry per-class `sched.*` counters.
+    pub metrics: MetricsSnapshot,
+    /// The typed event trace (empty unless `event_capacity` was set).
+    pub events: EventLog,
 }
 
 impl TwoQueueReport {
@@ -158,15 +165,15 @@ struct Sim {
     in_service: std::collections::BTreeSet<u64>,
     /// Records whose lifetime ended mid-service; killed at completion.
     doomed: std::collections::BTreeSet<u64>,
-    sched: Option<Box<dyn Scheduler>>,
+    sched: Option<Metered<Box<dyn Scheduler>>>,
     jobs: LiveJobs,
     loss: Box<dyn LossModel>,
     next_id: u64,
-    hot_tx: u64,
-    cold_tx: u64,
-    redundant: u64,
-    lost: u64,
-    hot_backlog: TimeWeightedMean,
+    c_hot_tx: CounterId,
+    c_cold_tx: CounterId,
+    c_redundant: CounterId,
+    c_lost: CounterId,
+    a_hot_backlog: AverageId,
     rng_arrival: SimRng,
     rng_service: SimRng,
     rng_loss: SimRng,
@@ -224,13 +231,21 @@ impl Sim {
         let sched = match cfg.sharing {
             Sharing::Partitioned => None,
             Sharing::WorkConserving(policy) => {
-                let mut s = policy.build();
+                let mut s = Metered::new(policy.build());
                 let (wh, wc) = weights_of(cfg.mu_hot, cfg.mu_cold);
                 s.set_weight(HOT, wh);
                 s.set_weight(COLD, wc);
                 Some(s)
             }
         };
+        let mut jobs = LiveJobs::new(SimTime::ZERO, cfg.series_spacing, cfg.event_capacity);
+        let c_hot_tx = jobs.metrics().counter("tx.hot");
+        let c_cold_tx = jobs.metrics().counter("tx.cold");
+        let c_redundant = jobs.metrics().counter("tx.redundant");
+        let c_lost = jobs.metrics().counter("tx.lost");
+        let a_hot_backlog =
+            jobs.metrics()
+                .time_average("queue.hot.backlog", SimTime::ZERO, 0.0, SimDuration::ZERO);
         Sim {
             hot: VecDeque::new(),
             cold: VecDeque::new(),
@@ -239,14 +254,14 @@ impl Sim {
             in_service: std::collections::BTreeSet::new(),
             doomed: std::collections::BTreeSet::new(),
             sched,
-            jobs: LiveJobs::new(SimTime::ZERO, cfg.series_spacing),
+            jobs,
             loss,
             next_id: 0,
-            hot_tx: 0,
-            cold_tx: 0,
-            redundant: 0,
-            lost: 0,
-            hot_backlog: TimeWeightedMean::new(SimTime::ZERO, 0.0),
+            c_hot_tx,
+            c_cold_tx,
+            c_redundant,
+            c_lost,
+            a_hot_backlog,
             rng_arrival: root.derive("arrival"),
             rng_service: root.derive("service"),
             rng_loss: root.derive("loss"),
@@ -258,7 +273,10 @@ impl Sim {
     }
 
     fn note_hot_backlog(&mut self, now: SimTime) {
-        self.hot_backlog.update(now, self.hot.len() as f64);
+        let backlog = self.hot.len() as f64;
+        self.jobs
+            .metrics()
+            .record_sample(self.a_hot_backlog, now, backlog);
     }
 
     fn spawn_record(&mut self, q: &mut EventQueue<Ev>) {
@@ -342,26 +360,35 @@ impl Sim {
 
     fn complete(&mut self, q: &mut EventQueue<Ev>, id: u64, src: Src) {
         self.in_service.remove(&id);
-        match src {
-            Src::Hot => self.hot_tx += 1,
-            Src::Cold => self.cold_tx += 1,
-        }
+        let now = q.now();
+        let (c_src, queue) = match src {
+            Src::Hot => (self.c_hot_tx, QueueClass::Hot),
+            Src::Cold => (self.c_cold_tx, QueueClass::Cold),
+        };
+        self.jobs.metrics().inc(c_src);
+        self.jobs.events().log(now, EventKind::Announce(queue), id);
         let was_consistent = self.jobs.is_consistent(id);
         if was_consistent {
-            self.redundant += 1;
+            let c_redundant = self.c_redundant;
+            self.jobs.metrics().inc(c_redundant);
         }
         let lost = self.loss.is_lost(&mut self.rng_loss);
         if lost {
-            self.lost += 1;
+            let c_lost = self.c_lost;
+            self.jobs.metrics().inc(c_lost);
+            self.jobs.events().log(now, EventKind::Drop, id);
         }
         if !lost && !was_consistent {
-            self.jobs.deliver(q.now(), id);
+            self.jobs.deliver(now, id);
         }
         if self.cfg.death.dies_after_service(&mut self.rng_death) || self.doomed.remove(&id) {
-            self.jobs.kill(q.now(), id);
+            self.jobs.kill(now, id);
         } else {
             // Hot-served records age into the cold queue; cold-served
             // records cycle back to its tail.
+            if src == Src::Hot {
+                self.jobs.events().log(now, EventKind::Demote, id);
+            }
             self.cold.push_back(id);
         }
     }
@@ -433,20 +460,40 @@ pub fn run(cfg: &TwoQueueConfig) -> TwoQueueReport {
 
     run_until(&mut sim, &mut q, end);
 
-    let total_tx = sim.hot_tx + sim.cold_tx;
+    let hot_tx = sim.jobs.metrics().counter_value(sim.c_hot_tx);
+    let cold_tx = sim.jobs.metrics().counter_value(sim.c_cold_tx);
+    let redundant = sim.jobs.metrics().counter_value(sim.c_redundant);
+    let lost = sim.jobs.metrics().counter_value(sim.c_lost);
+    if let Some(sched) = sim.sched.take() {
+        sched.export_into(sim.jobs.metrics(), "sched");
+    }
+    let c_dispatched = sim.jobs.metrics().counter("engine.events_dispatched");
+    sim.jobs.metrics().add(c_dispatched, q.dispatched());
+    let c_scheduled = sim.jobs.metrics().counter("engine.events_scheduled");
+    sim.jobs.metrics().add(c_scheduled, q.scheduled());
+
+    let total_tx = hot_tx + cold_tx;
     let observed_loss_rate = if total_tx == 0 {
         0.0
     } else {
-        sim.lost as f64 / total_tx as f64
+        lost as f64 / total_tx as f64
     };
+    let mean_hot_backlog = sim
+        .jobs
+        .metrics()
+        .average_value(sim.a_hot_backlog)
+        .mean_until(end);
+    let (stats, metrics, events) = sim.jobs.finish(end);
     TwoQueueReport {
-        stats: sim.jobs.finish(end),
-        hot_transmissions: sim.hot_tx,
-        cold_transmissions: sim.cold_tx,
-        redundant_transmissions: sim.redundant,
+        stats,
+        hot_transmissions: hot_tx,
+        cold_transmissions: cold_tx,
+        redundant_transmissions: redundant,
         observed_loss_rate,
-        mean_hot_backlog: sim.hot_backlog.mean_until(end),
+        mean_hot_backlog,
         final_hot_backlog: sim.hot.len(),
+        metrics,
+        events,
     }
 }
 
@@ -469,6 +516,7 @@ mod tests {
             seed,
             duration: SimDuration::from_secs(40_000),
             series_spacing: None,
+            event_capacity: 0,
         }
     }
 

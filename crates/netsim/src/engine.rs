@@ -115,6 +115,13 @@ impl<E> EventQueue<E> {
     pub fn dispatched(&self) -> u64 {
         self.popped
     }
+
+    /// Total events ever scheduled (dispatched + still pending). Together
+    /// with [`EventQueue::dispatched`] this feeds the engine's own
+    /// `engine.events_*` metrics.
+    pub fn scheduled(&self) -> u64 {
+        self.seq
+    }
 }
 
 /// A simulation world: reacts to events, scheduling follow-ups on the queue.

@@ -15,6 +15,9 @@
 //!   [`Channel`]).
 //! * [`stats`] — exact time-weighted averages, Welford accumulators,
 //!   latency histograms, and time-series recorders for the paper's metrics.
+//! * [`metrics`] — `ss-metrics`: a deterministic registry of named
+//!   counters/gauges/histograms/time-averages plus a typed event log,
+//!   with JSONL export ([`MetricsRegistry`], [`EventLog`]).
 //! * [`trace`] — bounded protocol-action traces for tests and debugging.
 //!
 //! Everything is single-threaded and fully deterministic given a seed:
@@ -40,6 +43,7 @@
 pub mod engine;
 pub mod link;
 pub mod loss;
+pub mod metrics;
 pub mod rng;
 pub mod stats;
 pub mod time;
@@ -49,6 +53,10 @@ pub mod units;
 pub use engine::{run_to_completion, run_until, EventQueue, World};
 pub use link::{Channel, Delivery, Transmitter};
 pub use loss::{Bernoulli, GilbertElliott, LossModel, Pattern};
+pub use metrics::{
+    AverageId, CounterId, EventKind, EventLog, EventRecord, GaugeId, HistogramId, HistogramSummary,
+    MetricValue, MetricsRegistry, MetricsSnapshot, QueueClass, WindowedTimeAverage,
+};
 pub use rng::SimRng;
 pub use stats::{DurationHistogram, TimeSeries, TimeWeightedMean, Welford};
 pub use time::{SimDuration, SimTime};
@@ -60,6 +68,11 @@ pub mod prelude {
     pub use crate::engine::{run_to_completion, run_until, EventQueue, World};
     pub use crate::link::{Channel, Delivery, Transmitter};
     pub use crate::loss::{Bernoulli, GilbertElliott, LossModel, Pattern};
+    pub use crate::metrics::{
+        AverageId, CounterId, EventKind, EventLog, EventRecord, GaugeId, HistogramId,
+        HistogramSummary, MetricValue, MetricsRegistry, MetricsSnapshot, QueueClass,
+        WindowedTimeAverage,
+    };
     pub use crate::rng::SimRng;
     pub use crate::stats::{DurationHistogram, TimeSeries, TimeWeightedMean, Welford};
     pub use crate::time::{SimDuration, SimTime};

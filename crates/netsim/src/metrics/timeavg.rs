@@ -1,0 +1,193 @@
+//! Windowed time averages of piecewise-constant signals.
+//!
+//! The paper's headline metric `E[c(t)]` is "the time average of the
+//! instantaneous system consistency over the entire lifetime of a system"
+//! (§2.1). [`WindowedTimeAverage`] integrates such a signal exactly —
+//! like [`crate::stats::TimeWeightedMean`] — and can additionally close
+//! fixed-width **sim-time windows**, yielding the bucketed
+//! `E[c(t)]`-per-window curve the Figure 8 style plots need without
+//! storing every sample.
+
+use crate::time::{SimDuration, SimTime};
+
+/// An exact time average of a piecewise-constant signal, with optional
+/// fixed-width window means.
+///
+/// Call [`WindowedTimeAverage::update`] whenever the signal changes; the
+/// previous value is integrated over the elapsed span. When constructed
+/// with a window width, every completed window's mean is recorded and
+/// available from [`WindowedTimeAverage::windows`].
+#[derive(Clone, Debug)]
+pub struct WindowedTimeAverage {
+    start: SimTime,
+    last_t: SimTime,
+    last_v: f64,
+    integral: f64,
+    window: Option<SimDuration>,
+    win_start: SimTime,
+    win_integral: f64,
+    windows: Vec<(SimTime, f64)>,
+}
+
+impl WindowedTimeAverage {
+    /// Starts integrating at `start` with initial signal value `v0`,
+    /// without window tracking.
+    pub fn new(start: SimTime, v0: f64) -> Self {
+        WindowedTimeAverage {
+            start,
+            last_t: start,
+            last_v: v0,
+            integral: 0.0,
+            window: None,
+            win_start: start,
+            win_integral: 0.0,
+            windows: Vec::new(),
+        }
+    }
+
+    /// Starts integrating at `start` with initial value `v0`, closing a
+    /// window of mean values every `window` of sim time. A zero width
+    /// disables window tracking.
+    pub fn windowed(start: SimTime, v0: f64, window: SimDuration) -> Self {
+        let mut w = Self::new(start, v0);
+        if window > SimDuration::ZERO {
+            w.window = Some(window);
+        }
+        w
+    }
+
+    /// Integrates the current value forward to `t`, closing any window
+    /// boundaries crossed on the way.
+    fn advance(&mut self, t: SimTime) {
+        self.integral += self.last_v * t.since(self.last_t).as_secs_f64();
+        if let Some(w) = self.window {
+            let mut cursor = self.last_t;
+            let mut win_end = self.win_start + w;
+            while t >= win_end {
+                self.win_integral += self.last_v * win_end.since(cursor).as_secs_f64();
+                self.windows
+                    .push((win_end, self.win_integral / w.as_secs_f64()));
+                cursor = win_end;
+                self.win_start = win_end;
+                self.win_integral = 0.0;
+                win_end = self.win_start + w;
+            }
+            self.win_integral += self.last_v * t.since(cursor).as_secs_f64();
+        }
+        self.last_t = t;
+    }
+
+    /// Records that the signal takes value `v` from time `t` onward.
+    /// Panics if `t` precedes the previous update.
+    pub fn update(&mut self, t: SimTime, v: f64) {
+        self.advance(t);
+        self.last_v = v;
+    }
+
+    /// The current signal value.
+    pub fn current(&self) -> f64 {
+        self.last_v
+    }
+
+    /// The exact time average over `[start, end]`. Returns the current
+    /// value for an empty span. Panics if `end` precedes the last update.
+    pub fn mean_until(&self, end: SimTime) -> f64 {
+        let tail = end.since(self.last_t).as_secs_f64();
+        let total = end.since(self.start).as_secs_f64();
+        if total == 0.0 {
+            return self.last_v;
+        }
+        (self.integral + self.last_v * tail) / total
+    }
+
+    /// Completed windows so far as `(window end, window mean)` pairs.
+    /// Call [`WindowedTimeAverage::finish_windows`] first to flush the
+    /// trailing partial window at the end of a run.
+    pub fn windows(&self) -> &[(SimTime, f64)] {
+        &self.windows
+    }
+
+    /// Integrates to `end` and closes the final (possibly partial)
+    /// window so that `windows()` covers the whole run.
+    pub fn finish_windows(&mut self, end: SimTime) {
+        self.advance(end);
+        if self.window.is_some() {
+            let span = end.since(self.win_start).as_secs_f64();
+            if span > 0.0 {
+                self.windows.push((end, self.win_integral / span));
+                self.win_start = end;
+                self.win_integral = 0.0;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_time_weighted_mean() {
+        // Signal: 0 on [0,2), 1 on [2,3), 0.5 on [3,5].
+        let mut m = WindowedTimeAverage::new(SimTime::ZERO, 0.0);
+        m.update(SimTime::from_secs(2), 1.0);
+        m.update(SimTime::from_secs(3), 0.5);
+        let avg = m.mean_until(SimTime::from_secs(5));
+        assert!((avg - 0.4).abs() < 1e-12, "{avg}");
+        assert_eq!(m.current(), 0.5);
+        assert!(m.windows().is_empty());
+    }
+
+    #[test]
+    fn empty_span_returns_current() {
+        let m = WindowedTimeAverage::new(SimTime::from_secs(1), 0.7);
+        assert_eq!(m.mean_until(SimTime::from_secs(1)), 0.7);
+    }
+
+    #[test]
+    fn windows_close_on_boundaries() {
+        // 1-second windows; signal 1.0 on [0, 1.5), 0.0 after.
+        let mut m = WindowedTimeAverage::windowed(SimTime::ZERO, 1.0, SimDuration::from_secs(1));
+        m.update(SimTime::from_millis(1500), 0.0);
+        m.update(SimTime::from_secs(3), 0.0);
+        let w = m.windows();
+        assert_eq!(w.len(), 3);
+        assert!((w[0].1 - 1.0).abs() < 1e-12, "window 1: {}", w[0].1);
+        assert!((w[1].1 - 0.5).abs() < 1e-12, "window 2: {}", w[1].1);
+        assert!((w[2].1 - 0.0).abs() < 1e-12, "window 3: {}", w[2].1);
+        assert_eq!(w[0].0, SimTime::from_secs(1));
+    }
+
+    #[test]
+    fn update_crossing_many_windows_closes_each() {
+        let mut m = WindowedTimeAverage::windowed(SimTime::ZERO, 2.0, SimDuration::from_secs(1));
+        m.update(SimTime::from_secs(5), 0.0);
+        assert_eq!(m.windows().len(), 5);
+        for (_, mean) in m.windows() {
+            assert!((mean - 2.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn finish_windows_flushes_partial_tail() {
+        let mut m = WindowedTimeAverage::windowed(SimTime::ZERO, 1.0, SimDuration::from_secs(2));
+        m.update(SimTime::from_secs(1), 0.0);
+        m.finish_windows(SimTime::from_secs(3));
+        let w = m.windows();
+        // [0,2): mean 0.5; [2,3): mean 0.0 (partial).
+        assert_eq!(w.len(), 2);
+        assert!((w[0].1 - 0.5).abs() < 1e-12);
+        assert!((w[1].1 - 0.0).abs() < 1e-12);
+        assert_eq!(w[1].0, SimTime::from_secs(3));
+        // Mean over the full span is unaffected by window bookkeeping.
+        assert!((m.mean_until(SimTime::from_secs(3)) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_window_disables_tracking() {
+        let mut m = WindowedTimeAverage::windowed(SimTime::ZERO, 1.0, SimDuration::ZERO);
+        m.update(SimTime::from_secs(10), 0.0);
+        m.finish_windows(SimTime::from_secs(10));
+        assert!(m.windows().is_empty());
+    }
+}

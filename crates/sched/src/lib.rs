@@ -30,6 +30,7 @@
 pub mod drr;
 pub mod hier;
 pub mod lottery;
+pub mod metered;
 pub mod priority;
 pub mod scfq;
 pub mod sfq;
@@ -38,6 +39,7 @@ pub mod stride;
 pub use drr::Drr;
 pub use hier::{Hierarchy, NodeId};
 pub use lottery::Lottery;
+pub use metered::Metered;
 pub use priority::StrictPriority;
 pub use scfq::Scfq;
 pub use sfq::Sfq;
@@ -83,6 +85,30 @@ pub trait Scheduler {
 
     /// A short policy name for experiment output.
     fn name(&self) -> &'static str;
+}
+
+impl<S: Scheduler + ?Sized> Scheduler for Box<S> {
+    fn set_weight(&mut self, class: ClassId, weight: u64) {
+        (**self).set_weight(class, weight)
+    }
+    fn weight(&self, class: ClassId) -> u64 {
+        (**self).weight(class)
+    }
+    fn set_backlogged(&mut self, class: ClassId, backlogged: bool) {
+        (**self).set_backlogged(class, backlogged)
+    }
+    fn is_backlogged(&self, class: ClassId) -> bool {
+        (**self).is_backlogged(class)
+    }
+    fn pick(&mut self, rng: &mut SimRng) -> Option<ClassId> {
+        (**self).pick(rng)
+    }
+    fn charge(&mut self, class: ClassId, cost: u64) {
+        (**self).charge(class, cost)
+    }
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
 }
 
 /// Shared bookkeeping for flat schedulers: weights and backlog flags.

@@ -1,5 +1,5 @@
 //! Self-clocked fair queueing (Golestani) — the finish-time member of
-//! the WFQ family the paper cites via Demers et al. [17].
+//! the WFQ family the paper cites via Demers et al. \[17\].
 //!
 //! Unlike the slot-and-charge schedulers in this crate, SCFQ owns the
 //! per-class packet queues: each packet is stamped at *enqueue* with a

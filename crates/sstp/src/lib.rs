@@ -58,6 +58,8 @@
 //! assert!(rx.replica().get(key).is_some());
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod allocator;
 pub mod digest;
 pub mod namespace;

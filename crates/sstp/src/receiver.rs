@@ -21,7 +21,7 @@ use crate::namespace::{MetaTag, Namespace, Path};
 use crate::reports::ReceiverReporter;
 use crate::wire::{NackPacket, Packet, RepairQueryPacket};
 use softstate::{Key, SubscriberTable, Value};
-use ss_netsim::{SimDuration, SimRng, SimTime};
+use ss_netsim::{EventKind, EventLog, SimDuration, SimRng, SimTime};
 use std::collections::BTreeMap;
 
 /// Which content classes this receiver repairs.
@@ -126,6 +126,35 @@ pub struct ReceiverStats {
 }
 
 /// The SSTP receiver endpoint.
+///
+/// Sans-I/O, like the sender: feed it wire packets with
+/// [`SstpReceiver::on_packet`], drain repair feedback with
+/// [`SstpReceiver::poll_feedback`], and run the soft-state timer with
+/// [`SstpReceiver::expire`]. An optional typed event trace
+/// ([`SstpReceiver::with_event_log`]) records deliveries, expiries,
+/// queries, and NACKs in simulation time:
+///
+/// ```
+/// use sstp::digest::HashAlgorithm;
+/// use sstp::namespace::MetaTag;
+/// use sstp::receiver::{ReceiverConfig, SstpReceiver};
+/// use sstp::sender::SstpSender;
+/// use ss_netsim::{EventKind, SimRng, SimTime};
+///
+/// let mut tx = SstpSender::new(HashAlgorithm::Fnv64, 1000);
+/// let mut rx = SstpReceiver::new(
+///     ReceiverConfig::unicast(0, HashAlgorithm::Fnv64),
+///     SimRng::new(7),
+/// )
+/// .with_event_log(64);
+///
+/// let key = tx.publish(SimTime::ZERO, tx.root(), MetaTag(0));
+/// let pkt = tx.next_hot_packet().unwrap();
+/// rx.on_packet(SimTime::from_secs(1), &pkt);
+///
+/// assert!(rx.replica().get(key).is_some());
+/// assert_eq!(rx.events().of_kind(EventKind::Deliver).count(), 1);
+/// ```
 pub struct SstpReceiver {
     cfg: ReceiverConfig,
     replica: SubscriberTable,
@@ -144,6 +173,9 @@ pub struct SstpReceiver {
     next_seq: u64,
     rng: SimRng,
     stats: ReceiverStats,
+    /// Typed event trace (disabled by default; see
+    /// [`SstpReceiver::with_event_log`]).
+    events: EventLog,
 }
 
 impl SstpReceiver {
@@ -164,7 +196,21 @@ impl SstpReceiver {
             next_seq: 0,
             rng,
             stats: ReceiverStats::default(),
+            events: EventLog::disabled(),
         }
+    }
+
+    /// Enables the typed event trace, keeping the first `capacity`
+    /// events (deliveries, expiries, queries, NACKs). Capacity 0 leaves
+    /// tracing off.
+    pub fn with_event_log(mut self, capacity: usize) -> Self {
+        self.events = EventLog::with_capacity(capacity);
+        self
+    }
+
+    /// The typed event trace recorded so far.
+    pub fn events(&self) -> &EventLog {
+        &self.events
     }
 
     fn cancel(&mut self, kind: &FbKind) -> bool {
@@ -253,6 +299,7 @@ impl SstpReceiver {
                     );
                     if changed {
                         self.stats.data_applied += 1;
+                        self.events.log(now, EventKind::Deliver, d.key.0);
                     }
                     self.reasm.remove(&d.key);
                     // Data in hand: a pending NACK for it is moot.
@@ -368,6 +415,7 @@ impl SstpReceiver {
             .into_iter()
             .map(|path| {
                 self.stats.queries_sent += 1;
+                self.events.log(now, EventKind::Query, path.len() as u64);
                 Packet::RepairQuery(RepairQueryPacket { path })
             })
             .collect();
@@ -375,6 +423,9 @@ impl SstpReceiver {
         for chunk in nacks.chunks(64) {
             self.stats.nacks_sent += 1;
             self.stats.nacked_keys += chunk.len() as u64;
+            for key in chunk {
+                self.events.log(now, EventKind::Nack, key.0);
+            }
             out.push(Packet::Nack(NackPacket {
                 keys: chunk.to_vec(),
             }));
@@ -396,6 +447,7 @@ impl SstpReceiver {
             self.mirror.remove_adu(key);
             self.reasm.remove(&key);
             self.stats.expired += 1;
+            self.events.log(now, EventKind::Expire, key.0);
         }
         dead
     }

@@ -62,6 +62,30 @@ struct FragState {
 }
 
 /// The SSTP sender endpoint.
+///
+/// Sans-I/O: the application publishes ADUs into the namespace and then
+/// drains wire packets ([`SstpSender::next_hot_packet`],
+/// [`SstpSender::next_cycle_packet`], [`SstpSender::summary_packet`])
+/// at whatever rate its bandwidth budget allows.
+///
+/// ```
+/// use sstp::digest::HashAlgorithm;
+/// use sstp::namespace::MetaTag;
+/// use sstp::sender::SstpSender;
+/// use sstp::wire::Packet;
+/// use ss_netsim::SimTime;
+///
+/// let mut tx = SstpSender::new(HashAlgorithm::Fnv64, 1000);
+/// let root = tx.root();
+/// let key = tx.publish(SimTime::ZERO, root, MetaTag(0));
+///
+/// // The new ADU is queued exactly once on the hot (foreground) path.
+/// match tx.next_hot_packet() {
+///     Some(Packet::Data(d)) => assert_eq!(d.key, key),
+///     other => panic!("expected the published ADU, got {other:?}"),
+/// }
+/// assert!(tx.next_hot_packet().is_none());
+/// ```
 pub struct SstpSender {
     table: PublisherTable,
     ns: Namespace,

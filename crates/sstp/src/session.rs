@@ -29,8 +29,9 @@ use crate::wire::Packet;
 use softstate::consistency::ConsistencyAverages;
 use softstate::{ArrivalProcess, ConsistencyMeter, Key, LossSpec};
 use ss_netsim::{
-    run_until, Bandwidth, DurationHistogram, EventQueue, LossModel, SimDuration, SimRng, SimTime,
-    World,
+    run_until, AverageId, Bandwidth, CounterId, DurationHistogram, EventKind, EventLog, EventQueue,
+    HistogramId, LossModel, MetricsRegistry, MetricsSnapshot, QueueClass, SimDuration, SimRng,
+    SimTime, World,
 };
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -89,6 +90,9 @@ pub struct SessionConfig {
     pub interests: Option<Vec<Interest>>,
     /// Summary hash algorithm.
     pub algo: HashAlgorithm,
+    /// Event-trace capacity: the session and each receiver keep the
+    /// first this-many typed events (0 disables tracing).
+    pub event_capacity: usize,
     /// Run length.
     pub duration: SimDuration,
     /// Master seed.
@@ -122,6 +126,7 @@ impl SessionConfig {
             slot_window: None,
             interests: None,
             algo: HashAlgorithm::Fnv64,
+            event_capacity: 0,
             duration: SimDuration::from_secs(600),
             seed,
         }
@@ -139,6 +144,9 @@ pub struct ReceiverOutcome {
     pub stats: ReceiverStats,
     /// The last sampled instantaneous consistency.
     pub final_consistency: Option<f64>,
+    /// This receiver's typed event trace (empty unless
+    /// [`SessionConfig::event_capacity`] is set).
+    pub events: EventLog,
 }
 
 /// Aggregate packet counters for the whole session.
@@ -173,6 +181,16 @@ pub struct SessionReport {
     pub rate_warnings: u64,
     /// The sender's final smoothed loss estimate.
     pub final_loss_estimate: f64,
+    /// Every metric of the run, frozen at the end time. Channel and
+    /// endpoint counters, per-receiver consistency time averages
+    /// (`rx.<i>.consistency`) and latency histograms
+    /// (`rx.<i>.latency.t_rec`), and engine totals all live here under
+    /// stable dotted names.
+    pub metrics: MetricsSnapshot,
+    /// Session-level typed event trace: transmissions (announce/summary),
+    /// channel drops, and feedback sends (empty unless
+    /// [`SessionConfig::event_capacity`] is set).
+    pub events: EventLog,
 }
 
 impl SessionReport {
@@ -237,7 +255,6 @@ struct Sim {
     fb_due_at: Vec<Option<SimTime>>,
     /// Ground-truth instrumentation.
     meters: Vec<ConsistencyMeter>,
-    latencies: Vec<DurationHistogram>,
     latency_seen: Vec<BTreeSet<Key>>,
     born_at: BTreeMap<Key, SimTime>,
     /// Workload state.
@@ -245,8 +262,19 @@ struct Sim {
     rng_lifetime: SimRng,
     branches: Vec<NodeId>,
     update_keys: Vec<Key>,
-    /// Counters.
-    packets: PacketCounters,
+    /// Metrics: every channel counter, per-receiver consistency average
+    /// and latency histogram lives in the registry; typed protocol
+    /// events go to the session event log.
+    registry: MetricsRegistry,
+    events: EventLog,
+    c_data_tx: CounterId,
+    c_data_lost: CounterId,
+    c_data_bytes: CounterId,
+    c_fb_tx: CounterId,
+    c_fb_lost: CounterId,
+    c_fb_bytes: CounterId,
+    a_consistency: Vec<AverageId>,
+    h_latency: Vec<HistogramId>,
     allocations: Vec<(SimTime, Allocation)>,
     rate_warnings: u64,
 }
@@ -291,6 +319,7 @@ impl Sim {
                     },
                     root_rng.derive(&format!("rcv-{i}")),
                 )
+                .with_event_log(cfg.event_capacity)
             })
             .collect();
 
@@ -306,6 +335,28 @@ impl Sim {
         let allocator = Allocator::new(cfg.allocator.clone());
         let bw_source = StaticBandwidth(cfg.total_bandwidth);
         let allocation = allocator.allocate(cfg.total_bandwidth, 0.0, cfg.workload.arrivals.rate());
+
+        let mut registry = MetricsRegistry::new();
+        let c_data_tx = registry.counter("chan.data.tx");
+        let c_data_lost = registry.counter("chan.data.rx_lost");
+        let c_data_bytes = registry.counter("chan.data.bytes");
+        let c_fb_tx = registry.counter("chan.fb.tx");
+        let c_fb_lost = registry.counter("chan.fb.lost");
+        let c_fb_bytes = registry.counter("chan.fb.bytes");
+        let a_consistency = (0..cfg.n_receivers)
+            .map(|i| {
+                registry.time_average(
+                    &format!("rx.{i}.consistency"),
+                    SimTime::ZERO,
+                    1.0,
+                    SimDuration::ZERO,
+                )
+            })
+            .collect();
+        let h_latency = (0..cfg.n_receivers)
+            .map(|i| registry.histogram(&format!("rx.{i}.latency.t_rec")))
+            .collect();
+        let events = EventLog::with_capacity(cfg.event_capacity);
 
         Sim {
             sender,
@@ -325,16 +376,22 @@ impl Sim {
             meters: (0..cfg.n_receivers)
                 .map(|_| ConsistencyMeter::new(SimTime::ZERO))
                 .collect(),
-            latencies: (0..cfg.n_receivers)
-                .map(|_| DurationHistogram::new())
-                .collect(),
             latency_seen: vec![BTreeSet::new(); cfg.n_receivers],
             born_at: BTreeMap::new(),
             rng_arrival: root_rng.derive("arrival"),
             rng_lifetime: root_rng.derive("lifetime"),
             branches,
             update_keys: Vec::new(),
-            packets: PacketCounters::default(),
+            registry,
+            events,
+            c_data_tx,
+            c_data_lost,
+            c_data_bytes,
+            c_fb_tx,
+            c_fb_lost,
+            c_fb_bytes,
+            a_consistency,
+            h_latency,
             allocations: Vec::new(),
             rate_warnings: 0,
             cfg,
@@ -407,16 +464,34 @@ impl Sim {
 
     /// Broadcasts a data-channel packet to every receiver with
     /// independent loss, and schedules the next server-free event.
-    fn transmit_data(&mut self, q: &mut EventQueue<Ev>, pkt: Packet, rate: Bandwidth, free: Ev) {
+    /// `class` says which queue (hot/cold server) the packet left from,
+    /// for the event trace.
+    fn transmit_data(
+        &mut self,
+        q: &mut EventQueue<Ev>,
+        pkt: Packet,
+        rate: Bandwidth,
+        free: Ev,
+        class: QueueClass,
+    ) {
         let bytes = pkt.wire_len();
-        self.packets.data_channel_tx += 1;
-        self.packets.data_bytes += bytes as u64;
+        let c_tx = self.c_data_tx;
+        self.registry.inc(c_tx);
+        let c_bytes = self.c_data_bytes;
+        self.registry.add(c_bytes, bytes as u64);
+        let (kind, key) = match &pkt {
+            Packet::Data(d) => (EventKind::Announce(class), d.key.0),
+            _ => (EventKind::Summary, 0),
+        };
+        self.events.log(q.now(), kind, key);
         let tx_time = rate.transmit_time(bytes);
         let depart = q.now() + tx_time;
         for i in 0..self.receivers.len() {
             let ch = &mut self.data_chan[i];
             if ch.loss.is_lost(&mut ch.rng) {
-                self.packets.data_rx_lost += 1;
+                let c_lost = self.c_data_lost;
+                self.registry.inc(c_lost);
+                self.events.log(q.now(), EventKind::Drop, key);
             } else {
                 q.schedule(depart + self.cfg.prop_delay, Ev::DataArrive(i, pkt.clone()));
             }
@@ -431,7 +506,7 @@ impl Sim {
         if let Some(pkt) = self.sender.next_hot_packet() {
             self.hot_busy = true;
             let rate = self.allocation.hot;
-            self.transmit_data(q, pkt, rate, Ev::HotFree);
+            self.transmit_data(q, pkt, rate, Ev::HotFree, QueueClass::Hot);
         }
     }
 
@@ -462,7 +537,7 @@ impl Sim {
         };
         self.cold_busy = true;
         let rate = self.allocation.cold;
-        self.transmit_data(q, pkt, rate, Ev::ColdFree);
+        self.transmit_data(q, pkt, rate, Ev::ColdFree, QueueClass::Cold);
     }
 
     fn kick_fb(&mut self, q: &mut EventQueue<Ev>, i: usize) {
@@ -472,13 +547,22 @@ impl Sim {
         self.fb_busy[i] = true;
         let pkt = self.fb_queue[i].remove(0);
         let bytes = pkt.wire_len();
-        self.packets.feedback_tx += 1;
-        self.packets.feedback_bytes += bytes as u64;
+        let c_tx = self.c_fb_tx;
+        self.registry.inc(c_tx);
+        let c_bytes = self.c_fb_bytes;
+        self.registry.add(c_bytes, bytes as u64);
+        let kind = match &pkt {
+            Packet::Nack(_) => EventKind::Nack,
+            Packet::RepairQuery(_) => EventKind::Query,
+            _ => EventKind::Report,
+        };
+        self.events.log(q.now(), kind, i as u64);
         let depart = q.now() + self.fb_rate().transmit_time(bytes);
         // Toward the sender.
         let ch = &mut self.fb_chan[i];
         if ch.loss.is_lost(&mut ch.rng) {
-            self.packets.feedback_lost += 1;
+            let c_lost = self.c_fb_lost;
+            self.registry.inc(c_lost);
         } else {
             q.schedule(
                 depart + self.cfg.prop_delay,
@@ -529,6 +613,13 @@ impl Sim {
                 })
                 .count();
             self.meters[i].observe(now, agree, total);
+            let ratio = if total == 0 {
+                1.0
+            } else {
+                agree as f64 / total as f64
+            };
+            let a = self.a_consistency[i];
+            self.registry.record_sample(a, now, ratio);
             // Latency collection: first receipt of each key.
             let mut newly = Vec::new();
             for (k, e) in self.receivers[i].replica().entries() {
@@ -539,7 +630,8 @@ impl Sim {
             for (k, first) in newly {
                 self.latency_seen[i].insert(k);
                 if let Some(&born) = self.born_at.get(&k) {
-                    self.latencies[i].record(first.saturating_since(born));
+                    let h = self.h_latency[i];
+                    self.registry.observe(h, first.saturating_since(born));
                 }
             }
         }
@@ -633,6 +725,42 @@ impl World for Sim {
 }
 
 /// Runs a full SSTP session and reports all metrics.
+///
+/// The report carries both the classic typed fields
+/// ([`SessionReport::receivers`], [`SessionReport::packets`], …) and a
+/// [`MetricsSnapshot`] with every counter, gauge, histogram, and
+/// time-averaged consistency series the run produced
+/// (`examples/quickstart.rs` is the same flow as a binary):
+///
+/// ```
+/// use softstate::{ArrivalProcess, LossSpec};
+/// use ss_netsim::SimDuration;
+/// use sstp::session::{self, SessionConfig, SessionWorkload};
+///
+/// // A unicast SSTP session: 45 kbps budget, 20% loss both ways,
+/// // records arriving at ~1.9/s with two-minute lifetimes.
+/// let mut cfg = SessionConfig::unicast_default(42);
+/// cfg.data_loss = LossSpec::Bernoulli(0.2);
+/// cfg.fb_loss = LossSpec::Bernoulli(0.2);
+/// cfg.workload = SessionWorkload {
+///     arrivals: ArrivalProcess::Poisson { rate: 1.875 },
+///     mean_lifetime_secs: Some(120.0),
+///     branches: 4,
+///     class_weights: None,
+/// };
+/// cfg.duration = SimDuration::from_secs(600);
+///
+/// let report = session::run(&cfg);
+///
+/// // The subscriber tracked the publisher through 20% loss...
+/// assert!(report.mean_consistency() > 0.7);
+/// // ...and the metrics snapshot is the self-contained record of the
+/// // run: channel counters, per-receiver latency, loss estimate.
+/// let m = &report.metrics;
+/// assert_eq!(m.counter("chan.data.tx"), report.packets.data_channel_tx);
+/// assert_eq!(m.histogram("rx.0.latency.t_rec").count, report.receivers[0].latency.count());
+/// assert!((m.gauge("session.loss_estimate") - 0.2).abs() < 0.1);
+/// ```
 pub fn run(cfg: &SessionConfig) -> SessionReport {
     assert!(cfg.n_receivers >= 1, "need at least one receiver");
     let mut sim = Sim::new(cfg.clone());
@@ -663,22 +791,78 @@ pub fn run(cfg: &SessionConfig) -> SessionReport {
     run_until(&mut sim, &mut q, end);
     sim.measure(&mut q);
 
+    // Export the endpoint counters into the registry so the snapshot is
+    // the one self-contained record of the run.
+    let sender = sim.sender.stats();
+    for (name, v) in [
+        ("sender.data_tx", sender.data_tx),
+        ("sender.root_summaries_tx", sender.root_summaries_tx),
+        ("sender.node_summaries_tx", sender.node_summaries_tx),
+        ("sender.nacks_rx", sender.nacks_rx),
+        ("sender.queries_rx", sender.queries_rx),
+        ("sender.reports_rx", sender.reports_rx),
+        ("sender.nacks_suppressed", sender.nacks_suppressed),
+    ] {
+        let c = sim.registry.counter(name);
+        sim.registry.add(c, v);
+    }
+    for i in 0..cfg.n_receivers {
+        let stats = sim.receivers[i].stats();
+        for (field, v) in [
+            ("data_rx", stats.data_rx),
+            ("data_applied", stats.data_applied),
+            ("root_summaries_rx", stats.root_summaries_rx),
+            ("node_summaries_rx", stats.node_summaries_rx),
+            ("nacks_sent", stats.nacks_sent),
+            ("nacked_keys", stats.nacked_keys),
+            ("queries_sent", stats.queries_sent),
+            ("damped", stats.damped),
+            ("uninterested_skips", stats.uninterested_skips),
+            ("expired", stats.expired),
+            ("fragments_advanced", stats.fragments_advanced),
+        ] {
+            let c = sim.registry.counter(&format!("rx.{i}.{field}"));
+            sim.registry.add(c, v);
+        }
+    }
+    let c = sim.registry.counter("engine.events_dispatched");
+    sim.registry.add(c, q.dispatched());
+    let c = sim.registry.counter("engine.events_scheduled");
+    sim.registry.add(c, q.scheduled());
+    let c = sim.registry.counter("session.rate_warnings");
+    sim.registry.add(c, sim.rate_warnings);
+    let g = sim.registry.gauge("session.loss_estimate");
+    sim.registry.set_gauge(g, sim.sender.estimated_loss());
+
+    let packets = PacketCounters {
+        data_channel_tx: sim.registry.counter_value(sim.c_data_tx),
+        data_rx_lost: sim.registry.counter_value(sim.c_data_lost),
+        feedback_tx: sim.registry.counter_value(sim.c_fb_tx),
+        feedback_lost: sim.registry.counter_value(sim.c_fb_lost),
+        data_bytes: sim.registry.counter_value(sim.c_data_bytes),
+        feedback_bytes: sim.registry.counter_value(sim.c_fb_bytes),
+    };
+    let metrics = sim.registry.snapshot(end);
+
     let receivers = (0..cfg.n_receivers)
         .map(|i| ReceiverOutcome {
             consistency: sim.meters[i].averages(end),
-            latency: sim.latencies[i].clone(),
+            latency: sim.registry.histogram_value(sim.h_latency[i]).clone(),
             stats: sim.receivers[i].stats(),
             final_consistency: sim.meters[i].instantaneous(),
+            events: sim.receivers[i].events().clone(),
         })
         .collect();
 
     SessionReport {
         receivers,
-        sender: sim.sender.stats(),
-        packets: sim.packets,
+        sender,
+        packets,
         allocations: sim.allocations,
         rate_warnings: sim.rate_warnings,
         final_loss_estimate: sim.sender.estimated_loss(),
+        metrics,
+        events: sim.events,
     }
 }
 
@@ -806,6 +990,61 @@ mod tests {
             a.receivers[0].stats.data_applied,
             b.receivers[0].stats.data_applied
         );
+        assert_eq!(a.metrics, b.metrics, "metrics snapshot is deterministic");
+        assert_eq!(a.metrics.to_jsonl(), b.metrics.to_jsonl());
+    }
+
+    #[test]
+    fn metrics_snapshot_mirrors_report() {
+        let mut cfg = base_cfg(9);
+        cfg.event_capacity = 4096;
+        let report = run(&cfg);
+        // Channel counters are the same numbers the report carries.
+        let m = &report.metrics;
+        assert_eq!(m.counter("chan.data.tx"), report.packets.data_channel_tx);
+        assert_eq!(m.counter("chan.data.rx_lost"), report.packets.data_rx_lost);
+        assert_eq!(m.counter("chan.fb.tx"), report.packets.feedback_tx);
+        assert_eq!(m.counter("sender.data_tx"), report.sender.data_tx);
+        assert_eq!(
+            m.counter("rx.0.data_applied"),
+            report.receivers[0].stats.data_applied
+        );
+        assert_eq!(
+            m.histogram("rx.0.latency.t_rec").count,
+            report.receivers[0].latency.count()
+        );
+        assert!(m.counter("engine.events_dispatched") > 0);
+        assert!(
+            m.counter("engine.events_scheduled") >= m.counter("engine.events_dispatched"),
+            "can't dispatch more than was scheduled"
+        );
+        let c = m.time_average("rx.0.consistency");
+        assert!((0.0..=1.0).contains(&c), "E[c(t)] = {c}");
+        // The traces saw real protocol activity.
+        use ss_netsim::{EventKind, QueueClass};
+        assert!(
+            report
+                .events
+                .of_kind(EventKind::Announce(QueueClass::Hot))
+                .count()
+                > 0
+        );
+        assert!(report.events.of_kind(EventKind::Summary).count() > 0);
+        assert!(
+            report.receivers[0]
+                .events
+                .of_kind(EventKind::Deliver)
+                .count()
+                > 0
+        );
+    }
+
+    #[test]
+    fn zero_event_capacity_disables_traces() {
+        let report = run(&base_cfg(12));
+        assert!(report.events.is_empty());
+        assert_eq!(report.events.dropped(), 0);
+        assert!(report.receivers[0].events.is_empty());
     }
 
     #[test]

@@ -36,6 +36,7 @@ proptest! {
             // Generous horizon: E[attempts per record] = 1/(1-p) <= 10.
             duration: SimDuration::from_secs(60 + count * 20),
             series_spacing: None,
+            event_capacity: 0,
         };
         let report = open_loop::run(&cfg);
         prop_assert_eq!(report.stats.latency.count(), count, "all records delivered");

@@ -35,6 +35,7 @@ fn abstract_claim_feedback_improves_consistency_dramatically() {
             duration: SimDuration::from_secs(20_000),
             series_spacing: None,
             trace_capacity: 0,
+            event_capacity: 0,
         }
     };
     let open = feedback::run(&mk(0.0));
@@ -102,6 +103,7 @@ fn section4_knee_and_figure5_range() {
         seed: 8,
         duration: SimDuration::from_secs(20_000),
         series_spacing: None,
+        event_capacity: 0,
     };
     let lambda_share = 15.0 / 45.0;
     let below = two_queue::run(&mk(lambda_share * 0.4));
@@ -169,6 +171,7 @@ fn conclusion_claim_aging_plus_feedback_range() {
         seed: 9,
         duration: SimDuration::from_secs(20_000),
         series_spacing: None,
+        event_capacity: 0,
     };
     let c_two = two_queue::run(&two).stats.consistency.busy.unwrap();
 
@@ -185,6 +188,7 @@ fn conclusion_claim_aging_plus_feedback_range() {
         duration: SimDuration::from_secs(20_000),
         series_spacing: None,
         trace_capacity: 0,
+        event_capacity: 0,
     };
     let c_fb = feedback::run(&fbc).stats.consistency.busy.unwrap();
 
