@@ -9,9 +9,61 @@ use softstate::protocol::open_loop::{self, OpenLoopConfig};
 use softstate::protocol::two_queue::{self, Sharing, TwoQueueConfig};
 use softstate::protocol::LossSpec;
 use softstate::{ArrivalProcess, DeathProcess, ServiceModel};
-use ss_netsim::SimDuration;
+use ss_netsim::{EventQueue, SimDuration, SimRng, SimTime};
 
 const SIM_SECS: u64 = 2_000;
+
+/// The engine hot path in isolation: schedule/pop throughput through a
+/// full million-event churn. Interleaves bursts of scheduling with
+/// drains (the shape protocol runs produce) rather than one monotone
+/// fill-then-empty; timestamps come from a seeded RNG so heap order is
+/// nontrivial.
+fn event_queue_bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event-queue");
+    group.sample_size(10);
+
+    group.bench_function("schedule_pop/1M", |b| {
+        b.iter(|| {
+            let mut q: EventQueue<u64> = EventQueue::with_capacity(1 << 12);
+            let mut rng = SimRng::new(7);
+            let mut dispatched = 0u64;
+            const TOTAL: u64 = 1_000_000;
+            const BURST: u64 = 1_000;
+            let mut scheduled = 0u64;
+            while dispatched < TOTAL {
+                while scheduled < TOTAL && q.len() < BURST as usize {
+                    let at = q.now() + SimDuration::from_micros(1 + rng.below(5_000));
+                    q.schedule(at, scheduled);
+                    scheduled += 1;
+                }
+                if let Some((_, _payload)) = q.pop() {
+                    dispatched += 1;
+                }
+            }
+            assert_eq!(q.dispatched(), TOTAL);
+            dispatched
+        });
+    });
+
+    group.bench_function("clear_and_reuse/4096", |b| {
+        // The sweep-engine reuse pattern: one preallocated queue cycled
+        // through many short runs, versus paying a fresh heap per run.
+        let mut q: EventQueue<u32> = EventQueue::with_capacity(4096);
+        b.iter(|| {
+            q.clear();
+            for i in 0..4096u32 {
+                q.schedule(SimTime::from_micros(u64::from(i % 97)), i);
+            }
+            let mut n = 0u32;
+            while q.pop().is_some() {
+                n += 1;
+            }
+            n
+        });
+    });
+
+    group.finish();
+}
 
 fn benches(c: &mut Criterion) {
     let mut group = c.benchmark_group("protocol-sim");
@@ -68,5 +120,5 @@ fn benches(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(protocol_benches, benches);
+criterion_group!(protocol_benches, benches, event_queue_bench);
 criterion_main!(protocol_benches);

@@ -4,15 +4,22 @@
 //! experiments list             # enumerate experiments
 //! experiments fig3             # run one (writes results/fig3_*.csv)
 //! experiments all              # run everything
-//! experiments --fast all       # shortened runs (smoke testing)
+//! experiments --fast all      # shortened runs (smoke testing)
+//! experiments --threads 4 all # fan sweep points over 4 workers
+//! experiments bench           # machine-readable wall-time + events/sec
 //! ```
+//!
+//! Sweep points fan out across `--threads` workers (default: the
+//! `SS_EXPERIMENTS_THREADS` env var, then the machine's available
+//! parallelism); results are reassembled in sweep order, so every CSV
+//! and JSONL artifact is byte-identical at any thread count.
 
 use ss_bench::{all_experiments, find_experiment, metrics_dir, results_dir};
 // lint: allow(D001, wall-clock progress reporting for the human running the suite)
 use std::time::Instant;
 
 fn usage() -> ! {
-    eprintln!("usage: experiments [--fast] <experiment-id>|all|list");
+    eprintln!("usage: experiments [--fast] [--threads N] <experiment-id>|all|list|bench");
     eprintln!("experiments:");
     for e in all_experiments() {
         eprintln!("  {:16} {}", e.id, e.description);
@@ -20,7 +27,9 @@ fn usage() -> ! {
     std::process::exit(2);
 }
 
-fn run_one(id: &str, fast: bool) {
+/// Runs one experiment and writes its artifacts. Any file that fails to
+/// write is reported and turns the final exit status nonzero.
+fn run_one(id: &str, fast: bool) -> Result<(), ()> {
     let Some(exp) = find_experiment(id) else {
         eprintln!("unknown experiment '{id}'");
         usage();
@@ -30,10 +39,12 @@ fn run_one(id: &str, fast: bool) {
     println!("# {} — {}", exp.id, exp.description);
     let output = (exp.run)(fast);
     let dir = results_dir();
+    let mut ok = Ok(());
     for t in &output.tables {
         t.print();
         if let Err(e) = t.write_csv(&dir) {
-            eprintln!("warning: could not write {}: {e}", t.csv_name);
+            eprintln!("error: could not write {}: {e}", t.csv_name);
+            ok = Err(());
         }
     }
     if !output.metrics.is_empty() {
@@ -41,7 +52,8 @@ fn run_one(id: &str, fast: bool) {
         for m in &output.metrics {
             let path = mdir.join(format!("{}.jsonl", m.name));
             if let Err(e) = std::fs::write(&path, &m.jsonl) {
-                eprintln!("warning: could not write {}: {e}", path.display());
+                eprintln!("error: could not write {}: {e}", path.display());
+                ok = Err(());
             }
         }
     }
@@ -53,6 +65,85 @@ fn run_one(id: &str, fast: bool) {
         dir.display(),
         output.metrics.len()
     );
+    ok
+}
+
+/// Pushes one JSON number with fixed decimal places (no float Display
+/// variance across platforms beyond the fixed precision).
+fn push_fixed(out: &mut String, v: f64, places: usize) {
+    use std::fmt::Write as _;
+    let _ = write!(out, "{v:.places$}");
+}
+
+/// Runs every experiment under the wall clock and emits one JSON object
+/// with per-experiment wall seconds, dispatched events, and events/sec.
+///
+/// The timing figures are *observability*, not simulation results: they
+/// vary run to run and machine to machine (hence the D001 allowances —
+/// nothing here feeds a deterministic artifact). The `events` counts,
+/// by contrast, are exact and reproducible.
+fn run_bench(fast: bool) -> Result<(), ()> {
+    let mut entries = String::new();
+    let mut total_s = 0.0f64;
+    let mut total_events = 0u64;
+    for e in all_experiments() {
+        // lint: allow(D001, bench subcommand measures wall time by design)
+        let started = Instant::now();
+        let output = (e.run)(fast);
+        let wall_s = started.elapsed().as_secs_f64();
+        total_s += wall_s;
+        total_events += output.events;
+        let eps = if wall_s > 0.0 {
+            output.events as f64 / wall_s
+        } else {
+            0.0
+        };
+        eprintln!(
+            "# bench {:16} {wall_s:8.2}s {:>12} events",
+            e.id, output.events
+        );
+        if !entries.is_empty() {
+            entries.push_str(",\n");
+        }
+        entries.push_str(&format!("    {{\"id\": \"{}\", \"wall_s\": ", e.id));
+        push_fixed(&mut entries, wall_s, 3);
+        entries.push_str(&format!(
+            ", \"events\": {}, \"events_per_sec\": ",
+            output.events
+        ));
+        push_fixed(&mut entries, eps, 0);
+        entries.push('}');
+    }
+    let threads = ss_netsim::par::threads();
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(&format!("  \"fast\": {fast},\n"));
+    json.push_str(&format!("  \"threads\": {threads},\n"));
+    json.push_str("  \"experiments\": [\n");
+    json.push_str(&entries);
+    json.push_str("\n  ],\n  \"total_wall_s\": ");
+    push_fixed(&mut json, total_s, 3);
+    json.push_str(&format!(
+        ",\n  \"total_events\": {total_events},\n  \"total_events_per_sec\": "
+    ));
+    push_fixed(
+        &mut json,
+        if total_s > 0.0 {
+            total_events as f64 / total_s
+        } else {
+            0.0
+        },
+        0,
+    );
+    json.push_str("\n}\n");
+    println!("{json}");
+    let path = results_dir().join("bench.json");
+    if let Err(e) = std::fs::write(&path, &json) {
+        eprintln!("error: could not write {}: {e}", path.display());
+        return Err(());
+    }
+    eprintln!("# bench written to {}", path.display());
+    Ok(())
 }
 
 fn main() {
@@ -63,21 +154,46 @@ fn main() {
     } else {
         false
     };
+    if let Some(pos) = args.iter().position(|a| a == "--threads") {
+        args.remove(pos);
+        if pos >= args.len() {
+            eprintln!("--threads requires a value");
+            usage();
+        }
+        let val = args.remove(pos);
+        match val.parse::<usize>() {
+            Ok(n) if n >= 1 => ss_netsim::par::set_threads(n),
+            _ => {
+                eprintln!("invalid --threads value '{val}'");
+                usage();
+            }
+        }
+    }
     let Some(target) = args.first() else { usage() };
-    match target.as_str() {
+    let ok = match target.as_str() {
         "list" => {
             for e in all_experiments() {
                 println!("{:16} {}", e.id, e.description);
             }
+            Ok(())
         }
+        "bench" => run_bench(fast),
         "all" => {
             // lint: allow(D001, timing printed to the operator; never feeds results)
             let started = Instant::now();
+            let mut ok = Ok(());
             for e in all_experiments() {
-                run_one(e.id, fast);
+                if run_one(e.id, fast).is_err() {
+                    ok = Err(());
+                }
             }
             println!("total: {:.1}s", started.elapsed().as_secs_f64());
+            ok
         }
         id => run_one(id, fast),
+    };
+    if ok.is_err() {
+        eprintln!("error: one or more artifacts could not be written");
+        std::process::exit(1);
     }
 }

@@ -9,7 +9,7 @@
 
 use crate::table::{fmt_frac, fmt_pct, Table};
 use softstate::LossSpec;
-use ss_netsim::SimDuration;
+use ss_netsim::{par, SimDuration};
 use sstp::session::{self, SessionConfig};
 
 /// Runs the experiment.
@@ -32,12 +32,16 @@ pub fn run(fast: bool) -> crate::ExperimentOutput {
     } else {
         vec![0.01, 0.05, 0.10, 0.20, 0.30, 0.40, 0.50]
     };
-    for loss in losses {
+    let reports = par::sweep(&losses, |_, &loss| {
         let mut cfg = SessionConfig::unicast_default(77);
         cfg.data_loss = LossSpec::Bernoulli(loss);
         cfg.fb_loss = LossSpec::Bernoulli(loss);
         cfg.duration = SimDuration::from_secs(if fast { 300 } else { 1_000 });
-        let report = session::run(&cfg);
+        session::run(&cfg)
+    });
+    let mut events = 0u64;
+    for (&loss, report) in losses.iter().zip(&reports) {
+        events += crate::dispatched_events(&report.metrics);
         let last = report
             .allocations
             .last()
@@ -53,7 +57,10 @@ pub fn run(fast: bool) -> crate::ExperimentOutput {
             fmt_frac(last.predicted_consistency),
         ]);
     }
-    vec![t].into()
+    crate::ExperimentOutput {
+        events,
+        ..vec![t].into()
+    }
 }
 
 #[cfg(test)]

@@ -12,13 +12,14 @@ use crate::table::{fmt_pct, Table};
 use softstate::protocol::open_loop::{self, OpenLoopConfig};
 use softstate::protocol::LossSpec;
 use softstate::{ArrivalProcess, DeathProcess, ServiceModel};
-use ss_netsim::SimDuration;
+use ss_netsim::{par, SimDuration};
 use ss_queueing::{expected_cycles_to_sync, expected_sync_time};
 
 const MU: f64 = 20.0; // announcements/s
 
-/// One simulated catch-up: returns the time of the last first-delivery.
-fn simulate(n: u64, p_loss: f64, seed: u64) -> f64 {
+/// One simulated catch-up: returns the time of the last first-delivery
+/// and the run's dispatched-event count.
+fn simulate(n: u64, p_loss: f64, seed: u64) -> (f64, u64) {
     let cfg = OpenLoopConfig {
         arrivals: ArrivalProcess::Bulk { count: n },
         death: DeathProcess::Immortal,
@@ -32,7 +33,10 @@ fn simulate(n: u64, p_loss: f64, seed: u64) -> f64 {
     };
     let report = open_loop::run(&cfg);
     assert_eq!(report.stats.latency.count(), n, "all records delivered");
-    report.stats.latency.max().as_secs_f64()
+    (
+        report.stats.latency.max().as_secs_f64(),
+        crate::dispatched_events(&report.metrics),
+    )
 }
 
 /// Runs the experiment.
@@ -62,10 +66,20 @@ pub fn run(fast: bool) -> crate::ExperimentOutput {
             (800, 0.3),
         ]
     };
-    let reps = if fast { 8 } else { 24 };
-    for (n, p) in cases {
+    let reps: u64 = if fast { 8 } else { 24 };
+    // Every (case, rep) pair is an independent sweep point; the
+    // per-case means below sum the reps in their original order, so the
+    // float results match the sequential nesting bit for bit.
+    let points: Vec<(u64, f64, u64)> = cases
+        .iter()
+        .flat_map(|&(n, p)| (0..reps).map(move |r| (n, p, 1000 + r)))
+        .collect();
+    let results = par::sweep(&points, |_, &(n, p, seed)| simulate(n, p, seed));
+    let mut events = 0u64;
+    for (&(n, p), chunk) in cases.iter().zip(results.chunks(reps as usize)) {
         let analytic = expected_sync_time(n, MU, p);
-        let mean_sim: f64 = (0..reps).map(|r| simulate(n, p, 1000 + r)).sum::<f64>() / reps as f64;
+        let mean_sim: f64 = chunk.iter().map(|&(s, _)| s).sum::<f64>() / reps as f64;
+        events += chunk.iter().map(|&(_, ev)| ev).sum::<u64>();
         let rel = (mean_sim - analytic).abs() / analytic;
         t.push_row(vec![
             n.to_string(),
@@ -76,7 +90,10 @@ pub fn run(fast: bool) -> crate::ExperimentOutput {
             fmt_pct(rel),
         ]);
     }
-    vec![t].into()
+    crate::ExperimentOutput {
+        events,
+        ..vec![t].into()
+    }
 }
 
 #[cfg(test)]

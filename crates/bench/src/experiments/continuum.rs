@@ -5,7 +5,7 @@
 
 use crate::table::{fmt_frac, Table};
 use softstate::{ArrivalProcess, LossSpec};
-use ss_netsim::SimDuration;
+use ss_netsim::{par, SimDuration};
 use sstp::reliability::ReliabilityLevel;
 use sstp::session::{self, SessionConfig, SessionWorkload};
 
@@ -57,21 +57,30 @@ pub fn run(fast: bool) -> crate::ExperimentOutput {
     } else {
         vec![0.10, 0.25, 0.40]
     };
-    for loss in losses {
-        for (name, level) in LEVELS {
-            let report = session::run(&cfg(level, loss, fast));
-            let rx = &report.receivers[0];
-            t.push_row(vec![
-                name.to_string(),
-                fmt_frac(loss),
-                fmt_frac(report.mean_consistency()),
-                report.packets.data_bytes.to_string(),
-                report.packets.feedback_bytes.to_string(),
-                rx.stats.nacked_keys.to_string(),
-            ]);
-        }
+    let points: Vec<(f64, &str, ReliabilityLevel)> = losses
+        .iter()
+        .flat_map(|&loss| LEVELS.iter().map(move |&(name, level)| (loss, name, level)))
+        .collect();
+    let reports = par::sweep(&points, |_, &(loss, _, level)| {
+        session::run(&cfg(level, loss, fast))
+    });
+    let mut events = 0u64;
+    for (&(loss, name, _), report) in points.iter().zip(&reports) {
+        events += crate::dispatched_events(&report.metrics);
+        let rx = &report.receivers[0];
+        t.push_row(vec![
+            name.to_string(),
+            fmt_frac(loss),
+            fmt_frac(report.mean_consistency()),
+            report.packets.data_bytes.to_string(),
+            report.packets.feedback_bytes.to_string(),
+            rx.stats.nacked_keys.to_string(),
+        ]);
     }
-    vec![t].into()
+    crate::ExperimentOutput {
+        events,
+        ..vec![t].into()
+    }
 }
 
 #[cfg(test)]

@@ -11,6 +11,7 @@ use crate::units::pkts;
 use softstate::protocol::feedback::{self, FeedbackConfig};
 use softstate::protocol::LossSpec;
 use softstate::{ArrivalProcess, DeathProcess, ServiceModel};
+use ss_netsim::par;
 
 pub(crate) fn cfg(hot_share: f64, p_loss: f64, fast: bool) -> FeedbackConfig {
     let mu_data = pkts(38.0);
@@ -43,8 +44,10 @@ pub fn run(fast: bool) -> crate::ExperimentOutput {
     } else {
         (1..=9).map(|i| i as f64 * 0.10).collect()
     };
-    for share in shares {
-        let report = feedback::run(&cfg(share, 0.10, fast));
+    let reports = par::sweep(&shares, |_, &share| feedback::run(&cfg(share, 0.10, fast)));
+    let mut events = 0u64;
+    for (&share, report) in shares.iter().zip(&reports) {
+        events += crate::dispatched_events(&report.metrics);
         t.push_row(vec![
             fmt_pct(share),
             fmt_frac(report.stats.consistency.busy.unwrap_or(0.0)),
@@ -52,7 +55,10 @@ pub fn run(fast: bool) -> crate::ExperimentOutput {
             report.promotions.to_string(),
         ]);
     }
-    vec![t].into()
+    crate::ExperimentOutput {
+        events,
+        ..vec![t].into()
+    }
 }
 
 #[cfg(test)]

@@ -11,6 +11,7 @@ use crate::table::{fmt_frac, fmt_pct, Table};
 
 use super::fig10::cfg;
 use softstate::protocol::feedback;
+use ss_netsim::par;
 
 const LOSS_RATES: [f64; 5] = [0.01, 0.20, 0.30, 0.40, 0.50];
 
@@ -33,15 +34,30 @@ pub fn run(fast: bool) -> crate::ExperimentOutput {
     } else {
         (1..=9).map(|i| i as f64 * 0.10).collect()
     };
-    for share in shares {
+    let points: Vec<(f64, f64)> = shares
+        .iter()
+        .flat_map(|&share| LOSS_RATES.iter().map(move |&p_loss| (share, p_loss)))
+        .collect();
+    let results = par::sweep(&points, |_, &(share, p_loss)| {
+        let report = feedback::run(&cfg(share, p_loss, fast));
+        (
+            report.stats.consistency.busy.unwrap_or(0.0),
+            crate::dispatched_events(&report.metrics),
+        )
+    });
+    let mut events = 0u64;
+    for (&share, chunk) in shares.iter().zip(results.chunks(LOSS_RATES.len())) {
         let mut row = vec![fmt_pct(share)];
-        for p_loss in LOSS_RATES {
-            let report = feedback::run(&cfg(share, p_loss, fast));
-            row.push(fmt_frac(report.stats.consistency.busy.unwrap_or(0.0)));
+        for &(busy, ev) in chunk {
+            row.push(fmt_frac(busy));
+            events += ev;
         }
         t.push_row(row);
     }
-    vec![t].into()
+    crate::ExperimentOutput {
+        events,
+        ..vec![t].into()
+    }
 }
 
 #[cfg(test)]

@@ -9,6 +9,7 @@ use super::secs;
 use crate::table::{fmt_frac, Table};
 use crate::units::pkts;
 use softstate::protocol::open_loop::{self, OpenLoopConfig};
+use ss_netsim::par;
 use ss_queueing::OpenLoop;
 
 /// Runs the experiment.
@@ -28,13 +29,19 @@ the paper's own parameters saturate the channel, so the simulation runs below th
     } else {
         (0..=9).map(|i| i as f64 * 0.1).collect()
     };
-    for p_loss in steps {
-        let m = OpenLoop::new(lambda, mu, p_loss, pd);
-        let a = m.wasted_bandwidth_fraction();
+    let results = par::sweep(&steps, |_, &p_loss| {
         let mut cfg = OpenLoopConfig::analytic(lambda, mu, p_loss, pd, 4);
         cfg.duration = secs(fast, 60_000);
         let report = open_loop::run(&cfg);
-        let s = report.wasted_fraction();
+        (
+            report.wasted_fraction(),
+            crate::dispatched_events(&report.metrics),
+        )
+    });
+    let mut events = 0u64;
+    for (&p_loss, &(s, ev)) in steps.iter().zip(&results) {
+        events += ev;
+        let a = OpenLoop::new(lambda, mu, p_loss, pd).wasted_bandwidth_fraction();
         t.push_row(vec![
             fmt_frac(p_loss),
             fmt_frac(a),
@@ -42,7 +49,10 @@ the paper's own parameters saturate the channel, so the simulation runs below th
             format!("{:.4}", (a - s).abs()),
         ]);
     }
-    vec![t].into()
+    crate::ExperimentOutput {
+        events,
+        ..vec![t].into()
+    }
 }
 
 #[cfg(test)]

@@ -11,6 +11,7 @@ use crate::units::pkts;
 use softstate::protocol::two_queue::{self, Sharing, TwoQueueConfig};
 use softstate::protocol::LossSpec;
 use softstate::{ArrivalProcess, DeathProcess, ServiceModel};
+use ss_netsim::par;
 
 const LOSS_RATES: [f64; 3] = [0.10, 0.30, 0.50];
 
@@ -43,29 +44,48 @@ pub fn run(fast: bool) -> crate::ExperimentOutput {
     } else {
         (1..=16).map(|i| i as f64 * 0.05).collect()
     };
+    let points: Vec<(f64, f64)> = shares
+        .iter()
+        .flat_map(|&share| LOSS_RATES.iter().map(move |&p_loss| (share, p_loss)))
+        .collect();
+    let results = par::sweep(&points, |i, &(share, p_loss)| {
+        let mut c = cfg(share, p_loss, fast);
+        // The first point also exports its typed event trace (logging
+        // consumes no randomness, so enabling it cannot perturb the
+        // sweep).
+        if i == 0 {
+            c.event_capacity = 4096;
+        }
+        let report = two_queue::run(&c);
+        let busy = report.metrics.gauge("consistency.busy");
+        let mut jsonl = String::new();
+        report
+            .metrics
+            .write_jsonl_labeled(&format!("share={share:.2},loss={p_loss:.2}"), &mut jsonl);
+        let events_jsonl = if i == 0 {
+            report.events.to_jsonl()
+        } else {
+            String::new()
+        };
+        (
+            busy,
+            jsonl,
+            events_jsonl,
+            crate::dispatched_events(&report.metrics),
+        )
+    });
     let mut jsonl = String::new();
     let mut events_jsonl = String::new();
-    for (si, share) in shares.into_iter().enumerate() {
+    let mut events = 0u64;
+    for (&share, chunk) in shares.iter().zip(results.chunks(LOSS_RATES.len())) {
         let mut row = vec![fmt_pct(share)];
-        for (li, p_loss) in LOSS_RATES.into_iter().enumerate() {
-            let mut c = cfg(share, p_loss, fast);
-            // One representative point also exports its typed event
-            // trace (logging consumes no randomness, so enabling it
-            // cannot perturb the sweep).
-            if si == 0 && li == 0 {
-                c.event_capacity = 4096;
+        for (busy, run_jsonl, run_events, ev) in chunk {
+            row.push(fmt_frac(if busy.is_finite() { *busy } else { 0.0 }));
+            jsonl.push_str(run_jsonl);
+            if !run_events.is_empty() {
+                events_jsonl = run_events.clone();
             }
-            let report = two_queue::run(&c);
-            let busy = report.metrics.gauge("consistency.busy");
-            row.push(fmt_frac(if busy.is_finite() { busy } else { 0.0 }));
-            jsonl.push_str(
-                &report
-                    .metrics
-                    .to_jsonl_labeled(&format!("share={share:.2},loss={p_loss:.2}")),
-            );
-            if si == 0 && li == 0 {
-                events_jsonl = report.events.to_jsonl();
-            }
+            events += ev;
         }
         t.push_row(row);
     }
@@ -81,6 +101,7 @@ pub fn run(fast: bool) -> crate::ExperimentOutput {
                 jsonl: events_jsonl,
             },
         ],
+        events,
     }
 }
 

@@ -20,6 +20,7 @@ use crate::units::pkts;
 use softstate::protocol::two_queue::{self, Sharing, TwoQueueConfig};
 use softstate::protocol::LossSpec;
 use softstate::{ArrivalProcess, DeathProcess, ServiceModel};
+use ss_netsim::par;
 use ss_queueing::Mm1;
 
 fn cfg(ratio: f64, fast: bool) -> TwoQueueConfig {
@@ -68,9 +69,17 @@ pub fn run(fast: bool) -> crate::ExperimentOutput {
             0.01, 0.02, 0.05, 0.10, 0.20, 0.35, 0.50, 0.75, 1.0, 1.5, 2.0,
         ]
     };
-    let mut jsonl = String::new();
-    for ratio in ratios {
+    let results = par::sweep(&ratios, |_, &ratio| {
         let report = two_queue::run(&cfg(ratio, fast));
+        let mut jsonl = String::new();
+        report
+            .metrics
+            .write_jsonl_labeled(&format!("ratio={ratio:.2}"), &mut jsonl);
+        (report, jsonl)
+    });
+    let mut jsonl = String::new();
+    let mut events = 0u64;
+    for (&ratio, (report, run_jsonl)) in ratios.iter().zip(&results) {
         let lat = report.metrics.histogram("latency.t_rec");
         let arrivals = report.metrics.counter("records.arrivals");
         let delivered = lat.count as f64 / arrivals.max(1) as f64;
@@ -83,11 +92,8 @@ pub fn run(fast: bool) -> crate::ExperimentOutput {
             fmt_frac(delivered),
             fmt_frac(if busy.is_finite() { busy } else { 0.0 }),
         ]);
-        jsonl.push_str(
-            &report
-                .metrics
-                .to_jsonl_labeled(&format!("ratio={ratio:.2}")),
-        );
+        jsonl.push_str(run_jsonl);
+        events += crate::dispatched_events(&report.metrics);
     }
     crate::ExperimentOutput {
         tables: vec![t],
@@ -95,6 +101,7 @@ pub fn run(fast: bool) -> crate::ExperimentOutput {
             name: "fig6".into(),
             jsonl,
         }],
+        events,
     }
 }
 

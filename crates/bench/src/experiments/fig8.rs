@@ -13,6 +13,7 @@ use crate::units::pkts;
 use softstate::protocol::feedback::{self, FeedbackConfig};
 use softstate::protocol::LossSpec;
 use softstate::{ArrivalProcess, DeathProcess, ServiceModel};
+use ss_netsim::par;
 use ss_netsim::{SimDuration, SimTime};
 
 const FB_SHARES: [f64; 4] = [0.0, 0.20, 0.50, 0.70];
@@ -55,10 +56,7 @@ pub fn run(fast: bool) -> crate::ExperimentOutput {
         "fig8",
         &["time", "fb=0%", "fb=20%", "fb=50%", "fb=70%"],
     );
-    let reports: Vec<_> = FB_SHARES
-        .iter()
-        .map(|&share| feedback::run(&cfg(share, fast)))
-        .collect();
+    let reports = par::sweep(&FB_SHARES, |_, &share| feedback::run(&cfg(share, fast)));
     let horizon = if fast { 200u64 } else { 2_000 };
     let n_samples = 10;
     for i in 1..=n_samples {
@@ -91,7 +89,14 @@ pub fn run(fast: bool) -> crate::ExperimentOutput {
             format!("{:.1}", r.mean_hot_backlog),
         ]);
     }
-    vec![t, avg].into()
+    let events = reports
+        .iter()
+        .map(|r| crate::dispatched_events(&r.metrics))
+        .sum();
+    crate::ExperimentOutput {
+        events,
+        ..vec![t, avg].into()
+    }
 }
 
 #[cfg(test)]

@@ -12,6 +12,7 @@ use crate::units::pkts;
 use softstate::protocol::feedback::{self, FeedbackConfig};
 use softstate::protocol::LossSpec;
 use softstate::{ArrivalProcess, DeathProcess, ServiceModel};
+use ss_netsim::par;
 
 const LOSS_RATES: [f64; 4] = [0.10, 0.30, 0.50, 0.70];
 
@@ -50,15 +51,30 @@ pub fn run(fast: bool) -> crate::ExperimentOutput {
             0.0, 0.05, 0.10, 0.20, 0.30, 0.40, 0.50, 0.60, 0.70, 0.80, 0.90,
         ]
     };
-    for share in shares {
+    let points: Vec<(f64, f64)> = shares
+        .iter()
+        .flat_map(|&share| LOSS_RATES.iter().map(move |&p_loss| (share, p_loss)))
+        .collect();
+    let results = par::sweep(&points, |_, &(share, p_loss)| {
+        let report = feedback::run(&cfg(share, p_loss, fast));
+        (
+            report.stats.consistency.busy.unwrap_or(0.0),
+            crate::dispatched_events(&report.metrics),
+        )
+    });
+    let mut events = 0u64;
+    for (&share, chunk) in shares.iter().zip(results.chunks(LOSS_RATES.len())) {
         let mut row = vec![fmt_pct(share)];
-        for p_loss in LOSS_RATES {
-            let report = feedback::run(&cfg(share, p_loss, fast));
-            row.push(fmt_frac(report.stats.consistency.busy.unwrap_or(0.0)));
+        for &(busy, ev) in chunk {
+            row.push(fmt_frac(busy));
+            events += ev;
         }
         t.push_row(row);
     }
-    vec![t].into()
+    crate::ExperimentOutput {
+        events,
+        ..vec![t].into()
+    }
 }
 
 #[cfg(test)]

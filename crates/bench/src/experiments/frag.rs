@@ -8,7 +8,7 @@
 
 use crate::table::{fmt_frac, Table};
 use softstate::{ArrivalProcess, LossSpec};
-use ss_netsim::SimDuration;
+use ss_netsim::{par, SimDuration};
 use sstp::session::{self, SessionConfig, SessionWorkload};
 
 fn cfg(mtu: Option<u32>, fast: bool) -> SessionConfig {
@@ -44,8 +44,10 @@ pub fn run(fast: bool) -> crate::ExperimentOutput {
     );
     let cases: Vec<(Option<u32>, u32)> =
         vec![(Some(500), 8), (Some(1000), 4), (Some(2000), 2), (None, 1)];
-    for (mtu, frags) in cases {
-        let report = session::run(&cfg(mtu, fast));
+    let reports = par::sweep(&cases, |_, &(mtu, _)| session::run(&cfg(mtu, fast)));
+    let mut events = 0u64;
+    for (&(mtu, frags), report) in cases.iter().zip(&reports) {
+        events += crate::dispatched_events(&report.metrics);
         let rx = &report.receivers[0];
         t.push_row(vec![
             mtu.map_or("whole".into(), |m| m.to_string()),
@@ -56,7 +58,10 @@ pub fn run(fast: bool) -> crate::ExperimentOutput {
             rx.stats.nacked_keys.to_string(),
         ]);
     }
-    vec![t].into()
+    crate::ExperimentOutput {
+        events,
+        ..vec![t].into()
+    }
 }
 
 #[cfg(test)]

@@ -12,6 +12,7 @@ use crate::units::pkts;
 use softstate::protocol::feedback::{self, FeedbackConfig};
 use softstate::protocol::LossSpec;
 use softstate::{ArrivalProcess, DeathProcess, ServiceModel};
+use ss_netsim::par;
 
 fn cfg(fb_share: f64, p_loss: f64, fast: bool) -> FeedbackConfig {
     let mu_tot = pkts(45.0);
@@ -53,10 +54,25 @@ pub fn run(fast: bool) -> crate::ExperimentOutput {
     } else {
         vec![0.05, 0.10, 0.20, 0.30, 0.40, 0.50]
     };
+    // Two runs per loss point (open loop, then feedback), flattened into
+    // one sweep so both variants of every loss rate fan out together.
+    let points: Vec<(f64, f64, &str)> = losses
+        .iter()
+        .flat_map(|&p_loss| [(p_loss, 0.0, "open"), (p_loss, 0.20, "fb")])
+        .collect();
+    let results = par::sweep(&points, |_, &(p_loss, fb_share, variant)| {
+        let report = feedback::run(&cfg(fb_share, p_loss, fast));
+        let mut jsonl = String::new();
+        report
+            .metrics
+            .write_jsonl_labeled(&format!("loss={p_loss:.2},variant={variant}"), &mut jsonl);
+        (report, jsonl)
+    });
     let mut jsonl = String::new();
-    for p_loss in losses {
-        let open = feedback::run(&cfg(0.0, p_loss, fast));
-        let fb = feedback::run(&cfg(0.20, p_loss, fast));
+    let mut events = 0u64;
+    for (&p_loss, pair) in losses.iter().zip(results.chunks(2)) {
+        let (open, open_jsonl) = &pair[0];
+        let (fb, fb_jsonl) = &pair[1];
         let busy = |m: &ss_netsim::MetricsSnapshot| {
             let v = m.gauge("consistency.busy");
             if v.is_finite() {
@@ -76,15 +92,9 @@ pub fn run(fast: bool) -> crate::ExperimentOutput {
             tx(&open.metrics).to_string(),
             tx(&fb.metrics).to_string(),
         ]);
-        jsonl.push_str(
-            &open
-                .metrics
-                .to_jsonl_labeled(&format!("loss={p_loss:.2},variant=open")),
-        );
-        jsonl.push_str(
-            &fb.metrics
-                .to_jsonl_labeled(&format!("loss={p_loss:.2},variant=fb")),
-        );
+        jsonl.push_str(open_jsonl);
+        jsonl.push_str(fb_jsonl);
+        events += crate::dispatched_events(&open.metrics) + crate::dispatched_events(&fb.metrics);
     }
     crate::ExperimentOutput {
         tables: vec![t],
@@ -92,6 +102,7 @@ pub fn run(fast: bool) -> crate::ExperimentOutput {
             name: "headline".into(),
             jsonl,
         }],
+        events,
     }
 }
 

@@ -9,6 +9,7 @@ use crate::units::pkts;
 use softstate::protocol::open_loop::{self, OpenLoopConfig};
 use softstate::protocol::LossSpec;
 use softstate::{ArrivalProcess, DeathProcess, ServiceModel};
+use ss_netsim::par;
 
 fn cfg(loss: LossSpec, fast: bool) -> OpenLoopConfig {
     OpenLoopConfig {
@@ -42,27 +43,34 @@ pub fn run(fast: bool) -> crate::ExperimentOutput {
     } else {
         vec![0.10, 0.30, 0.50]
     };
-    for mean in means {
-        let bern = open_loop::run(&cfg(LossSpec::Bernoulli(mean), fast));
-        let b5 = open_loop::run(&cfg(
-            LossSpec::Bursty {
-                mean,
-                burst_len: 5.0,
-            },
-            fast,
-        ));
-        let b20 = open_loop::run(&cfg(
-            LossSpec::Bursty {
-                mean,
-                burst_len: 20.0,
-            },
-            fast,
-        ));
-        let cs = [
-            bern.stats.consistency.busy.unwrap(),
-            b5.stats.consistency.busy.unwrap(),
-            b20.stats.consistency.busy.unwrap(),
-        ];
+    // Three loss models per mean, flattened into one sweep.
+    let points: Vec<LossSpec> = means
+        .iter()
+        .flat_map(|&mean| {
+            [
+                LossSpec::Bernoulli(mean),
+                LossSpec::Bursty {
+                    mean,
+                    burst_len: 5.0,
+                },
+                LossSpec::Bursty {
+                    mean,
+                    burst_len: 20.0,
+                },
+            ]
+        })
+        .collect();
+    let results = par::sweep(&points, |_, &loss| {
+        let r = open_loop::run(&cfg(loss, fast));
+        (
+            r.stats.consistency.busy.unwrap(),
+            crate::dispatched_events(&r.metrics),
+        )
+    });
+    let mut events = 0u64;
+    for (&mean, chunk) in means.iter().zip(results.chunks(3)) {
+        let cs = [chunk[0].0, chunk[1].0, chunk[2].0];
+        events += chunk.iter().map(|&(_, ev)| ev).sum::<u64>();
         let spread = cs.iter().cloned().fold(f64::MIN, f64::max)
             - cs.iter().cloned().fold(f64::MAX, f64::min);
         t.push_row(vec![
@@ -73,7 +81,10 @@ pub fn run(fast: bool) -> crate::ExperimentOutput {
             fmt_frac(spread),
         ]);
     }
-    vec![t].into()
+    crate::ExperimentOutput {
+        events,
+        ..vec![t].into()
+    }
 }
 
 #[cfg(test)]

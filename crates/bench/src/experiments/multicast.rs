@@ -8,7 +8,7 @@
 
 use crate::table::{fmt_frac, Table};
 use softstate::{ArrivalProcess, LossSpec};
-use ss_netsim::SimDuration;
+use ss_netsim::{par, SimDuration};
 use sstp::session::{self, SessionConfig, SessionWorkload};
 
 fn cfg(n: usize, fast: bool) -> SessionConfig {
@@ -46,8 +46,10 @@ pub fn run(fast: bool) -> crate::ExperimentOutput {
     } else {
         vec![1, 2, 4, 8, 16]
     };
-    for n in groups {
-        let report = session::run(&cfg(n, fast));
+    let reports = par::sweep(&groups, |_, &n| session::run(&cfg(n, fast)));
+    let mut events = 0u64;
+    for (&n, report) in groups.iter().zip(&reports) {
+        events += crate::dispatched_events(&report.metrics);
         let damped: u64 = report.receivers.iter().map(|r| r.stats.damped).sum();
         t.push_row(vec![
             n.to_string(),
@@ -57,7 +59,10 @@ pub fn run(fast: bool) -> crate::ExperimentOutput {
             fmt_frac(report.mean_consistency()),
         ]);
     }
-    vec![t].into()
+    crate::ExperimentOutput {
+        events,
+        ..vec![t].into()
+    }
 }
 
 #[cfg(test)]

@@ -12,7 +12,7 @@
 
 use crate::table::Table;
 use softstate::measure_tables;
-use ss_netsim::{SimDuration, SimRng, SimTime};
+use ss_netsim::{par, SimDuration, SimRng, SimTime};
 use sstp::digest::HashAlgorithm;
 use sstp::namespace::MetaTag;
 use sstp::receiver::{ReceiverConfig, SstpReceiver};
@@ -119,19 +119,24 @@ pub fn run(fast: bool) -> crate::ExperimentOutput {
     } else {
         vec![64, 256, 1024, 4096]
     };
-    for n in sizes {
-        let branches = (n as f64).sqrt() as usize;
-        for (label, hier) in [("flat", false), ("hierarchical", true)] {
-            let (fp, fbb, cb, rounds) = run_case(n, branches, hier);
-            t.push_row(vec![
-                n.to_string(),
-                label.to_string(),
-                fp.to_string(),
-                fbb.to_string(),
-                cb.to_string(),
-                rounds.to_string(),
-            ]);
-        }
+    // No event engine here (sender and receiver are driven directly),
+    // but each (size, layout) case is still an independent sweep point.
+    let points: Vec<(usize, &str, bool)> = sizes
+        .iter()
+        .flat_map(|&n| [(n, "flat", false), (n, "hierarchical", true)])
+        .collect();
+    let results = par::sweep(&points, |_, &(n, _, hier)| {
+        run_case(n, (n as f64).sqrt() as usize, hier)
+    });
+    for (&(n, label, _), &(fp, fbb, cb, rounds)) in points.iter().zip(&results) {
+        t.push_row(vec![
+            n.to_string(),
+            label.to_string(),
+            fp.to_string(),
+            fbb.to_string(),
+            cb.to_string(),
+            rounds.to_string(),
+        ]);
     }
     vec![t].into()
 }

@@ -15,12 +15,13 @@ use crate::units::pkts;
 use softstate::protocol::feedback::{self, FeedbackConfig};
 use softstate::protocol::LossSpec;
 use softstate::{ArrivalProcess, DeathProcess, ServiceModel};
+use ss_netsim::par;
 use sstp::profile::ConsistencyProfile;
 
 const LOSSES: [f64; 4] = [0.10, 0.25, 0.40, 0.55];
 const SHARES: [f64; 5] = [0.0, 0.10, 0.25, 0.45, 0.70];
 
-fn simulate(loss: f64, fb_share: f64, fast: bool) -> f64 {
+fn simulate(loss: f64, fb_share: f64, fast: bool) -> (f64, u64) {
     let mu_tot = pkts(45.0);
     let mu_fb = mu_tot * fb_share;
     let mu_data = mu_tot - mu_fb;
@@ -39,15 +40,26 @@ fn simulate(loss: f64, fb_share: f64, fast: bool) -> f64 {
         trace_capacity: 0,
         event_capacity: 0,
     };
-    feedback::run(&cfg).stats.consistency.busy.unwrap_or(0.0)
+    let report = feedback::run(&cfg);
+    (
+        report.stats.consistency.busy.unwrap_or(0.0),
+        crate::dispatched_events(&report.metrics),
+    )
 }
 
 /// Runs the experiment.
 pub fn run(fast: bool) -> crate::ExperimentOutput {
-    // 1. Build the empirical grid.
-    let grid: Vec<Vec<f64>> = LOSSES
+    // 1. Build the empirical grid: the (loss, share) cross product as
+    // one flat sweep, reassembled into rows afterwards.
+    let points: Vec<(f64, f64)> = LOSSES
         .iter()
-        .map(|&l| SHARES.iter().map(|&s| simulate(l, s, fast)).collect())
+        .flat_map(|&l| SHARES.iter().map(move |&s| (l, s)))
+        .collect();
+    let results = par::sweep(&points, |_, &(l, s)| simulate(l, s, fast));
+    let events: u64 = results.iter().map(|&(_, ev)| ev).sum();
+    let grid: Vec<Vec<f64>> = results
+        .chunks(SHARES.len())
+        .map(|row| row.iter().map(|&(c, _)| c).collect())
         .collect();
     let empirical = ConsistencyProfile::empirical(LOSSES.to_vec(), SHARES.to_vec(), grid.clone());
     let analytic = ConsistencyProfile::analytic(pkts(15.0), pkts(45.0), 0.1, 0.67);
@@ -94,7 +106,10 @@ pub fn run(fast: bool) -> crate::ExperimentOutput {
             fmt_frac(regret.max(0.0)),
         ]);
     }
-    vec![t, pick].into()
+    crate::ExperimentOutput {
+        events,
+        ..vec![t, pick].into()
+    }
 }
 
 #[cfg(test)]

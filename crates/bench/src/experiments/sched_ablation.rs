@@ -9,6 +9,7 @@ use crate::units::pkts;
 use softstate::protocol::two_queue::{self, Policy, Sharing, TwoQueueConfig};
 use softstate::protocol::LossSpec;
 use softstate::{ArrivalProcess, DeathProcess, ServiceModel};
+use ss_netsim::par;
 
 const POLICIES: [Policy; 5] = [
     Policy::Lottery,
@@ -51,8 +52,10 @@ pub fn run(fast: bool) -> crate::ExperimentOutput {
             "cold share",
         ],
     );
-    for policy in POLICIES {
-        let r = two_queue::run(&cfg(policy, fast));
+    let reports = par::sweep(&POLICIES, |_, &policy| two_queue::run(&cfg(policy, fast)));
+    let mut events = 0u64;
+    for (policy, r) in POLICIES.iter().zip(&reports) {
+        events += crate::dispatched_events(&r.metrics);
         let total = r.transmissions().max(1);
         t.push_row(vec![
             format!("{policy:?}"),
@@ -63,7 +66,10 @@ pub fn run(fast: bool) -> crate::ExperimentOutput {
             fmt_frac(r.cold_transmissions as f64 / total as f64),
         ]);
     }
-    vec![t].into()
+    crate::ExperimentOutput {
+        events,
+        ..vec![t].into()
+    }
 }
 
 #[cfg(test)]

@@ -47,7 +47,12 @@ pub fn run(fast: bool) -> crate::ExperimentOutput {
             format!("{:.5}", (a - s).abs()),
         ]);
     }
-    vec![t].into()
+    // A single long run: nothing to fan out, but the event count still
+    // feeds the bench subcommand's throughput figures.
+    crate::ExperimentOutput {
+        events: crate::dispatched_events(&report.metrics),
+        ..vec![t].into()
+    }
 }
 
 #[cfg(test)]

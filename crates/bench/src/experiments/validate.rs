@@ -5,6 +5,7 @@
 use super::secs;
 use crate::table::{fmt_frac, Table};
 use softstate::protocol::open_loop::{self, OpenLoopConfig};
+use ss_netsim::par;
 use ss_queueing::OpenLoop;
 
 struct Point {
@@ -72,12 +73,16 @@ pub fn run(fast: bool) -> crate::ExperimentOutput {
         ],
     );
     let points: &[Point] = if fast { &grid[..2] } else { &grid };
-    for p in points {
-        let m = OpenLoop::new(p.lambda, p.mu, p.p_loss, p.p_death);
-        assert!(m.is_stable(), "grid points must be stable");
+    let reports = par::sweep(points, |_, p| {
         let mut cfg = OpenLoopConfig::analytic(p.lambda, p.mu, p.p_loss, p.p_death, 101);
         cfg.duration = secs(fast, 80_000);
-        let r = open_loop::run(&cfg);
+        open_loop::run(&cfg)
+    });
+    let mut events = 0u64;
+    for (p, r) in points.iter().zip(&reports) {
+        let m = OpenLoop::new(p.lambda, p.mu, p.p_loss, p.p_death);
+        assert!(m.is_stable(), "grid points must be stable");
+        events += crate::dispatched_events(&r.metrics);
         t.push_row(vec![
             format!("{:.1}", p.lambda),
             format!("{:.1}", p.mu),
@@ -92,7 +97,10 @@ pub fn run(fast: bool) -> crate::ExperimentOutput {
             format!("{:.2}", r.stats.mean_live_records),
         ]);
     }
-    vec![t].into()
+    crate::ExperimentOutput {
+        events,
+        ..vec![t].into()
+    }
 }
 
 #[cfg(test)]

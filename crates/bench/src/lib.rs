@@ -53,6 +53,11 @@ pub struct ExperimentOutput {
     pub tables: Vec<Table>,
     /// Metrics artifacts, written under `results/metrics/`.
     pub metrics: Vec<MetricsArtifact>,
+    /// Total simulator events dispatched across every run of the
+    /// experiment (sum of the runs' `engine.events_dispatched`
+    /// counters). Feeds the `experiments bench` events/sec figures;
+    /// zero for experiments that don't drive the event engine.
+    pub events: u64,
 }
 
 impl From<Vec<Table>> for ExperimentOutput {
@@ -60,7 +65,18 @@ impl From<Vec<Table>> for ExperimentOutput {
         ExperimentOutput {
             tables,
             metrics: Vec::new(),
+            events: 0,
         }
+    }
+}
+
+/// The `engine.events_dispatched` counter of one run's snapshot, or 0
+/// when the run didn't export it. Sweeps sum this into
+/// [`ExperimentOutput::events`].
+pub fn dispatched_events(m: &ss_netsim::MetricsSnapshot) -> u64 {
+    match m.get("engine.events_dispatched") {
+        Some(ss_netsim::MetricValue::Counter(v)) => *v,
+        _ => 0,
     }
 }
 

@@ -284,11 +284,20 @@ impl World for Sim {
     }
 }
 
+std::thread_local! {
+    /// Recycled event-queue allocation: sweep workers run many points
+    /// back-to-back, and a cleared queue is indistinguishable from a
+    /// fresh one (see `EventQueue::clear`), so reuse only saves the
+    /// re-growth of the heap.
+    static QUEUE_POOL: std::cell::RefCell<EventQueue<Ev>> =
+        std::cell::RefCell::new(EventQueue::with_capacity(256));
+}
+
 /// Runs an open-loop announce/listen simulation to completion and reports
 /// the paper's metrics.
 pub fn run(cfg: &OpenLoopConfig) -> OpenLoopReport {
     let mut sim = Sim::new(cfg.clone());
-    let mut q: EventQueue<Ev> = EventQueue::new();
+    let mut q: EventQueue<Ev> = QUEUE_POOL.with(|c| std::mem::take(&mut *c.borrow_mut()));
     let end = SimTime::ZERO + cfg.duration;
 
     for _ in 0..cfg.arrivals.initial_count() {
@@ -312,6 +321,8 @@ pub fn run(cfg: &OpenLoopConfig) -> OpenLoopReport {
         lost as f64 / transmissions as f64
     };
     let (stats, metrics, events) = sim.jobs.finish(end);
+    q.clear();
+    QUEUE_POOL.with(|c| *c.borrow_mut() = q);
     OpenLoopReport {
         stats,
         transmissions,

@@ -447,10 +447,19 @@ impl World for Sim {
     }
 }
 
+std::thread_local! {
+    /// Recycled event-queue allocation: sweep workers run many points
+    /// back-to-back, and a cleared queue is indistinguishable from a
+    /// fresh one (see `EventQueue::clear`), so reuse only saves the
+    /// re-growth of the heap.
+    static QUEUE_POOL: std::cell::RefCell<EventQueue<Ev>> =
+        std::cell::RefCell::new(EventQueue::with_capacity(256));
+}
+
 /// Runs a two-queue simulation and reports the paper's metrics.
 pub fn run(cfg: &TwoQueueConfig) -> TwoQueueReport {
     let mut sim = Sim::new(cfg.clone());
-    let mut q: EventQueue<Ev> = EventQueue::new();
+    let mut q: EventQueue<Ev> = QUEUE_POOL.with(|c| std::mem::take(&mut *c.borrow_mut()));
     let end = SimTime::ZERO + cfg.duration;
 
     for _ in 0..cfg.arrivals.initial_count() {
@@ -484,6 +493,9 @@ pub fn run(cfg: &TwoQueueConfig) -> TwoQueueReport {
         .average_value(sim.a_hot_backlog)
         .mean_until(end);
     let (stats, metrics, events) = sim.jobs.finish(end);
+    let final_hot_backlog = sim.hot.len();
+    q.clear();
+    QUEUE_POOL.with(|c| *c.borrow_mut() = q);
     TwoQueueReport {
         stats,
         hot_transmissions: hot_tx,
@@ -491,7 +503,7 @@ pub fn run(cfg: &TwoQueueConfig) -> TwoQueueReport {
         redundant_transmissions: redundant,
         observed_loss_rate,
         mean_hot_backlog,
-        final_hot_backlog: sim.hot.len(),
+        final_hot_backlog,
         metrics,
         events,
     }

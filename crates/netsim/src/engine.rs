@@ -63,6 +63,36 @@ impl<E> EventQueue<E> {
         }
     }
 
+    /// An empty queue with room for `cap` pending events before the heap
+    /// reallocates. Protocol runners size this for their steady-state
+    /// event population so the hot loop never grows the heap.
+    pub fn with_capacity(cap: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(cap),
+            now: SimTime::ZERO,
+            seq: 0,
+            popped: 0,
+        }
+    }
+
+    /// Resets the queue to its freshly-constructed state — clock at zero,
+    /// sequence and dispatch counters at zero, no pending events — while
+    /// **keeping the heap allocation**. A cleared queue is
+    /// indistinguishable from a new one (same FIFO tie-breaking, same
+    /// panics on past scheduling), which is what lets sweep runners reuse
+    /// one allocation across many independent simulation points.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+        self.now = SimTime::ZERO;
+        self.seq = 0;
+        self.popped = 0;
+    }
+
+    /// Number of pending events the heap can hold without reallocating.
+    pub fn capacity(&self) -> usize {
+        self.heap.capacity()
+    }
+
     /// The current virtual time (timestamp of the last popped event).
     pub fn now(&self) -> SimTime {
         self.now
@@ -233,6 +263,62 @@ mod tests {
         assert_eq!(w.fired, vec![0, 1, 2, 3, 4, 5]);
         assert_eq!(q.len(), 1);
         assert_eq!(q.peek_time(), Some(SimTime::from_secs(6)));
+    }
+
+    #[test]
+    fn with_capacity_preallocates() {
+        let q: EventQueue<u8> = EventQueue::with_capacity(64);
+        assert!(q.capacity() >= 64);
+        assert!(q.is_empty());
+        assert_eq!(q.now(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn cleared_queue_behaves_like_new() {
+        let mut q: EventQueue<u32> = EventQueue::with_capacity(16);
+        q.schedule(SimTime::from_secs(1), 1);
+        q.schedule(SimTime::from_secs(2), 2);
+        q.pop();
+        let cap = q.capacity();
+        q.clear();
+
+        // Fully reset: clock, counters, pending events.
+        assert!(q.is_empty());
+        assert_eq!(q.now(), SimTime::ZERO);
+        assert_eq!(q.dispatched(), 0);
+        assert_eq!(q.scheduled(), 0);
+        // The allocation survives the reset.
+        assert!(q.capacity() >= cap);
+        // The clock reset means "the past" is rewritable again.
+        q.schedule(SimTime::ZERO, 9);
+        assert_eq!(q.pop().unwrap().1, 9);
+    }
+
+    #[test]
+    fn cleared_queue_keeps_deterministic_fifo_tie_breaking() {
+        // The tie-break invariant (equal timestamps pop in insertion
+        // order) must hold identically on a fresh queue and on one that
+        // has been used and cleared — reuse must not perturb `seq`.
+        let order_after = |q: &mut EventQueue<u32>| {
+            let t = SimTime::from_secs(7);
+            for i in 0..16 {
+                q.schedule(t, i);
+            }
+            std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect::<Vec<u32>>()
+        };
+        let mut fresh: EventQueue<u32> = EventQueue::new();
+        let expected = order_after(&mut fresh);
+
+        let mut reused: EventQueue<u32> = EventQueue::with_capacity(4);
+        // Dirty the queue thoroughly, then clear.
+        for i in 0..64 {
+            reused.schedule(SimTime::from_secs(i), i as u32);
+        }
+        for _ in 0..40 {
+            reused.pop();
+        }
+        reused.clear();
+        assert_eq!(order_after(&mut reused), expected);
     }
 
     #[test]

@@ -19,10 +19,17 @@
 //!   counters/gauges/histograms/time-averages plus a typed event log,
 //!   with JSONL export ([`MetricsRegistry`], [`EventLog`]).
 //! * [`trace`] — bounded protocol-action traces for tests and debugging.
+//! * [`par`] — the deterministic fan-out executor for sweeps of
+//!   independent runs ([`par::sweep`]): results reassemble in index
+//!   order, so artifacts are byte-identical at any worker count.
 //!
-//! Everything is single-threaded and fully deterministic given a seed:
-//! two runs with the same seed produce identical event sequences, which is
-//! what lets the experiment harness regenerate every figure reproducibly.
+//! Each simulation run is single-threaded and fully deterministic given a
+//! seed: two runs with the same seed produce identical event sequences,
+//! which is what lets the experiment harness regenerate every figure
+//! reproducibly. Sweeps of independent runs fan out across worker
+//! threads through [`par`] without weakening that guarantee, because
+//! every sweep point owns its seed and its results are reassembled in
+//! index order.
 //!
 //! ## Example
 //!
@@ -44,6 +51,7 @@ pub mod engine;
 pub mod link;
 pub mod loss;
 pub mod metrics;
+pub mod par;
 pub mod rng;
 pub mod stats;
 pub mod time;

@@ -229,6 +229,12 @@ impl BytesMut {
     pub fn extend_from_slice(&mut self, src: &[u8]) {
         self.data.extend_from_slice(src);
     }
+
+    /// Reserves capacity for at least `additional` more bytes
+    /// (mirrors `bytes::BytesMut::reserve`).
+    pub fn reserve(&mut self, additional: usize) {
+        self.data.reserve(additional);
+    }
 }
 
 impl Deref for BytesMut {
