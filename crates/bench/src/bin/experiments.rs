@@ -6,7 +6,9 @@
 //! experiments all              # run everything
 //! experiments --fast all      # shortened runs (smoke testing)
 //! experiments --threads 4 all # fan sweep points over 4 workers
+//! experiments --trace fig5    # also write results/traces/ artifacts
 //! experiments bench           # machine-readable wall-time + events/sec
+//! experiments bench-check     # compare results/bench.json to baseline
 //! ```
 //!
 //! Sweep points fan out across `--threads` workers (default: the
@@ -14,12 +16,15 @@
 //! parallelism); results are reassembled in sweep order, so every CSV
 //! and JSONL artifact is byte-identical at any thread count.
 
-use ss_bench::{all_experiments, find_experiment, metrics_dir, results_dir};
+use ss_bench::{all_experiments, find_experiment, metrics_dir, results_dir, traces_dir};
 // lint: allow(D001, wall-clock progress reporting for the human running the suite)
 use std::time::Instant;
 
 fn usage() -> ! {
-    eprintln!("usage: experiments [--fast] [--threads N] <experiment-id>|all|list|bench");
+    eprintln!(
+        "usage: experiments [--fast] [--threads N] [--trace] \
+         <experiment-id>|all|list|bench|bench-check [--tolerance F]"
+    );
     eprintln!("experiments:");
     for e in all_experiments() {
         eprintln!("  {:16} {}", e.id, e.description);
@@ -57,13 +62,29 @@ fn run_one(id: &str, fast: bool) -> Result<(), ()> {
             }
         }
     }
+    if !output.traces.is_empty() {
+        let tdir = traces_dir();
+        for t in &output.traces {
+            for (suffix, payload) in [
+                ("trace.json", &t.chrome_json),
+                ("causal.jsonl", &t.causal_jsonl),
+            ] {
+                let path = tdir.join(format!("{}.{suffix}", t.name));
+                if let Err(e) = std::fs::write(&path, payload) {
+                    eprintln!("error: could not write {}: {e}", path.display());
+                    ok = Err(());
+                }
+            }
+        }
+    }
     println!(
-        "# {} done in {:.1}s ({} table(s) -> {}/, {} metrics artifact(s))\n",
+        "# {} done in {:.1}s ({} table(s) -> {}/, {} metrics artifact(s), {} trace(s))\n",
         exp.id,
         started.elapsed().as_secs_f64(),
         output.tables.len(),
         dir.display(),
-        output.metrics.len()
+        output.metrics.len(),
+        output.traces.len()
     );
     ok
 }
@@ -146,6 +167,73 @@ fn run_bench(fast: bool) -> Result<(), ()> {
     Ok(())
 }
 
+/// Extracts a top-level `"name": <number>` field from a flat JSON
+/// object (the shape `run_bench` writes; no nesting below the
+/// `experiments` array matters here because the keys we read are
+/// unique).
+fn json_number(json: &str, name: &str) -> Option<f64> {
+    let needle = format!("\"{name}\":");
+    let at = json.find(&needle)? + needle.len();
+    let rest = json[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Compares a fresh `results/bench.json` against the committed
+/// `BENCH_baseline.json`: events/sec may regress by at most
+/// `tolerance` (a fraction; default 0.5, i.e. flag only halvings —
+/// shared CI runners are noisy). Exits nonzero on regression so CI can
+/// gate on it. Event *counts* are also compared, exactly: they are
+/// deterministic, so any drift means the simulation itself changed.
+fn run_bench_check(tolerance: f64) -> Result<(), ()> {
+    let read = |path: &std::path::Path| -> Result<String, ()> {
+        std::fs::read_to_string(path).map_err(|e| {
+            eprintln!("error: could not read {}: {e}", path.display());
+        })
+    };
+    let baseline = read(std::path::Path::new("BENCH_baseline.json"))?;
+    let fresh = read(&results_dir().join("bench.json"))?;
+    let field = |json: &str, name: &str| -> Result<f64, ()> {
+        json_number(json, name).ok_or_else(|| {
+            eprintln!("error: field '{name}' missing from bench JSON");
+        })
+    };
+    let base_eps = field(&baseline, "total_events_per_sec")?;
+    let fresh_eps = field(&fresh, "total_events_per_sec")?;
+    let base_events = field(&baseline, "total_events")?;
+    let fresh_events = field(&fresh, "total_events")?;
+    let base_fast = baseline.contains("\"fast\": true");
+    let fresh_fast = fresh.contains("\"fast\": true");
+    println!(
+        "# bench-check: baseline {base_eps:.0} events/s, fresh {fresh_eps:.0} events/s \
+         (tolerance {:.0}%)",
+        tolerance * 100.0
+    );
+    let mut ok = Ok(());
+    if base_fast == fresh_fast && fresh_events != base_events {
+        eprintln!(
+            "bench-check: event count drifted: baseline {base_events:.0}, fresh {fresh_events:.0} \
+             (deterministic — the simulation changed; refresh BENCH_baseline.json deliberately)"
+        );
+        ok = Err(());
+    }
+    let floor = base_eps * (1.0 - tolerance);
+    if fresh_eps < floor {
+        eprintln!(
+            "bench-check: throughput regression: {fresh_eps:.0} events/s < floor {floor:.0} \
+             ({:.0}% below baseline {base_eps:.0})",
+            (1.0 - fresh_eps / base_eps) * 100.0
+        );
+        ok = Err(());
+    }
+    if ok.is_ok() {
+        println!("# bench-check: OK");
+    }
+    ok
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let fast = if let Some(pos) = args.iter().position(|a| a == "--fast") {
@@ -169,6 +257,26 @@ fn main() {
             }
         }
     }
+    if let Some(pos) = args.iter().position(|a| a == "--trace") {
+        args.remove(pos);
+        ss_bench::set_trace(true);
+    }
+    let mut tolerance = 0.5f64;
+    if let Some(pos) = args.iter().position(|a| a == "--tolerance") {
+        args.remove(pos);
+        if pos >= args.len() {
+            eprintln!("--tolerance requires a value");
+            usage();
+        }
+        let val = args.remove(pos);
+        match val.parse::<f64>() {
+            Ok(f) if (0.0..1.0).contains(&f) => tolerance = f,
+            _ => {
+                eprintln!("invalid --tolerance value '{val}' (want a fraction in [0,1))");
+                usage();
+            }
+        }
+    }
     let Some(target) = args.first() else { usage() };
     let ok = match target.as_str() {
         "list" => {
@@ -178,6 +286,7 @@ fn main() {
             Ok(())
         }
         "bench" => run_bench(fast),
+        "bench-check" => run_bench_check(tolerance),
         "all" => {
             // lint: allow(D001, timing printed to the operator; never feeds results)
             let started = Instant::now();
@@ -193,7 +302,7 @@ fn main() {
         id => run_one(id, fast),
     };
     if ok.is_err() {
-        eprintln!("error: one or more artifacts could not be written");
+        eprintln!("error: failure reported above");
         std::process::exit(1);
     }
 }

@@ -30,6 +30,7 @@ fn simulate(n: u64, p_loss: f64, seed: u64) -> (f64, u64) {
         duration: SimDuration::from_secs(((n as f64 / MU) * 200.0) as u64 + 600),
         series_spacing: None,
         event_capacity: 0,
+        trace_capacity: 0,
     };
     let report = open_loop::run(&cfg);
     assert_eq!(report.stats.latency.count(), n, "all records delivered");

@@ -61,8 +61,14 @@ pub fn run(fast: bool) -> crate::ExperimentOutput {
         .iter()
         .flat_map(|&loss| LEVELS.iter().map(move |&(name, level)| (loss, name, level)))
         .collect();
-    let reports = par::sweep(&points, |_, &(loss, _, level)| {
-        session::run(&cfg(level, loss, fast))
+    let reports = par::sweep(&points, |i, &(loss, _, level)| {
+        let mut c = cfg(level, loss, fast);
+        // Under --trace the quasi-reliable point (repairs active)
+        // records the session's causal trace.
+        if i == 2 && crate::trace_enabled() {
+            c.trace_capacity = 200_000;
+        }
+        session::run(&c)
     });
     let mut events = 0u64;
     for (&(loss, name, _), report) in points.iter().zip(&reports) {
@@ -77,8 +83,17 @@ pub fn run(fast: bool) -> crate::ExperimentOutput {
             rx.stats.nacked_keys.to_string(),
         ]);
     }
+    let traces = if crate::trace_enabled() {
+        vec![crate::TraceArtifact::from_tracer(
+            "continuum_sstp",
+            &reports[2].trace,
+        )]
+    } else {
+        Vec::new()
+    };
     crate::ExperimentOutput {
         events,
+        traces,
         ..vec![t].into()
     }
 }

@@ -59,29 +59,38 @@ pub fn run(fast: bool) -> crate::ExperimentOutput {
         .iter()
         .flat_map(|&pd| loss_points.iter().map(move |&p_loss| (pd, p_loss)))
         .collect();
-    let results = par::sweep(&points, |_, &(pd, p_loss)| {
+    let mut results = par::sweep(&points, |i, &(pd, p_loss)| {
         let mut cfg = OpenLoopConfig::analytic(lambda, mu, p_loss, pd, 3);
         cfg.duration = secs(fast, 60_000);
+        // Under --trace the first point also records its causal trace
+        // (tracing consumes no randomness, so results are unchanged).
+        if i == 0 && crate::trace_enabled() {
+            cfg.trace_capacity = 200_000;
+        }
         let report = open_loop::run(&cfg);
         let s = report.metrics.gauge("consistency.unnormalized");
         let mut jsonl = String::new();
         report
             .metrics
             .write_jsonl_labeled(&format!("pd={pd:.2},loss={p_loss:.2}"), &mut jsonl);
-        (s, jsonl, crate::dispatched_events(&report.metrics))
+        let trace = (i == 0 && crate::trace_enabled())
+            .then(|| crate::TraceArtifact::from_tracer("fig3_open_loop", &report.trace));
+        (s, jsonl, trace, crate::dispatched_events(&report.metrics))
     });
     let mut jsonl = String::new();
+    let mut traces = Vec::new();
     let mut events = 0u64;
-    for (&(pd, p_loss), (s, run_jsonl, ev)) in points.iter().zip(&results) {
+    for (&(pd, p_loss), (s, run_jsonl, trace, ev)) in points.iter().zip(&mut results) {
         jsonl.push_str(run_jsonl);
-        events += ev;
+        traces.extend(trace.take());
+        events += *ev;
         let a = OpenLoop::new(lambda, mu, p_loss, pd).consistency_unnormalized();
         sim.push_row(vec![
             fmt_frac(p_loss),
             fmt_frac(pd),
             fmt_frac(a),
             fmt_frac(*s),
-            format!("{:.4}", (a - s).abs()),
+            format!("{:.4}", (a - *s).abs()),
         ]);
     }
     crate::ExperimentOutput {
@@ -90,6 +99,7 @@ pub fn run(fast: bool) -> crate::ExperimentOutput {
             name: "fig3".into(),
             jsonl,
         }],
+        traces,
         events,
     }
 }

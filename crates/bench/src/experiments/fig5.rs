@@ -29,6 +29,7 @@ fn cfg(hot_share: f64, p_loss: f64, fast: bool) -> TwoQueueConfig {
         duration: secs(fast, 30_000),
         series_spacing: None,
         event_capacity: 0,
+        trace_capacity: 0,
     }
 }
 
@@ -48,13 +49,16 @@ pub fn run(fast: bool) -> crate::ExperimentOutput {
         .iter()
         .flat_map(|&share| LOSS_RATES.iter().map(move |&p_loss| (share, p_loss)))
         .collect();
-    let results = par::sweep(&points, |i, &(share, p_loss)| {
+    let mut results = par::sweep(&points, |i, &(share, p_loss)| {
         let mut c = cfg(share, p_loss, fast);
-        // The first point also exports its typed event trace (logging
-        // consumes no randomness, so enabling it cannot perturb the
-        // sweep).
+        // The first point also exports its typed event trace and (under
+        // --trace) its causal trace; logging consumes no randomness, so
+        // enabling either cannot perturb the sweep.
         if i == 0 {
             c.event_capacity = 4096;
+            if crate::trace_enabled() {
+                c.trace_capacity = 200_000;
+            }
         }
         let report = two_queue::run(&c);
         let busy = report.metrics.gauge("consistency.busy");
@@ -67,25 +71,30 @@ pub fn run(fast: bool) -> crate::ExperimentOutput {
         } else {
             String::new()
         };
+        let trace = (i == 0 && crate::trace_enabled())
+            .then(|| crate::TraceArtifact::from_tracer("fig5_two_queue", &report.trace));
         (
             busy,
             jsonl,
             events_jsonl,
+            trace,
             crate::dispatched_events(&report.metrics),
         )
     });
     let mut jsonl = String::new();
     let mut events_jsonl = String::new();
+    let mut traces = Vec::new();
     let mut events = 0u64;
-    for (&share, chunk) in shares.iter().zip(results.chunks(LOSS_RATES.len())) {
+    for (&share, chunk) in shares.iter().zip(results.chunks_mut(LOSS_RATES.len())) {
         let mut row = vec![fmt_pct(share)];
-        for (busy, run_jsonl, run_events, ev) in chunk {
+        for (busy, run_jsonl, run_events, trace, ev) in chunk {
             row.push(fmt_frac(if busy.is_finite() { *busy } else { 0.0 }));
             jsonl.push_str(run_jsonl);
             if !run_events.is_empty() {
                 events_jsonl = run_events.clone();
             }
-            events += ev;
+            traces.extend(trace.take());
+            events += *ev;
         }
         t.push_row(row);
     }
@@ -101,6 +110,7 @@ pub fn run(fast: bool) -> crate::ExperimentOutput {
                 jsonl: events_jsonl,
             },
         ],
+        traces,
         events,
     }
 }

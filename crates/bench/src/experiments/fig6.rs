@@ -40,6 +40,7 @@ fn cfg(ratio: f64, fast: bool) -> TwoQueueConfig {
         duration: secs(fast, 30_000),
         series_spacing: None,
         event_capacity: 0,
+        trace_capacity: 0,
     }
 }
 
@@ -101,6 +102,7 @@ pub fn run(fast: bool) -> crate::ExperimentOutput {
             name: "fig6".into(),
             jsonl,
         }],
+        traces: Vec::new(),
         events,
     }
 }

@@ -56,7 +56,15 @@ pub fn run(fast: bool) -> crate::ExperimentOutput {
         "fig8",
         &["time", "fb=0%", "fb=20%", "fb=50%", "fb=70%"],
     );
-    let reports = par::sweep(&FB_SHARES, |_, &share| feedback::run(&cfg(share, fast)));
+    let reports = par::sweep(&FB_SHARES, |i, &share| {
+        let mut c = cfg(share, fast);
+        // The 50%-share point records the causal trace under --trace:
+        // it exercises the full NACK -> promote -> retransmit chain.
+        if i == 2 && crate::trace_enabled() {
+            c.trace_capacity = 200_000;
+        }
+        feedback::run(&c)
+    });
     let horizon = if fast { 200u64 } else { 2_000 };
     let n_samples = 10;
     for i in 1..=n_samples {
@@ -93,8 +101,17 @@ pub fn run(fast: bool) -> crate::ExperimentOutput {
         .iter()
         .map(|r| crate::dispatched_events(&r.metrics))
         .sum();
+    let traces = if crate::trace_enabled() {
+        vec![crate::TraceArtifact::from_tracer(
+            "fig8_feedback",
+            &reports[2].trace,
+        )]
+    } else {
+        Vec::new()
+    };
     crate::ExperimentOutput {
         events,
+        traces,
         ..vec![t, avg].into()
     }
 }

@@ -102,6 +102,7 @@ pub fn run(fast: bool) -> crate::ExperimentOutput {
             name: "headline".into(),
             jsonl,
         }],
+        traces: Vec::new(),
         events,
     }
 }

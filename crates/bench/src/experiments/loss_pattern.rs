@@ -22,6 +22,7 @@ fn cfg(loss: LossSpec, fast: bool) -> OpenLoopConfig {
         duration: secs(fast, 60_000),
         series_spacing: None,
         event_capacity: 0,
+        trace_capacity: 0,
     }
 }
 

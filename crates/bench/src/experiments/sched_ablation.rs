@@ -35,6 +35,7 @@ fn cfg(policy: Policy, fast: bool) -> TwoQueueConfig {
         duration: secs(fast, 20_000),
         series_spacing: None,
         event_capacity: 0,
+        trace_capacity: 0,
     }
 }
 

@@ -36,6 +36,53 @@ pub fn metrics_dir() -> PathBuf {
     dir
 }
 
+/// The directory causal-trace artifacts are written to (created on
+/// demand): `results/traces/<name>.trace.json` (Chrome/Perfetto) and
+/// `results/traces/<name>.causal.jsonl`.
+pub fn traces_dir() -> PathBuf {
+    let dir = PathBuf::from("results").join("traces");
+    std::fs::create_dir_all(&dir).expect("create results/traces dir");
+    dir
+}
+
+static TRACE: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+
+/// Turns causal-trace capture on for subsequent experiment runs (the
+/// CLI's `--trace` flag). Tracing consumes no randomness, so enabling
+/// it never perturbs results; it only adds the `results/traces/`
+/// artifacts.
+pub fn set_trace(on: bool) {
+    TRACE.store(on, std::sync::atomic::Ordering::Relaxed);
+}
+
+/// Whether `--trace` is in effect. Experiments consult this to decide
+/// whether their representative sweep point should record a tracer.
+pub fn trace_enabled() -> bool {
+    TRACE.load(std::sync::atomic::Ordering::Relaxed)
+}
+
+/// A deterministic causal-trace artifact: both exports of one run's
+/// [`ss_netsim::Tracer`], written under `results/traces/`.
+pub struct TraceArtifact {
+    /// Basename (no extension) under `results/traces/`.
+    pub name: String,
+    /// Chrome trace-event JSON (load in Perfetto / `chrome://tracing`).
+    pub chrome_json: String,
+    /// Compact causal JSONL (one event per line, parent edges inline).
+    pub causal_jsonl: String,
+}
+
+impl TraceArtifact {
+    /// Exports both formats from a finished tracer.
+    pub fn from_tracer(name: &str, tracer: &ss_netsim::Tracer) -> Self {
+        TraceArtifact {
+            name: name.to_string(),
+            chrome_json: tracer.to_chrome_json(),
+            causal_jsonl: tracer.to_causal_jsonl(),
+        }
+    }
+}
+
 /// A deterministic metrics artifact: the JSON Lines export of one or
 /// more [`ss_netsim::MetricsSnapshot`]s (one labeled block per sweep
 /// point), written to `results/metrics/<name>.jsonl`.
@@ -47,12 +94,16 @@ pub struct MetricsArtifact {
 }
 
 /// What one experiment run produces: the paper-shaped tables plus any
-/// metrics artifacts exported from the runs' registries.
+/// metrics and trace artifacts exported from the runs.
+#[derive(Default)]
 pub struct ExperimentOutput {
     /// Tables, printed and written as CSV under `results/`.
     pub tables: Vec<Table>,
     /// Metrics artifacts, written under `results/metrics/`.
     pub metrics: Vec<MetricsArtifact>,
+    /// Causal-trace artifacts, written under `results/traces/`
+    /// (populated only when [`trace_enabled`]).
+    pub traces: Vec<TraceArtifact>,
     /// Total simulator events dispatched across every run of the
     /// experiment (sum of the runs' `engine.events_dispatched`
     /// counters). Feeds the `experiments bench` events/sec figures;
@@ -64,8 +115,7 @@ impl From<Vec<Table>> for ExperimentOutput {
     fn from(tables: Vec<Table>) -> Self {
         ExperimentOutput {
             tables,
-            metrics: Vec::new(),
-            events: 0,
+            ..ExperimentOutput::default()
         }
     }
 }

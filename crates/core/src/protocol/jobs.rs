@@ -11,6 +11,7 @@ use crate::consistency::{ConsistencyAverages, ConsistencyMeter};
 use ss_netsim::metrics::{
     AverageId, CounterId, EventKind, EventLog, HistogramId, MetricsRegistry, MetricsSnapshot,
 };
+use ss_netsim::trace::{Actor, TraceId, TraceKind, Tracer};
 use ss_netsim::{DurationHistogram, SimDuration, SimTime};
 use std::collections::BTreeMap;
 
@@ -36,6 +37,7 @@ pub(crate) struct LiveJobs {
     meter: ConsistencyMeter,
     registry: MetricsRegistry,
     events: EventLog,
+    tracer: Tracer,
     c_arrivals: CounterId,
     c_delivered: CounterId,
     c_deaths: CounterId,
@@ -48,11 +50,13 @@ pub(crate) struct LiveJobs {
 impl LiveJobs {
     /// Starts the measurement core at `start`. `series_spacing` enables
     /// the legacy `c(t)` series (and sets the `consistency.c_t` window
-    /// width); `event_capacity` bounds the typed event log (0 disables).
+    /// width); `event_capacity` bounds the typed event log and
+    /// `trace_capacity` the causal `ss-trace` log (0 disables either).
     pub(crate) fn new(
         start: SimTime,
         series_spacing: Option<SimDuration>,
         event_capacity: usize,
+        trace_capacity: usize,
     ) -> Self {
         let meter = match series_spacing {
             Some(sp) => ConsistencyMeter::new(start).with_series(sp),
@@ -79,6 +83,7 @@ impl LiveJobs {
             meter,
             registry,
             events: EventLog::with_capacity(event_capacity),
+            tracer: Tracer::with_capacity(trace_capacity),
             c_arrivals,
             c_delivered,
             c_deaths,
@@ -97,6 +102,11 @@ impl LiveJobs {
     /// The run's typed event log, for protocol-specific events.
     pub(crate) fn events(&mut self) -> &mut EventLog {
         &mut self.events
+    }
+
+    /// The run's causal tracer, for protocol-specific spans and edges.
+    pub(crate) fn tracer(&mut self) -> &mut Tracer {
+        &mut self.tracer
     }
 
     fn observe(&mut self, now: SimTime) {
@@ -125,12 +135,15 @@ impl LiveJobs {
         self.ids.push(id);
         self.registry.inc(self.c_arrivals);
         self.events.log(now, EventKind::Arrival, id);
+        self.tracer.birth(now, Actor::Publisher, id);
         self.observe(now);
     }
 
     /// A transmission of `id` reached the receiver. Returns `true` on the
     /// I → C transition (first successful delivery), recording latency.
-    pub(crate) fn deliver(&mut self, now: SimTime, id: u64) -> bool {
+    /// `cause` is the trace id of the transmission that delivered it
+    /// ([`TraceId::NONE`] parents under the record's root span instead).
+    pub(crate) fn deliver(&mut self, now: SimTime, id: u64, cause: TraceId) -> bool {
         let job = self.jobs.get_mut(&id).expect("deliver of dead job");
         if job.consistent {
             return false;
@@ -141,6 +154,13 @@ impl LiveJobs {
         self.registry.inc(self.c_delivered);
         self.registry.observe(self.h_latency, now.since(born));
         self.events.log(now, EventKind::Deliver, id);
+        let parent = if cause.is_some() {
+            cause
+        } else {
+            self.tracer.root(id)
+        };
+        self.tracer
+            .instant_under(now, Actor::Replica(0), TraceKind::Deliver, id, parent);
         self.observe(now);
         true
     }
@@ -160,6 +180,7 @@ impl LiveJobs {
         }
         self.registry.inc(self.c_deaths);
         self.events.log(now, EventKind::Expire, id);
+        self.tracer.death(now, Actor::Publisher, id);
         self.observe(now);
         job.consistent
     }
@@ -171,6 +192,8 @@ impl LiveJobs {
         let job = self.jobs.get_mut(&id).expect("invalidate of dead job");
         self.registry.inc(self.c_updates);
         self.events.log(now, EventKind::Update, id);
+        self.tracer
+            .instant(now, Actor::Publisher, TraceKind::Update, id);
         if job.consistent {
             job.consistent = false;
             self.n_consistent -= 1;
@@ -207,8 +230,9 @@ impl LiveJobs {
 
     /// Finalizes the instrumentation at `end`: the three consistency
     /// conventions become gauges, every metric is frozen into a
-    /// [`MetricsSnapshot`], and the event log is released.
-    pub(crate) fn finish(mut self, end: SimTime) -> (JobStats, MetricsSnapshot, EventLog) {
+    /// [`MetricsSnapshot`], still-open trace root spans are closed, and
+    /// the event log and causal trace are released.
+    pub(crate) fn finish(mut self, end: SimTime) -> (JobStats, MetricsSnapshot, EventLog, Tracer) {
         let averages = self.meter.averages(end);
         let series = self.meter.series().map(|s| s.points().to_vec());
 
@@ -232,7 +256,8 @@ impl LiveJobs {
             final_live: self.jobs.len(),
             series,
         };
-        (stats, snapshot, self.events)
+        self.tracer.finish(end);
+        (stats, snapshot, self.events, self.tracer)
     }
 }
 
@@ -263,21 +288,24 @@ mod tests {
 
     #[test]
     fn lifecycle_and_metrics() {
-        let mut j = LiveJobs::new(SimTime::ZERO, None, 0);
+        let mut j = LiveJobs::new(SimTime::ZERO, None, 0, 0);
         j.arrive(SimTime::ZERO, 1);
         j.arrive(SimTime::ZERO, 2);
         assert_eq!(j.len(), 2);
         assert!(!j.is_consistent(1));
 
-        assert!(j.deliver(SimTime::from_secs(1), 1));
-        assert!(!j.deliver(SimTime::from_secs(2), 1), "redundant delivery");
+        assert!(j.deliver(SimTime::from_secs(1), 1, TraceId::NONE));
+        assert!(
+            !j.deliver(SimTime::from_secs(2), 1, TraceId::NONE),
+            "redundant delivery"
+        );
         assert!(j.is_consistent(1));
 
         assert!(j.kill(SimTime::from_secs(4), 1));
         assert!(!j.kill(SimTime::from_secs(4), 2));
         assert!(!j.contains(1));
 
-        let (stats, snapshot, _events) = j.finish(SimTime::from_secs(4));
+        let (stats, snapshot, _events, _trace) = j.finish(SimTime::from_secs(4));
         assert_eq!(stats.arrivals, 2);
         assert_eq!(stats.deaths, 2);
         assert_eq!(stats.final_live, 0);
@@ -297,10 +325,10 @@ mod tests {
 
     #[test]
     fn series_enabled() {
-        let mut j = LiveJobs::new(SimTime::ZERO, Some(SimDuration::ZERO), 0);
+        let mut j = LiveJobs::new(SimTime::ZERO, Some(SimDuration::ZERO), 0, 0);
         j.arrive(SimTime::ZERO, 7);
-        j.deliver(SimTime::from_secs(1), 7);
-        let (stats, _, _) = j.finish(SimTime::from_secs(2));
+        j.deliver(SimTime::from_secs(1), 7, TraceId::NONE);
+        let (stats, _, _, _) = j.finish(SimTime::from_secs(2));
         let series = stats.series.unwrap();
         assert_eq!(series.len(), 2);
         assert_eq!(series[1].1, 1.0);
@@ -308,12 +336,12 @@ mod tests {
 
     #[test]
     fn event_log_records_lifecycle() {
-        let mut j = LiveJobs::new(SimTime::ZERO, None, 16);
+        let mut j = LiveJobs::new(SimTime::ZERO, None, 16, 0);
         j.arrive(SimTime::ZERO, 1);
-        j.deliver(SimTime::from_secs(1), 1);
+        j.deliver(SimTime::from_secs(1), 1, TraceId::NONE);
         j.invalidate(SimTime::from_secs(2), 1);
         j.kill(SimTime::from_secs(3), 1);
-        let (_, _, events) = j.finish(SimTime::from_secs(3));
+        let (_, _, events, _) = j.finish(SimTime::from_secs(3));
         let kinds: Vec<_> = events.events().iter().map(|e| e.kind).collect();
         assert_eq!(
             kinds,
@@ -329,7 +357,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "already live")]
     fn double_arrive_panics() {
-        let mut j = LiveJobs::new(SimTime::ZERO, None, 0);
+        let mut j = LiveJobs::new(SimTime::ZERO, None, 0, 0);
         j.arrive(SimTime::ZERO, 1);
         j.arrive(SimTime::ZERO, 1);
     }
@@ -337,7 +365,38 @@ mod tests {
     #[test]
     #[should_panic(expected = "dead job")]
     fn deliver_dead_panics() {
-        let mut j = LiveJobs::new(SimTime::ZERO, None, 0);
-        j.deliver(SimTime::ZERO, 1);
+        let mut j = LiveJobs::new(SimTime::ZERO, None, 0, 0);
+        j.deliver(SimTime::ZERO, 1, TraceId::NONE);
+    }
+
+    #[test]
+    fn tracer_mirrors_lifecycle_and_metrics() {
+        use ss_netsim::trace::LifecycleAnalysis;
+        let end = SimTime::from_secs(4);
+        let mut j = LiveJobs::new(SimTime::ZERO, None, 0, 64);
+        j.arrive(SimTime::ZERO, 1);
+        j.arrive(SimTime::ZERO, 2);
+        j.deliver(SimTime::from_secs(1), 1, TraceId::NONE);
+        j.invalidate(SimTime::from_secs(2), 1);
+        j.deliver(SimTime::from_secs(3), 1, TraceId::NONE);
+        j.kill(SimTime::from_secs(4), 1);
+        let (_, snapshot, _, trace) = j.finish(end);
+        assert_eq!(trace.dropped(), 0);
+        let a = LifecycleAnalysis::from_tracer(&trace, end);
+        // Counters recomputed from the trace match the registry exactly.
+        assert_eq!(a.births, snapshot.counter("records.arrivals"));
+        assert_eq!(a.deliveries, snapshot.counter("records.delivered"));
+        assert_eq!(a.expiries, snapshot.counter("records.deaths"));
+        assert_eq!(a.updates, snapshot.counter("records.updates"));
+        // So do T_rec and the replayed consistency signal (bit-exact).
+        let h = snapshot.histogram("latency.t_rec");
+        assert_eq!(a.t_rec.count(), h.count);
+        assert_eq!(a.t_rec.mean().as_micros(), h.mean_us);
+        let c = a.replay_c_t(SimTime::ZERO, SimDuration::ZERO, end);
+        assert_eq!(c, snapshot.time_average("consistency.c_t"));
+        let live = a.replay_live(SimTime::ZERO, end);
+        assert_eq!(live, snapshot.time_average("records.live"));
+        // Key 2 never recovered; key 1 was stale twice.
+        assert_eq!(a.intervals.len(), 3);
     }
 }

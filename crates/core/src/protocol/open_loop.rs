@@ -18,7 +18,11 @@ use super::jobs::{JobStats, LiveJobs};
 use super::{LossSpec, TransitionCounts};
 use crate::workload::{ArrivalProcess, DeathProcess, ServiceModel};
 use ss_netsim::metrics::{CounterId, EventKind, EventLog, MetricsSnapshot, QueueClass};
-use ss_netsim::{run_until, EventQueue, LossModel, SimDuration, SimRng, SimTime, World};
+use ss_netsim::trace::{Actor, TraceKind, Tracer};
+use ss_netsim::{
+    run_until, run_until_traced, EventQueue, LossModel, SimDuration, SimRng, SimTime, TracedWorld,
+    World,
+};
 use std::collections::VecDeque;
 
 /// Configuration of an open-loop announce/listen run.
@@ -43,6 +47,9 @@ pub struct OpenLoopConfig {
     /// Keep up to this many typed events in the run's [`EventLog`]
     /// (0 disables event tracing).
     pub event_capacity: usize,
+    /// Keep up to this many causal `ss-trace` events (0 disables causal
+    /// tracing; the untraced run loop is used and tracing costs nothing).
+    pub trace_capacity: usize,
 }
 
 impl OpenLoopConfig {
@@ -61,6 +68,7 @@ impl OpenLoopConfig {
             duration: SimDuration::from_secs(200_000),
             series_spacing: None,
             event_capacity: 0,
+            trace_capacity: 0,
         }
     }
 }
@@ -82,6 +90,8 @@ pub struct OpenLoopReport {
     pub metrics: MetricsSnapshot,
     /// The typed event trace (empty unless `event_capacity` was set).
     pub events: EventLog,
+    /// The causal `ss-trace` log (empty unless `trace_capacity` was set).
+    pub trace: Tracer,
 }
 
 impl OpenLoopReport {
@@ -129,7 +139,12 @@ impl Sim {
     fn new(cfg: OpenLoopConfig) -> Self {
         let root = SimRng::new(cfg.seed);
         let loss = cfg.loss.build();
-        let mut jobs = LiveJobs::new(SimTime::ZERO, cfg.series_spacing, cfg.event_capacity);
+        let mut jobs = LiveJobs::new(
+            SimTime::ZERO,
+            cfg.series_spacing,
+            cfg.event_capacity,
+            cfg.trace_capacity,
+        );
         let c_tx = jobs.metrics().counter("tx.total");
         let c_redundant = jobs.metrics().counter("tx.redundant");
         let c_lost = jobs.metrics().counter("tx.lost");
@@ -240,6 +255,10 @@ impl World for Sim {
                 self.jobs
                     .events()
                     .log(now, EventKind::Announce(QueueClass::Hot), id);
+                let tx_id =
+                    self.jobs
+                        .tracer()
+                        .instant(now, Actor::HotServer, TraceKind::Announce, id);
                 let c_tx = self.c_tx;
                 self.jobs.metrics().inc(c_tx);
 
@@ -253,6 +272,13 @@ impl World for Sim {
                     let c_lost = self.c_lost;
                     self.jobs.metrics().inc(c_lost);
                     self.jobs.events().log(now, EventKind::Drop, id);
+                    self.jobs.tracer().instant_under(
+                        now,
+                        Actor::Channel,
+                        TraceKind::Drop,
+                        id,
+                        tx_id,
+                    );
                 }
                 let dies = self.cfg.death.dies_after_service(&mut self.rng_death)
                     || self.doomed.remove(&id);
@@ -260,7 +286,7 @@ impl World for Sim {
                 // Delivery happens before the death draw takes the record
                 // out: a record can be received by its final announcement.
                 if !lost && !was_consistent {
-                    self.jobs.deliver(q.now(), id);
+                    self.jobs.deliver(q.now(), id, tx_id);
                 }
 
                 if dies {
@@ -280,6 +306,20 @@ impl World for Sim {
                 }
                 self.maybe_start_service(q);
             }
+        }
+    }
+}
+
+impl TracedWorld for Sim {
+    fn tracer(&mut self) -> &mut Tracer {
+        self.jobs.tracer()
+    }
+
+    fn event_label(ev: &Ev) -> &'static str {
+        match ev {
+            Ev::Arrival => "arrival",
+            Ev::ServiceDone(_) => "service-done",
+            Ev::LifetimeEnd(_) => "lifetime-end",
         }
     }
 }
@@ -305,7 +345,13 @@ pub fn run(cfg: &OpenLoopConfig) -> OpenLoopReport {
     }
     sim.schedule_next_arrival(&mut q);
 
-    run_until(&mut sim, &mut q, end);
+    // The traced loop adds a per-dispatch branch; runs without a tracer
+    // keep the untraced loop so tracing is zero-cost when disabled.
+    if sim.jobs.tracer().is_enabled() {
+        run_until_traced(&mut sim, &mut q, end);
+    } else {
+        run_until(&mut sim, &mut q, end);
+    }
 
     let transmissions = sim.jobs.metrics().counter_value(sim.c_tx);
     let redundant = sim.jobs.metrics().counter_value(sim.c_redundant);
@@ -320,7 +366,7 @@ pub fn run(cfg: &OpenLoopConfig) -> OpenLoopReport {
     } else {
         lost as f64 / transmissions as f64
     };
-    let (stats, metrics, events) = sim.jobs.finish(end);
+    let (stats, metrics, events, trace) = sim.jobs.finish(end);
     q.clear();
     QUEUE_POOL.with(|c| *c.borrow_mut() = q);
     OpenLoopReport {
@@ -331,6 +377,7 @@ pub fn run(cfg: &OpenLoopConfig) -> OpenLoopReport {
         observed_loss_rate,
         metrics,
         events,
+        trace,
     }
 }
 
@@ -435,6 +482,7 @@ mod tests {
             duration: SimDuration::from_secs(500),
             series_spacing: None,
             event_capacity: 0,
+            trace_capacity: 0,
         };
         let report = run(&cfg);
         assert_eq!(report.stats.latency.count(), 50, "all records delivered");
@@ -485,6 +533,7 @@ mod update_workload_tests {
             duration: SimDuration::from_secs(2_000),
             series_spacing: None,
             event_capacity: 0,
+            trace_capacity: 0,
         };
         let r = run(&cfg);
         assert_eq!(r.stats.final_live, 20, "keyspace bounded at 20");
@@ -513,6 +562,7 @@ mod update_workload_tests {
             duration: SimDuration::from_secs(2_000),
             series_spacing: None,
             event_capacity: 0,
+            trace_capacity: 0,
         };
         let slow = run(&mk(1.0)).stats.consistency.busy.unwrap();
         let fast = run(&mk(20.0)).stats.consistency.busy.unwrap();

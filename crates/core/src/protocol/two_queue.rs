@@ -23,7 +23,11 @@ use super::jobs::{JobStats, LiveJobs};
 use super::LossSpec;
 use crate::workload::{ArrivalProcess, DeathProcess, ServiceModel};
 use ss_netsim::metrics::{AverageId, CounterId, EventKind, EventLog, MetricsSnapshot, QueueClass};
-use ss_netsim::{run_until, EventQueue, LossModel, SimDuration, SimRng, SimTime, World};
+use ss_netsim::trace::{Actor, TraceKind, Tracer};
+use ss_netsim::{
+    run_until, run_until_traced, EventQueue, LossModel, SimDuration, SimRng, SimTime, TracedWorld,
+    World,
+};
 use ss_sched::{Drr, Lottery, Metered, Scheduler, Sfq, StrictPriority, Stride};
 use std::collections::VecDeque;
 
@@ -100,6 +104,9 @@ pub struct TwoQueueConfig {
     /// Keep up to this many typed events in the run's [`EventLog`]
     /// (0 disables event tracing).
     pub event_capacity: usize,
+    /// Keep up to this many causal [`Tracer`] events (0 disables causal
+    /// tracing and makes it cost one branch per would-be record).
+    pub trace_capacity: usize,
 }
 
 /// Everything measured in a two-queue run.
@@ -124,6 +131,8 @@ pub struct TwoQueueReport {
     pub metrics: MetricsSnapshot,
     /// The typed event trace (empty unless `event_capacity` was set).
     pub events: EventLog,
+    /// The causal trace (empty unless `trace_capacity` was set).
+    pub trace: Tracer,
 }
 
 impl TwoQueueReport {
@@ -238,7 +247,12 @@ impl Sim {
                 Some(s)
             }
         };
-        let mut jobs = LiveJobs::new(SimTime::ZERO, cfg.series_spacing, cfg.event_capacity);
+        let mut jobs = LiveJobs::new(
+            SimTime::ZERO,
+            cfg.series_spacing,
+            cfg.event_capacity,
+            cfg.trace_capacity,
+        );
         let c_hot_tx = jobs.metrics().counter("tx.hot");
         let c_cold_tx = jobs.metrics().counter("tx.cold");
         let c_redundant = jobs.metrics().counter("tx.redundant");
@@ -333,7 +347,9 @@ impl Sim {
                 let sched = self.sched.as_mut().expect("scheduler for WC mode");
                 sched.set_backlogged(HOT, !self.hot.is_empty());
                 sched.set_backlogged(COLD, !self.cold.is_empty());
-                let Some(class) = sched.pick(&mut self.rng_sched) else {
+                let Some(class) =
+                    sched.pick_traced(q.now(), &mut self.rng_sched, self.jobs.tracer())
+                else {
                     return;
                 };
                 sched.charge(class, 1);
@@ -367,6 +383,14 @@ impl Sim {
         };
         self.jobs.metrics().inc(c_src);
         self.jobs.events().log(now, EventKind::Announce(queue), id);
+        let tx_actor = match src {
+            Src::Hot => Actor::HotServer,
+            Src::Cold => Actor::ColdServer,
+        };
+        let tx_id = self
+            .jobs
+            .tracer()
+            .instant(now, tx_actor, TraceKind::Announce, id);
         let was_consistent = self.jobs.is_consistent(id);
         if was_consistent {
             let c_redundant = self.c_redundant;
@@ -377,9 +401,12 @@ impl Sim {
             let c_lost = self.c_lost;
             self.jobs.metrics().inc(c_lost);
             self.jobs.events().log(now, EventKind::Drop, id);
+            self.jobs
+                .tracer()
+                .instant_under(now, Actor::Channel, TraceKind::Drop, id, tx_id);
         }
         if !lost && !was_consistent {
-            self.jobs.deliver(now, id);
+            self.jobs.deliver(now, id, tx_id);
         }
         if self.cfg.death.dies_after_service(&mut self.rng_death) || self.doomed.remove(&id) {
             self.jobs.kill(now, id);
@@ -388,6 +415,9 @@ impl Sim {
             // records cycle back to its tail.
             if src == Src::Hot {
                 self.jobs.events().log(now, EventKind::Demote, id);
+                self.jobs
+                    .tracer()
+                    .instant(now, Actor::ColdServer, TraceKind::Demote, id);
             }
             self.cold.push_back(id);
         }
@@ -447,6 +477,21 @@ impl World for Sim {
     }
 }
 
+impl TracedWorld for Sim {
+    fn tracer(&mut self) -> &mut Tracer {
+        self.jobs.tracer()
+    }
+
+    fn event_label(ev: &Ev) -> &'static str {
+        match ev {
+            Ev::Arrival => "arrival",
+            Ev::Done { src: Src::Hot, .. } => "done-hot",
+            Ev::Done { src: Src::Cold, .. } => "done-cold",
+            Ev::LifetimeEnd(_) => "lifetime-end",
+        }
+    }
+}
+
 std::thread_local! {
     /// Recycled event-queue allocation: sweep workers run many points
     /// back-to-back, and a cleared queue is indistinguishable from a
@@ -467,7 +512,13 @@ pub fn run(cfg: &TwoQueueConfig) -> TwoQueueReport {
     }
     sim.schedule_next_arrival(&mut q);
 
-    run_until(&mut sim, &mut q, end);
+    // Tracing consumes no randomness, so the traced loop replays the
+    // untraced run exactly; the branch keeps the common path zero-cost.
+    if sim.jobs.tracer().is_enabled() {
+        run_until_traced(&mut sim, &mut q, end);
+    } else {
+        run_until(&mut sim, &mut q, end);
+    }
 
     let hot_tx = sim.jobs.metrics().counter_value(sim.c_hot_tx);
     let cold_tx = sim.jobs.metrics().counter_value(sim.c_cold_tx);
@@ -492,7 +543,7 @@ pub fn run(cfg: &TwoQueueConfig) -> TwoQueueReport {
         .metrics()
         .average_value(sim.a_hot_backlog)
         .mean_until(end);
-    let (stats, metrics, events) = sim.jobs.finish(end);
+    let (stats, metrics, events, trace) = sim.jobs.finish(end);
     let final_hot_backlog = sim.hot.len();
     q.clear();
     QUEUE_POOL.with(|c| *c.borrow_mut() = q);
@@ -506,6 +557,7 @@ pub fn run(cfg: &TwoQueueConfig) -> TwoQueueReport {
         final_hot_backlog,
         metrics,
         events,
+        trace,
     }
 }
 
@@ -529,6 +581,7 @@ mod tests {
             duration: SimDuration::from_secs(40_000),
             series_spacing: None,
             event_capacity: 0,
+            trace_capacity: 0,
         }
     }
 
@@ -630,6 +683,41 @@ mod tests {
             a.stats.consistency.unnormalized,
             b.stats.consistency.unnormalized
         );
+    }
+
+    #[test]
+    fn causal_trace_does_not_perturb_and_links_lifecycle() {
+        let mut cfg = fig5_cfg(0.4, 0.3, 11);
+        cfg.duration = SimDuration::from_secs(2_000);
+        cfg.sharing = Sharing::WorkConserving(Policy::Stride);
+        let plain = run(&cfg);
+        cfg.trace_capacity = 1 << 20;
+        let traced = run(&cfg);
+        // Tracing is pure observation: identical outcome either way.
+        assert_eq!(plain.transmissions(), traced.transmissions());
+        assert_eq!(
+            plain.stats.consistency.unnormalized,
+            traced.stats.consistency.unnormalized
+        );
+        assert!(plain.trace.is_empty());
+        let t = &traced.trace;
+        assert_eq!(t.dropped(), 0, "capacity must cover the whole run");
+        assert_eq!(
+            t.of_kind(TraceKind::Announce).count() as u64,
+            traced.transmissions()
+        );
+        // Every scheduling decision carries the policy name.
+        assert!(t.of_kind(TraceKind::Decision).count() > 0);
+        assert!(t.of_kind(TraceKind::Decision).all(|e| e.label == "stride"));
+        // Every channel drop parents the announcement that was lost.
+        assert!(t.of_kind(TraceKind::Drop).count() > 0);
+        for d in t.of_kind(TraceKind::Drop) {
+            let p = &t.events()[(d.parent.raw() - 1) as usize];
+            assert_eq!(p.kind, TraceKind::Announce);
+            assert_eq!(p.key, d.key);
+        }
+        // The engine lane recorded one dispatch span per queue pop.
+        assert!(t.of_kind(TraceKind::Dispatch).count() > 0);
     }
 
     #[test]

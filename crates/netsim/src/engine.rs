@@ -185,6 +185,35 @@ pub fn run_to_completion<W: World>(world: &mut W, q: &mut EventQueue<W::Event>) 
     }
 }
 
+/// A [`World`] that carries an `ss-trace` [`Tracer`](crate::trace::Tracer),
+/// letting the run loop record one dispatch event per queue pop.
+pub trait TracedWorld: World {
+    /// The world's tracer (disabled tracers make tracing free).
+    fn tracer(&mut self) -> &mut crate::trace::Tracer;
+
+    /// A stable static label for an event payload, shown on the engine
+    /// lane of exported traces.
+    fn event_label(ev: &Self::Event) -> &'static str;
+}
+
+/// [`run_until`] plus per-dispatch tracing: before each event is
+/// handled, a zero-width dispatch span is recorded on the engine lane.
+///
+/// Protocol runners pick this loop only when their tracer is enabled,
+/// keeping the untraced hot loop free of even the per-event branch.
+/// Tracing observes and never schedules, so the event trajectory is
+/// identical to [`run_until`]'s.
+pub fn run_until_traced<W: TracedWorld>(world: &mut W, q: &mut EventQueue<W::Event>, end: SimTime) {
+    while let Some(at) = q.peek_time() {
+        if at > end {
+            break;
+        }
+        let (_, ev) = q.pop().expect("peeked event vanished");
+        world.tracer().dispatch(at, W::event_label(&ev));
+        world.handle(q, ev);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -18,7 +18,9 @@
 //! * [`metrics`] — `ss-metrics`: a deterministic registry of named
 //!   counters/gauges/histograms/time-averages plus a typed event log,
 //!   with JSONL export ([`MetricsRegistry`], [`EventLog`]).
-//! * [`trace`] — bounded protocol-action traces for tests and debugging.
+//! * [`trace`] — `ss-trace`: causal record-lifecycle tracing with
+//!   virtual-time spans, Perfetto/JSONL exporters, and trace-derived
+//!   metric recomputation ([`Tracer`], [`LifecycleAnalysis`]).
 //! * [`par`] — the deterministic fan-out executor for sweeps of
 //!   independent runs ([`par::sweep`]): results reassemble in index
 //!   order, so artifacts are byte-identical at any worker count.
@@ -58,7 +60,7 @@ pub mod time;
 pub mod trace;
 pub mod units;
 
-pub use engine::{run_to_completion, run_until, EventQueue, World};
+pub use engine::{run_to_completion, run_until, run_until_traced, EventQueue, TracedWorld, World};
 pub use link::{Channel, Delivery, Transmitter};
 pub use loss::{Bernoulli, GilbertElliott, LossModel, Pattern};
 pub use metrics::{
@@ -68,12 +70,14 @@ pub use metrics::{
 pub use rng::SimRng;
 pub use stats::{DurationHistogram, TimeSeries, TimeWeightedMean, Welford};
 pub use time::{SimDuration, SimTime};
-pub use trace::{Trace, TraceRecord};
+pub use trace::{Actor, LifecycleAnalysis, TraceEvent, TraceId, TraceKind, Tracer};
 pub use units::Bandwidth;
 
 /// Convenient glob import for simulations.
 pub mod prelude {
-    pub use crate::engine::{run_to_completion, run_until, EventQueue, World};
+    pub use crate::engine::{
+        run_to_completion, run_until, run_until_traced, EventQueue, TracedWorld, World,
+    };
     pub use crate::link::{Channel, Delivery, Transmitter};
     pub use crate::loss::{Bernoulli, GilbertElliott, LossModel, Pattern};
     pub use crate::metrics::{
@@ -84,6 +88,6 @@ pub mod prelude {
     pub use crate::rng::SimRng;
     pub use crate::stats::{DurationHistogram, TimeSeries, TimeWeightedMean, Welford};
     pub use crate::time::{SimDuration, SimTime};
-    pub use crate::trace::{Trace, TraceRecord};
+    pub use crate::trace::{Actor, LifecycleAnalysis, TraceEvent, TraceId, TraceKind, Tracer};
     pub use crate::units::Bandwidth;
 }

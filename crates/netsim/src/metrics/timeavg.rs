@@ -79,6 +79,13 @@ impl WindowedTimeAverage {
 
     /// Records that the signal takes value `v` from time `t` onward.
     /// Panics if `t` precedes the previous update.
+    ///
+    /// Several updates at the **same** `t` are legal and common (one
+    /// dispatched event can change the signal more than once): each
+    /// earlier value is integrated over a zero-width span — contributing
+    /// nothing — and the **last value wins** from `t` onward. This is
+    /// the piecewise-constant, right-continuous convention: the signal
+    /// at `t` is whatever was set last at `t`.
     pub fn update(&mut self, t: SimTime, v: f64) {
         self.advance(t);
         self.last_v = v;
@@ -89,8 +96,15 @@ impl WindowedTimeAverage {
         self.last_v
     }
 
-    /// The exact time average over `[start, end]`. Returns the current
-    /// value for an empty span. Panics if `end` precedes the last update.
+    /// The exact time average over `[start, end]`. Panics if `end`
+    /// precedes the last update.
+    ///
+    /// A **zero-duration observation window** (`end == start`) has no
+    /// span to average over; by convention the result is the current
+    /// signal value — the only value the signal ever took — rather than
+    /// `NaN` from `0.0 / 0.0`. A signal that was updated once and never
+    /// again (a single-sample average) likewise integrates that one
+    /// value over the whole remaining span, so the mean equals it.
     pub fn mean_until(&self, end: SimTime) -> f64 {
         let tail = end.since(self.last_t).as_secs_f64();
         let total = end.since(self.start).as_secs_f64();
@@ -109,6 +123,11 @@ impl WindowedTimeAverage {
 
     /// Integrates to `end` and closes the final (possibly partial)
     /// window so that `windows()` covers the whole run.
+    ///
+    /// A trailing window of **zero width** (when `end` lands exactly on
+    /// a window boundary, or the whole run is zero-duration) is *not*
+    /// emitted: there is no span for it to summarize, and a `0/0` mean
+    /// would poison the export with `NaN`.
     pub fn finish_windows(&mut self, end: SimTime) {
         self.advance(end);
         if self.window.is_some() {
@@ -189,5 +208,61 @@ mod tests {
         m.update(SimTime::from_secs(10), 0.0);
         m.finish_windows(SimTime::from_secs(10));
         assert!(m.windows().is_empty());
+    }
+
+    #[test]
+    fn zero_duration_observation_window() {
+        // A run that ends the instant it starts: the mean is the signal's
+        // only value, not NaN, and no zero-width window is emitted.
+        let mut m =
+            WindowedTimeAverage::windowed(SimTime::from_secs(3), 0.25, SimDuration::from_secs(1));
+        assert_eq!(m.mean_until(SimTime::from_secs(3)), 0.25);
+        m.finish_windows(SimTime::from_secs(3));
+        assert!(m.windows().is_empty());
+        assert_eq!(m.current(), 0.25);
+    }
+
+    #[test]
+    fn single_sample_average_equals_the_sample() {
+        // One update, then silence: the value holds for the whole span.
+        let mut m = WindowedTimeAverage::new(SimTime::ZERO, 0.0);
+        m.update(SimTime::ZERO, 0.8);
+        assert!((m.mean_until(SimTime::from_secs(7)) - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn same_time_updates_last_value_wins() {
+        // Two changes within one dispatched event: the intermediate value
+        // spans zero time and contributes nothing to the integral.
+        let mut m = WindowedTimeAverage::new(SimTime::ZERO, 0.0);
+        m.update(SimTime::from_secs(2), 100.0);
+        m.update(SimTime::from_secs(2), 1.0);
+        // [0,2): 0.0; [2,4): 1.0 -> mean 0.5. The 100.0 never existed.
+        assert!((m.mean_until(SimTime::from_secs(4)) - 0.5).abs() < 1e-12);
+        assert_eq!(m.current(), 1.0);
+    }
+
+    #[test]
+    fn same_time_updates_on_window_boundary() {
+        // Identical-time updates sitting exactly on a window boundary
+        // close the crossed window once, with the pre-update value.
+        let mut m = WindowedTimeAverage::windowed(SimTime::ZERO, 1.0, SimDuration::from_secs(1));
+        m.update(SimTime::from_secs(1), 0.5);
+        m.update(SimTime::from_secs(1), 0.0);
+        assert_eq!(m.windows().len(), 1);
+        assert!((m.windows()[0].1 - 1.0).abs() < 1e-12);
+        m.finish_windows(SimTime::from_secs(2));
+        assert_eq!(m.windows().len(), 2);
+        assert!((m.windows()[1].1 - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn finish_on_boundary_emits_no_zero_width_window() {
+        let mut m = WindowedTimeAverage::windowed(SimTime::ZERO, 1.0, SimDuration::from_secs(1));
+        m.update(SimTime::from_secs(2), 0.0);
+        // end == the just-closed boundary: nothing further to flush.
+        m.finish_windows(SimTime::from_secs(2));
+        assert_eq!(m.windows().len(), 2);
+        assert_eq!(m.windows()[1].0, SimTime::from_secs(2));
     }
 }

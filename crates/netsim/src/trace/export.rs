@@ -1,0 +1,219 @@
+//! Deterministic trace exporters: Chrome trace-event JSON (Perfetto) and
+//! a compact causal JSONL log.
+//!
+//! Both formats are hand-assembled from integers and static ASCII labels
+//! — no float formatting, no hashing, no wall clock — so the bytes are a
+//! pure function of the recorded events and identical across double runs
+//! and sweep-worker counts.
+
+use super::{Actor, Tracer};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+impl Tracer {
+    /// Serializes the trace in Chrome trace-event format (the JSON
+    /// object flavor), loadable in Perfetto / `chrome://tracing`.
+    ///
+    /// Virtual time is the timeline: `ts`/`dur` are sim microseconds.
+    /// Each [`Actor`] renders as one named thread of pid 0. Spans become
+    /// complete (`ph:"X"`) events, instants become thread-scoped
+    /// (`ph:"i"`) marks, and every cross-actor parent edge additionally
+    /// emits a flow (`ph:"s"` → `ph:"f"`) pair so causality is drawn as
+    /// arrows between lanes.
+    pub fn to_chrome_json(&self) -> String {
+        let mut out = String::with_capacity(128 * (self.events().len() + 2));
+        out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+        let mut first = true;
+        let mut sep = |out: &mut String| {
+            if first {
+                first = false;
+            } else {
+                out.push_str(",\n");
+            }
+        };
+
+        // Thread-name metadata for every actor that appears, tid-sorted.
+        let mut actors: BTreeMap<u64, Actor> = BTreeMap::new();
+        for e in self.events() {
+            actors.entry(e.actor.tid()).or_insert(e.actor);
+        }
+        for (tid, actor) in &actors {
+            sep(&mut out);
+            let _ = write!(
+                out,
+                "{{\"ph\":\"M\",\"pid\":0,\"tid\":{tid},\"name\":\"thread_name\",\
+                 \"args\":{{\"name\":\"{}\"}}}}",
+                actor.name()
+            );
+        }
+
+        for e in self.events() {
+            let name = if e.label.is_empty() {
+                e.kind.label()
+            } else {
+                e.label
+            };
+            let tid = e.actor.tid();
+            let ts = e.at.as_micros();
+            sep(&mut out);
+            match e.end {
+                Some(end) => {
+                    let _ = write!(
+                        out,
+                        "{{\"ph\":\"X\",\"pid\":0,\"tid\":{tid},\"ts\":{ts},\"dur\":{},\
+                         \"name\":\"{name}\",\"cat\":\"{}\",\
+                         \"args\":{{\"id\":{},\"parent\":{},\"key\":{}}}}}",
+                        end.as_micros() - ts,
+                        e.kind.label(),
+                        e.id.raw(),
+                        e.parent.raw(),
+                        e.key
+                    );
+                }
+                None => {
+                    let _ = write!(
+                        out,
+                        "{{\"ph\":\"i\",\"pid\":0,\"tid\":{tid},\"ts\":{ts},\"s\":\"t\",\
+                         \"name\":\"{name}\",\"cat\":\"{}\",\
+                         \"args\":{{\"id\":{},\"parent\":{},\"key\":{}}}}}",
+                        e.kind.label(),
+                        e.id.raw(),
+                        e.parent.raw(),
+                        e.key
+                    );
+                }
+            }
+            // Cross-actor causality renders as a flow arrow; the flow id
+            // is the child's event id, which is unique by construction.
+            if let Some(p) = e
+                .parent
+                .index()
+                .and_then(|i| self.events().get(i))
+                .filter(|p| p.actor != e.actor)
+            {
+                sep(&mut out);
+                let _ = write!(
+                    out,
+                    "{{\"ph\":\"s\",\"pid\":0,\"tid\":{},\"ts\":{},\"id\":{},\
+                     \"name\":\"causal\",\"cat\":\"flow\"}}",
+                    p.actor.tid(),
+                    p.at.as_micros(),
+                    e.id.raw()
+                );
+                sep(&mut out);
+                let _ = write!(
+                    out,
+                    "{{\"ph\":\"f\",\"bp\":\"e\",\"pid\":0,\"tid\":{tid},\"ts\":{ts},\
+                     \"id\":{},\"name\":\"causal\",\"cat\":\"flow\"}}",
+                    e.id.raw()
+                );
+            }
+        }
+        out.push_str("\n]}\n");
+        out
+    }
+
+    /// Serializes the trace as compact causal JSON Lines: one event per
+    /// line in id order, then a `{"dropped_events":N}` trailer (mirroring
+    /// the typed event log) so truncation is visible in the artifact.
+    ///
+    /// `dur_us` appears only on spans and `label` only when non-empty,
+    /// keeping lines minimal while staying deterministic: whether a field
+    /// appears depends only on the event itself.
+    pub fn to_causal_jsonl(&self) -> String {
+        let mut out = String::with_capacity(96 * (self.events().len() + 1));
+        for e in self.events() {
+            let _ = write!(
+                out,
+                "{{\"id\":{},\"parent\":{},\"t_us\":{}",
+                e.id.raw(),
+                e.parent.raw(),
+                e.at.as_micros()
+            );
+            if let Some(end) = e.end {
+                let _ = write!(out, ",\"dur_us\":{}", end.as_micros() - e.at.as_micros());
+            }
+            let _ = write!(
+                out,
+                ",\"actor\":\"{}\",\"kind\":\"{}\",\"key\":{}",
+                e.actor.name(),
+                e.kind.label(),
+                e.key
+            );
+            if !e.label.is_empty() {
+                let _ = write!(out, ",\"label\":\"{}\"", e.label);
+            }
+            out.push_str("}\n");
+        }
+        let _ = writeln!(out, "{{\"dropped_events\":{}}}", self.dropped());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{Actor, TraceKind, Tracer};
+    use crate::time::SimTime;
+
+    fn sample() -> Tracer {
+        let mut t = Tracer::with_capacity(16);
+        let root = t.birth(SimTime::ZERO, Actor::Publisher, 7);
+        let tx = t.span(
+            SimTime::from_millis(10),
+            SimTime::from_millis(12),
+            Actor::HotServer,
+            TraceKind::Announce,
+            7,
+        );
+        t.instant_under(
+            SimTime::from_millis(62),
+            Actor::Replica(0),
+            TraceKind::Deliver,
+            7,
+            tx,
+        );
+        t.close(root, SimTime::from_secs(1));
+        t.dispatch(SimTime::from_secs(1), "lifetime-end");
+        t
+    }
+
+    #[test]
+    fn chrome_export_shape() {
+        let json = sample().to_chrome_json();
+        assert!(json.starts_with("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["));
+        assert!(json.trim_end().ends_with("]}"));
+        // Thread metadata for each actor that appears.
+        for name in ["publisher", "hot-server", "replica-0", "engine"] {
+            assert!(
+                json.contains(&format!("\"args\":{{\"name\":\"{name}\"}}")),
+                "missing thread_name for {name}"
+            );
+        }
+        // The announce span is a complete event with its virtual duration.
+        assert!(json.contains("\"ph\":\"X\",\"pid\":0,\"tid\":3,\"ts\":10000,\"dur\":2000"));
+        // The cross-actor deliver edge produces a flow pair.
+        assert!(json.contains("\"ph\":\"s\""));
+        assert!(json.contains("\"ph\":\"f\",\"bp\":\"e\""));
+        // Export is deterministic.
+        assert_eq!(json, sample().to_chrome_json());
+    }
+
+    #[test]
+    fn causal_jsonl_shape() {
+        let jsonl = sample().to_causal_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 5);
+        assert_eq!(
+            lines[0],
+            "{\"id\":1,\"parent\":0,\"t_us\":0,\"dur_us\":1000000,\
+             \"actor\":\"publisher\",\"kind\":\"birth\",\"key\":7}"
+        );
+        assert!(
+            lines[2].contains("\"parent\":2"),
+            "deliver parents the tx span"
+        );
+        assert!(lines[3].contains("\"label\":\"lifetime-end\""));
+        assert_eq!(lines[4], "{\"dropped_events\":0}");
+        assert_eq!(jsonl, sample().to_causal_jsonl());
+    }
+}

@@ -8,7 +8,7 @@
 //! run with [`Metered::export_into`].
 
 use crate::{ClassId, Scheduler};
-use ss_netsim::{MetricsRegistry, SimRng};
+use ss_netsim::{MetricsRegistry, SimRng, SimTime, Tracer};
 
 /// Wraps a scheduler, counting per-class picks and charged cost.
 #[derive(Debug)]
@@ -48,6 +48,24 @@ impl<S: Scheduler> Metered<S> {
     /// The wrapped scheduler.
     pub fn inner(&self) -> &S {
         &self.inner
+    }
+
+    /// Like [`Scheduler::pick`], but also records the decision in
+    /// `tracer` as a scheduler-lane instant labeled with the policy
+    /// name and keyed by the picked class. Taking the tracer as a
+    /// parameter keeps the call usable while the scheduler itself is
+    /// borrowed out of a larger simulation struct.
+    pub fn pick_traced(
+        &mut self,
+        now: SimTime,
+        rng: &mut SimRng,
+        tracer: &mut Tracer,
+    ) -> Option<ClassId> {
+        let picked = self.pick(rng);
+        if let Some(class) = picked {
+            tracer.decision(now, class as u64, self.inner.name());
+        }
+        picked
     }
 
     /// Exports the per-class counters into `registry` as
@@ -133,6 +151,30 @@ mod tests {
         m.charge(0, 5);
         assert_eq!(m.charged(0), 5);
         assert_eq!(m.picks(1), 0, "unpicked class reads zero");
+    }
+
+    #[test]
+    fn pick_traced_logs_a_decision_per_pick() {
+        let mut m = Metered::new(Stride::new());
+        m.set_weight(0, 1);
+        m.set_backlogged(0, true);
+        let mut rng = SimRng::new(4);
+        let mut tracer = Tracer::with_capacity(8);
+        let c = m
+            .pick_traced(SimTime::from_millis(3), &mut rng, &mut tracer)
+            .unwrap();
+        assert_eq!(m.picks(c), 1);
+        assert_eq!(tracer.len(), 1);
+        let ev = &tracer.events()[0];
+        assert_eq!(ev.key, c as u64);
+        assert_eq!(ev.label, Stride::new().name());
+        // A disabled tracer records nothing but the pick still counts.
+        let mut off = Tracer::disabled();
+        m.pick_traced(SimTime::from_millis(4), &mut rng, &mut off)
+            .unwrap();
+        assert_eq!(m.picks(c), 2);
+        assert!(off.is_empty());
+        assert_eq!(off.dropped(), 0, "disabled tracer drops silently");
     }
 
     #[test]

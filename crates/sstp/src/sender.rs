@@ -301,8 +301,12 @@ impl SstpSender {
         self.class_for(tag)
     }
 
-    /// Processes a packet arriving on the feedback channel.
-    pub fn on_packet(&mut self, pkt: &Packet) {
+    /// Processes a packet arriving on the feedback channel. Returns the
+    /// keys this packet promoted into the hot queue (non-empty only for
+    /// NACKs naming live, not-yet-queued keys), so callers can trace the
+    /// NACK → promotion causality.
+    pub fn on_packet(&mut self, pkt: &Packet) -> Vec<Key> {
+        let mut promoted = Vec::new();
         match pkt {
             Packet::Nack(n) => {
                 self.stats.nacks_rx += 1;
@@ -314,6 +318,7 @@ impl SstpSender {
                         } else {
                             let class = self.class_of_key(key);
                             self.enqueue(class, item);
+                            promoted.push(key);
                         }
                     } else {
                         self.stats.nacks_suppressed += 1;
@@ -340,6 +345,7 @@ impl SstpSender {
             // Data-channel packets never arrive at the sender.
             Packet::Data(_) | Packet::RootSummary(_) | Packet::NodeSummary(_) => {}
         }
+        promoted
     }
 
     /// Builds the next foreground packet, or `None` when the hot queue is
@@ -552,10 +558,11 @@ mod tests {
         let k2 = s.publish(SimTime::ZERO, root, MetaTag(0));
         while s.next_hot_packet().is_some() {}
 
-        s.on_packet(&Packet::Nack(NackPacket {
+        let promoted = s.on_packet(&Packet::Nack(NackPacket {
             keys: vec![k1, k2, k1, Key(9999)],
         }));
         // k1 dup suppressed, unknown key suppressed.
+        assert_eq!(promoted, vec![k1, k2]);
         assert_eq!(s.hot_backlog(), 2);
         assert_eq!(s.stats().nacks_suppressed, 2);
         assert_eq!(s.stats().nacks_rx, 1);

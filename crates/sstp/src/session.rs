@@ -28,10 +28,11 @@ use crate::sender::{SenderStats, SstpSender};
 use crate::wire::Packet;
 use softstate::consistency::ConsistencyAverages;
 use softstate::{ArrivalProcess, ConsistencyMeter, Key, LossSpec};
+use ss_netsim::trace::{Actor, TraceId, TraceKind, Tracer};
 use ss_netsim::{
-    run_until, AverageId, Bandwidth, CounterId, DurationHistogram, EventKind, EventLog, EventQueue,
-    HistogramId, LossModel, MetricsRegistry, MetricsSnapshot, QueueClass, SimDuration, SimRng,
-    SimTime, World,
+    run_until, run_until_traced, AverageId, Bandwidth, CounterId, DurationHistogram, EventKind,
+    EventLog, EventQueue, HistogramId, LossModel, MetricsRegistry, MetricsSnapshot, QueueClass,
+    SimDuration, SimRng, SimTime, TracedWorld, World,
 };
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -93,6 +94,9 @@ pub struct SessionConfig {
     /// Event-trace capacity: the session and each receiver keep the
     /// first this-many typed events (0 disables tracing).
     pub event_capacity: usize,
+    /// Causal-trace capacity: keep the first this-many [`Tracer`] events
+    /// (0 disables causal tracing).
+    pub trace_capacity: usize,
     /// Run length.
     pub duration: SimDuration,
     /// Master seed.
@@ -127,6 +131,7 @@ impl SessionConfig {
             interests: None,
             algo: HashAlgorithm::Fnv64,
             event_capacity: 0,
+            trace_capacity: 0,
             duration: SimDuration::from_secs(600),
             seed,
         }
@@ -150,7 +155,7 @@ pub struct ReceiverOutcome {
 }
 
 /// Aggregate packet counters for the whole session.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct PacketCounters {
     /// Data-channel packets transmitted (hot + cold).
     pub data_channel_tx: u64,
@@ -191,6 +196,10 @@ pub struct SessionReport {
     /// channel drops, and feedback sends (empty unless
     /// [`SessionConfig::event_capacity`] is set).
     pub events: EventLog,
+    /// The causal trace: record lifecycles, wire spans, digest exchange,
+    /// and NACK → promotion → retransmit → install chains (empty unless
+    /// [`SessionConfig::trace_capacity`] is set).
+    pub trace: Tracer,
 }
 
 impl SessionReport {
@@ -214,9 +223,11 @@ enum Ev {
     HotFree,
     ColdFree,
     FbFree(usize),
-    DataArrive(usize, Packet),
-    FbArriveSender(Packet),
-    FbOverheard(usize, Packet),
+    /// Receiver `i` hears a data packet; the [`TraceId`] names the wire
+    /// span that carried it (NONE when tracing is off).
+    DataArrive(usize, Packet, TraceId),
+    FbArriveSender(Packet, TraceId),
+    FbOverheard(usize, Packet, TraceId),
     FeedbackDue(usize),
     ReportTick(usize),
     AdaptTick,
@@ -267,6 +278,10 @@ struct Sim {
     /// events go to the session event log.
     registry: MetricsRegistry,
     events: EventLog,
+    tracer: Tracer,
+    /// Trace id of the latest promotion per key, so the promoted hot
+    /// retransmission parents under it (NACK → promote → retransmit).
+    promoted: BTreeMap<u64, TraceId>,
     c_data_tx: CounterId,
     c_data_lost: CounterId,
     c_data_bytes: CounterId,
@@ -384,6 +399,8 @@ impl Sim {
             update_keys: Vec::new(),
             registry,
             events,
+            tracer: Tracer::with_capacity(cfg.trace_capacity),
+            promoted: BTreeMap::new(),
             c_data_tx,
             c_data_lost,
             c_data_bytes,
@@ -429,6 +446,8 @@ impl Sim {
                     let key = self.update_keys[idx];
                     if self.sender.table().get(key).is_some() {
                         self.sender.update(key);
+                        self.tracer
+                            .instant(now, Actor::Publisher, TraceKind::Update, key.0);
                     }
                 }
             }
@@ -445,6 +464,7 @@ impl Sim {
         let key = self.sender.publish(now, branch, MetaTag(b as u32));
         self.born_at.insert(key, now);
         self.update_keys.push(key);
+        self.tracer.birth(now, Actor::Publisher, key.0);
         if let Some(mean) = self.cfg.workload.mean_lifetime_secs {
             let dt = self.rng_lifetime.exp_duration(1.0 / mean);
             q.schedule_in(dt, Ev::Lifetime(key));
@@ -486,14 +506,40 @@ impl Sim {
         self.events.log(q.now(), kind, key);
         let tx_time = rate.transmit_time(bytes);
         let depart = q.now() + tx_time;
+        // The wire span: serialization of the packet at the server's
+        // rate. A data announcement of a just-promoted key parents under
+        // its promotion, completing the NACK → promote → retransmit edge.
+        let tx_actor = match class {
+            QueueClass::Hot => Actor::HotServer,
+            QueueClass::Cold => Actor::ColdServer,
+        };
+        let tkind = match &pkt {
+            Packet::Data(_) => TraceKind::Announce,
+            _ => TraceKind::Summary,
+        };
+        let promo = match &pkt {
+            Packet::Data(d) => self.promoted.remove(&d.key.0).unwrap_or(TraceId::NONE),
+            _ => TraceId::NONE,
+        };
+        let tx_id = if promo.is_some() {
+            self.tracer
+                .span_under(q.now(), depart, tx_actor, tkind, key, promo)
+        } else {
+            self.tracer.span(q.now(), depart, tx_actor, tkind, key)
+        };
         for i in 0..self.receivers.len() {
             let ch = &mut self.data_chan[i];
             if ch.loss.is_lost(&mut ch.rng) {
                 let c_lost = self.c_data_lost;
                 self.registry.inc(c_lost);
                 self.events.log(q.now(), EventKind::Drop, key);
+                self.tracer
+                    .instant_under(q.now(), Actor::Channel, TraceKind::Drop, key, tx_id);
             } else {
-                q.schedule(depart + self.cfg.prop_delay, Ev::DataArrive(i, pkt.clone()));
+                q.schedule(
+                    depart + self.cfg.prop_delay,
+                    Ev::DataArrive(i, pkt.clone(), tx_id),
+                );
             }
         }
         q.schedule(depart, free);
@@ -558,15 +604,25 @@ impl Sim {
         };
         self.events.log(q.now(), kind, i as u64);
         let depart = q.now() + self.fb_rate().transmit_time(bytes);
+        let tkind = match &pkt {
+            Packet::Nack(_) => TraceKind::Nack,
+            Packet::RepairQuery(_) => TraceKind::Query,
+            _ => TraceKind::Report,
+        };
+        let fb_id = self
+            .tracer
+            .span(q.now(), depart, Actor::Feedback(i as u32), tkind, i as u64);
         // Toward the sender.
         let ch = &mut self.fb_chan[i];
         if ch.loss.is_lost(&mut ch.rng) {
             let c_lost = self.c_fb_lost;
             self.registry.inc(c_lost);
+            self.tracer
+                .instant_under(q.now(), Actor::Channel, TraceKind::Drop, i as u64, fb_id);
         } else {
             q.schedule(
                 depart + self.cfg.prop_delay,
-                Ev::FbArriveSender(pkt.clone()),
+                Ev::FbArriveSender(pkt.clone(), fb_id),
             );
         }
         // Overheard by peers (multicast feedback), when there are any.
@@ -579,7 +635,7 @@ impl Sim {
                 if !ch.loss.is_lost(&mut ch.rng) {
                     q.schedule(
                         depart + self.cfg.prop_delay,
-                        Ev::FbOverheard(j, pkt.clone()),
+                        Ev::FbOverheard(j, pkt.clone(), fb_id),
                     );
                 }
             }
@@ -664,7 +720,11 @@ impl World for Sim {
                 self.schedule_next_arrival(q);
             }
             Ev::Lifetime(key) => {
+                if self.sender.table().get(key).is_some() {
+                    self.tracer.death(q.now(), Actor::Publisher, key.0);
+                }
                 self.sender.withdraw(key);
+                self.promoted.remove(&key.0);
             }
             Ev::HotFree => {
                 self.hot_busy = false;
@@ -678,16 +738,50 @@ impl World for Sim {
                 self.fb_busy[i] = false;
                 self.kick_fb(q, i);
             }
-            Ev::DataArrive(i, pkt) => {
+            Ev::DataArrive(i, pkt, cause) => {
+                let before = self.receivers[i].stats().data_applied;
                 self.receivers[i].on_packet(q.now(), &pkt);
+                if self.receivers[i].stats().data_applied > before {
+                    if let Packet::Data(d) = &pkt {
+                        self.tracer.instant_under(
+                            q.now(),
+                            Actor::Replica(i as u32),
+                            TraceKind::Deliver,
+                            d.key.0,
+                            cause,
+                        );
+                    }
+                }
                 self.arm_feedback(q, i);
             }
-            Ev::FbArriveSender(pkt) => {
-                self.sender.on_packet(&pkt);
+            Ev::FbArriveSender(pkt, cause) => {
+                let promoted = self.sender.on_packet(&pkt);
+                for key in promoted {
+                    let id = self.tracer.instant_under(
+                        q.now(),
+                        Actor::HotServer,
+                        TraceKind::Promote,
+                        key.0,
+                        cause,
+                    );
+                    self.promoted.insert(key.0, id);
+                }
                 self.kick_hot(q);
             }
-            Ev::FbOverheard(i, pkt) => {
+            Ev::FbOverheard(i, pkt, cause) => {
+                let before = self.receivers[i].stats().data_applied;
                 self.receivers[i].on_packet(q.now(), &pkt);
+                if self.receivers[i].stats().data_applied > before {
+                    if let Packet::Data(d) = &pkt {
+                        self.tracer.instant_under(
+                            q.now(),
+                            Actor::Replica(i as u32),
+                            TraceKind::Deliver,
+                            d.key.0,
+                            cause,
+                        );
+                    }
+                }
                 self.arm_feedback(q, i);
             }
             Ev::FeedbackDue(i) => {
@@ -720,6 +814,30 @@ impl World for Sim {
                 self.measure(q);
                 q.schedule_in(self.cfg.measure_interval, Ev::MeasureTick);
             }
+        }
+    }
+}
+
+impl TracedWorld for Sim {
+    fn tracer(&mut self) -> &mut Tracer {
+        &mut self.tracer
+    }
+
+    fn event_label(ev: &Ev) -> &'static str {
+        match ev {
+            Ev::AppArrival => "app-arrival",
+            Ev::Lifetime(_) => "lifetime-end",
+            Ev::HotFree => "hot-free",
+            Ev::ColdFree => "cold-free",
+            Ev::FbFree(_) => "fb-free",
+            Ev::DataArrive(..) => "data-arrive",
+            Ev::FbArriveSender(..) => "fb-arrive-sender",
+            Ev::FbOverheard(..) => "fb-overheard",
+            Ev::FeedbackDue(_) => "feedback-due",
+            Ev::ReportTick(_) => "report-tick",
+            Ev::AdaptTick => "adapt-tick",
+            Ev::ExpiryTick => "expiry-tick",
+            Ev::MeasureTick => "measure-tick",
         }
     }
 }
@@ -797,8 +915,15 @@ pub fn run(cfg: &SessionConfig) -> SessionReport {
     q.schedule(SimTime::ZERO + cfg.expiry_sweep, Ev::ExpiryTick);
     q.schedule(SimTime::ZERO, Ev::MeasureTick);
 
-    run_until(&mut sim, &mut q, end);
+    // Tracing consumes no randomness, so the traced loop replays the
+    // untraced run exactly; branch so the common case pays nothing.
+    if sim.tracer.is_enabled() {
+        run_until_traced(&mut sim, &mut q, end);
+    } else {
+        run_until(&mut sim, &mut q, end);
+    }
     sim.measure(&mut q);
+    sim.tracer.finish(end);
 
     // Export the endpoint counters into the registry so the snapshot is
     // the one self-contained record of the run.
@@ -874,6 +999,7 @@ pub fn run(cfg: &SessionConfig) -> SessionReport {
         final_loss_estimate: sim.sender.estimated_loss(),
         metrics,
         events: sim.events,
+        trace: sim.tracer,
     }
 }
 
@@ -1056,6 +1182,65 @@ mod tests {
         assert!(report.events.is_empty());
         assert_eq!(report.events.dropped(), 0);
         assert!(report.receivers[0].events.is_empty());
+        // The causal tracer is equally silent at zero capacity.
+        assert!(report.trace.is_empty());
+        assert_eq!(report.trace.dropped(), 0);
+    }
+
+    #[test]
+    fn causal_trace_links_wire_and_lifecycle() {
+        use ss_netsim::trace::TraceKind;
+
+        let mut cfg = base_cfg(12);
+        cfg.trace_capacity = 400_000;
+        let traced = run(&cfg);
+        let plain = run(&base_cfg(12));
+
+        // Tracing consumes no randomness: the traced run replays the
+        // untraced one exactly.
+        assert_eq!(traced.trace.dropped(), 0);
+        assert_eq!(traced.packets, plain.packets);
+        assert_eq!(
+            traced.mean_consistency().to_bits(),
+            plain.mean_consistency().to_bits()
+        );
+
+        // Every replica install shows up as a Deliver instant parented
+        // under the wire span that carried the packet.
+        let installs: u64 = traced.receivers.iter().map(|r| r.stats.data_applied).sum();
+        let delivers: Vec<_> = traced.trace.of_kind(TraceKind::Deliver).collect();
+        assert_eq!(delivers.len() as u64, installs);
+        for d in &delivers {
+            let parent = traced
+                .trace
+                .events()
+                .iter()
+                .find(|e| e.id == d.parent)
+                .expect("deliver has a wire-span parent");
+            assert_eq!(parent.kind, TraceKind::Announce);
+            assert_eq!(parent.key, d.key);
+        }
+
+        // Every promotion chains back through the feedback packet that
+        // triggered it (NACK -> promote).
+        let promotes: Vec<_> = traced.trace.of_kind(TraceKind::Promote).collect();
+        assert!(!promotes.is_empty(), "lossy run should promote keys");
+        for p in &promotes {
+            let parent = traced
+                .trace
+                .events()
+                .iter()
+                .find(|e| e.id == p.parent)
+                .expect("promote has a feedback parent");
+            assert_eq!(parent.kind, TraceKind::Nack);
+        }
+
+        // The exporters are deterministic functions of the trace.
+        let again = run(&cfg);
+        assert_eq!(
+            traced.trace.to_causal_jsonl(),
+            again.trace.to_causal_jsonl()
+        );
     }
 
     #[test]

@@ -31,6 +31,7 @@ fn fig5_cfg(seed: u64) -> TwoQueueConfig {
         duration: SimDuration::from_secs(4_000),
         series_spacing: Some(SimDuration::from_secs(100)),
         event_capacity: 0,
+        trace_capacity: 0,
     }
 }
 
@@ -104,7 +105,8 @@ fn metrics_export_diverges_across_seeds() {
 
 /// Serializes everything an experiment run can write to disk: the
 /// rendered tables (title, columns, every cell the CSV would carry),
-/// the metrics JSONL artifacts, and the dispatched-event total.
+/// the metrics JSONL artifacts, the causal-trace artifacts (both
+/// export formats), and the dispatched-event total.
 fn serialize_all_experiments(fast: bool) -> String {
     let mut out = String::new();
     for e in ss_bench::all_experiments() {
@@ -117,6 +119,12 @@ fn serialize_all_experiments(fast: bool) -> String {
         for m in &output.metrics {
             out.push_str(&format!("-- {}\n{}", m.name, m.jsonl));
         }
+        for t in &output.traces {
+            out.push_str(&format!(
+                "-- trace {}\n{}{}",
+                t.name, t.chrome_json, t.causal_jsonl
+            ));
+        }
     }
     out
 }
@@ -125,22 +133,33 @@ fn serialize_all_experiments(fast: bool) -> String {
 fn parallel_sweep_output_is_byte_identical_to_sequential() {
     // The tentpole invariant of the sweep executor: `--threads 1` and
     // `--threads N` produce the same bytes for every table, metrics
-    // JSONL, and event JSONL of `--fast all`. Exercised in-process so
-    // the comparison covers exactly what the CLI writes.
+    // JSONL, event JSONL, and causal-trace artifact of
+    // `--fast --trace all`. Exercised in-process so the comparison
+    // covers exactly what the CLI writes.
+    ss_bench::set_trace(true);
     ss_netsim::par::set_threads(1);
     let sequential = serialize_all_experiments(true);
     ss_netsim::par::set_threads(8);
     let parallel = serialize_all_experiments(true);
     ss_netsim::par::set_threads(0);
+    ss_bench::set_trace(false);
     assert!(
         sequential == parallel,
         "experiment output diverged between 1 and 8 sweep workers; \
          index-ordered reassembly or per-point seeding is broken"
     );
-    // The comparison must not be vacuous: event traces and labeled
-    // metrics blocks are present.
+    // The comparison must not be vacuous: event traces, labeled metrics
+    // blocks, and all four causal-trace artifacts are present.
     assert!(sequential.contains("-- fig5_events"));
     assert!(sequential.contains("\"run\":"));
+    for name in [
+        "-- trace fig3_open_loop",
+        "-- trace fig5_two_queue",
+        "-- trace fig8_feedback",
+        "-- trace continuum_sstp",
+    ] {
+        assert!(sequential.contains(name), "{name} artifact missing");
+    }
     assert!(
         sequential.len() > 10_000,
         "suspiciously small serialization"

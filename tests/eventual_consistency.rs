@@ -37,6 +37,7 @@ proptest! {
             duration: SimDuration::from_secs(60 + count * 20),
             series_spacing: None,
             event_capacity: 0,
+            trace_capacity: 0,
         };
         let report = open_loop::run(&cfg);
         prop_assert_eq!(report.stats.latency.count(), count, "all records delivered");

@@ -34,8 +34,8 @@ fn abstract_claim_feedback_improves_consistency_dramatically() {
             seed: 7,
             duration: SimDuration::from_secs(20_000),
             series_spacing: None,
-            trace_capacity: 0,
             event_capacity: 0,
+            trace_capacity: 0,
         }
     };
     let open = feedback::run(&mk(0.0));
@@ -104,6 +104,7 @@ fn section4_knee_and_figure5_range() {
         duration: SimDuration::from_secs(20_000),
         series_spacing: None,
         event_capacity: 0,
+        trace_capacity: 0,
     };
     let lambda_share = 15.0 / 45.0;
     let below = two_queue::run(&mk(lambda_share * 0.4));
@@ -172,6 +173,7 @@ fn conclusion_claim_aging_plus_feedback_range() {
         duration: SimDuration::from_secs(20_000),
         series_spacing: None,
         event_capacity: 0,
+        trace_capacity: 0,
     };
     let c_two = two_queue::run(&two).stats.consistency.busy.unwrap();
 
@@ -187,8 +189,8 @@ fn conclusion_claim_aging_plus_feedback_range() {
         seed: 9,
         duration: SimDuration::from_secs(20_000),
         series_spacing: None,
-        trace_capacity: 0,
         event_capacity: 0,
+        trace_capacity: 0,
     };
     let c_fb = feedback::run(&fbc).stats.consistency.busy.unwrap();
 

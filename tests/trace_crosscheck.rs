@@ -1,0 +1,106 @@
+//! The ss-trace cross-check: lifecycle metrics recomputed **from the
+//! causal trace alone** must equal the `ss-metrics` registry values the
+//! protocols published while running — exactly, not approximately.
+//!
+//! Two full experiments are covered, one per protocol family named in
+//! the acceptance criteria: the open-loop publisher (Figure 3's
+//! workload) and the NACK-feedback protocol (Figure 7's machinery).
+//! For each, [`LifecycleAnalysis`] replays the trace's Birth / Deliver
+//! / Update / Expire events and the test asserts:
+//!
+//! * integer equality of the lifecycle counters and the `T_rec`
+//!   histogram (count and exact mean) against the snapshot;
+//! * bit-for-bit equality of the replayed `c(t)` and live-set time
+//!   averages (the replay performs the identical float operation
+//!   sequence);
+//! * that per-key inconsistency intervals are internally consistent
+//!   with what they recompute: one recovered interval per delivery.
+//!
+//! The two observability layers audit each other; drift in either one
+//! turns these equalities into failures.
+
+use softstate::protocol::feedback::{self, FeedbackConfig};
+use softstate::protocol::open_loop::{self, OpenLoopConfig};
+use softstate::protocol::LossSpec;
+use softstate::{ArrivalProcess, DeathProcess, ServiceModel};
+use ss_netsim::trace::LifecycleAnalysis;
+use ss_netsim::{MetricsSnapshot, SimDuration, SimTime, Tracer};
+
+/// Runs the shared assertions for one (trace, snapshot) pair.
+fn crosscheck(trace: &Tracer, snapshot: &MetricsSnapshot, end: SimTime) {
+    // The replay is only exact if the tracer kept every event.
+    assert_eq!(trace.dropped(), 0, "trace capacity too small for the run");
+    let a = LifecycleAnalysis::from_tracer(trace, end);
+
+    // Counters, recomputed from the trace, vs the registry: exact.
+    assert_eq!(a.births, snapshot.counter("records.arrivals"));
+    assert_eq!(a.deliveries, snapshot.counter("records.delivered"));
+    assert_eq!(a.expiries, snapshot.counter("records.deaths"));
+    assert_eq!(a.updates, snapshot.counter("records.updates"));
+
+    // T_rec distribution: same sample count and exact mean.
+    let h = snapshot.histogram("latency.t_rec");
+    assert_eq!(a.t_rec.count(), h.count);
+    assert_eq!(a.t_rec.mean().as_micros(), h.mean_us);
+
+    // The replayed time averages are bit-identical, not just close:
+    // the analysis feeds the identical sample sequence through the
+    // same accumulator type.
+    let c = a.replay_c_t(SimTime::ZERO, SimDuration::ZERO, end);
+    assert_eq!(
+        c.to_bits(),
+        snapshot.time_average("consistency.c_t").to_bits()
+    );
+    let live = a.replay_live(SimTime::ZERO, end);
+    assert_eq!(
+        live.to_bits(),
+        snapshot.time_average("records.live").to_bits()
+    );
+
+    // Interval bookkeeping: exactly one recovered interval per
+    // delivery, and every interval is well-formed.
+    let recovered = a.intervals.iter().filter(|iv| iv.recovered).count() as u64;
+    assert_eq!(recovered, a.deliveries);
+    for iv in &a.intervals {
+        assert!(iv.from <= iv.to, "inverted interval {iv:?}");
+        assert!(iv.to <= end);
+    }
+    // Non-vacuousness: the run actually exercised the lifecycle.
+    assert!(a.births > 100, "births {}", a.births);
+    assert!(a.deliveries > 100, "deliveries {}", a.deliveries);
+}
+
+#[test]
+fn open_loop_trace_matches_registry_exactly() {
+    // Figure 3's workload at a lossy, stable operating point.
+    let mut cfg = OpenLoopConfig::analytic(1.875, 12.0, 0.4, 0.25, 3);
+    cfg.duration = SimDuration::from_secs(4_000);
+    cfg.trace_capacity = 400_000;
+    let report = open_loop::run(&cfg);
+    let end = SimTime::ZERO + cfg.duration;
+    crosscheck(&report.trace, &report.metrics, end);
+}
+
+#[test]
+fn feedback_trace_matches_registry_exactly() {
+    // The Figure 7 machinery: losses trigger NACKs, promotions, and
+    // hot-queue retransmissions, all of which land in the trace.
+    let cfg = FeedbackConfig {
+        arrivals: ArrivalProcess::Poisson { rate: 1.875 },
+        death: DeathProcess::PerTransmission { p: 0.1 },
+        mu_hot: 2.5,
+        mu_cold: 1.25,
+        mu_fb: 1.5,
+        loss: LossSpec::Bernoulli(0.4),
+        nack_loss: None,
+        service: ServiceModel::Exponential,
+        seed: 9,
+        duration: SimDuration::from_secs(4_000),
+        series_spacing: None,
+        event_capacity: 0,
+        trace_capacity: 400_000,
+    };
+    let report = feedback::run(&cfg);
+    let end = SimTime::ZERO + cfg.duration;
+    crosscheck(&report.trace, &report.metrics, end);
+}
