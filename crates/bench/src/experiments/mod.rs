@@ -19,6 +19,7 @@ pub mod loss_pattern;
 pub mod multicast;
 pub mod namespace_exp;
 pub mod profile_accuracy;
+pub mod recovery;
 pub mod sched_ablation;
 pub mod table1;
 pub mod validate;

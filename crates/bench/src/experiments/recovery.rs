@@ -1,0 +1,178 @@
+//! ss-chaos: reconvergence after a network partition — MTTR as a
+//! function of partition length, soft-state TTL, and reliability level.
+//!
+//! The paper's central claim is that soft state makes recovery a
+//! non-event: "the protocol continues to operate in the face of
+//! failures, and consistency degrades (and recovers) gracefully". This
+//! experiment quantifies that. A session with a steady update workload
+//! suffers a scripted bidirectional partition; we report the time from
+//! the heal until every replica fully agrees with the sender again
+//! (MTTR, measured by the session's ground-truth probe), the stale
+//! probe-samples served along the way, and the packets the fault ate.
+//!
+//! Two regimes emerge. While the partition is shorter than the TTL, the
+//! replica's entries survive and only the missed *updates* need repair,
+//! so feedback (digest descent + NACKs) reconverges much faster than
+//! announce/listen's cold cycle. Once the partition outlives the TTL,
+//! the replica has expired wholesale and both levels must re-fetch the
+//! store — MTTR jumps and the levels converge toward each other.
+
+use crate::table::{fmt_frac, Table};
+use softstate::{ArrivalProcess, LossSpec};
+use ss_netsim::{par, FaultSpec, SimDuration, SimTime};
+use sstp::reliability::ReliabilityLevel;
+use sstp::session::{self, SessionConfig, SessionWorkload};
+
+const LEVELS: [(&str, ReliabilityLevel); 2] = [
+    ("announce/listen", ReliabilityLevel::AnnounceListen),
+    (
+        "quasi (fb<=30%)",
+        ReliabilityLevel::Quasi { max_fb_share: 0.3 },
+    ),
+];
+
+/// The partition starts here; everything has converged by then.
+const FAULT_AT: u64 = 60;
+
+fn cfg(
+    level: ReliabilityLevel,
+    partition_secs: u64,
+    ttl_secs: u64,
+    tail_secs: u64,
+) -> SessionConfig {
+    let mut cfg = SessionConfig::unicast_default(4242);
+    cfg.allocator.reliability = level.into();
+    cfg.data_loss = LossSpec::Bernoulli(0.1);
+    cfg.fb_loss = LossSpec::Bernoulli(0.1);
+    cfg.workload = SessionWorkload {
+        arrivals: ArrivalProcess::PoissonUpdates {
+            rate: 1.0,
+            keys: 40,
+        },
+        mean_lifetime_secs: None,
+        branches: 4,
+        class_weights: None,
+    };
+    cfg.ttl = SimDuration::from_secs(ttl_secs);
+    cfg.duration = SimDuration::from_secs(FAULT_AT + partition_secs + tail_secs);
+    cfg.faults = FaultSpec::none().partition(
+        SimTime::ZERO + SimDuration::from_secs(FAULT_AT),
+        SimTime::ZERO + SimDuration::from_secs(FAULT_AT + partition_secs),
+    );
+    cfg
+}
+
+/// Runs the experiment.
+pub fn run(fast: bool) -> crate::ExperimentOutput {
+    let mut t = Table::new(
+        "Reconvergence: MTTR vs partition length x TTL x reliability (40-key update workload)",
+        "recovery",
+        &[
+            "level",
+            "partition",
+            "ttl",
+            "mttr",
+            "stale samples",
+            "fault drops",
+            "E[c]",
+        ],
+    );
+    let partitions: Vec<u64> = if fast {
+        vec![20, 120]
+    } else {
+        vec![15, 45, 90, 180]
+    };
+    let ttls: Vec<u64> = if fast { vec![90] } else { vec![30, 90] };
+    let tail: u64 = if fast { 180 } else { 300 };
+    let points: Vec<(&str, ReliabilityLevel, u64, u64)> = ttls
+        .iter()
+        .flat_map(|&ttl| {
+            partitions.iter().flat_map(move |&p| {
+                LEVELS
+                    .iter()
+                    .map(move |&(name, level)| (name, level, p, ttl))
+            })
+        })
+        .collect();
+    let results = par::sweep(&points, |i, &(name, level, p, ttl)| {
+        let mut c = cfg(level, p, ttl, tail);
+        // Under --trace the first quasi point records the causal trace:
+        // fault spans interleaved with the repair traffic they trigger.
+        if i == 1 && crate::trace_enabled() {
+            c.trace_capacity = 400_000;
+        }
+        let report = session::run(&c);
+        let mut jsonl = String::new();
+        report
+            .metrics
+            .write_jsonl_labeled(&format!("level={name},partition={p},ttl={ttl}"), &mut jsonl);
+        (report, jsonl)
+    });
+    let mut jsonl = String::new();
+    let mut events = 0u64;
+    for (&(name, _, p, ttl), (report, point_jsonl)) in points.iter().zip(&results) {
+        events += crate::dispatched_events(&report.metrics);
+        jsonl.push_str(point_jsonl);
+        let rec = report.recovery.expect("a fault schedule was configured");
+        let mttr = match rec.mttr() {
+            Some(d) => format!("{:.1}s", d.as_secs_f64()),
+            None => "never".to_string(),
+        };
+        t.push_row(vec![
+            name.to_string(),
+            format!("{p}s"),
+            format!("{ttl}s"),
+            mttr,
+            rec.stale_serves.to_string(),
+            rec.fault_drops.to_string(),
+            fmt_frac(report.mean_consistency()),
+        ]);
+    }
+    let traces = if crate::trace_enabled() {
+        vec![crate::TraceArtifact::from_tracer(
+            "recovery_partition",
+            &results[1].0.trace,
+        )]
+    } else {
+        Vec::new()
+    };
+    crate::ExperimentOutput {
+        tables: vec![t],
+        metrics: vec![crate::MetricsArtifact {
+            name: "recovery".into(),
+            jsonl,
+        }],
+        traces,
+        events,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn smoke() {
+        let tables = super::run(true).tables;
+        let rows = &tables[0].rows;
+        for row in rows {
+            // Every point must reconverge within the post-heal tail.
+            assert!(row[3].ends_with('s'), "no reconvergence: {row:?}");
+            let drops: u64 = row[5].parse().unwrap();
+            assert!(drops > 0, "the partition must eat packets: {row:?}");
+        }
+        let mttr = |i: usize| -> f64 { rows[i][3].trim_end_matches('s').parse().unwrap() };
+        // The long partition (row pairs are [short a/l, short quasi,
+        // long a/l, long quasi]) accumulates more stale samples than the
+        // short one at the same level.
+        let stale = |i: usize| -> u64 { rows[i][4].parse().unwrap() };
+        assert!(
+            stale(2) > stale(0),
+            "longer partition, more staleness: {rows:?}"
+        );
+        // Feedback repairs the backlog faster than announce/listen's
+        // cold cycle after the long partition.
+        assert!(
+            mttr(3) <= mttr(2),
+            "feedback should not reconverge slower: {rows:?}"
+        );
+    }
+}

@@ -239,6 +239,11 @@ pub fn all_experiments() -> Vec<Experiment> {
             run: experiments::multicast::run,
         },
         Experiment {
+            id: "recovery",
+            description: "ss-chaos: MTTR after partitions vs TTL and reliability level",
+            run: experiments::recovery::run,
+        },
+        Experiment {
             id: "validate-analysis",
             description: "Simulation vs closed forms across a parameter grid (§3)",
             run: experiments::validate::run,

@@ -204,6 +204,25 @@ impl LiveJobs {
         }
     }
 
+    /// A receiver crash wiped the replica: every consistent record is
+    /// stale again (C → I), exactly as if each had been superseded — the
+    /// wipe is logged as an update per flipped record so the registry,
+    /// the event log, and the causal trace all stay in agreement with
+    /// [`ss_netsim::trace::LifecycleAnalysis`]'s replay. Returns how many
+    /// records flipped.
+    pub(crate) fn wipe(&mut self, now: SimTime) -> usize {
+        let stale: Vec<u64> = self
+            .jobs
+            .iter()
+            .filter(|(_, s)| s.consistent)
+            .map(|(&id, _)| id)
+            .collect();
+        for &id in &stale {
+            self.invalidate(now, id);
+        }
+        stale.len()
+    }
+
     /// A uniformly random live record id (None when the set is empty).
     pub(crate) fn random_live(&self, rng: &mut ss_netsim::SimRng) -> Option<u64> {
         if self.ids.is_empty() {

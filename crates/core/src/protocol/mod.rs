@@ -17,47 +17,10 @@ pub mod two_queue;
 
 pub(crate) mod jobs;
 
-use ss_netsim::{Bernoulli, GilbertElliott, LossModel};
-
-/// A cloneable specification of the channel loss process (configs must be
-/// plain data; the trait object is built per run).
-#[derive(Clone, Copy, Debug, PartialEq)]
-pub enum LossSpec {
-    /// Independent loss with the given probability — the analysis model.
-    Bernoulli(f64),
-    /// Gilbert burst loss with the given mean rate and mean burst length
-    /// in packets — for the loss-pattern-insensitivity experiment.
-    Bursty {
-        /// Long-run mean loss probability.
-        mean: f64,
-        /// Mean number of consecutive losses per burst.
-        burst_len: f64,
-    },
-    /// No loss at all.
-    None,
-}
-
-impl LossSpec {
-    /// Instantiates the loss process.
-    pub fn build(&self) -> Box<dyn LossModel> {
-        match *self {
-            LossSpec::Bernoulli(p) => Box::new(Bernoulli::new(p)),
-            LossSpec::Bursty { mean, burst_len } => {
-                Box::new(GilbertElliott::bursty(mean, burst_len))
-            }
-            LossSpec::None => Box::new(Bernoulli::new(0.0)),
-        }
-    }
-
-    /// The long-run mean loss probability.
-    pub fn mean(&self) -> f64 {
-        match *self {
-            LossSpec::Bernoulli(p) => p,
-            LossSpec::Bursty { mean, .. } => mean,
-            LossSpec::None => 0.0,
-        }
-    }
-}
+/// The plain-data loss specification now lives in `ss-netsim` (one
+/// audited loss module for the whole workspace); re-exported here so
+/// protocol configs keep their historical path.
+pub use ss_netsim::LossSpec;
 
 /// Empirical counts of the Table 1 state changes observed in a run.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -108,24 +71,6 @@ impl TransitionCounts {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ss_netsim::SimRng;
-
-    #[test]
-    fn loss_spec_builds_matching_models() {
-        assert_eq!(LossSpec::Bernoulli(0.3).mean(), 0.3);
-        assert_eq!(LossSpec::None.mean(), 0.0);
-        let b = LossSpec::Bursty {
-            mean: 0.2,
-            burst_len: 4.0,
-        };
-        assert!((b.mean() - 0.2).abs() < 1e-12);
-        let mut model = b.build();
-        assert!((model.mean_loss_rate() - 0.2).abs() < 1e-12);
-        let mut rng = SimRng::new(1);
-        let n = 100_000;
-        let lost = (0..n).filter(|_| model.is_lost(&mut rng)).count();
-        assert!((lost as f64 / n as f64 - 0.2).abs() < 0.02);
-    }
 
     #[test]
     fn transition_counts_probabilities() {

@@ -20,8 +20,8 @@ use crate::workload::{ArrivalProcess, DeathProcess, ServiceModel};
 use ss_netsim::metrics::{CounterId, EventKind, EventLog, MetricsSnapshot, QueueClass};
 use ss_netsim::trace::{Actor, TraceKind, Tracer};
 use ss_netsim::{
-    run_until, run_until_traced, EventQueue, LossModel, SimDuration, SimRng, SimTime, TracedWorld,
-    World,
+    run_until, run_until_traced, EventQueue, FaultSchedule, FaultSpec, LossModel, SimDuration,
+    SimRng, SimTime, TracedWorld, World,
 };
 use std::collections::VecDeque;
 
@@ -86,6 +86,9 @@ pub struct OpenLoopReport {
     pub transitions: TransitionCounts,
     /// Fraction of announcements lost by the channel.
     pub observed_loss_rate: f64,
+    /// Announcements lost *only* to an active `ss-chaos` fault episode
+    /// (partition, crash, silence, loss override) — 0 without faults.
+    pub fault_drops: u64,
     /// Every metric of the run, frozen at the end time.
     pub metrics: MetricsSnapshot,
     /// The typed event trace (empty unless `event_capacity` was set).
@@ -112,6 +115,9 @@ enum Ev {
     /// Lifetime-based expiry (only scheduled under
     /// [`DeathProcess::Lifetime`]).
     LifetimeEnd(u64),
+    /// A fault-episode boundary (only scheduled with a non-empty
+    /// [`FaultSpec`]): crash wipes apply here.
+    FaultEdge,
 }
 
 struct Sim {
@@ -123,10 +129,12 @@ struct Sim {
     doomed: std::collections::BTreeSet<u64>,
     jobs: LiveJobs,
     loss: Box<dyn LossModel>,
+    faults: FaultSchedule,
     next_id: u64,
     c_tx: CounterId,
     c_redundant: CounterId,
     c_lost: CounterId,
+    c_fault_lost: CounterId,
     transitions: TransitionCounts,
     rng_arrival: SimRng,
     rng_service: SimRng,
@@ -136,9 +144,12 @@ struct Sim {
 }
 
 impl Sim {
-    fn new(cfg: OpenLoopConfig) -> Self {
+    fn new(cfg: OpenLoopConfig, faults: &FaultSpec) -> Self {
         let root = SimRng::new(cfg.seed);
         let loss = cfg.loss.build();
+        // The schedule draws from its own derived stream, so an empty
+        // spec consumes nothing and every other stream is unperturbed.
+        let faults = faults.build(root.derive("faults"));
         let mut jobs = LiveJobs::new(
             SimTime::ZERO,
             cfg.series_spacing,
@@ -148,16 +159,19 @@ impl Sim {
         let c_tx = jobs.metrics().counter("tx.total");
         let c_redundant = jobs.metrics().counter("tx.redundant");
         let c_lost = jobs.metrics().counter("tx.lost");
+        let c_fault_lost = jobs.metrics().counter("faults.drops");
         Sim {
             queue: VecDeque::new(),
             serving: None,
             doomed: std::collections::BTreeSet::new(),
             jobs,
             loss,
+            faults,
             next_id: 0,
             c_tx,
             c_redundant,
             c_lost,
+            c_fault_lost,
             transitions: TransitionCounts::default(),
             rng_arrival: root.derive("arrival"),
             rng_service: root.derive("service"),
@@ -193,10 +207,15 @@ impl Sim {
             // Expired while queued (lifetime death): skip.
         };
         self.serving = Some(id);
-        let st = self
+        let mut st = self
             .cfg
             .service
             .service_time(self.cfg.mu, &mut self.rng_service);
+        // Bandwidth-degradation episodes stretch serialization times.
+        let factor = self.faults.bandwidth_factor(q.now());
+        if factor < 1.0 {
+            st = SimDuration::from_micros((st.as_micros() as f64 / factor).round() as u64);
+        }
         q.schedule_in(st, Ev::ServiceDone(id));
     }
 
@@ -267,18 +286,39 @@ impl World for Sim {
                     let c_redundant = self.c_redundant;
                     self.jobs.metrics().inc(c_redundant);
                 }
-                let lost = self.loss.is_lost(&mut self.rng_loss);
+                // The baseline channel draw always happens (the stream
+                // must not depend on the fault schedule); fault checks
+                // layer on top.
+                let chan_lost = self.loss.is_lost(&mut self.rng_loss);
+                let fault_lost = self.faults.sender_silent(now)
+                    || self.faults.data_blocked(now)
+                    || self.faults.receiver_down(now, 0)
+                    || self.faults.extra_loss(now);
+                let lost = chan_lost || fault_lost;
                 if lost {
                     let c_lost = self.c_lost;
                     self.jobs.metrics().inc(c_lost);
                     self.jobs.events().log(now, EventKind::Drop, id);
-                    self.jobs.tracer().instant_under(
-                        now,
-                        Actor::Channel,
-                        TraceKind::Drop,
-                        id,
-                        tx_id,
-                    );
+                    if fault_lost && !chan_lost {
+                        let c_fault = self.c_fault_lost;
+                        self.jobs.metrics().inc(c_fault);
+                        self.jobs.tracer().instant_labeled(
+                            now,
+                            Actor::Channel,
+                            TraceKind::Drop,
+                            id,
+                            tx_id,
+                            "fault",
+                        );
+                    } else {
+                        self.jobs.tracer().instant_under(
+                            now,
+                            Actor::Channel,
+                            TraceKind::Drop,
+                            id,
+                            tx_id,
+                        );
+                    }
                 }
                 let dies = self.cfg.death.dies_after_service(&mut self.rng_death)
                     || self.doomed.remove(&id);
@@ -306,6 +346,14 @@ impl World for Sim {
                 }
                 self.maybe_start_service(q);
             }
+            Ev::FaultEdge => {
+                // A receiver crash beginning now wipes the replica: every
+                // consistent record is stale again and must re-propagate
+                // through the announcement cycle after the restart.
+                if !self.faults.crashes_at(q.now()).is_empty() {
+                    self.jobs.wipe(q.now());
+                }
+            }
         }
     }
 }
@@ -320,6 +368,7 @@ impl TracedWorld for Sim {
             Ev::Arrival => "arrival",
             Ev::ServiceDone(_) => "service-done",
             Ev::LifetimeEnd(_) => "lifetime-end",
+            Ev::FaultEdge => "fault-edge",
         }
     }
 }
@@ -336,10 +385,26 @@ std::thread_local! {
 /// Runs an open-loop announce/listen simulation to completion and reports
 /// the paper's metrics.
 pub fn run(cfg: &OpenLoopConfig) -> OpenLoopReport {
-    let mut sim = Sim::new(cfg.clone());
+    run_faulted(cfg, &FaultSpec::none())
+}
+
+/// [`run`] under an `ss-chaos` fault schedule. With the empty spec this
+/// is byte-identical to [`run`]: the schedule consumes no randomness and
+/// blocks nothing.
+pub fn run_faulted(cfg: &OpenLoopConfig, faults: &FaultSpec) -> OpenLoopReport {
+    let mut sim = Sim::new(cfg.clone(), faults);
     let mut q: EventQueue<Ev> = QUEUE_POOL.with(|c| std::mem::take(&mut *c.borrow_mut()));
     let end = SimTime::ZERO + cfg.duration;
 
+    if sim.jobs.tracer().is_enabled() {
+        let Sim { faults, jobs, .. } = &mut sim;
+        faults.record_spans(jobs.tracer());
+    }
+    for t in sim.faults.boundaries() {
+        if t < end {
+            q.schedule(t, Ev::FaultEdge);
+        }
+    }
     for _ in 0..cfg.arrivals.initial_count() {
         sim.spawn_record(&mut q);
     }
@@ -366,6 +431,7 @@ pub fn run(cfg: &OpenLoopConfig) -> OpenLoopReport {
     } else {
         lost as f64 / transmissions as f64
     };
+    let fault_drops = sim.jobs.metrics().counter_value(sim.c_fault_lost);
     let (stats, metrics, events, trace) = sim.jobs.finish(end);
     q.clear();
     QUEUE_POOL.with(|c| *c.borrow_mut() = q);
@@ -375,6 +441,7 @@ pub fn run(cfg: &OpenLoopConfig) -> OpenLoopReport {
         redundant_transmissions: redundant,
         transitions: sim.transitions,
         observed_loss_rate,
+        fault_drops,
         metrics,
         events,
         trace,
@@ -497,6 +564,76 @@ mod tests {
         let lo = run(&OpenLoopConfig::analytic(2.0, 16.0, 0.05, 0.25, 5));
         let hi = run(&OpenLoopConfig::analytic(2.0, 16.0, 0.60, 0.25, 5));
         assert!(lo.stats.consistency.busy.unwrap() > hi.stats.consistency.busy.unwrap() + 0.1);
+    }
+
+    #[test]
+    fn empty_fault_spec_is_byte_identical() {
+        let cfg = validation_cfg(31);
+        let a = run(&cfg);
+        let b = run_faulted(&cfg, &FaultSpec::none());
+        assert_eq!(a.transmissions, b.transmissions);
+        assert_eq!(a.stats.arrivals, b.stats.arrivals);
+        assert_eq!(
+            a.stats.consistency.unnormalized.to_bits(),
+            b.stats.consistency.unnormalized.to_bits()
+        );
+        assert_eq!(a.fault_drops, 0);
+    }
+
+    fn bulk_lossless(seed: u64) -> OpenLoopConfig {
+        OpenLoopConfig {
+            arrivals: ArrivalProcess::Bulk { count: 30 },
+            death: DeathProcess::Immortal,
+            mu: 20.0,
+            loss: LossSpec::None,
+            service: ServiceModel::Deterministic,
+            seed,
+            duration: SimDuration::from_secs(100),
+            series_spacing: None,
+            event_capacity: 0,
+            trace_capacity: 0,
+        }
+    }
+
+    #[test]
+    fn partition_blocks_then_heals() {
+        let faults = FaultSpec::none().partition(SimTime::from_secs(1), SimTime::from_secs(20));
+        let r = run_faulted(&bulk_lossless(41), &faults);
+        assert!(r.fault_drops > 0, "partition dropped announcements");
+        assert_eq!(
+            r.stats.latency.count(),
+            30,
+            "every record delivered after heal"
+        );
+        assert_eq!(r.stats.final_live, 30);
+    }
+
+    #[test]
+    fn receiver_crash_wipes_and_reconverges() {
+        // All 30 records are consistent well before t=30; the crash wipes
+        // the replica (30 update transitions), the down episode drops the
+        // cycle's announcements, and after restart every record is
+        // re-delivered: exactly 60 I → C transitions in total.
+        let faults =
+            FaultSpec::none().receiver_crash(SimTime::from_secs(30), SimTime::from_secs(40), 0);
+        let r = run_faulted(&bulk_lossless(42), &faults);
+        assert_eq!(r.stats.updates, 30, "crash wipe flips every record");
+        assert_eq!(r.metrics.counter("records.delivered"), 60);
+        assert!(r.fault_drops > 0);
+        assert!(r.stats.consistency.busy.unwrap() > 0.8);
+    }
+
+    #[test]
+    fn faulted_runs_replay_bit_for_bit() {
+        let faults = FaultSpec::generate(&mut SimRng::new(5), 1, SimDuration::from_secs(100), 3);
+        let a = run_faulted(&bulk_lossless(43), &faults);
+        let b = run_faulted(&bulk_lossless(43), &faults);
+        assert_eq!(a.transmissions, b.transmissions);
+        assert_eq!(a.fault_drops, b.fault_drops);
+        assert_eq!(
+            a.stats.consistency.unnormalized.to_bits(),
+            b.stats.consistency.unnormalized.to_bits()
+        );
     }
 
     #[test]

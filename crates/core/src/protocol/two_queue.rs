@@ -25,8 +25,8 @@ use crate::workload::{ArrivalProcess, DeathProcess, ServiceModel};
 use ss_netsim::metrics::{AverageId, CounterId, EventKind, EventLog, MetricsSnapshot, QueueClass};
 use ss_netsim::trace::{Actor, TraceKind, Tracer};
 use ss_netsim::{
-    run_until, run_until_traced, EventQueue, LossModel, SimDuration, SimRng, SimTime, TracedWorld,
-    World,
+    run_until, run_until_traced, EventQueue, FaultSchedule, FaultSpec, LossModel, SimDuration,
+    SimRng, SimTime, TracedWorld, World,
 };
 use ss_sched::{Drr, Lottery, Metered, Scheduler, Sfq, StrictPriority, Stride};
 use std::collections::VecDeque;
@@ -122,6 +122,9 @@ pub struct TwoQueueReport {
     pub redundant_transmissions: u64,
     /// Fraction of announcements lost.
     pub observed_loss_rate: f64,
+    /// Announcements lost *only* to an active `ss-chaos` fault episode
+    /// (partition, crash, silence, loss override) — 0 without faults.
+    pub fault_drops: u64,
     /// Time-averaged hot-queue backlog (diverges when `λ > μ_hot`).
     pub mean_hot_backlog: f64,
     /// Hot-queue length at the end of the run.
@@ -160,6 +163,9 @@ enum Ev {
     },
     /// Lifetime-based expiry (only under [`DeathProcess::Lifetime`]).
     LifetimeEnd(u64),
+    /// A fault-episode boundary (only scheduled with a non-empty
+    /// [`FaultSpec`]): crash wipes apply here.
+    FaultEdge,
 }
 
 struct Sim {
@@ -177,11 +183,13 @@ struct Sim {
     sched: Option<Metered<Box<dyn Scheduler>>>,
     jobs: LiveJobs,
     loss: Box<dyn LossModel>,
+    faults: FaultSchedule,
     next_id: u64,
     c_hot_tx: CounterId,
     c_cold_tx: CounterId,
     c_redundant: CounterId,
     c_lost: CounterId,
+    c_fault_lost: CounterId,
     a_hot_backlog: AverageId,
     rng_arrival: SimRng,
     rng_service: SimRng,
@@ -234,9 +242,12 @@ fn weights_of(mu_hot: f64, mu_cold: f64) -> (u64, u64) {
 }
 
 impl Sim {
-    fn new(cfg: TwoQueueConfig) -> Self {
+    fn new(cfg: TwoQueueConfig, faults: &FaultSpec) -> Self {
         let root = SimRng::new(cfg.seed);
         let loss = cfg.loss.build();
+        // The schedule draws from its own derived stream, so an empty
+        // spec consumes nothing and every other stream is unperturbed.
+        let faults = faults.build(root.derive("faults"));
         let sched = match cfg.sharing {
             Sharing::Partitioned => None,
             Sharing::WorkConserving(policy) => {
@@ -257,6 +268,7 @@ impl Sim {
         let c_cold_tx = jobs.metrics().counter("tx.cold");
         let c_redundant = jobs.metrics().counter("tx.redundant");
         let c_lost = jobs.metrics().counter("tx.lost");
+        let c_fault_lost = jobs.metrics().counter("faults.drops");
         let a_hot_backlog =
             jobs.metrics()
                 .time_average("queue.hot.backlog", SimTime::ZERO, 0.0, SimDuration::ZERO);
@@ -270,11 +282,13 @@ impl Sim {
             sched,
             jobs,
             loss,
+            faults,
             next_id: 0,
             c_hot_tx,
             c_cold_tx,
             c_redundant,
             c_lost,
+            c_fault_lost,
             a_hot_backlog,
             rng_arrival: root.derive("arrival"),
             rng_service: root.derive("service"),
@@ -283,6 +297,17 @@ impl Sim {
             rng_sched: root.derive("sched"),
             rng_update: root.derive("update"),
             cfg,
+        }
+    }
+
+    /// Stretches a service time under an active bandwidth-degradation
+    /// episode (identity without one).
+    fn degraded(&self, now: SimTime, st: SimDuration) -> SimDuration {
+        let factor = self.faults.bandwidth_factor(now);
+        if factor < 1.0 {
+            SimDuration::from_micros((st.as_micros() as f64 / factor).round() as u64)
+        } else {
+            st
         }
     }
 
@@ -318,6 +343,7 @@ impl Sim {
                             .cfg
                             .service
                             .service_time(self.cfg.mu_hot, &mut self.rng_service);
+                        let st = self.degraded(q.now(), st);
                         q.schedule_in(st, Ev::Done { id, src: Src::Hot });
                     }
                 }
@@ -329,6 +355,7 @@ impl Sim {
                             .cfg
                             .service
                             .service_time(self.cfg.mu_cold, &mut self.rng_service);
+                        let st = self.degraded(q.now(), st);
                         q.schedule_in(st, Ev::Done { id, src: Src::Cold });
                     }
                 }
@@ -369,6 +396,7 @@ impl Sim {
                     .cfg
                     .service
                     .service_time(mu_data, &mut self.rng_service);
+                let st = self.degraded(q.now(), st);
                 q.schedule_in(st, Ev::Done { id, src });
             }
         }
@@ -396,14 +424,34 @@ impl Sim {
             let c_redundant = self.c_redundant;
             self.jobs.metrics().inc(c_redundant);
         }
-        let lost = self.loss.is_lost(&mut self.rng_loss);
+        // The baseline channel draw always happens (the stream must not
+        // depend on the fault schedule); fault checks layer on top.
+        let chan_lost = self.loss.is_lost(&mut self.rng_loss);
+        let fault_lost = self.faults.sender_silent(now)
+            || self.faults.data_blocked(now)
+            || self.faults.receiver_down(now, 0)
+            || self.faults.extra_loss(now);
+        let lost = chan_lost || fault_lost;
         if lost {
             let c_lost = self.c_lost;
             self.jobs.metrics().inc(c_lost);
             self.jobs.events().log(now, EventKind::Drop, id);
-            self.jobs
-                .tracer()
-                .instant_under(now, Actor::Channel, TraceKind::Drop, id, tx_id);
+            if fault_lost && !chan_lost {
+                let c_fault = self.c_fault_lost;
+                self.jobs.metrics().inc(c_fault);
+                self.jobs.tracer().instant_labeled(
+                    now,
+                    Actor::Channel,
+                    TraceKind::Drop,
+                    id,
+                    tx_id,
+                    "fault",
+                );
+            } else {
+                self.jobs
+                    .tracer()
+                    .instant_under(now, Actor::Channel, TraceKind::Drop, id, tx_id);
+            }
         }
         if !lost && !was_consistent {
             self.jobs.deliver(now, id, tx_id);
@@ -473,6 +521,14 @@ impl World for Sim {
                 self.complete(q, id, src);
                 self.kick(q);
             }
+            Ev::FaultEdge => {
+                // A receiver crash beginning now wipes the replica: every
+                // consistent record is stale again and must re-propagate
+                // through the cold cycle after the restart.
+                if !self.faults.crashes_at(q.now()).is_empty() {
+                    self.jobs.wipe(q.now());
+                }
+            }
         }
     }
 }
@@ -488,6 +544,7 @@ impl TracedWorld for Sim {
             Ev::Done { src: Src::Hot, .. } => "done-hot",
             Ev::Done { src: Src::Cold, .. } => "done-cold",
             Ev::LifetimeEnd(_) => "lifetime-end",
+            Ev::FaultEdge => "fault-edge",
         }
     }
 }
@@ -503,10 +560,26 @@ std::thread_local! {
 
 /// Runs a two-queue simulation and reports the paper's metrics.
 pub fn run(cfg: &TwoQueueConfig) -> TwoQueueReport {
-    let mut sim = Sim::new(cfg.clone());
+    run_faulted(cfg, &FaultSpec::none())
+}
+
+/// [`run`] under an `ss-chaos` fault schedule. With the empty spec this
+/// is byte-identical to [`run`]: the schedule consumes no randomness and
+/// blocks nothing.
+pub fn run_faulted(cfg: &TwoQueueConfig, faults: &FaultSpec) -> TwoQueueReport {
+    let mut sim = Sim::new(cfg.clone(), faults);
     let mut q: EventQueue<Ev> = QUEUE_POOL.with(|c| std::mem::take(&mut *c.borrow_mut()));
     let end = SimTime::ZERO + cfg.duration;
 
+    if sim.jobs.tracer().is_enabled() {
+        let Sim { faults, jobs, .. } = &mut sim;
+        faults.record_spans(jobs.tracer());
+    }
+    for t in sim.faults.boundaries() {
+        if t < end {
+            q.schedule(t, Ev::FaultEdge);
+        }
+    }
     for _ in 0..cfg.arrivals.initial_count() {
         sim.spawn_record(&mut q);
     }
@@ -538,6 +611,7 @@ pub fn run(cfg: &TwoQueueConfig) -> TwoQueueReport {
     } else {
         lost as f64 / total_tx as f64
     };
+    let fault_drops = sim.jobs.metrics().counter_value(sim.c_fault_lost);
     let mean_hot_backlog = sim
         .jobs
         .metrics()
@@ -553,6 +627,7 @@ pub fn run(cfg: &TwoQueueConfig) -> TwoQueueReport {
         cold_transmissions: cold_tx,
         redundant_transmissions: redundant,
         observed_loss_rate,
+        fault_drops,
         mean_hot_backlog,
         final_hot_backlog,
         metrics,
@@ -718,6 +793,51 @@ mod tests {
         }
         // The engine lane recorded one dispatch span per queue pop.
         assert!(t.of_kind(TraceKind::Dispatch).count() > 0);
+    }
+
+    #[test]
+    fn empty_fault_spec_is_byte_identical() {
+        let cfg = fig5_cfg(0.4, 0.3, 17);
+        let a = run(&cfg);
+        let b = run_faulted(&cfg, &FaultSpec::none());
+        assert_eq!(a.transmissions(), b.transmissions());
+        assert_eq!(
+            a.stats.consistency.unnormalized.to_bits(),
+            b.stats.consistency.unnormalized.to_bits()
+        );
+        assert_eq!(b.fault_drops, 0);
+    }
+
+    #[test]
+    fn partition_blocks_then_heals_via_cold_cycle() {
+        // Immortal bulk records, lossless channel: a partition drops a
+        // stretch of announcements, but the cold cycle re-announces until
+        // everyone is delivered after the heal.
+        let cfg = TwoQueueConfig {
+            arrivals: ArrivalProcess::Bulk { count: 20 },
+            death: DeathProcess::Immortal,
+            mu_hot: 10.0,
+            mu_cold: 10.0,
+            loss: LossSpec::None,
+            service: ServiceModel::Deterministic,
+            sharing: Sharing::Partitioned,
+            seed: 18,
+            duration: SimDuration::from_secs(200),
+            series_spacing: None,
+            event_capacity: 0,
+            trace_capacity: 0,
+        };
+        let faults = FaultSpec::none().partition(SimTime::from_secs(1), SimTime::from_secs(30));
+        let r = run_faulted(&cfg, &faults);
+        assert!(r.fault_drops > 0, "partition dropped announcements");
+        assert_eq!(r.stats.latency.count(), 20, "all delivered after heal");
+        // A receiver crash mid-run wipes the replica; the cold cycle then
+        // re-delivers every record a second time.
+        let crash =
+            FaultSpec::none().receiver_crash(SimTime::from_secs(60), SimTime::from_secs(70), 0);
+        let r = run_faulted(&cfg, &crash);
+        assert_eq!(r.stats.updates, 20, "crash wipe flips every record");
+        assert_eq!(r.metrics.counter("records.delivered"), 40);
     }
 
     #[test]

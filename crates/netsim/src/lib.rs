@@ -10,9 +10,13 @@
 //! * [`engine`] — the event queue and run loop ([`EventQueue`], [`World`]).
 //! * [`rng`] — seeded, name-derivable random streams ([`SimRng`]) so
 //!   protocol variants can be compared on identical workloads.
-//! * [`loss`] — Bernoulli, Gilbert–Elliott, and scripted loss processes.
+//! * [`loss`] — Bernoulli, Gilbert–Elliott, and scripted loss processes,
+//!   plus the plain-data [`LossSpec`] they are built from.
 //! * [`link`] — FIFO transmitters and lossy channels ([`Transmitter`],
 //!   [`Channel`]).
+//! * [`faults`] — `ss-chaos`: deterministic fault-injection schedules
+//!   (partitions, loss overrides, bandwidth degradation, endpoint
+//!   crashes) on the virtual clock ([`FaultSpec`], [`FaultSchedule`]).
 //! * [`stats`] — exact time-weighted averages, Welford accumulators,
 //!   latency histograms, and time-series recorders for the paper's metrics.
 //! * [`metrics`] — `ss-metrics`: a deterministic registry of named
@@ -50,6 +54,7 @@
 //! ```
 
 pub mod engine;
+pub mod faults;
 pub mod link;
 pub mod loss;
 pub mod metrics;
@@ -61,8 +66,9 @@ pub mod trace;
 pub mod units;
 
 pub use engine::{run_to_completion, run_until, run_until_traced, EventQueue, TracedWorld, World};
+pub use faults::{EpisodeSpec, FaultDir, FaultKind, FaultSchedule, FaultSpec, Perturbation};
 pub use link::{Channel, Delivery, Transmitter};
-pub use loss::{Bernoulli, GilbertElliott, LossModel, Pattern};
+pub use loss::{Bernoulli, GilbertElliott, LossModel, LossSpec, Pattern};
 pub use metrics::{
     AverageId, CounterId, EventKind, EventLog, EventRecord, GaugeId, HistogramId, HistogramSummary,
     MetricValue, MetricsRegistry, MetricsSnapshot, QueueClass, WindowedTimeAverage,
@@ -78,8 +84,11 @@ pub mod prelude {
     pub use crate::engine::{
         run_to_completion, run_until, run_until_traced, EventQueue, TracedWorld, World,
     };
+    pub use crate::faults::{
+        EpisodeSpec, FaultDir, FaultKind, FaultSchedule, FaultSpec, Perturbation,
+    };
     pub use crate::link::{Channel, Delivery, Transmitter};
-    pub use crate::loss::{Bernoulli, GilbertElliott, LossModel, Pattern};
+    pub use crate::loss::{Bernoulli, GilbertElliott, LossModel, LossSpec, Pattern};
     pub use crate::metrics::{
         AverageId, CounterId, EventKind, EventLog, EventRecord, GaugeId, HistogramId,
         HistogramSummary, MetricValue, MetricsRegistry, MetricsSnapshot, QueueClass,

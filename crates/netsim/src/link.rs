@@ -6,6 +6,7 @@
 //! [`Channel`] composes a transmitter with a propagation delay and a
 //! [`LossModel`], producing per-packet delivery verdicts.
 
+use crate::faults::FaultSchedule;
 use crate::loss::LossModel;
 use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
@@ -60,8 +61,21 @@ impl Transmitter {
     /// Accepts a packet at `now`; returns the departure instant (end of
     /// serialization). The packet waits behind earlier submissions.
     pub fn submit(&mut self, now: SimTime, bytes: usize) -> SimTime {
+        self.submit_degraded(now, bytes, 1.0)
+    }
+
+    /// [`Transmitter::submit`] under bandwidth degradation: the
+    /// serialization time divides by `factor` in `(0, 1]` (an `ss-chaos`
+    /// [`crate::faults::FaultKind::Bandwidth`] episode). `factor == 1.0`
+    /// is the exact fault-free path.
+    pub fn submit_degraded(&mut self, now: SimTime, bytes: usize, factor: f64) -> SimTime {
+        assert!(factor > 0.0 && factor <= 1.0, "degradation factor {factor}");
+        let mut wire = self.rate.transmit_time(bytes);
+        if factor < 1.0 {
+            wire = SimDuration::from_micros((wire.as_micros() as f64 / factor).round() as u64);
+        }
         let start = self.busy_until.max(now);
-        let depart = start + self.rate.transmit_time(bytes);
+        let depart = start + wire;
         self.busy_until = depart;
         self.bytes_sent += bytes as u64;
         self.packets_sent += 1;
@@ -95,6 +109,8 @@ pub struct Channel {
     loss: Box<dyn LossModel>,
     rng: SimRng,
     lost: u64,
+    faults: Option<FaultSchedule>,
+    fault_lost: u64,
 }
 
 impl Channel {
@@ -112,14 +128,40 @@ impl Channel {
             loss,
             rng,
             lost: 0,
+            faults: None,
+            fault_lost: 0,
         }
     }
 
+    /// Attaches an `ss-chaos` fault schedule: partitions drop packets,
+    /// loss-override episodes layer extra loss, and bandwidth episodes
+    /// slow serialization. An empty schedule changes nothing.
+    pub fn with_faults(mut self, faults: FaultSchedule) -> Self {
+        self.faults = Some(faults);
+        self
+    }
+
     /// Pushes one packet of `bytes` through the channel at `now`.
+    ///
+    /// The baseline loss model draws on every send, fault schedule or
+    /// not, so attaching an empty schedule keeps the draw sequence — and
+    /// therefore the run — byte-identical.
     pub fn send(&mut self, now: SimTime, bytes: usize) -> Delivery {
-        let departs = self.tx.submit(now, bytes);
-        if self.loss.is_lost(&mut self.rng) {
+        let factor = self
+            .faults
+            .as_ref()
+            .map_or(1.0, |f| f.bandwidth_factor(now));
+        let departs = self.tx.submit_degraded(now, bytes, factor);
+        let base_lost = self.loss.is_lost(&mut self.rng);
+        let fault_lost = match self.faults.as_mut() {
+            Some(f) => f.data_blocked(now) | f.extra_loss(now),
+            None => false,
+        };
+        if base_lost || fault_lost {
             self.lost += 1;
+            if fault_lost && !base_lost {
+                self.fault_lost += 1;
+            }
             Delivery {
                 departs,
                 arrives: None,
@@ -145,6 +187,12 @@ impl Channel {
     /// Packets lost so far.
     pub fn packets_lost(&self) -> u64 {
         self.lost
+    }
+
+    /// Packets lost *only* because of an active fault episode (partition
+    /// or loss override) — a subset of [`Channel::packets_lost`].
+    pub fn packets_fault_lost(&self) -> u64 {
+        self.fault_lost
     }
 
     /// Empirical loss fraction so far (0 before any traffic).
@@ -222,6 +270,34 @@ mod tests {
         assert_eq!(b.arrives, None);
         assert_eq!(ch.packets_lost(), 1);
         assert!((ch.observed_loss_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn channel_faults_partition_and_degrade() {
+        use crate::faults::{FaultKind, FaultSpec};
+        let spec = FaultSpec::none()
+            .partition(SimTime::from_secs(10), SimTime::from_secs(20))
+            .with(
+                SimTime::from_secs(30),
+                SimTime::from_secs(40),
+                FaultKind::Bandwidth(0.5),
+            );
+        let mut ch = Channel::new(
+            Bandwidth::from_kbps(8),
+            SimDuration::ZERO,
+            Box::new(Pattern::lossless()),
+            SimRng::new(0),
+        )
+        .with_faults(spec.build(SimRng::new(1)));
+        assert!(ch.send(SimTime::ZERO, 1000).arrives.is_some());
+        let d = ch.send(SimTime::from_secs(10), 1000);
+        assert!(d.arrives.is_none(), "partitioned");
+        assert_eq!(ch.packets_fault_lost(), 1);
+        assert_eq!(ch.packets_lost(), 1);
+        // 1000 B at 8 kbps is 1 s on the wire; at half rate it is 2 s.
+        let d = ch.send(SimTime::from_secs(30), 1000);
+        assert_eq!(d.departs, SimTime::from_secs(32));
+        assert!(d.arrives.is_some());
     }
 
     #[test]

@@ -10,6 +10,49 @@
 
 use crate::rng::SimRng;
 
+/// A cloneable, plain-data specification of a loss process (configs must
+/// be plain data; the trait object is built per run). This is the single
+/// audited description of loss for the whole workspace: the core
+/// protocol configs, the SSTP session, the UDP endpoints, and `ss-chaos`
+/// loss-override episodes all build their models from it.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum LossSpec {
+    /// Independent loss with the given probability — the analysis model.
+    Bernoulli(f64),
+    /// Gilbert burst loss with the given mean rate and mean burst length
+    /// in packets — for the loss-pattern-insensitivity experiment.
+    Bursty {
+        /// Long-run mean loss probability.
+        mean: f64,
+        /// Mean number of consecutive losses per burst.
+        burst_len: f64,
+    },
+    /// No loss at all.
+    None,
+}
+
+impl LossSpec {
+    /// Instantiates the loss process.
+    pub fn build(&self) -> Box<dyn LossModel> {
+        match *self {
+            LossSpec::Bernoulli(p) => Box::new(Bernoulli::new(p)),
+            LossSpec::Bursty { mean, burst_len } => {
+                Box::new(GilbertElliott::bursty(mean, burst_len))
+            }
+            LossSpec::None => Box::new(Bernoulli::new(0.0)),
+        }
+    }
+
+    /// The long-run mean loss probability.
+    pub fn mean(&self) -> f64 {
+        match *self {
+            LossSpec::Bernoulli(p) => p,
+            LossSpec::Bursty { mean, .. } => mean,
+            LossSpec::None => 0.0,
+        }
+    }
+}
+
 /// Decides, per transmission, whether a packet is lost.
 pub trait LossModel {
     /// Draws the fate of the next transmission: `true` means lost.
@@ -237,6 +280,21 @@ mod tests {
     #[should_panic(expected = "infeasible")]
     fn bursty_rejects_infeasible() {
         let _ = GilbertElliott::bursty(0.9, 1.0);
+    }
+
+    #[test]
+    fn loss_spec_builds_matching_models() {
+        assert_eq!(LossSpec::Bernoulli(0.3).mean(), 0.3);
+        assert_eq!(LossSpec::None.mean(), 0.0);
+        let b = LossSpec::Bursty {
+            mean: 0.2,
+            burst_len: 4.0,
+        };
+        assert!((b.mean() - 0.2).abs() < 1e-12);
+        let mut model = b.build();
+        assert!((model.mean_loss_rate() - 0.2).abs() < 1e-12);
+        let r = empirical_rate(model.as_mut(), 100_000, 1);
+        assert!((r - 0.2).abs() < 0.02);
     }
 
     #[test]

@@ -109,6 +109,8 @@ pub enum Actor {
     Replica(u32),
     /// Receiver `i`'s feedback generator (NACK/query/report tx).
     Feedback(u32),
+    /// The fault-injection engine (`ss-chaos` episode spans).
+    FaultInjector,
 }
 
 impl Actor {
@@ -124,6 +126,7 @@ impl Actor {
             Actor::ColdServer => 4,
             Actor::Channel => 5,
             Actor::FeedbackServer => 6,
+            Actor::FaultInjector => 7,
             Actor::Replica(i) => 10 + 2 * i as u64,
             Actor::Feedback(i) => 11 + 2 * i as u64,
         }
@@ -139,6 +142,7 @@ impl Actor {
             Actor::ColdServer => "cold-server".into(),
             Actor::Channel => "channel".into(),
             Actor::FeedbackServer => "feedback-server".into(),
+            Actor::FaultInjector => "fault-injector".into(),
             Actor::Replica(i) => format!("replica-{i}"),
             Actor::Feedback(i) => format!("feedback-{i}"),
         }
@@ -176,6 +180,8 @@ pub enum TraceKind {
     Dispatch,
     /// The scheduler picked a queue to serve.
     Decision,
+    /// A fault episode was active (span: the episode window).
+    Fault,
 }
 
 impl TraceKind {
@@ -196,6 +202,7 @@ impl TraceKind {
             TraceKind::Report => "report",
             TraceKind::Dispatch => "dispatch",
             TraceKind::Decision => "decision",
+            TraceKind::Fault => "fault",
         }
     }
 }
@@ -373,6 +380,19 @@ impl Tracer {
         parent: TraceId,
     ) -> TraceId {
         self.push(parent, at, Some(end), actor, kind, key, "")
+    }
+
+    /// Logs an unparented span with a static label (fault episodes).
+    pub fn span_labeled(
+        &mut self,
+        at: SimTime,
+        end: SimTime,
+        actor: Actor,
+        kind: TraceKind,
+        key: u64,
+        label: &'static str,
+    ) -> TraceId {
+        self.push(TraceId::NONE, at, Some(end), actor, kind, key, label)
     }
 
     /// Logs one engine dispatch as a zero-width span on the

@@ -167,6 +167,13 @@ pub struct SstpReceiver {
     /// Backoff bookkeeping: when each request was last issued (by us or
     /// an overheard peer).
     last_attempt: BTreeMap<FbKind, SimTime>,
+    /// Unsatisfied issue count per request, driving exponential backoff:
+    /// the required gap doubles per attempt (capped at 2^4 — deep enough
+    /// to quench a retry storm during an outage, shallow enough that
+    /// repair still progresses under sustained heavy channel loss) and
+    /// resets when the request is satisfied by data or a summary
+    /// response.
+    attempts: BTreeMap<FbKind, u32>,
     /// Fragment reassembly: per key, the version being assembled and the
     /// contiguous right edge held so far.
     reasm: BTreeMap<Key, (u64, u32)>,
@@ -192,6 +199,7 @@ impl SstpReceiver {
             pending: BTreeMap::new(),
             pending_index: BTreeMap::new(),
             last_attempt: BTreeMap::new(),
+            attempts: BTreeMap::new(),
             reasm: BTreeMap::new(),
             next_seq: 0,
             rng,
@@ -222,6 +230,16 @@ impl SstpReceiver {
         }
     }
 
+    /// The request succeeded (the data or the summary answer arrived):
+    /// cancel any pending copy and reset its exponential backoff, so a
+    /// fresh divergence starts a fresh conversation. Damping (an
+    /// overheard peer copy) keeps the attempt count — the request is
+    /// still outstanding, just delegated.
+    fn satisfied(&mut self, kind: &FbKind) -> bool {
+        self.attempts.remove(kind);
+        self.cancel(kind)
+    }
+
     fn schedule(&mut self, now: SimTime, kind: FbKind) {
         if !self.cfg.feedback {
             return;
@@ -229,12 +247,22 @@ impl SstpReceiver {
         if self.pending_index.contains_key(&kind) {
             return;
         }
+        // Exponential backoff: the n-th unsatisfied re-request must wait
+        // 2^min(n,4) backoff intervals since the last attempt. n == 0 is
+        // the plain configured backoff (the pre-chaos behavior).
+        let n = self.attempts.get(&kind).copied().unwrap_or(0);
+        let gap = SimDuration::from_micros(
+            self.cfg
+                .repair_backoff
+                .as_micros()
+                .saturating_mul(1u64 << n.min(4)),
+        );
         if let Some(&last) = self.last_attempt.get(&kind) {
-            if now.saturating_since(last) < self.cfg.repair_backoff {
+            if now.saturating_since(last) < gap {
                 return;
             }
         }
-        let delay = match self.cfg.timing {
+        let mut delay = match self.cfg.timing {
             FeedbackTiming::Immediate => SimDuration::ZERO,
             FeedbackTiming::Slotted { window } => {
                 if window.is_zero() {
@@ -244,12 +272,20 @@ impl SstpReceiver {
                 }
             }
         };
+        // Re-requests jitter within a quarter of the current gap so a
+        // fleet of receivers recovering from the same partition does not
+        // synchronize its retries. First attempts draw nothing: the
+        // baseline (fault-free) random streams are untouched.
+        if n > 0 && !gap.is_zero() {
+            delay = delay + SimDuration::from_micros(self.rng.below((gap.as_micros() / 4).max(1)));
+        }
         let fire = now + delay;
         let slot = (fire, self.next_seq);
         self.next_seq += 1;
         self.pending.insert(slot, kind.clone());
         self.pending_index.insert(kind.clone(), slot);
-        self.last_attempt.insert(kind, now);
+        self.last_attempt.insert(kind.clone(), now);
+        *self.attempts.entry(kind).or_insert(0) += 1;
     }
 
     /// Processes a packet heard on the data channel, or an overheard
@@ -303,7 +339,7 @@ impl SstpReceiver {
                     }
                     self.reasm.remove(&d.key);
                     // Data in hand: a pending NACK for it is moot.
-                    self.cancel(&FbKind::Nack(d.key));
+                    self.satisfied(&FbKind::Nack(d.key));
                 }
             }
             Packet::RootSummary(rs) => {
@@ -323,7 +359,7 @@ impl SstpReceiver {
             Packet::NodeSummary(ns) => {
                 self.stats.node_summaries_rx += 1;
                 // The response satisfies our outstanding query.
-                self.cancel(&FbKind::Query(ns.path.clone()));
+                self.satisfied(&FbKind::Query(ns.path.clone()));
                 self.apply_node_summary(now, &ns.path, &ns.entries);
             }
             Packet::Nack(n) => {

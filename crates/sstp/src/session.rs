@@ -31,8 +31,8 @@ use softstate::{ArrivalProcess, ConsistencyMeter, Key, LossSpec};
 use ss_netsim::trace::{Actor, TraceId, TraceKind, Tracer};
 use ss_netsim::{
     run_until, run_until_traced, AverageId, Bandwidth, CounterId, DurationHistogram, EventKind,
-    EventLog, EventQueue, HistogramId, LossModel, MetricsRegistry, MetricsSnapshot, QueueClass,
-    SimDuration, SimRng, SimTime, TracedWorld, World,
+    EventLog, EventQueue, FaultSchedule, FaultSpec, HistogramId, LossModel, MetricsRegistry,
+    MetricsSnapshot, QueueClass, SimDuration, SimRng, SimTime, TracedWorld, World,
 };
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -101,6 +101,11 @@ pub struct SessionConfig {
     pub duration: SimDuration,
     /// Master seed.
     pub seed: u64,
+    /// `ss-chaos` fault schedule: timed partitions, loss overrides,
+    /// bandwidth degradation, receiver crashes, and sender silence on the
+    /// virtual clock. The empty spec (the default) consumes no randomness
+    /// and leaves the run byte-identical to a fault-free session.
+    pub faults: FaultSpec,
 }
 
 impl SessionConfig {
@@ -134,7 +139,40 @@ impl SessionConfig {
             trace_capacity: 0,
             duration: SimDuration::from_secs(600),
             seed,
+            faults: FaultSpec::none(),
         }
+    }
+}
+
+/// How the session recovered from its fault schedule (present on a
+/// [`SessionReport`] only when the run had a non-empty [`FaultSpec`]).
+///
+/// Reconvergence is judged by the ground-truth consistency probe: the
+/// run *reconverges* at the first [`SessionConfig::measure_interval`]
+/// sample at or after the last fault heals where every receiver's
+/// replica fully agrees with the sender's table. MTTR is that instant
+/// minus the heal time, so its resolution is the measure interval.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ReconvergenceReport {
+    /// When the last fault episode ended.
+    pub healed_at: SimTime,
+    /// First fully-consistent probe sample at/after the heal (`None` if
+    /// the run ended before reconverging).
+    pub reconverged_at: Option<SimTime>,
+    /// Probe samples' total disagreeing records from the first fault
+    /// until reconvergence — each one is a stale (or missing) entry a
+    /// reader would have been served at that instant.
+    pub stale_serves: u64,
+    /// Packets dropped *only* because of an active fault episode.
+    pub fault_drops: u64,
+}
+
+impl ReconvergenceReport {
+    /// Mean-time-to-repair: heal → full reconvergence (`None` if the run
+    /// ended first).
+    pub fn mttr(&self) -> Option<SimDuration> {
+        self.reconverged_at
+            .map(|t| t.saturating_since(self.healed_at))
     }
 }
 
@@ -186,6 +224,9 @@ pub struct SessionReport {
     pub rate_warnings: u64,
     /// The sender's final smoothed loss estimate.
     pub final_loss_estimate: f64,
+    /// Recovery measurement, present when the run had a non-empty
+    /// [`SessionConfig::faults`] schedule.
+    pub recovery: Option<ReconvergenceReport>,
     /// Every metric of the run, frozen at the end time. Channel and
     /// endpoint counters, per-receiver consistency time averages
     /// (`rx.<i>.consistency`) and latency histograms
@@ -233,6 +274,10 @@ enum Ev {
     AdaptTick,
     ExpiryTick,
     MeasureTick,
+    /// A fault-episode boundary (only scheduled with a non-empty
+    /// [`FaultSpec`]): crash wipes happen here, and idle servers are
+    /// re-kicked when a silence episode ends.
+    FaultEdge,
 }
 
 struct RxChan {
@@ -244,6 +289,11 @@ struct Sim {
     cfg: SessionConfig,
     sender: SstpSender,
     receivers: Vec<SstpReceiver>,
+    /// Per-receiver configs kept for crash-and-restart recreation.
+    rx_cfgs: Vec<ReceiverConfig>,
+    /// Counters of receiver incarnations lost to crashes (a recreated
+    /// receiver starts its stats from zero; the outcome sums both).
+    carried_stats: Vec<ReceiverStats>,
     /// Per-receiver data-channel loss processes.
     data_chan: Vec<RxChan>,
     /// Feedback loss toward the sender, per receiver.
@@ -253,6 +303,19 @@ struct Sim {
     allocator: Allocator,
     bw_source: StaticBandwidth,
     allocation: Allocation,
+    /// The `ss-chaos` schedule (empty = inert, zero draws).
+    faults: FaultSchedule,
+    /// §6.1 graceful degradation: multiplicative announce-rate backoff
+    /// under sustained heavy reported loss, recovering toward 1.0.
+    degrade: f64,
+    /// Seed stream for deterministic crash-and-restart receiver rebuilds.
+    rng_restart: SimRng,
+    restart_seq: u64,
+    /// First fully-consistent probe at/after the schedule's heal time.
+    reconverged_at: Option<SimTime>,
+    /// Earliest fault boundary (None when the schedule is empty); stale
+    /// serves are only counted from this instant on.
+    fault_started: Option<SimTime>,
     /// Busy flags for the three server kinds.
     hot_busy: bool,
     cold_busy: bool,
@@ -288,10 +351,29 @@ struct Sim {
     c_fb_tx: CounterId,
     c_fb_lost: CounterId,
     c_fb_bytes: CounterId,
+    c_fault_lost: CounterId,
+    c_stale: CounterId,
     a_consistency: Vec<AverageId>,
     h_latency: Vec<HistogramId>,
     allocations: Vec<(SimTime, Allocation)>,
     rate_warnings: u64,
+}
+
+/// Field-wise sum of two stats blocks (crash-and-restart carryover).
+fn add_stats(a: ReceiverStats, b: ReceiverStats) -> ReceiverStats {
+    ReceiverStats {
+        data_rx: a.data_rx + b.data_rx,
+        data_applied: a.data_applied + b.data_applied,
+        root_summaries_rx: a.root_summaries_rx + b.root_summaries_rx,
+        node_summaries_rx: a.node_summaries_rx + b.node_summaries_rx,
+        nacks_sent: a.nacks_sent + b.nacks_sent,
+        nacked_keys: a.nacked_keys + b.nacked_keys,
+        queries_sent: a.queries_sent + b.queries_sent,
+        damped: a.damped + b.damped,
+        uninterested_skips: a.uninterested_skips + b.uninterested_skips,
+        expired: a.expired + b.expired,
+        fragments_advanced: a.fragments_advanced + b.fragments_advanced,
+    }
 }
 
 impl Sim {
@@ -315,26 +397,30 @@ impl Sim {
             Some(window) => FeedbackTiming::Slotted { window },
             None => FeedbackTiming::Immediate,
         };
-        let receivers: Vec<SstpReceiver> = (0..cfg.n_receivers)
+        let rx_cfgs: Vec<ReceiverConfig> = (0..cfg.n_receivers)
             .map(|i| {
                 let interest = cfg
                     .interests
                     .as_ref()
                     .map(|v| v[i % v.len()].clone())
                     .unwrap_or(Interest::All);
-                SstpReceiver::new(
-                    ReceiverConfig {
-                        id: i as u32,
-                        ttl: cfg.ttl,
-                        algo: cfg.algo,
-                        interest,
-                        feedback: reliability.feedback,
-                        repair_backoff: reliability.repair_backoff,
-                        timing,
-                    },
-                    root_rng.derive(&format!("rcv-{i}")),
-                )
-                .with_event_log(cfg.event_capacity)
+                ReceiverConfig {
+                    id: i as u32,
+                    ttl: cfg.ttl,
+                    algo: cfg.algo,
+                    interest,
+                    feedback: reliability.feedback,
+                    repair_backoff: reliability.repair_backoff,
+                    timing,
+                }
+            })
+            .collect();
+        let receivers: Vec<SstpReceiver> = rx_cfgs
+            .iter()
+            .enumerate()
+            .map(|(i, rc)| {
+                SstpReceiver::new(rc.clone(), root_rng.derive(&format!("rcv-{i}")))
+                    .with_event_log(cfg.event_capacity)
             })
             .collect();
 
@@ -358,6 +444,8 @@ impl Sim {
         let c_fb_tx = registry.counter("chan.fb.tx");
         let c_fb_lost = registry.counter("chan.fb.lost");
         let c_fb_bytes = registry.counter("chan.fb.bytes");
+        let c_fault_lost = registry.counter("faults.drops");
+        let c_stale = registry.counter("recovery.stale_serves");
         let a_consistency = (0..cfg.n_receivers)
             .map(|i| {
                 registry.time_average(
@@ -373,15 +461,28 @@ impl Sim {
             .collect();
         let events = EventLog::with_capacity(cfg.event_capacity);
 
+        // The schedule draws from its own derived stream, so an empty
+        // spec consumes nothing and every other stream is unperturbed.
+        let faults = cfg.faults.build(root_rng.derive("faults"));
+        let fault_started = faults.boundaries().first().copied();
+
         Sim {
             sender,
             data_chan: chan("data", cfg.data_loss),
             fb_chan: chan("fb", cfg.fb_loss),
             overhear_chan: chan("overhear", cfg.fb_loss),
+            carried_stats: vec![ReceiverStats::default(); receivers.len()],
             receivers,
+            rx_cfgs,
             allocator,
             bw_source,
             allocation,
+            faults,
+            degrade: 1.0,
+            rng_restart: root_rng.derive("restart"),
+            restart_seq: 0,
+            reconverged_at: None,
+            fault_started,
             hot_busy: false,
             cold_busy: false,
             cold_flip: false,
@@ -407,6 +508,8 @@ impl Sim {
             c_fb_tx,
             c_fb_lost,
             c_fb_bytes,
+            c_fault_lost,
+            c_stale,
             a_consistency,
             h_latency,
             allocations: Vec::new(),
@@ -504,7 +607,13 @@ impl Sim {
             _ => (EventKind::Summary, 0),
         };
         self.events.log(q.now(), kind, key);
-        let tx_time = rate.transmit_time(bytes);
+        let mut tx_time = rate.transmit_time(bytes);
+        // Bandwidth-degradation episodes stretch serialization time.
+        let factor = self.faults.bandwidth_factor(q.now());
+        if factor < 1.0 {
+            tx_time =
+                SimDuration::from_micros((tx_time.as_micros() as f64 / factor).round() as u64);
+        }
         let depart = q.now() + tx_time;
         // The wire span: serialization of the packet at the server's
         // rate. A data announcement of a just-promoted key parents under
@@ -528,30 +637,86 @@ impl Sim {
             self.tracer.span(q.now(), depart, tx_actor, tkind, key)
         };
         for i in 0..self.receivers.len() {
+            // The baseline channel draw always happens first so that an
+            // empty fault spec leaves the random streams untouched.
             let ch = &mut self.data_chan[i];
-            if ch.loss.is_lost(&mut ch.rng) {
+            let chan_lost = ch.loss.is_lost(&mut ch.rng);
+            let fault_lost = self.faults.data_blocked(q.now())
+                || self.faults.receiver_down(q.now(), i as u32)
+                || self.faults.extra_loss(q.now());
+            if chan_lost || fault_lost {
                 let c_lost = self.c_data_lost;
                 self.registry.inc(c_lost);
                 self.events.log(q.now(), EventKind::Drop, key);
-                self.tracer
-                    .instant_under(q.now(), Actor::Channel, TraceKind::Drop, key, tx_id);
-            } else {
-                q.schedule(
-                    depart + self.cfg.prop_delay,
-                    Ev::DataArrive(i, pkt.clone(), tx_id),
+                if fault_lost && !chan_lost {
+                    let c_fault = self.c_fault_lost;
+                    self.registry.inc(c_fault);
+                    self.tracer.instant_labeled(
+                        q.now(),
+                        Actor::Channel,
+                        TraceKind::Drop,
+                        key,
+                        tx_id,
+                        "fault",
+                    );
+                } else {
+                    self.tracer
+                        .instant_under(q.now(), Actor::Channel, TraceKind::Drop, key, tx_id);
+                }
+                continue;
+            }
+            let p = self.faults.perturb(q.now());
+            if p.corrupt {
+                // A corrupted packet fails the receiver's checksum: in
+                // effect a loss, attributed to the fault.
+                let c_lost = self.c_data_lost;
+                self.registry.inc(c_lost);
+                let c_fault = self.c_fault_lost;
+                self.registry.inc(c_fault);
+                self.events.log(q.now(), EventKind::Drop, key);
+                self.tracer.instant_labeled(
+                    q.now(),
+                    Actor::Channel,
+                    TraceKind::Drop,
+                    key,
+                    tx_id,
+                    "fault",
                 );
+                continue;
+            }
+            let arrive = depart + self.cfg.prop_delay + p.extra_delay;
+            q.schedule(arrive, Ev::DataArrive(i, pkt.clone(), tx_id));
+            if p.duplicate {
+                q.schedule(arrive, Ev::DataArrive(i, pkt.clone(), tx_id));
             }
         }
         q.schedule(depart, free);
+    }
+
+    /// Hot/cold rate after graceful degradation: sustained heavy
+    /// reported loss multiplicatively backs the announce rate off (see
+    /// [`Sim::adapt`]), so a partitioned network is not flooded with
+    /// packets nobody acknowledges.
+    fn degraded_rate(&self, rate: Bandwidth) -> Bandwidth {
+        if self.degrade < 1.0 {
+            rate.mul_f64(self.degrade)
+        } else {
+            rate
+        }
     }
 
     fn kick_hot(&mut self, q: &mut EventQueue<Ev>) {
         if self.hot_busy || self.allocation.hot.is_zero() {
             return;
         }
+        // A silenced sender transmits nothing; the `FaultEdge` at the
+        // episode end re-kicks the idle servers.
+        if self.faults.sender_silent(q.now()) {
+            return;
+        }
         if let Some(pkt) = self.sender.next_hot_packet() {
             self.hot_busy = true;
-            let rate = self.allocation.hot;
+            let rate = self.degraded_rate(self.allocation.hot);
             self.transmit_data(q, pkt, rate, Ev::HotFree, QueueClass::Hot);
         }
     }
@@ -561,6 +726,9 @@ impl Sim {
             || !self.cfg.allocator.reliability.summaries
             || self.allocation.cold.is_zero()
         {
+            return;
+        }
+        if self.faults.sender_silent(q.now()) {
             return;
         }
         // With feedback, the cold stream is pure summaries: divergence is
@@ -582,12 +750,17 @@ impl Sim {
             }
         };
         self.cold_busy = true;
-        let rate = self.allocation.cold;
+        let rate = self.degraded_rate(self.allocation.cold);
         self.transmit_data(q, pkt, rate, Ev::ColdFree, QueueClass::Cold);
     }
 
     fn kick_fb(&mut self, q: &mut EventQueue<Ev>, i: usize) {
         if self.fb_busy[i] || self.fb_queue[i].is_empty() {
+            return;
+        }
+        // A crashed receiver sends nothing; its queue was cleared at the
+        // crash edge and any stragglers wait for the restart re-kick.
+        if self.faults.receiver_down(q.now(), i as u32) {
             return;
         }
         self.fb_busy[i] = true;
@@ -612,13 +785,34 @@ impl Sim {
         let fb_id = self
             .tracer
             .span(q.now(), depart, Actor::Feedback(i as u32), tkind, i as u64);
-        // Toward the sender.
+        // Toward the sender. Baseline draw first; a feedback-direction
+        // partition layers on top of it.
         let ch = &mut self.fb_chan[i];
-        if ch.loss.is_lost(&mut ch.rng) {
+        let chan_lost = ch.loss.is_lost(&mut ch.rng);
+        let fault_lost = self.faults.feedback_blocked(q.now());
+        if chan_lost || fault_lost {
             let c_lost = self.c_fb_lost;
             self.registry.inc(c_lost);
-            self.tracer
-                .instant_under(q.now(), Actor::Channel, TraceKind::Drop, i as u64, fb_id);
+            if fault_lost && !chan_lost {
+                let c_fault = self.c_fault_lost;
+                self.registry.inc(c_fault);
+                self.tracer.instant_labeled(
+                    q.now(),
+                    Actor::Channel,
+                    TraceKind::Drop,
+                    i as u64,
+                    fb_id,
+                    "fault",
+                );
+            } else {
+                self.tracer.instant_under(
+                    q.now(),
+                    Actor::Channel,
+                    TraceKind::Drop,
+                    i as u64,
+                    fb_id,
+                );
+            }
         } else {
             q.schedule(
                 depart + self.cfg.prop_delay,
@@ -632,7 +826,10 @@ impl Sim {
                     continue;
                 }
                 let ch = &mut self.overhear_chan[j];
-                if !ch.loss.is_lost(&mut ch.rng) {
+                let lost = ch.loss.is_lost(&mut ch.rng)
+                    || self.faults.feedback_blocked(q.now())
+                    || self.faults.receiver_down(q.now(), j as u32);
+                if !lost {
                     q.schedule(
                         depart + self.cfg.prop_delay,
                         Ev::FbOverheard(j, pkt.clone(), fb_id),
@@ -659,6 +856,7 @@ impl Sim {
     fn measure(&mut self, q: &mut EventQueue<Ev>) {
         let now = q.now();
         let total = self.sender.table().live_count();
+        let mut disagree = 0u64;
         for i in 0..self.receivers.len() {
             let agree = self
                 .sender
@@ -668,6 +866,7 @@ impl Sim {
                     self.receivers[i].replica().get(r.key).map(|e| e.value) == Some(r.value)
                 })
                 .count();
+            disagree += (total - agree) as u64;
             self.meters[i].observe(now, agree, total);
             let ratio = if total == 0 {
                 1.0
@@ -691,6 +890,20 @@ impl Sim {
                 }
             }
         }
+        // Reconvergence accounting, only when a fault schedule exists.
+        // Every probe between the first fault edge and reconvergence
+        // counts its disagreeing records as stale serves; the first
+        // fully consistent probe at or after the heal instant marks
+        // reconvergence (so MTTR has measure-interval resolution).
+        if !self.faults.is_empty() && self.reconverged_at.is_none() {
+            if self.fault_started.is_some_and(|t| now >= t) {
+                let c = self.c_stale;
+                self.registry.add(c, disagree);
+                if now >= self.faults.healed_at() && disagree == 0 {
+                    self.reconverged_at = Some(now);
+                }
+            }
+        }
     }
 
     fn adapt(&mut self, q: &mut EventQueue<Ev>) {
@@ -698,6 +911,16 @@ impl Sim {
         let total = self.bw_source.total(now);
         let lambda = self.cfg.workload.arrivals.rate();
         let loss = self.sender.estimated_loss();
+        // Graceful degradation: sustained heavy reported loss backs the
+        // announce rate off multiplicatively (floored at 25%), and the
+        // rate recovers once the estimate subsides. The 0.6 threshold
+        // sits well above steady-state channel loss, so only
+        // partition-grade outages trigger it.
+        self.degrade = if loss > 0.6 {
+            (self.degrade * 0.7).max(0.25)
+        } else {
+            (self.degrade * 1.3).min(1.0)
+        };
         let alloc = self.allocator.allocate(total, loss, lambda);
         if alloc.rate_warning {
             self.rate_warnings += 1;
@@ -739,6 +962,11 @@ impl World for Sim {
                 self.kick_fb(q, i);
             }
             Ev::DataArrive(i, pkt, cause) => {
+                // A packet in flight toward a receiver that has since
+                // crashed arrives at a dead host.
+                if self.faults.receiver_down(q.now(), i as u32) {
+                    return;
+                }
                 let before = self.receivers[i].stats().data_applied;
                 self.receivers[i].on_packet(q.now(), &pkt);
                 if self.receivers[i].stats().data_applied > before {
@@ -769,6 +997,9 @@ impl World for Sim {
                 self.kick_hot(q);
             }
             Ev::FbOverheard(i, pkt, cause) => {
+                if self.faults.receiver_down(q.now(), i as u32) {
+                    return;
+                }
                 let before = self.receivers[i].stats().data_applied;
                 self.receivers[i].on_packet(q.now(), &pkt);
                 if self.receivers[i].stats().data_applied > before {
@@ -792,9 +1023,11 @@ impl World for Sim {
                 self.arm_feedback(q, i);
             }
             Ev::ReportTick(i) => {
-                let report = self.receivers[i].make_report();
-                self.fb_queue[i].push(report);
-                self.kick_fb(q, i);
+                if !self.faults.receiver_down(q.now(), i as u32) {
+                    let report = self.receivers[i].make_report();
+                    self.fb_queue[i].push(report);
+                    self.kick_fb(q, i);
+                }
                 q.schedule_in(self.cfg.report_interval, Ev::ReportTick(i));
             }
             Ev::AdaptTick => {
@@ -813,6 +1046,43 @@ impl World for Sim {
             Ev::MeasureTick => {
                 self.measure(q);
                 q.schedule_in(self.cfg.measure_interval, Ev::MeasureTick);
+            }
+            Ev::FaultEdge => {
+                let now = q.now();
+                for rx in self.faults.crashes_at(now) {
+                    let i = rx as usize;
+                    if i >= self.receivers.len() {
+                        continue;
+                    }
+                    // The crash wipes the replica: the receiver is
+                    // recreated from a deterministic restart stream, and
+                    // its first-incarnation stats are carried so the
+                    // outcome counts both lives. Rejoin happens through
+                    // the normal path — the next root summary diverges
+                    // against the empty replica and digest descent
+                    // re-fetches everything live.
+                    let stream = self
+                        .rng_restart
+                        .derive(&format!("{i}-{}", self.restart_seq));
+                    self.restart_seq += 1;
+                    let fresh = SstpReceiver::new(self.rx_cfgs[i].clone(), stream)
+                        .with_event_log(self.cfg.event_capacity);
+                    let old = std::mem::replace(&mut self.receivers[i], fresh);
+                    self.carried_stats[i] = add_stats(self.carried_stats[i], old.stats());
+                    self.fb_queue[i].clear();
+                    self.fb_due_at[i] = None;
+                    // `latency_seen` is deliberately NOT cleared: the
+                    // latency histogram records first-ever delivery per
+                    // key, and re-fetches after a crash are recovery
+                    // traffic, not fresh deliveries.
+                }
+                // An ending silence/bandwidth episode may leave servers
+                // idle with work pending; re-kick everything.
+                self.kick_hot(q);
+                self.kick_cold(q);
+                for i in 0..self.receivers.len() {
+                    self.kick_fb(q, i);
+                }
             }
         }
     }
@@ -838,6 +1108,7 @@ impl TracedWorld for Sim {
             Ev::AdaptTick => "adapt-tick",
             Ev::ExpiryTick => "expiry-tick",
             Ev::MeasureTick => "measure-tick",
+            Ev::FaultEdge => "fault-edge",
         }
     }
 }
@@ -915,6 +1186,18 @@ pub fn run(cfg: &SessionConfig) -> SessionReport {
     q.schedule(SimTime::ZERO + cfg.expiry_sweep, Ev::ExpiryTick);
     q.schedule(SimTime::ZERO, Ev::MeasureTick);
 
+    // Fault schedule: a wake-up at every episode boundary (crash wipes,
+    // restart rejoins, end-of-silence re-kicks), plus trace spans so
+    // ss-trace shows the episodes alongside protocol activity.
+    if sim.tracer.is_enabled() {
+        sim.faults.record_spans(&mut sim.tracer);
+    }
+    for t in sim.faults.boundaries() {
+        if t < end {
+            q.schedule(t, Ev::FaultEdge);
+        }
+    }
+
     // Tracing consumes no randomness, so the traced loop replays the
     // untraced run exactly; branch so the common case pays nothing.
     if sim.tracer.is_enabled() {
@@ -941,7 +1224,7 @@ pub fn run(cfg: &SessionConfig) -> SessionReport {
         sim.registry.add(c, v);
     }
     for i in 0..cfg.n_receivers {
-        let stats = sim.receivers[i].stats();
+        let stats = add_stats(sim.carried_stats[i], sim.receivers[i].stats());
         for (field, v) in [
             ("data_rx", stats.data_rx),
             ("data_applied", stats.data_applied),
@@ -968,6 +1251,24 @@ pub fn run(cfg: &SessionConfig) -> SessionReport {
     let g = sim.registry.gauge("session.loss_estimate");
     sim.registry.set_gauge(g, sim.sender.estimated_loss());
 
+    // Reconvergence report, only when a schedule was configured.
+    let recovery = (!sim.faults.is_empty()).then(|| ReconvergenceReport {
+        healed_at: sim.faults.healed_at(),
+        reconverged_at: sim.reconverged_at,
+        stale_serves: sim.registry.counter_value(sim.c_stale),
+        fault_drops: sim.registry.counter_value(sim.c_fault_lost),
+    });
+    if let Some(r) = &recovery {
+        let g = sim.registry.gauge("recovery.mttr_secs");
+        sim.registry
+            .set_gauge(g, r.mttr().map_or(-1.0, |d| d.as_secs_f64()));
+        let g = sim.registry.gauge("recovery.reconverged");
+        sim.registry
+            .set_gauge(g, if r.reconverged_at.is_some() { 1.0 } else { 0.0 });
+        let g = sim.registry.gauge("session.degrade_factor");
+        sim.registry.set_gauge(g, sim.degrade);
+    }
+
     let packets = PacketCounters {
         data_channel_tx: sim.registry.counter_value(sim.c_data_tx),
         data_rx_lost: sim.registry.counter_value(sim.c_data_lost),
@@ -984,7 +1285,7 @@ pub fn run(cfg: &SessionConfig) -> SessionReport {
         .map(|i| ReceiverOutcome {
             consistency: sim.meters[i].averages(end),
             latency: sim.registry.histogram_value(sim.h_latency[i]).clone(),
-            stats: sim.receivers[i].stats(),
+            stats: add_stats(sim.carried_stats[i], sim.receivers[i].stats()),
             final_consistency: sim.meters[i].instantaneous(),
             events: sim.receivers[i].events().clone(),
         })
@@ -997,6 +1298,7 @@ pub fn run(cfg: &SessionConfig) -> SessionReport {
         allocations: sim.allocations,
         rate_warnings: sim.rate_warnings,
         final_loss_estimate: sim.sender.estimated_loss(),
+        recovery,
         metrics,
         events: sim.events,
         trace: sim.tracer,
@@ -1295,5 +1597,130 @@ mod tests {
             report.receivers[0].stats.uninterested_skips > 0,
             "uninterested branches must be skipped"
         );
+    }
+
+    /// A static bulk store that nothing expires: the cleanest substrate
+    /// for reconvergence assertions.
+    fn chaos_cfg(seed: u64) -> SessionConfig {
+        let mut cfg = base_cfg(seed);
+        cfg.workload = SessionWorkload {
+            arrivals: ArrivalProcess::Bulk { count: 30 },
+            mean_lifetime_secs: None,
+            branches: 3,
+            class_weights: None,
+        };
+        cfg.ttl = SimDuration::from_secs(100_000);
+        cfg.data_loss = LossSpec::Bernoulli(0.1);
+        cfg.fb_loss = LossSpec::Bernoulli(0.1);
+        cfg
+    }
+
+    #[test]
+    fn no_faults_reports_no_recovery() {
+        let report = run(&chaos_cfg(20));
+        assert!(report.recovery.is_none());
+        assert_eq!(report.metrics.counter("faults.drops"), 0);
+    }
+
+    #[test]
+    fn partition_reconverges_and_reports_mttr() {
+        let mut cfg = chaos_cfg(21);
+        cfg.faults = FaultSpec::none().partition(
+            SimTime::ZERO + SimDuration::from_secs(60),
+            SimTime::ZERO + SimDuration::from_secs(150),
+        );
+        let report = run(&cfg);
+        let rec = report.recovery.expect("schedule configured");
+        assert_eq!(rec.healed_at, SimTime::ZERO + SimDuration::from_secs(150));
+        assert!(rec.fault_drops > 0, "the partition must eat packets");
+        let mttr = rec.mttr().expect("must reconverge after the heal");
+        assert!(
+            mttr <= SimDuration::from_secs(120),
+            "repair should finish within two cold cycles of the heal, got {mttr:?}"
+        );
+        assert_eq!(
+            report.receivers[0].final_consistency,
+            Some(1.0),
+            "static store fully reconverges"
+        );
+    }
+
+    #[test]
+    fn receiver_crash_rejoins_via_summary_descent() {
+        let mut cfg = chaos_cfg(22);
+        cfg.faults = FaultSpec::none().receiver_crash(
+            SimTime::ZERO + SimDuration::from_secs(100),
+            SimTime::ZERO + SimDuration::from_secs(140),
+            0,
+        );
+        let report = run(&cfg);
+        let rec = report.recovery.expect("schedule configured");
+        assert!(rec.reconverged_at.is_some(), "crashed receiver must rejoin");
+        assert_eq!(report.receivers[0].final_consistency, Some(1.0));
+        // The wiped replica disagrees with the whole store until the
+        // descent re-fetches it: every probe in between serves stale.
+        assert!(rec.stale_serves > 0);
+        // The outcome counts both incarnations: the 30 originals plus
+        // the post-restart re-fetch of the whole store.
+        assert!(
+            report.receivers[0].stats.data_applied >= 45,
+            "carried stats must span the crash: {}",
+            report.receivers[0].stats.data_applied
+        );
+        assert_eq!(
+            report.metrics.counter("rx.0.data_applied"),
+            report.receivers[0].stats.data_applied,
+            "metrics export uses the same carried stats"
+        );
+    }
+
+    #[test]
+    fn sender_silence_stalls_then_recovers() {
+        let mut cfg = chaos_cfg(23);
+        cfg.faults = FaultSpec::none().sender_silence(
+            SimTime::ZERO + SimDuration::from_secs(5),
+            SimTime::ZERO + SimDuration::from_secs(60),
+        );
+        let report = run(&cfg);
+        let rec = report.recovery.expect("schedule configured");
+        assert!(
+            rec.reconverged_at.is_some(),
+            "the FaultEdge re-kick must restart the servers"
+        );
+        assert_eq!(report.receivers[0].final_consistency, Some(1.0));
+    }
+
+    #[test]
+    fn generated_fault_schedule_replays_bit_for_bit() {
+        let mut cfg = chaos_cfg(24);
+        let mut rng = SimRng::new(99);
+        cfg.faults = FaultSpec::generate(&mut rng, 1, SimDuration::from_secs(300), 4);
+        let a = run(&cfg);
+        let b = run(&cfg);
+        assert_eq!(a.recovery, b.recovery);
+        assert_eq!(a.metrics, b.metrics);
+        assert_eq!(a.metrics.to_jsonl(), b.metrics.to_jsonl());
+    }
+
+    #[test]
+    fn sustained_outage_degrades_announce_rate() {
+        let mut cfg = base_cfg(25);
+        // A near-total loss episode (a bidirectional partition would
+        // also block the loss reports that drive the estimate) pushes
+        // reported loss far past the 0.6 threshold; the announce rate
+        // must back off while the outage lasts.
+        cfg.duration = SimDuration::from_secs(300);
+        cfg.faults = FaultSpec::none().extra_loss(
+            SimTime::ZERO + SimDuration::from_secs(60),
+            SimTime::ZERO + SimDuration::from_secs(320),
+            LossSpec::Bernoulli(0.95),
+        );
+        let report = run(&cfg);
+        let g = report.metrics.gauge("session.degrade_factor");
+        assert!(
+            g < 1.0,
+            "announce rate must be degraded during the outage, factor {g}"
+        );
+        assert!(report.recovery.unwrap().fault_drops > 0);
     }
 }

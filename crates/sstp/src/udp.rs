@@ -9,8 +9,10 @@
 //! The implementation is deliberately single-threaded and poll-based —
 //! call [`UdpPublisher::poll`] / [`UdpSubscriber::poll`] from your event
 //! loop, or [`UdpPublisher::run_for`] to drive it for a bounded time.
-//! For test determinism both ends accept an optional seeded ingress-drop
-//! probability, so loss-recovery paths can be exercised on loopback.
+//! For test determinism both ends accept an optional seeded ingress
+//! [`LossSpec`] — the same audited loss description the simulator
+//! channels use — so loss-recovery paths can be exercised on loopback
+//! under Bernoulli or bursty loss alike.
 
 use crate::digest::HashAlgorithm;
 use crate::receiver::{ReceiverConfig, SstpReceiver};
@@ -18,7 +20,7 @@ use crate::sender::SstpSender;
 use crate::wire::{Packet, WireError};
 use bytes::BytesMut;
 use softstate::Key;
-use ss_netsim::{Bandwidth, SimRng, SimTime};
+use ss_netsim::{Bandwidth, LossModel, LossSpec, SimRng, SimTime};
 use std::io;
 use std::net::{SocketAddr, UdpSocket};
 use std::time::{Duration, Instant};
@@ -131,11 +133,20 @@ pub struct UdpConfig {
     pub report_interval: Duration,
     /// Soft-state expiry sweep interval (subscriber side).
     pub expiry_interval: Duration,
-    /// Test hook: drop incoming datagrams with this probability, drawn
-    /// from a seeded stream (deterministic loss on loopback).
-    pub ingress_drop: f64,
+    /// Test hook: drop incoming datagrams according to this loss
+    /// process, drawn from a seeded stream (deterministic loss on
+    /// loopback). The same [`LossSpec`] the simulator channels consume,
+    /// so loopback tests can inject Bernoulli or bursty loss.
+    pub ingress_loss: LossSpec,
     /// Seed for the ingress-drop stream.
     pub seed: u64,
+}
+
+/// The built ingress loss process, or `None` for a lossless spec (which
+/// then consumes no randomness at all — matching the simulator channels'
+/// draw discipline).
+fn ingress_model(spec: LossSpec) -> Option<Box<dyn LossModel>> {
+    (spec.mean() > 0.0).then(|| spec.build())
 }
 
 impl UdpConfig {
@@ -148,7 +159,7 @@ impl UdpConfig {
             summary_interval: Duration::from_millis(200),
             report_interval: Duration::from_millis(500),
             expiry_interval: Duration::from_millis(500),
-            ingress_drop: 0.0,
+            ingress_loss: LossSpec::None,
             seed: 0,
         }
     }
@@ -166,7 +177,7 @@ pub struct UdpPublisher {
     /// A packet that was built but could not be sent yet (rate limit).
     pending: Option<Packet>,
     drop_rng: SimRng,
-    ingress_drop: f64,
+    ingress_loss: Option<Box<dyn LossModel>>,
     stats: UdpStats,
     buf: Vec<u8>,
 }
@@ -185,7 +196,7 @@ impl UdpPublisher {
             next_summary: Instant::now(),
             pending: None,
             drop_rng: SimRng::new(cfg.seed ^ 0x9e37_79b9),
-            ingress_drop: cfg.ingress_drop,
+            ingress_loss: ingress_model(cfg.ingress_loss),
             stats: UdpStats::default(),
             buf: vec![0u8; 65_536],
         })
@@ -231,9 +242,11 @@ impl UdpPublisher {
         while let Some(decoded) = recv_packet(&self.socket, &mut self.buf)? {
             match decoded {
                 Ok(pkt) => {
-                    if self.ingress_drop > 0.0 && self.drop_rng.chance(self.ingress_drop) {
-                        self.stats.injected_drops += 1;
-                        continue;
+                    if let Some(loss) = &mut self.ingress_loss {
+                        if loss.is_lost(&mut self.drop_rng) {
+                            self.stats.injected_drops += 1;
+                            continue;
+                        }
                     }
                     self.stats.datagrams_rx += 1;
                     self.sender.on_packet(&pkt);
@@ -308,7 +321,7 @@ pub struct UdpSubscriber {
     expiry_interval: Duration,
     next_expiry: Instant,
     drop_rng: SimRng,
-    ingress_drop: f64,
+    ingress_loss: Option<Box<dyn LossModel>>,
     stats: UdpStats,
     buf: Vec<u8>,
 }
@@ -328,7 +341,7 @@ impl UdpSubscriber {
             expiry_interval: cfg.expiry_interval,
             next_expiry: Instant::now() + cfg.expiry_interval,
             drop_rng: SimRng::new(seed ^ 0x1f3d_5b79),
-            ingress_drop: cfg.ingress_drop,
+            ingress_loss: ingress_model(cfg.ingress_loss),
             stats: UdpStats::default(),
             buf: vec![0u8; 65_536],
         })
@@ -374,9 +387,11 @@ impl UdpSubscriber {
         while let Some(decoded) = recv_packet(&self.socket, &mut self.buf)? {
             match decoded {
                 Ok(pkt) => {
-                    if self.ingress_drop > 0.0 && self.drop_rng.chance(self.ingress_drop) {
-                        self.stats.injected_drops += 1;
-                        continue;
+                    if let Some(loss) = &mut self.ingress_loss {
+                        if loss.is_lost(&mut self.drop_rng) {
+                            self.stats.injected_drops += 1;
+                            continue;
+                        }
                     }
                     self.stats.datagrams_rx += 1;
                     self.receiver.on_packet(now, &pkt);

@@ -5,7 +5,7 @@
 //! Timing bounds are generous (seconds of budget for sub-second
 //! convergence) to stay robust on loaded CI machines.
 
-use ss_netsim::SimDuration;
+use ss_netsim::{LossSpec, SimDuration};
 use sstp::digest::HashAlgorithm;
 use sstp::namespace::MetaTag;
 use sstp::receiver::ReceiverConfig;
@@ -17,8 +17,10 @@ fn any_loopback() -> SocketAddr {
     "127.0.0.1:0".parse().unwrap()
 }
 
-/// Builds a connected publisher/subscriber pair on ephemeral ports.
-fn connected_pair(ingress_drop: f64, seed: u64) -> (UdpPublisher, UdpSubscriber) {
+/// Builds a connected publisher/subscriber pair on ephemeral ports. The
+/// subscriber's inbound datagrams pass through the given loss process
+/// (the same `LossSpec` the simulator channels use).
+fn connected_pair(ingress_loss: LossSpec, seed: u64) -> (UdpPublisher, UdpSubscriber) {
     let placeholder = any_loopback();
     let mut pub_cfg = UdpConfig::loopback(any_loopback(), placeholder);
     pub_cfg.summary_interval = Duration::from_millis(50);
@@ -26,7 +28,7 @@ fn connected_pair(ingress_drop: f64, seed: u64) -> (UdpPublisher, UdpSubscriber)
         UdpPublisher::bind(&pub_cfg, HashAlgorithm::Fnv64, 400).expect("bind publisher");
 
     let mut sub_cfg = UdpConfig::loopback(any_loopback(), publisher.local_addr().unwrap());
-    sub_cfg.ingress_drop = ingress_drop;
+    sub_cfg.ingress_loss = ingress_loss;
     sub_cfg.seed = seed;
     sub_cfg.report_interval = Duration::from_millis(100);
     sub_cfg.expiry_interval = Duration::from_millis(100);
@@ -61,7 +63,7 @@ fn drive_until(
 
 #[test]
 fn lossless_loopback_delivers_everything() {
-    let (mut publisher, mut subscriber) = connected_pair(0.0, 1);
+    let (mut publisher, mut subscriber) = connected_pair(LossSpec::None, 1);
     let root = publisher.sender().root();
     let now = publisher.now();
     let keys: Vec<_> = (0..20)
@@ -90,7 +92,7 @@ fn lossless_loopback_delivers_everything() {
 fn injected_loss_is_repaired_via_real_feedback() {
     // 30% of datagrams into the subscriber are dropped; summaries +
     // queries + NACKs over the real socket must repair the gaps.
-    let (mut publisher, mut subscriber) = connected_pair(0.3, 7);
+    let (mut publisher, mut subscriber) = connected_pair(LossSpec::Bernoulli(0.3), 7);
     let root = publisher.sender().root();
     let now = publisher.now();
     let n = 30;
@@ -118,8 +120,40 @@ fn injected_loss_is_repaired_via_real_feedback() {
 }
 
 #[test]
+fn bursty_injected_loss_is_repaired() {
+    // The unified LossSpec lets loopback tests inject Gilbert–Elliott
+    // burst loss, not just i.i.d. drops: whole summary+data trains die
+    // together, which exercises repair under correlated loss.
+    let (mut publisher, mut subscriber) = connected_pair(
+        LossSpec::Bursty {
+            mean: 0.3,
+            burst_len: 5.0,
+        },
+        11,
+    );
+    let root = publisher.sender().root();
+    let now = publisher.now();
+    let n = 30;
+    for _ in 0..n {
+        publisher.sender_mut().publish(now, root, MetaTag(0));
+    }
+
+    assert!(
+        drive_until(&mut publisher, &mut subscriber, n, Duration::from_secs(10)),
+        "repair did not converge under bursty loss: {}/{} held, {} drops",
+        subscriber.receiver().replica().len(),
+        n,
+        subscriber.stats().injected_drops
+    );
+    assert!(
+        subscriber.stats().injected_drops > 0,
+        "burst loss must have occurred"
+    );
+}
+
+#[test]
 fn updates_and_withdrawals_propagate() {
-    let (mut publisher, mut subscriber) = connected_pair(0.0, 3);
+    let (mut publisher, mut subscriber) = connected_pair(LossSpec::None, 3);
     let root = publisher.sender().root();
     let now = publisher.now();
     let k1 = publisher.sender_mut().publish(now, root, MetaTag(0));
@@ -155,7 +189,7 @@ fn updates_and_withdrawals_propagate() {
 
 #[test]
 fn reports_reach_the_publisher() {
-    let (mut publisher, mut subscriber) = connected_pair(0.0, 5);
+    let (mut publisher, mut subscriber) = connected_pair(LossSpec::None, 5);
     let root = publisher.sender().root();
     let now = publisher.now();
     publisher.sender_mut().publish(now, root, MetaTag(0));

@@ -9,7 +9,7 @@
 //! cargo run --example udp_live
 //! ```
 
-use ss_netsim::SimDuration;
+use ss_netsim::{LossSpec, SimDuration};
 use sstp::digest::HashAlgorithm;
 use sstp::namespace::MetaTag;
 use sstp::receiver::ReceiverConfig;
@@ -24,7 +24,7 @@ fn main() -> std::io::Result<()> {
     let mut publisher = UdpPublisher::bind(&pub_cfg, HashAlgorithm::Fnv64, 512)?;
 
     let mut sub_cfg = UdpConfig::loopback(any, publisher.local_addr()?);
-    sub_cfg.ingress_drop = 0.25; // force loss on loopback
+    sub_cfg.ingress_loss = LossSpec::Bernoulli(0.25); // force loss on loopback
     sub_cfg.seed = 42;
     let mut rcfg = ReceiverConfig::unicast(0, HashAlgorithm::Fnv64);
     rcfg.ttl = SimDuration::from_secs(3600);

@@ -1,0 +1,219 @@
+//! ss-chaos soak: seeded random fault schedules thrown at every engine
+//! — the three core protocol simulators and the full SSTP session — with
+//! two invariants checked per (engine, seed):
+//!
+//! 1. **Eventual reconvergence.** A static store whose schedule heals
+//!    well before the end of the run ends fully consistent: soft-state
+//!    refresh plus repair recovers from any partition, crash, silence,
+//!    or loss episode with no special-case recovery code.
+//! 2. **Bit-for-bit replayability.** Re-running the same seeded
+//!    schedule reproduces every float and counter exactly — including
+//!    the MTTR and stale-serve figures — and for the session, a traced
+//!    run reproduces the untraced run's numbers (tracing consumes no
+//!    randomness).
+//!
+//! CI runs both seeds; the schedule horizon leaves a generous heal tail
+//! so the asserts are about *mechanism*, not racing the clock.
+
+use softstate::protocol::two_queue::Sharing;
+use softstate::protocol::{feedback, open_loop, two_queue, LossSpec};
+use softstate::{ArrivalProcess, DeathProcess, ServiceModel};
+use ss_netsim::{FaultSpec, SimDuration, SimRng};
+use sstp::session::{self, SessionConfig, SessionWorkload};
+
+/// The CI soak seeds. Each drives an independent generated schedule.
+const SEEDS: [u64; 2] = [11, 47];
+
+/// A generated schedule whose last episode ends by ~125 s (horizon 100 s,
+/// max episode length horizon/4), leaving the rest of the run to heal.
+fn schedule(seed: u64, n_receivers: u32) -> FaultSpec {
+    let mut rng = SimRng::new(seed);
+    FaultSpec::generate(&mut rng, n_receivers, SimDuration::from_secs(100), 4)
+}
+
+#[test]
+fn open_loop_soak_reconverges_and_replays() {
+    for seed in SEEDS {
+        let cfg = open_loop::OpenLoopConfig {
+            arrivals: ArrivalProcess::Bulk { count: 25 },
+            death: DeathProcess::Immortal,
+            mu: 10.0,
+            loss: LossSpec::Bernoulli(0.1),
+            service: ServiceModel::Deterministic,
+            seed,
+            duration: SimDuration::from_secs(400),
+            series_spacing: None,
+            event_capacity: 0,
+            trace_capacity: 0,
+        };
+        let faults = schedule(seed, 1);
+        let a = open_loop::run_faulted(&cfg, &faults);
+        // Reconvergence: every record is delivered (possibly again after
+        // a crash wipe) and the store ends fully consistent.
+        assert_eq!(a.stats.final_live, 25, "seed {seed}: all records live");
+        // A crash episode wipes the replica and every record is delivered
+        // again, so the count is a multiple of the store size — never less.
+        assert!(
+            a.stats.latency.count() >= 25,
+            "seed {seed}: every record delivered"
+        );
+        let busy = a.stats.consistency.busy.expect("store is never empty");
+        assert!(busy > 0.5, "seed {seed}: busy consistency {busy}");
+        // Replay: exact.
+        let b = open_loop::run_faulted(&cfg, &faults);
+        assert_eq!(a.transmissions, b.transmissions, "seed {seed}");
+        assert_eq!(a.fault_drops, b.fault_drops, "seed {seed}");
+        assert_eq!(
+            a.stats.consistency.unnormalized.to_bits(),
+            b.stats.consistency.unnormalized.to_bits(),
+            "seed {seed}"
+        );
+        assert_eq!(a.metrics, b.metrics, "seed {seed}: full snapshot");
+    }
+}
+
+#[test]
+fn two_queue_soak_reconverges_and_replays() {
+    for seed in SEEDS {
+        let cfg = two_queue::TwoQueueConfig {
+            arrivals: ArrivalProcess::Bulk { count: 25 },
+            death: DeathProcess::Immortal,
+            mu_hot: 8.0,
+            mu_cold: 6.0,
+            loss: LossSpec::Bernoulli(0.1),
+            service: ServiceModel::Deterministic,
+            sharing: Sharing::Partitioned,
+            seed,
+            duration: SimDuration::from_secs(400),
+            series_spacing: None,
+            event_capacity: 0,
+            trace_capacity: 0,
+        };
+        let faults = schedule(seed, 1);
+        let a = two_queue::run_faulted(&cfg, &faults);
+        assert_eq!(a.stats.final_live, 25, "seed {seed}");
+        assert!(a.stats.latency.count() >= 25, "seed {seed}");
+        assert!(
+            a.stats.consistency.busy.expect("never empty") > 0.5,
+            "seed {seed}"
+        );
+        let b = two_queue::run_faulted(&cfg, &faults);
+        assert_eq!(a.hot_transmissions, b.hot_transmissions, "seed {seed}");
+        assert_eq!(a.cold_transmissions, b.cold_transmissions, "seed {seed}");
+        assert_eq!(a.fault_drops, b.fault_drops, "seed {seed}");
+        assert_eq!(a.metrics, b.metrics, "seed {seed}: full snapshot");
+    }
+}
+
+#[test]
+fn feedback_soak_reconverges_and_replays() {
+    for seed in SEEDS {
+        let cfg = feedback::FeedbackConfig {
+            arrivals: ArrivalProcess::Bulk { count: 25 },
+            death: DeathProcess::Immortal,
+            mu_hot: 8.0,
+            mu_cold: 4.0,
+            mu_fb: 4.0,
+            loss: LossSpec::Bernoulli(0.15),
+            nack_loss: None,
+            service: ServiceModel::Deterministic,
+            seed,
+            duration: SimDuration::from_secs(400),
+            series_spacing: None,
+            trace_capacity: 0,
+            event_capacity: 0,
+        };
+        let faults = schedule(seed, 1);
+        let a = feedback::run_faulted(&cfg, &faults);
+        assert_eq!(a.stats.final_live, 25, "seed {seed}");
+        assert!(a.stats.latency.count() >= 25, "seed {seed}");
+        assert!(
+            a.stats.consistency.busy.expect("never empty") > 0.5,
+            "seed {seed}"
+        );
+        let b = feedback::run_faulted(&cfg, &faults);
+        assert_eq!(a.nacks_generated, b.nacks_generated, "seed {seed}");
+        assert_eq!(a.promotions, b.promotions, "seed {seed}");
+        assert_eq!(a.fault_drops, b.fault_drops, "seed {seed}");
+        assert_eq!(a.metrics, b.metrics, "seed {seed}: full snapshot");
+    }
+}
+
+/// A static-store session under a generated schedule: reconverges after
+/// the heal, and the recovery report (MTTR, stale serves, fault drops)
+/// is byte-identical across reruns and across traced/untraced runs.
+#[test]
+fn session_soak_reconverges_and_replays() {
+    for seed in SEEDS {
+        let mut cfg = SessionConfig::unicast_default(seed);
+        cfg.n_receivers = 2;
+        cfg.slot_window = Some(SimDuration::from_secs(1));
+        cfg.workload = SessionWorkload {
+            arrivals: ArrivalProcess::Bulk { count: 20 },
+            mean_lifetime_secs: None,
+            branches: 3,
+            class_weights: None,
+        };
+        cfg.ttl = SimDuration::from_secs(100_000);
+        cfg.data_loss = LossSpec::Bernoulli(0.1);
+        cfg.fb_loss = LossSpec::Bernoulli(0.1);
+        cfg.duration = SimDuration::from_secs(500);
+        cfg.faults = schedule(seed, 2);
+
+        let a = session::run(&cfg);
+        let rec = a.recovery.expect("schedule configured");
+        assert!(
+            rec.reconverged_at.is_some(),
+            "seed {seed}: session must reconverge, report {rec:?}"
+        );
+        assert!(
+            rec.fault_drops > 0,
+            "seed {seed}: episodes must actually kill traffic"
+        );
+        for (i, rx) in a.receivers.iter().enumerate() {
+            assert_eq!(
+                rx.final_consistency,
+                Some(1.0),
+                "seed {seed}: receiver {i} fully consistent at end"
+            );
+        }
+
+        // Rerun: the recovery report and the whole snapshot replay.
+        let b = session::run(&cfg);
+        assert_eq!(a.recovery, b.recovery, "seed {seed}");
+        assert_eq!(a.metrics, b.metrics, "seed {seed}");
+
+        // Traced run: same numbers, plus fault spans in the trace.
+        let mut traced_cfg = cfg.clone();
+        traced_cfg.trace_capacity = 600_000;
+        let t = session::run(&traced_cfg);
+        assert_eq!(a.recovery, t.recovery, "seed {seed}: tracing is free");
+        assert_eq!(
+            a.metrics, t.metrics,
+            "seed {seed}: traced metrics identical"
+        );
+
+        // Cross-check the report against the trace itself: every
+        // fault-attributed loss leaves a "fault"-labeled drop instant, so
+        // when the trace kept everything the count must equal the
+        // report's fault_drops exactly — the two observability layers
+        // audit each other.
+        let jsonl = t.trace.to_causal_jsonl();
+        assert!(
+            jsonl.contains("\"actor\":\"fault-injector\""),
+            "seed {seed}: fault episodes painted as spans"
+        );
+        assert!(
+            jsonl.contains("{\"dropped_events\":0}"),
+            "seed {seed}: trace capacity must hold the whole run"
+        );
+        let traced_fault_drops = jsonl
+            .lines()
+            .filter(|l| l.contains("\"kind\":\"drop\"") && l.contains("\"label\":\"fault\""))
+            .count() as u64;
+        assert_eq!(
+            traced_fault_drops, rec.fault_drops,
+            "seed {seed}: trace and recovery report disagree on fault drops"
+        );
+    }
+}

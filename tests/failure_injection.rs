@@ -4,23 +4,29 @@
 //! membership narrative ("group membership knowledge that had spanned
 //! the partition eventually times out ... the group state quickly
 //! converges to accurately track the reformed session").
+//!
+//! Faults are expressed as `ss_netsim::FaultSpec` episodes — the same
+//! plain-data schedule the simulator engines consume — and the harness
+//! consults the built `FaultSchedule` each round, so these tests
+//! exercise the ss-chaos API surface as well as the endpoints.
 
 use softstate::measure_tables;
-use ss_netsim::{Bernoulli, LossModel, SimDuration, SimRng, SimTime};
+use ss_netsim::{Bernoulli, FaultSchedule, FaultSpec, LossModel, SimDuration, SimRng, SimTime};
 use sstp::digest::HashAlgorithm;
 use sstp::namespace::MetaTag;
 use sstp::receiver::{ReceiverConfig, SstpReceiver};
 use sstp::sender::SstpSender;
 
-/// A driver for endpoint pairs over a configurable-loss channel.
+/// A driver for endpoint pairs over a configurable-loss channel with a
+/// scripted fault schedule.
 struct Harness {
     tx: SstpSender,
     rx: SstpReceiver,
     loss: Bernoulli,
     rng: SimRng,
     now: SimTime,
-    /// Simulates a partition: when true, nothing gets through either way.
-    partitioned: bool,
+    /// The active fault schedule (empty by default).
+    faults: FaultSchedule,
 }
 
 impl Harness {
@@ -28,31 +34,43 @@ impl Harness {
         let tx = SstpSender::new(HashAlgorithm::Fnv64, 500);
         let mut cfg = ReceiverConfig::unicast(0, HashAlgorithm::Fnv64);
         cfg.ttl = SimDuration::from_secs(ttl_secs);
+        let mut rng = SimRng::new(2);
+        let faults = FaultSpec::none().build(rng.derive("faults"));
         Harness {
             tx,
             rx: SstpReceiver::new(cfg, SimRng::new(1)),
             loss: Bernoulli::new(p_loss),
-            rng: SimRng::new(2),
+            rng,
             now: SimTime::ZERO,
-            partitioned: false,
+            faults,
         }
+    }
+
+    /// Installs a fault schedule (episodes at absolute sim times; the
+    /// harness clock is at `self.now`).
+    fn inject(&mut self, spec: FaultSpec) {
+        self.faults = spec.build(self.rng.derive("faults"));
     }
 
     /// One announce/listen round: expiry sweep, summary, feedback, repair.
     fn round(&mut self) {
         self.now += SimDuration::from_secs(2);
         self.rx.expire(self.now);
+        let down = self.faults.receiver_down(self.now, 0);
+        let data_ok =
+            !self.faults.data_blocked(self.now) && !self.faults.sender_silent(self.now) && !down;
+        let fb_ok = !self.faults.feedback_blocked(self.now) && !down;
         let summary = self.tx.summary_packet();
-        if !self.partitioned && !self.loss.is_lost(&mut self.rng) {
+        if data_ok && !self.loss.is_lost(&mut self.rng) && !self.faults.extra_loss(self.now) {
             self.rx.on_packet(self.now, &summary);
         }
         for fb in self.rx.poll_feedback(self.now) {
-            if !self.partitioned && !self.loss.is_lost(&mut self.rng) {
+            if fb_ok && !self.loss.is_lost(&mut self.rng) {
                 self.tx.on_packet(&fb);
             }
         }
         while let Some(pkt) = self.tx.next_hot_packet() {
-            if !self.partitioned && !self.loss.is_lost(&mut self.rng) {
+            if data_ok && !self.loss.is_lost(&mut self.rng) && !self.faults.extra_loss(self.now) {
                 self.rx.on_packet(self.now, &pkt);
             }
         }
@@ -108,17 +126,19 @@ fn partition_expires_state_then_heals() {
     assert!(h.rounds_until_consistent(40).is_some());
 
     // Partition: nothing flows. The receiver's soft state times out.
-    h.partitioned = true;
+    // The 40-simulated-second episode dwarfs the 20 s TTL.
+    h.inject(FaultSpec::none().partition(h.now, h.now + SimDuration::from_secs(40)));
     for _ in 0..20 {
-        h.round(); // 40 simulated seconds >> 20 s TTL
+        h.round();
     }
     assert!(
         h.rx.replica().is_empty(),
         "partitioned replica must expire to empty"
     );
 
-    // Heal: normal protocol operation reconverges, no special recovery.
-    h.partitioned = false;
+    // Heal (the episode has ended by now): normal protocol operation
+    // reconverges, no special recovery.
+    assert!(!h.faults.data_blocked(h.now), "episode must be over");
     let rounds = h
         .rounds_until_consistent(60)
         .expect("reconvergence after heal");
@@ -136,7 +156,7 @@ fn sender_state_churn_during_partition_is_reconciled() {
 
     // During the partition the publisher keeps evolving: half the records
     // are withdrawn, others updated, new ones added.
-    h.partitioned = true;
+    h.inject(FaultSpec::none().partition(h.now, h.now + SimDuration::from_secs(6)));
     for k in &keys[..10] {
         h.tx.withdraw(*k);
     }
@@ -155,12 +175,55 @@ fn sender_state_churn_during_partition_is_reconciled() {
     // After healing, digest descent reconciles adds, updates, and
     // tombstones alike. The TTL here is long, so expiry cannot be the
     // mechanism — repair must do it.
-    h.partitioned = false;
+    assert!(!h.faults.data_blocked(h.now), "episode must be over");
     assert!(h.rounds_until_consistent(60).is_some(), "reconciliation");
     // Withdrawn records must actually be gone at the receiver.
     for k in &keys[..10] {
         assert!(h.rx.replica().get(*k).is_none(), "{k:?} should be purged");
     }
+}
+
+#[test]
+fn sender_silence_is_indistinguishable_from_partition() {
+    let mut h = Harness::new(20, 0.0);
+    let root = h.tx.root();
+    for _ in 0..10 {
+        h.tx.publish(SimTime::ZERO, root, MetaTag(0));
+    }
+    assert!(h.rounds_until_consistent(20).is_some());
+
+    // A silent sender refreshes nothing; the receiver's soft state
+    // expires on the same clock a partition would impose.
+    h.inject(FaultSpec::none().sender_silence(h.now, h.now + SimDuration::from_secs(40)));
+    for _ in 0..20 {
+        h.round();
+    }
+    assert!(h.rx.replica().is_empty(), "soft state expired to empty");
+    assert!(h.rounds_until_consistent(60).is_some(), "recovery");
+}
+
+#[test]
+fn extra_loss_episode_delays_but_does_not_prevent_repair() {
+    let mut h = Harness::new(10_000, 0.0);
+    let root = h.tx.root();
+    for _ in 0..20 {
+        h.tx.publish(SimTime::ZERO, root, MetaTag(0));
+    }
+    // A 90%-loss episode covers the whole convergence window: progress
+    // is slow but monotone, and once the episode ends the remainder
+    // repairs promptly.
+    h.inject(FaultSpec::none().extra_loss(
+        h.now,
+        h.now + SimDuration::from_secs(60),
+        ss_netsim::LossSpec::Bernoulli(0.9),
+    ));
+    let rounds = h
+        .rounds_until_consistent(400)
+        .expect("eventual convergence under 90% loss episode");
+    assert!(
+        rounds > 2,
+        "90% loss cannot converge in a round or two: {rounds}"
+    );
 }
 
 #[test]

@@ -4,7 +4,7 @@
 
 use proptest::prelude::*;
 use softstate::{ArrivalProcess, LossSpec};
-use ss_netsim::{Bandwidth, SimDuration};
+use ss_netsim::{Bandwidth, FaultSpec, SimDuration, SimRng};
 use sstp::reliability::ReliabilityLevel;
 use sstp::session::{self, SessionConfig, SessionWorkload};
 
@@ -143,6 +143,79 @@ proptest! {
         prop_assert_eq!(a.final_loss_estimate, b.final_loss_estimate);
         for (x, y) in a.receivers.iter().zip(&b.receivers) {
             prop_assert_eq!(x.stats, y.stats);
+        }
+    }
+}
+
+/// Reliability levels with a repair mechanism. `BestEffort` is excluded
+/// deliberately: with neither summaries nor feedback there is nothing
+/// that can rebuild a crash-wiped replica of a static store, so
+/// reconvergence is not a property that level promises.
+fn arb_repairing_reliability() -> impl Strategy<Value = ReliabilityLevel> {
+    prop_oneof![
+        Just(ReliabilityLevel::AnnounceListen),
+        (0.05f64..0.6).prop_map(|s| ReliabilityLevel::Quasi { max_fb_share: s }),
+        Just(ReliabilityLevel::Reliable),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// ss-chaos reconvergence: any generated fault schedule — partitions,
+    /// crashes, silence, loss bursts, in any combination — heals into a
+    /// fully consistent session within a TTL-derived bound (3×TTL after
+    /// the last episode ends), for every reliability level that has a
+    /// repair mechanism.
+    #[test]
+    fn generated_fault_schedules_reconverge(
+        seed in any::<u64>(),
+        fault_seed in any::<u64>(),
+        loss in 0.0f64..0.25,
+        n_receivers in 1usize..4,
+        level in arb_repairing_reliability(),
+    ) {
+        const TTL_SECS: u64 = 120;
+        let mut cfg = SessionConfig::unicast_default(seed);
+        cfg.data_loss = LossSpec::Bernoulli(loss);
+        cfg.fb_loss = LossSpec::Bernoulli(loss);
+        cfg.n_receivers = n_receivers;
+        if n_receivers > 1 {
+            cfg.slot_window = Some(SimDuration::from_secs(1));
+        }
+        cfg.allocator.reliability = level.into();
+        cfg.ttl = SimDuration::from_secs(TTL_SECS);
+        cfg.workload = SessionWorkload {
+            arrivals: ArrivalProcess::Bulk { count: 20 },
+            mean_lifetime_secs: None,
+            branches: 3,
+            class_weights: None,
+        };
+        let mut frng = SimRng::new(fault_seed);
+        cfg.faults = FaultSpec::generate(
+            &mut frng,
+            n_receivers as u32,
+            SimDuration::from_secs(100),
+            3,
+        );
+        // Run until 3×TTL past the heal point, so "reconverged at all"
+        // is exactly "reconverged within the TTL-derived bound".
+        let healed = cfg.faults.build(SimRng::new(0)).healed_at();
+        cfg.duration = SimDuration::from_micros(healed.as_micros()) + SimDuration::from_secs(3 * TTL_SECS);
+
+        let report = session::run(&cfg);
+        let rec = report.recovery.expect("faults configured");
+        prop_assert!(
+            rec.reconverged_at.is_some(),
+            "no reconvergence within 3 TTLs of heal: {:?}", rec
+        );
+        let mttr = rec.mttr().expect("reconverged implies an MTTR");
+        prop_assert!(
+            mttr <= SimDuration::from_secs(3 * TTL_SECS),
+            "MTTR {:?} exceeds the 3-TTL bound", mttr
+        );
+        for rx in &report.receivers {
+            prop_assert_eq!(rx.final_consistency, Some(1.0));
         }
     }
 }
