@@ -12,6 +12,7 @@
 //! would have seen under any other variant.
 
 pub mod feedback;
+pub mod machine;
 pub mod open_loop;
 pub mod two_queue;
 

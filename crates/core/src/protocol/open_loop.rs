@@ -322,27 +322,15 @@ impl World for Sim {
                 }
                 let dies = self.cfg.death.dies_after_service(&mut self.rng_death)
                     || self.doomed.remove(&id);
-
-                // Delivery happens before the death draw takes the record
-                // out: a record can be received by its final announcement.
-                if !lost && !was_consistent {
+                let outcome = super::machine::classify_service(was_consistent, lost, dies);
+                self.transitions.record(outcome.transition);
+                if outcome.delivers {
                     self.jobs.deliver(q.now(), id, tx_id);
                 }
-
-                if dies {
-                    if was_consistent {
-                        self.transitions.c_death += 1;
-                    } else {
-                        self.transitions.i_death += 1;
-                    }
-                    self.jobs.kill(q.now(), id);
-                } else {
-                    match (was_consistent, lost) {
-                        (true, _) => self.transitions.c_to_c += 1,
-                        (false, false) => self.transitions.i_to_c += 1,
-                        (false, true) => self.transitions.i_to_i += 1,
-                    }
+                if outcome.survives {
                     self.queue.push_back(id);
+                } else {
+                    self.jobs.kill(q.now(), id);
                 }
                 self.maybe_start_service(q);
             }

@@ -453,10 +453,15 @@ impl Sim {
                     .instant_under(now, Actor::Channel, TraceKind::Drop, id, tx_id);
             }
         }
-        if !lost && !was_consistent {
+        // The death draw comes from its own stream (`rng_death`), so
+        // hoisting it above delivery leaves every random stream intact.
+        let dies =
+            self.cfg.death.dies_after_service(&mut self.rng_death) || self.doomed.remove(&id);
+        let outcome = super::machine::classify_service(was_consistent, lost, dies);
+        if outcome.delivers {
             self.jobs.deliver(now, id, tx_id);
         }
-        if self.cfg.death.dies_after_service(&mut self.rng_death) || self.doomed.remove(&id) {
+        if !outcome.survives {
             self.jobs.kill(now, id);
         } else {
             // Hot-served records age into the cold queue; cold-served

@@ -24,18 +24,39 @@
 //! - **D004** — no `unwrap()` / `expect()` / slice indexing in the wire
 //!   parse path (`crates/sstp/src/wire.rs`). Decoding untrusted bytes
 //!   must be total.
+//! - **D005** — no console or I/O identifiers in the pure state-machine
+//!   files (the `sstp` sender/receiver and the core protocol machine).
+//!   The machines are `step(state, event) -> effects` functions that
+//!   `ss-verify` explores exhaustively; any side channel breaks that.
+//! - **D006** — no `f32` in the simulation crates. Consistency statistics
+//!   accumulate over millions of events; half-precision drift would make
+//!   runs platform-dependent. Use `f64` or integer counters.
+//! - **D007** — no metrics handle registered and used on the same line.
+//!   Registration (`.counter("…")` etc.) must happen once, with the
+//!   returned id stored; inline re-registration silently creates a fresh
+//!   series per call site.
+//! - **D008** — no `pub fn` taking `&mut self` (other than `step`), and
+//!   no `pub fn … -> &mut` accessor, in the state-machine files. All
+//!   mutation flows through `step`; compat shims must carry a reasoned
+//!   `allow(D008, …)` annotation.
+//! - **D009** — every suppression annotation (`allow(…)`) must be well-formed:
+//!   at least one valid rule id and a non-empty reason. A malformed
+//!   annotation both fails to suppress *and* is itself a violation, so
+//!   silent typos cannot disable the gate.
 //!
-//! A line may opt out of a rule with an annotation on the same line or
-//! the line directly above:
+//! A line may opt out of one or more rules with an annotation on the same
+//! line or the line directly above:
 //!
 //! ```text
 //! // lint: allow(D002, reason the hash container is safe here)
+//! // lint: allow(D002, D005, one reason covering both rules)
 //! ```
 //!
-//! The reason is mandatory; an annotation without one does not suppress.
-//! Module-level `#[cfg(test)]` blocks are exempt: scanning stops at the
-//! first `#[cfg(test)]` attribute in a file (test modules are last by
-//! convention, enforced socially rather than mechanically).
+//! The trailing reason is mandatory (D009 enforces this); an annotation
+//! without one does not suppress. Module-level `#[cfg(test)]` blocks are
+//! exempt: scanning stops at the first `#[cfg(test)]` attribute in a file
+//! (test modules are last by convention, enforced socially rather than
+//! mechanically).
 
 use std::fs;
 use std::io;
@@ -64,6 +85,130 @@ impl std::fmt::Display for Diagnostic {
     }
 }
 
+impl Diagnostic {
+    /// The diagnostic as one JSON object (the element type of the
+    /// `findings` array in [`findings_to_json`]).
+    pub fn to_json(&self) -> String {
+        format!(
+            r#"{{"path":{},"line":{},"rule":{},"message":{}}}"#,
+            json_string(&self.path),
+            self.line,
+            json_string(self.rule),
+            json_string(&self.message)
+        )
+    }
+}
+
+/// Escapes `s` as a JSON string literal (hand-rolled: the gate must keep
+/// working with zero external dependencies).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Static description of one lint rule, used by the `--schema` output.
+#[derive(Clone, Copy, Debug)]
+pub struct RuleInfo {
+    /// Rule identifier, e.g. `"D002"`.
+    pub id: &'static str,
+    /// One-line summary of what the rule forbids.
+    pub summary: &'static str,
+}
+
+/// Every rule the scanner knows, in id order.
+pub const RULES: [RuleInfo; 9] = [
+    RuleInfo {
+        id: "D001",
+        summary: "wall-clock time source (Instant/SystemTime) outside the allowlist",
+    },
+    RuleInfo {
+        id: "D002",
+        summary: "hash-ordered container (HashMap/HashSet) in a simulation crate",
+    },
+    RuleInfo {
+        id: "D003",
+        summary: "ambient randomness (thread_rng/rand::random) anywhere",
+    },
+    RuleInfo {
+        id: "D004",
+        summary: "panicking accessor or slice indexing in the wire parse path",
+    },
+    RuleInfo {
+        id: "D005",
+        summary: "console or I/O identifier reachable from a pure state machine",
+    },
+    RuleInfo {
+        id: "D006",
+        summary: "f32 arithmetic in a simulation crate (statistics must be f64/integer)",
+    },
+    RuleInfo {
+        id: "D007",
+        summary: "metrics handle registered and used on the same line",
+    },
+    RuleInfo {
+        id: "D008",
+        summary: "pub &mut-self method (or -> &mut accessor) outside step in machine files",
+    },
+    RuleInfo {
+        id: "D009",
+        summary: "malformed lint: allow(...) annotation (bad rule id or missing reason)",
+    },
+];
+
+/// The machine-readable findings report: a stable JSON document with the
+/// schema described by [`schema_json`].
+pub fn findings_to_json(root: &str, diagnostics: &[Diagnostic]) -> String {
+    let findings = diagnostics
+        .iter()
+        .map(Diagnostic::to_json)
+        .collect::<Vec<_>>()
+        .join(",");
+    format!(
+        r#"{{"version":1,"root":{},"count":{},"findings":[{}]}}"#,
+        json_string(root),
+        diagnostics.len(),
+        findings
+    )
+}
+
+/// A self-describing schema for the `--json` output: the document shape
+/// plus every rule id and its summary.
+pub fn schema_json() -> String {
+    let rules = RULES
+        .iter()
+        .map(|r| {
+            format!(
+                r#"{{"id":{},"summary":{}}}"#,
+                json_string(r.id),
+                json_string(r.summary)
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",");
+    format!(
+        concat!(
+            r#"{{"version":1,"#,
+            r#""document":{{"version":"int","root":"string","count":"int","#,
+            r#""findings":"[{{path,line,rule,message}}]"}},"#,
+            r#""rules":[{}]}}"#
+        ),
+        rules
+    )
+}
+
 /// Simulation crates where hash-ordered containers are forbidden (D002).
 const SIM_CRATE_PREFIXES: [&str; 5] = [
     "crates/core/src",
@@ -71,6 +216,35 @@ const SIM_CRATE_PREFIXES: [&str; 5] = [
     "crates/sched/src",
     "crates/queueing/src",
     "crates/sstp/src",
+];
+
+/// Files holding the pure protocol state machines (D005/D008): no I/O may
+/// be reachable from them, and all mutation must flow through `step`.
+const MACHINE_FILES: [&str; 4] = [
+    "crates/sstp/src/sender.rs",
+    "crates/sstp/src/receiver.rs",
+    "crates/sstp/src/machine.rs",
+    "crates/core/src/protocol/machine.rs",
+];
+
+/// Identifiers that mean console or file/socket I/O when they appear in a
+/// state-machine file (D005). Matched as whole identifier tokens, so
+/// strings, comments, and e.g. `file_path` do not trip it.
+const IO_IDENTS: [&str; 14] = [
+    "println",
+    "eprintln",
+    "print",
+    "eprint",
+    "dbg",
+    "stdout",
+    "stderr",
+    "stdin",
+    "File",
+    "OpenOptions",
+    "UdpSocket",
+    "TcpStream",
+    "TcpListener",
+    "Command",
 ];
 
 /// Files allowed to read the wall clock (D001): the real-socket UDP
@@ -81,6 +255,10 @@ fn d001_allowed(path: &str) -> bool {
 
 fn in_sim_crate(path: &str) -> bool {
     SIM_CRATE_PREFIXES.iter().any(|p| path.starts_with(p))
+}
+
+fn is_machine_file(path: &str) -> bool {
+    MACHINE_FILES.contains(&path)
 }
 
 /// One source line split into scannable code and its trailing comments.
@@ -255,21 +433,79 @@ fn idents(code: &str) -> Vec<&str> {
     out
 }
 
-/// True when `comment` carries a well-formed suppression for `rule`:
-/// `lint: allow(DXXX, non-empty reason)`.
+/// True when `s` (already trimmed) is a rule identifier: `D` followed by
+/// exactly three digits.
+fn is_rule_id(s: &str) -> bool {
+    s.len() == 4 && s.starts_with('D') && s[1..].bytes().all(|b| b.is_ascii_digit())
+}
+
+/// A parsed suppression-annotation body.
+struct Annotation {
+    /// The rule ids the annotation names (well-formed ones only).
+    rules: Vec<String>,
+    /// Why the parse is not a usable suppression, if it is not.
+    problem: Option<&'static str>,
+}
+
+/// Parses every suppression-annotation occurrence in a comment. The body is a
+/// comma-separated list: one or more rule ids, then a mandatory free-text
+/// reason (`allow(D002, D005, shared justification)`).
+fn parse_annotations(comment: &str) -> Vec<Annotation> {
+    const MARKER: &str = "lint: allow(";
+    let mut out = Vec::new();
+    let mut rest = comment;
+    while let Some(pos) = rest.find(MARKER) {
+        let body_start = &rest[pos + MARKER.len()..];
+        let Some(end) = body_start.find(')') else {
+            out.push(Annotation {
+                rules: Vec::new(),
+                problem: Some("unclosed annotation (missing `)`)"),
+            });
+            break;
+        };
+        let body = &body_start[..end];
+        rest = &body_start[end + 1..];
+
+        let mut rules = Vec::new();
+        let mut reason = String::new();
+        let mut segments = body.split(',');
+        for seg in segments.by_ref() {
+            let t = seg.trim();
+            if is_rule_id(t) {
+                rules.push(t.to_string());
+            } else {
+                // First non-id segment starts the reason; commas inside
+                // the reason are reason text, not separators.
+                reason = t.to_string();
+                break;
+            }
+        }
+        // Re-join any remaining segments into the reason.
+        for seg in segments {
+            if !reason.is_empty() {
+                reason.push(',');
+            }
+            reason.push_str(seg);
+        }
+        let problem = if rules.is_empty() {
+            Some("no valid rule id (expected `DNNN`)")
+        } else if reason.trim().is_empty() {
+            Some("missing reason (suppressions must cite one)")
+        } else {
+            None
+        };
+        out.push(Annotation { rules, problem });
+    }
+    out
+}
+
+/// True when `comment` carries a well-formed suppression naming `rule`:
+/// `allow(D002, …, non-empty reason)`-style. Malformed annotations never
+/// suppress (and are themselves flagged by D009).
 fn allows(comment: &str, rule: &str) -> bool {
-    let Some(pos) = comment.find("lint: allow(") else {
-        return false;
-    };
-    let body = &comment[pos + "lint: allow(".len()..];
-    let Some(end) = body.find(')') else {
-        return false;
-    };
-    let body = &body[..end];
-    let Some((id, reason)) = body.split_once(',') else {
-        return false;
-    };
-    id.trim() == rule && !reason.trim().is_empty()
+    parse_annotations(comment)
+        .iter()
+        .any(|a| a.problem.is_none() && a.rules.iter().any(|r| r == rule))
 }
 
 /// True when the stripped line contains slice-index syntax: a `[` directly
@@ -284,6 +520,56 @@ fn has_indexing(code: &str) -> bool {
     })
 }
 
+/// True when the stripped line performs a metrics *registration*: a
+/// `.counter("…")`-style call whose first argument is a string literal
+/// (snapshot lookups share the method names but D007 only fires when a
+/// mutation call shares the line, which snapshots cannot do).
+fn has_metric_registration(code: &str) -> bool {
+    ["counter", "gauge", "histogram", "time_average"]
+        .iter()
+        .any(|m| {
+            code.match_indices(m).any(|(i, _)| {
+                i > 0
+                    && code.as_bytes()[i - 1] == b'.'
+                    && code[i + m.len()..].trim_start().starts_with("(\"")
+            })
+        })
+}
+
+/// True when the stripped line calls a metrics mutation method.
+fn has_metric_use(code: &str) -> bool {
+    [
+        ".inc(",
+        ".add(",
+        ".observe(",
+        ".record_sample(",
+        ".set_gauge(",
+    ]
+    .iter()
+    .any(|m| code.contains(m))
+}
+
+/// True when the stripped line declares a `pub fn` that mutates through
+/// `&mut self` (D008). `step` is the sanctioned mutation entry point;
+/// `pub(crate)` helpers and by-value builders (`mut self`) are exempt.
+fn has_pub_mut_method(code: &str) -> bool {
+    let Some(pos) = code.find("pub fn ") else {
+        return false;
+    };
+    let rest = &code[pos + "pub fn ".len()..];
+    let name: String = rest
+        .chars()
+        .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+        .collect();
+    name != "step" && code.contains("&mut self")
+}
+
+/// True when the stripped line is a `pub fn` returning `&mut` (a mutable
+/// accessor leaking protocol state past the `step` seam).
+fn has_pub_mut_return(code: &str) -> bool {
+    code.contains("pub fn ") && code.contains("-> &mut ")
+}
+
 /// Scans one source file's content. `path` must be workspace-relative with
 /// `/` separators; it selects which rules apply.
 pub fn scan_source(path: &str, src: &str) -> Vec<Diagnostic> {
@@ -294,6 +580,10 @@ pub fn scan_source(path: &str, src: &str) -> Vec<Diagnostic> {
     let check_d001 = !d001_allowed(path);
     let check_d002 = in_sim_crate(path);
     let check_d004 = path == "crates/sstp/src/wire.rs";
+    let check_d005 = is_machine_file(path);
+    let check_d006 = in_sim_crate(path);
+    let check_d007 = in_sim_crate(path);
+    let check_d008 = is_machine_file(path);
 
     for (idx, raw) in src.lines().enumerate() {
         let line_no = idx + 1;
@@ -307,9 +597,22 @@ pub fn scan_source(path: &str, src: &str) -> Vec<Diagnostic> {
             break;
         }
 
+        // D009 first: malformed annotations are diagnosed on their own
+        // line and never act as suppressions.
+        for ann in parse_annotations(&scan.comment) {
+            if let Some(problem) = ann.problem {
+                out.push(Diagnostic {
+                    path: path.to_string(),
+                    line: line_no,
+                    rule: "D009",
+                    message: format!("malformed suppression: {problem}"),
+                });
+            }
+        }
+
         let suppressed = |rule: &str| allows(&scan.comment, rule) || allows(&prev_comment, rule);
         let toks = idents(&scan.code);
-        let has = |t: &str| toks.iter().any(|&x| x == t);
+        let has = |t: &str| toks.contains(&t);
 
         if check_d001 && (has("Instant") || has("SystemTime")) && !suppressed("D001") {
             out.push(Diagnostic {
@@ -359,6 +662,51 @@ pub fn scan_source(path: &str, src: &str) -> Vec<Diagnostic> {
                 });
             }
         }
+        if check_d005 && IO_IDENTS.iter().any(|id| has(id)) && !suppressed("D005") {
+            out.push(Diagnostic {
+                path: path.to_string(),
+                line: line_no,
+                rule: "D005",
+                message: "I/O reachable from a pure state machine; effects must flow out of step"
+                    .to_string(),
+            });
+        }
+        if check_d006 && has("f32") && !suppressed("D006") {
+            out.push(Diagnostic {
+                path: path.to_string(),
+                line: line_no,
+                rule: "D006",
+                message: "f32 in a simulation crate; statistics must accumulate in f64 or integers"
+                    .to_string(),
+            });
+        }
+        if check_d007
+            && has_metric_registration(&scan.code)
+            && has_metric_use(&scan.code)
+            && !suppressed("D007")
+        {
+            out.push(Diagnostic {
+                path: path.to_string(),
+                line: line_no,
+                rule: "D007",
+                message: "metrics handle registered and used in one expression; register once \
+                     and store the id"
+                    .to_string(),
+            });
+        }
+        if check_d008
+            && (has_pub_mut_method(&scan.code) || has_pub_mut_return(&scan.code))
+            && !suppressed("D008")
+        {
+            out.push(Diagnostic {
+                path: path.to_string(),
+                line: line_no,
+                rule: "D008",
+                message: "pub mutation outside step in a state-machine file; route through step \
+                     or annotate the compat shim"
+                    .to_string(),
+            });
+        }
 
         prev_comment = scan.comment;
     }
@@ -385,6 +733,15 @@ fn collect_sources(root: &Path) -> io::Result<Vec<PathBuf>> {
         if p.is_dir() {
             roots.push(p);
         }
+    }
+    if roots.is_empty() {
+        // A root with no scannable trees is an I/O problem (bad path,
+        // wrong directory), not a clean workspace: reporting "clean"
+        // here would let a typo in CI silently disable the gate.
+        return Err(io::Error::new(
+            io::ErrorKind::NotFound,
+            format!("no source trees under {}", root.display()),
+        ));
     }
     let mut stack = roots;
     while let Some(dir) = stack.pop() {
@@ -448,7 +805,13 @@ mod tests {
         let with_reason = "use std::collections::HashMap; // lint: allow(D002, keyed by opaque id, order never observed)\n";
         let without = "use std::collections::HashMap; // lint: allow(D002)\n";
         assert!(scan_source("crates/core/src/x.rs", with_reason).is_empty());
-        assert_eq!(scan_source("crates/core/src/x.rs", without).len(), 1);
+        // The reasonless annotation does not suppress D002 *and* is
+        // itself a D009 violation.
+        let rules: Vec<_> = scan_source("crates/core/src/x.rs", without)
+            .iter()
+            .map(|d| d.rule)
+            .collect();
+        assert_eq!(rules, vec!["D009", "D002"]);
     }
 
     #[test]
@@ -476,5 +839,180 @@ mod tests {
         let (scan, carry) = strip_line("fn f<'a>(x: &'a str) -> &'a str { x }", Carry::None);
         assert!(carry == Carry::None);
         assert!(scan.code.contains("str"));
+    }
+
+    #[test]
+    fn multi_rule_allow_suppresses_each_named_rule() {
+        let src = "use std::collections::HashMap; type T = f32; \
+                   // lint: allow(D002, D006, fixture exercising both rules)\n";
+        assert!(scan_source("crates/core/src/x.rs", src).is_empty());
+        // Naming only one rule leaves the other to fire.
+        let src = "use std::collections::HashMap; type T = f32; \
+                   // lint: allow(D002, only the map is justified)\n";
+        assert_eq!(
+            scan_source("crates/core/src/x.rs", src)
+                .iter()
+                .map(|d| d.rule)
+                .collect::<Vec<_>>(),
+            vec!["D006"]
+        );
+    }
+
+    #[test]
+    fn reason_with_commas_is_one_reason() {
+        let src = "use std::collections::HashMap; \
+                   // lint: allow(D002, keyed by id, order never observed)\n";
+        assert!(scan_source("crates/core/src/x.rs", src).is_empty());
+        // A reason *starting* with rule-id-like text is still a reason.
+        let src = "use std::collections::HashMap; \
+                   // lint: allow(D002, D003-adjacent helper needs it)\n";
+        assert!(scan_source("crates/core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn malformed_annotations_are_d009_and_do_not_suppress() {
+        // Missing reason: the original rule fires AND D009 fires.
+        let src = "use std::collections::HashMap; // lint: allow(D002)\n";
+        let rules: Vec<_> = scan_source("crates/core/src/x.rs", src)
+            .iter()
+            .map(|d| d.rule)
+            .collect();
+        assert_eq!(rules, vec!["D009", "D002"]);
+        // Empty reason after the comma.
+        let src = "use std::collections::HashMap; // lint: allow(D002, )\n";
+        let rules: Vec<_> = scan_source("crates/core/src/x.rs", src)
+            .iter()
+            .map(|d| d.rule)
+            .collect();
+        assert_eq!(rules, vec!["D009", "D002"]);
+        // No valid rule id at all.
+        let src = "fn ok() {} // lint: allow(D02, typo in the id)\n";
+        let rules: Vec<_> = scan_source("crates/core/src/x.rs", src)
+            .iter()
+            .map(|d| d.rule)
+            .collect();
+        assert_eq!(rules, vec!["D009"]);
+        // Unclosed annotation.
+        let src = "fn ok() {} // lint: allow(D002, never closed\n";
+        let rules: Vec<_> = scan_source("crates/core/src/x.rs", src)
+            .iter()
+            .map(|d| d.rule)
+            .collect();
+        assert_eq!(rules, vec!["D009"]);
+    }
+
+    #[test]
+    fn d005_flags_io_only_in_machine_files() {
+        let src = "fn debug_dump(&self) { println!(\"{:?}\", self); }\n";
+        assert_eq!(
+            scan_source("crates/sstp/src/sender.rs", src)
+                .iter()
+                .map(|d| d.rule)
+                .collect::<Vec<_>>(),
+            vec!["D005"]
+        );
+        // The same code in a non-machine file is fine.
+        assert!(scan_source("crates/sstp/src/session.rs", src).is_empty());
+        // `file_path` must not token-match `File`.
+        let src = "fn f(file_path: &str) -> usize { file_path.len() }\n";
+        assert!(scan_source("crates/sstp/src/sender.rs", src).is_empty());
+    }
+
+    #[test]
+    fn d006_flags_f32_in_sim_crates_only() {
+        let src = "fn mean(xs: &[f32]) -> f32 { 0.0 }\n";
+        assert_eq!(scan_source("crates/core/src/x.rs", src).len(), 1);
+        assert!(scan_source("crates/bench/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn d007_flags_inline_register_and_use() {
+        let src = "self.metrics.add(self.metrics.counter(\"tx.hot\"), 1);\n";
+        assert_eq!(
+            scan_source("crates/core/src/x.rs", src)
+                .iter()
+                .map(|d| d.rule)
+                .collect::<Vec<_>>(),
+            vec!["D007"]
+        );
+        // Registration alone and use alone are both fine.
+        assert!(scan_source(
+            "crates/core/src/x.rs",
+            "let c = self.metrics.counter(\"tx.hot\");\n"
+        )
+        .is_empty());
+        assert!(scan_source("crates/core/src/x.rs", "self.metrics.inc(c);\n").is_empty());
+        // Snapshot lookups pass a string but never mutate on the line.
+        assert!(scan_source(
+            "crates/core/src/x.rs",
+            "let v = snapshot.counter(\"tx.hot\");\n"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn d008_flags_pub_mut_methods_outside_step() {
+        let src = "    pub fn poke(&mut self) {}\n";
+        assert_eq!(
+            scan_source("crates/sstp/src/receiver.rs", src)
+                .iter()
+                .map(|d| d.rule)
+                .collect::<Vec<_>>(),
+            vec!["D008"]
+        );
+        // step itself, by-value builders, and pub(crate) helpers pass.
+        assert!(scan_source(
+            "crates/sstp/src/receiver.rs",
+            "    pub fn step(&mut self, ev: Ev) {}\n"
+        )
+        .is_empty());
+        assert!(scan_source(
+            "crates/sstp/src/receiver.rs",
+            "    pub fn with_cap(mut self, cap: usize) -> Self { self }\n"
+        )
+        .is_empty());
+        assert!(scan_source(
+            "crates/sstp/src/receiver.rs",
+            "    pub(crate) fn internal(&mut self) {}\n"
+        )
+        .is_empty());
+        // Mutable accessors leak state past the seam.
+        let src = "    pub fn table_mut(&self) -> &mut Table { unreachable!() }\n";
+        assert_eq!(scan_source("crates/sstp/src/receiver.rs", src).len(), 1);
+        // Outside machine files the rule does not apply.
+        assert!(
+            scan_source("crates/sstp/src/session.rs", "pub fn poke(&mut self) {}\n").is_empty()
+        );
+    }
+
+    #[test]
+    fn json_output_escapes_and_carries_all_fields() {
+        let d = Diagnostic {
+            path: "crates/x/src/a \"b\".rs".to_string(),
+            line: 7,
+            rule: "D001",
+            message: "line1\nline2".to_string(),
+        };
+        let j = d.to_json();
+        assert!(j.contains(r#""line":7"#));
+        assert!(j.contains(r#"\"b\""#));
+        assert!(j.contains(r#"line1\nline2"#));
+        let doc = findings_to_json("/root", &[d]);
+        assert!(doc.starts_with(r#"{"version":1,"#));
+        assert!(doc.contains(r#""count":1"#));
+        let empty = findings_to_json("/root", &[]);
+        assert!(empty.contains(r#""findings":[]"#));
+        // The schema names every rule.
+        let schema = schema_json();
+        for r in RULES {
+            assert!(schema.contains(r.id), "schema missing {}", r.id);
+        }
+    }
+
+    #[test]
+    fn missing_root_is_an_io_error() {
+        let err = scan_workspace(Path::new("/nonexistent/ss-lint-root"))
+            .expect_err("bad root must not scan clean");
+        assert_eq!(err.kind(), io::ErrorKind::NotFound);
     }
 }

@@ -1,17 +1,40 @@
 //! The `ss-lint` binary: scans the workspace sources for violations of
-//! the determinism rules D001-D004 and exits non-zero if any are found.
+//! the determinism and purity rules D001-D009 and exits non-zero if any
+//! are found.
 //!
-//! Usage: `cargo run -p ss-lint [--] [workspace-root]`. With no argument
-//! the root is derived from this crate's location in the tree.
+//! Usage: `cargo run -p ss-lint [--] [--json] [--schema] [workspace-root]`.
+//! With no root argument the root is derived from this crate's location
+//! in the tree.
+//!
+//! Exit codes (the CI gate relies on the distinction):
+//!
+//! - `0` — scan completed, no findings.
+//! - `1` — scan completed, at least one finding.
+//! - `2` — the scan itself failed (unreadable root, no source trees,
+//!   I/O error mid-walk). A bad path must never read as "clean".
+//!
+//! `--json` prints the machine-readable findings document on stdout (the
+//! human rendering moves to stderr); `--schema` prints the document and
+//! rule schema and exits 0 without scanning.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
-    let root = std::env::args()
-        .nth(1)
-        .map(PathBuf::from)
-        .unwrap_or_else(ss_lint::workspace_root);
+    let mut json = false;
+    let mut root: Option<PathBuf> = None;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--schema" => {
+                println!("{}", ss_lint::schema_json());
+                return ExitCode::SUCCESS;
+            }
+            "--" => {}
+            _ => root = Some(PathBuf::from(arg)),
+        }
+    }
+    let root = root.unwrap_or_else(ss_lint::workspace_root);
 
     let diagnostics = match ss_lint::scan_workspace(&root) {
         Ok(d) => d,
@@ -21,8 +44,16 @@ fn main() -> ExitCode {
         }
     };
 
+    if json {
+        println!(
+            "{}",
+            ss_lint::findings_to_json(&root.display().to_string(), &diagnostics)
+        );
+    }
     if diagnostics.is_empty() {
-        println!("ss-lint: clean (rules D001-D004)");
+        if !json {
+            println!("ss-lint: clean (rules D001-D009)");
+        }
         return ExitCode::SUCCESS;
     }
     for d in &diagnostics {

@@ -77,6 +77,40 @@ fn clean_fixture_produces_no_diagnostics() {
 }
 
 #[test]
+fn annotation_edge_cases_fire_and_suppress_exactly() {
+    let src = include_str!("fixtures/d009_annotations.rs");
+    // Line 6 is covered by the multi-rule allow on line 5 (both D002 and
+    // D006 named, one reason). Lines 8-11 are malformed suppressions:
+    // each is a D009, and the reasonless ones fail to suppress D002.
+    // Line 14's allow is well-formed but names the wrong rule.
+    assert_eq!(
+        hits("crates/core/src/fixture.rs", src),
+        vec![
+            ("D009", 8),
+            ("D002", 8),
+            ("D009", 9),
+            ("D002", 9),
+            ("D009", 10),
+            ("D009", 11),
+            ("D002", 14),
+        ]
+    );
+}
+
+#[test]
+fn false_positive_corpus_is_clean_in_every_scope() {
+    let src = include_str!("fixtures/false_positives.rs");
+    for path in [
+        "crates/core/src/fixture.rs", // D001-D003, D006, D007
+        "crates/sstp/src/sender.rs",  // + D005, D008 (machine file)
+        "crates/sstp/src/wire.rs",    // + D004 (wire parse path)
+    ] {
+        let got = hits(path, src);
+        assert!(got.is_empty(), "{path} flagged {got:?}");
+    }
+}
+
+#[test]
 fn binary_exits_nonzero_on_violation_and_zero_on_clean() {
     // Drive the actual CLI against temp trees to pin the exit codes the
     // CI gate relies on.
@@ -104,4 +138,48 @@ fn binary_exits_nonzero_on_violation_and_zero_on_clean() {
     let out = Command::new(bin).arg(&dir).output().expect("run ss-lint");
     assert!(out.status.success(), "clean tree must exit zero");
     std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn binary_json_mode_emits_findings_document() {
+    use std::process::Command;
+    let bin = env!("CARGO_BIN_EXE_ss-lint");
+
+    let dir = std::env::temp_dir().join(format!("ss-lint-json-{}", std::process::id()));
+    let src_dir = dir.join("crates/core/src");
+    std::fs::create_dir_all(&src_dir).expect("mkdir fixture tree");
+    std::fs::write(
+        src_dir.join("bad.rs"),
+        include_str!("fixtures/d002_hash_container.rs"),
+    )
+    .expect("write fixture");
+
+    let out = Command::new(bin)
+        .args(["--json"])
+        .arg(&dir)
+        .output()
+        .expect("run ss-lint --json");
+    assert!(!out.status.success(), "violations must still exit non-zero");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.starts_with(r#"{"version":1,"#),
+        "doc header: {stdout}"
+    );
+    assert!(stdout.contains(r#""count":2"#), "two D002 hits: {stdout}");
+    assert!(
+        stdout.contains(r#""rule":"D002""#) && stdout.contains(r#""line":4"#),
+        "findings carry rule and line: {stdout}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+
+    // --schema exits zero without scanning and names every rule.
+    let out = Command::new(bin)
+        .arg("--schema")
+        .output()
+        .expect("run ss-lint --schema");
+    assert!(out.status.success());
+    let schema = String::from_utf8_lossy(&out.stdout);
+    for rule in ["D001", "D005", "D009"] {
+        assert!(schema.contains(rule), "schema missing {rule}");
+    }
 }

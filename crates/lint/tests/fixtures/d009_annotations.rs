@@ -1,0 +1,14 @@
+// Fixture: suppression-annotation edge cases — multi-rule allows,
+// empty reasons, malformed ids. Not compiled; scanned by
+// tests/fixtures.rs under a simulation-crate path.
+
+// lint: allow(D002, D006, shared reason covering both rules)
+type Wide = (std::collections::HashMap<u64, u64>, f32); // line 6: suppressed
+
+use std::collections::HashMap; // lint: allow(D002)
+use std::collections::HashSet; // lint: allow(D002, )
+fn typo() {} // lint: allow(D02, typo in the rule id)
+fn unclosed() {} // lint: allow(D002, never closed
+
+// lint: allow(D006, valid annotation naming the wrong rule)
+struct Wrong(std::collections::HashMap<u64, u64>);

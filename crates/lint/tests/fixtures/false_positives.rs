@@ -1,0 +1,36 @@
+// Fixture: a false-positive corpus — code that *looks* like rule
+// violations but must scan clean under every rule scope (simulation
+// crate, machine file, and the wire parse path).
+
+/// Doc comments may cite HashMap, Instant::now(), and thread_rng().
+fn doc_cited() {}
+
+fn raw() -> &'static str {
+    r#"HashMap SystemTime rand::random() buf[0].unwrap()"#
+}
+
+fn idents(file_path: &str, instant_marker: u64) -> usize {
+    let _ = instant_marker;
+    file_path.len()
+}
+
+struct InstantLike;
+type Rows = [u64; 4];
+
+#[derive(Clone)]
+struct Snapshot;
+
+fn lifetimes<'a>(x: &'a str) -> &'a str {
+    x
+}
+
+fn register_once(metrics: &Snapshot) -> u64 {
+    // Registration without a same-line mutation is the sanctioned
+    // pattern; D007 must not fire on it.
+    metrics.counter("tx.hot")
+}
+
+pub fn with_cap(mut cap: u64) -> u64 {
+    cap += 1;
+    cap
+}

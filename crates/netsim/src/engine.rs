@@ -154,6 +154,12 @@ impl<E> EventQueue<E> {
     }
 }
 
+impl<E> crate::time::Clock for EventQueue<E> {
+    fn now(&self) -> SimTime {
+        self.now()
+    }
+}
+
 /// A simulation world: reacts to events, scheduling follow-ups on the queue.
 pub trait World {
     /// The event payload this world understands.

@@ -170,8 +170,7 @@ impl FaultSpec {
         );
         fault.validate();
         self.episodes.push(EpisodeSpec { at, until, fault });
-        self.episodes
-            .sort_by(|a, b| (a.at, a.until).cmp(&(b.at, b.until)));
+        self.episodes.sort_by_key(|a| (a.at, a.until));
         self
     }
 

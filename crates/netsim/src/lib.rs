@@ -75,7 +75,7 @@ pub use metrics::{
 };
 pub use rng::SimRng;
 pub use stats::{DurationHistogram, TimeSeries, TimeWeightedMean, Welford};
-pub use time::{SimDuration, SimTime};
+pub use time::{Clock, ManualClock, SimDuration, SimTime};
 pub use trace::{Actor, LifecycleAnalysis, TraceEvent, TraceId, TraceKind, Tracer};
 pub use units::Bandwidth;
 
@@ -96,7 +96,7 @@ pub mod prelude {
     };
     pub use crate::rng::SimRng;
     pub use crate::stats::{DurationHistogram, TimeSeries, TimeWeightedMean, Welford};
-    pub use crate::time::{SimDuration, SimTime};
+    pub use crate::time::{Clock, ManualClock, SimDuration, SimTime};
     pub use crate::trace::{Actor, LifecycleAnalysis, TraceEvent, TraceId, TraceKind, Tracer};
     pub use crate::units::Bandwidth;
 }

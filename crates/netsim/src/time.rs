@@ -126,6 +126,56 @@ impl SimDuration {
     }
 }
 
+/// A read-only source of simulated time.
+///
+/// The protocol state machines (`sstp::SstpSender`/`SstpReceiver`, the
+/// core protocol engines) never read a clock directly: time only enters
+/// them through event payloads, and whatever *drives* them — the
+/// discrete-event engine, the exhaustive explorer in `ss-verify`, or a
+/// future async transport — owns a `Clock`. That seam is what makes the
+/// machines pure `step(state, event) -> effects` functions, exhaustively
+/// checkable by `ss-verify` and reusable under a real runtime.
+pub trait Clock {
+    /// The current simulated instant.
+    fn now(&self) -> SimTime;
+}
+
+/// A [`Clock`] that only moves when told to — the driver for pure state
+/// machines in tests and in the `ss-verify` explorer.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ManualClock {
+    now: SimTime,
+}
+
+impl ManualClock {
+    /// A clock at the epoch.
+    pub const fn new() -> Self {
+        ManualClock { now: SimTime::ZERO }
+    }
+
+    /// A clock frozen at `t`.
+    pub const fn at(t: SimTime) -> Self {
+        ManualClock { now: t }
+    }
+
+    /// Advances the clock by `d`.
+    pub fn advance(&mut self, d: SimDuration) {
+        self.now += d;
+    }
+
+    /// Jumps to an absolute instant. Panics if time would run backwards.
+    pub fn set(&mut self, t: SimTime) {
+        assert!(t >= self.now, "clock cannot run backwards");
+        self.now = t;
+    }
+}
+
+impl Clock for ManualClock {
+    fn now(&self) -> SimTime {
+        self.now
+    }
+}
+
 impl Add<SimDuration> for SimTime {
     type Output = SimTime;
     fn add(self, rhs: SimDuration) -> SimTime {

@@ -62,6 +62,7 @@
 
 pub mod allocator;
 pub mod digest;
+pub mod machine;
 pub mod namespace;
 pub mod profile;
 pub mod receiver;
@@ -74,6 +75,7 @@ pub mod wire;
 
 pub use allocator::{Allocation, Allocator, AllocatorConfig, BandwidthSource};
 pub use digest::{Digest, HashAlgorithm};
+pub use machine::{ReceiverEffect, ReceiverEvent, SenderEffect, SenderEvent};
 pub use namespace::{MetaTag, Namespace, Path};
 pub use receiver::{Interest, ReceiverConfig, SstpReceiver};
 pub use reliability::{ReliabilityLevel, ReliabilityParams};

@@ -17,6 +17,7 @@
 //! session harness polls [`SstpReceiver::poll_feedback`] at fire times.
 
 use crate::digest::HashAlgorithm;
+use crate::machine::{MachineError, ReceiverEffect, ReceiverEvent, RxMutations, StateHasher};
 use crate::namespace::{MetaTag, Namespace, Path};
 use crate::reports::ReceiverReporter;
 use crate::wire::{NackPacket, Packet, RepairQueryPacket};
@@ -155,6 +156,7 @@ pub struct ReceiverStats {
 /// assert!(rx.replica().get(key).is_some());
 /// assert_eq!(rx.events().of_kind(EventKind::Deliver).count(), 1);
 /// ```
+#[derive(Clone)]
 pub struct SstpReceiver {
     cfg: ReceiverConfig,
     replica: SubscriberTable,
@@ -183,6 +185,9 @@ pub struct SstpReceiver {
     /// Typed event trace (disabled by default; see
     /// [`SstpReceiver::with_event_log`]).
     events: EventLog,
+    /// Seeded defects for mutation-testing `ss-verify` (all off in
+    /// production; see [`RxMutations`]).
+    muts: RxMutations,
 }
 
 impl SstpReceiver {
@@ -205,6 +210,32 @@ impl SstpReceiver {
             rng,
             stats: ReceiverStats::default(),
             events: EventLog::disabled(),
+            muts: RxMutations::default(),
+        }
+    }
+
+    /// Installs seeded protocol defects for mutation testing. Never used
+    /// by the session harness; see [`RxMutations`].
+    #[doc(hidden)]
+    pub fn with_mutations(mut self, muts: RxMutations) -> Self {
+        self.muts = muts;
+        self
+    }
+
+    /// Advances the machine by one event; the single mutation entry
+    /// point. The imperative methods ([`SstpReceiver::on_packet`],
+    /// [`SstpReceiver::poll_feedback`], [`SstpReceiver::expire`]) are
+    /// thin shims over this dispatch — see [`crate::machine`].
+    pub fn step(&mut self, ev: ReceiverEvent) -> ReceiverEffect {
+        match ev {
+            ReceiverEvent::Packet { now, pkt } => {
+                self.apply_packet(now, pkt);
+                ReceiverEffect::None
+            }
+            ReceiverEvent::PollFeedback { now } => {
+                ReceiverEffect::Feedback(self.apply_poll_feedback(now))
+            }
+            ReceiverEvent::Expire { now } => ReceiverEffect::Expired(self.apply_expire(now)),
         }
     }
 
@@ -240,6 +271,38 @@ impl SstpReceiver {
         self.cancel(kind)
     }
 
+    /// The minimum interval the `n`-th unsatisfied re-request must wait
+    /// since the last attempt: `repair_backoff * 2^min(n, 4)`. `n == 0`
+    /// is the plain configured backoff (the pre-chaos behavior); the cap
+    /// at 2^4 is deep enough to quench a retry storm during an outage,
+    /// shallow enough that repair still progresses afterwards.
+    fn required_gap(&self, n: u32) -> SimDuration {
+        let shift = if self.muts.no_backoff_cap {
+            // Defect: uncapped exponent — after a long partition the gap
+            // grows past any bound and repair effectively stops.
+            n.min(40)
+        } else {
+            n.min(4)
+        };
+        SimDuration::from_micros(
+            self.cfg
+                .repair_backoff
+                .as_micros()
+                .saturating_mul(1u64 << shift),
+        )
+    }
+
+    /// The largest backoff gap any outstanding request currently
+    /// requires. The `ss-verify` explorer bounds this against
+    /// `16 * repair_backoff` (the capped maximum).
+    pub fn max_required_gap(&self) -> SimDuration {
+        self.attempts
+            .values()
+            .map(|&n| self.required_gap(n))
+            .max()
+            .unwrap_or(SimDuration::ZERO)
+    }
+
     fn schedule(&mut self, now: SimTime, kind: FbKind) {
         if !self.cfg.feedback {
             return;
@@ -247,16 +310,8 @@ impl SstpReceiver {
         if self.pending_index.contains_key(&kind) {
             return;
         }
-        // Exponential backoff: the n-th unsatisfied re-request must wait
-        // 2^min(n,4) backoff intervals since the last attempt. n == 0 is
-        // the plain configured backoff (the pre-chaos behavior).
         let n = self.attempts.get(&kind).copied().unwrap_or(0);
-        let gap = SimDuration::from_micros(
-            self.cfg
-                .repair_backoff
-                .as_micros()
-                .saturating_mul(1u64 << n.min(4)),
-        );
+        let gap = self.required_gap(n);
         if let Some(&last) = self.last_attempt.get(&kind) {
             if now.saturating_since(last) < gap {
                 return;
@@ -277,7 +332,7 @@ impl SstpReceiver {
         // synchronize its retries. First attempts draw nothing: the
         // baseline (fault-free) random streams are untouched.
         if n > 0 && !gap.is_zero() {
-            delay = delay + SimDuration::from_micros(self.rng.below((gap.as_micros() / 4).max(1)));
+            delay += SimDuration::from_micros(self.rng.below((gap.as_micros() / 4).max(1)));
         }
         let fire = now + delay;
         let slot = (fire, self.next_seq);
@@ -290,7 +345,12 @@ impl SstpReceiver {
 
     /// Processes a packet heard on the data channel, or an overheard
     /// peer feedback packet (multicast damping).
+    // lint: allow(D008, compat shim delegating to step)
     pub fn on_packet(&mut self, now: SimTime, pkt: &Packet) {
+        let _ = self.step(ReceiverEvent::Packet { now, pkt });
+    }
+
+    fn apply_packet(&mut self, now: SimTime, pkt: &Packet) {
         if let Some(seq) = pkt.data_seq() {
             self.reporter.on_data_channel_packet(seq);
         }
@@ -309,7 +369,12 @@ impl SstpReceiver {
                     // A newer version supersedes any partial assembly.
                     *entry = (d.version, 0);
                 } else if d.version < entry.0 {
-                    return; // stale fragment of an old version
+                    if !self.muts.accept_stale {
+                        return; // stale fragment of an old version
+                    }
+                    // Defect: a reordered old-version fragment restarts
+                    // assembly at the stale version.
+                    *entry = (d.version, 0);
                 }
                 if d.offset <= entry.1 && d.end() > entry.1 {
                     entry.1 = d.end();
@@ -325,6 +390,16 @@ impl SstpReceiver {
                     d.tag,
                 );
                 if contiguous == d.total_len {
+                    if self.muts.accept_stale
+                        && self
+                            .replica
+                            .get(d.key)
+                            .is_some_and(|e| e.value.version > d.version)
+                    {
+                        // Defect continued: force the stale value in, past
+                        // the replica's own version guard.
+                        self.replica.remove(d.key);
+                    }
                     let changed = self.replica.apply(
                         now,
                         d.key,
@@ -338,8 +413,12 @@ impl SstpReceiver {
                         self.events.log(now, EventKind::Deliver, d.key.0);
                     }
                     self.reasm.remove(&d.key);
-                    // Data in hand: a pending NACK for it is moot.
-                    self.satisfied(&FbKind::Nack(d.key));
+                    if !self.muts.keep_pending_on_install {
+                        // Data in hand: a pending NACK for it is moot.
+                        // (The mutation keeps it — a livelock where every
+                        // repaired key is immediately re-requested.)
+                        self.satisfied(&FbKind::Nack(d.key));
+                    }
                 }
             }
             Packet::RootSummary(rs) => {
@@ -433,7 +512,15 @@ impl SstpReceiver {
     }
 
     /// All feedback due at or before `now`, NACKs batched into one packet.
+    // lint: allow(D008, compat shim delegating to step)
     pub fn poll_feedback(&mut self, now: SimTime) -> Vec<Packet> {
+        match self.step(ReceiverEvent::PollFeedback { now }) {
+            ReceiverEffect::Feedback(pkts) => pkts,
+            _ => unreachable!("PollFeedback yields Feedback"),
+        }
+    }
+
+    fn apply_poll_feedback(&mut self, now: SimTime) -> Vec<Packet> {
         let mut queries = Vec::new();
         let mut nacks = Vec::new();
         while let Some((&slot, _)) = self.pending.first_key_value() {
@@ -477,8 +564,23 @@ impl SstpReceiver {
     /// Runs the soft-state expiry sweep; expired entries leave both the
     /// replica and the mirror (so they will be re-fetched if the sender
     /// still announces them). Returns the expired keys.
+    // lint: allow(D008, compat shim delegating to step)
     pub fn expire(&mut self, now: SimTime) -> Vec<Key> {
-        let dead = self.replica.expire_until(now);
+        match self.step(ReceiverEvent::Expire { now }) {
+            ReceiverEffect::Expired(keys) => keys,
+            _ => unreachable!("Expire yields Expired"),
+        }
+    }
+
+    fn apply_expire(&mut self, now: SimTime) -> Vec<Key> {
+        let horizon = if self.muts.expire_early {
+            // Defect: the sweep reaches half a TTL into the future, so
+            // entries die while the publisher is still refreshing them.
+            now + SimDuration::from_micros(self.cfg.ttl.as_micros() / 2)
+        } else {
+            now
+        };
+        let dead = self.replica.expire_until(horizon);
         for &key in &dead {
             self.mirror.remove_adu(key);
             self.reasm.remove(&key);
@@ -506,6 +608,105 @@ impl SstpReceiver {
     /// The receiver id.
     pub fn id(&self) -> u32 {
         self.cfg.id
+    }
+
+    /// Number of repair requests (queries + NACKs) awaiting their fire
+    /// time. The explorer uses this for quiescence detection.
+    pub fn outstanding_feedback(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Whether a NACK for `key` is scheduled but not yet fired. The
+    /// `ss-verify` explorer asserts this is false right after the key's
+    /// data is installed (a pending NACK for data in hand is a livelock
+    /// seed — see `RxMutations::keep_pending_on_install`).
+    pub fn has_pending_nack(&self, key: Key) -> bool {
+        self.pending_index.contains_key(&FbKind::Nack(key))
+    }
+
+    /// A 64-bit fingerprint of the machine's *semantic* state, for the
+    /// `ss-verify` explorer's visited-state set. Covers the replica
+    /// (keys, versions, expiry deadlines), the namespace mirror digest,
+    /// scheduled feedback, backoff bookkeeping, and reassembly edges;
+    /// deliberately excludes the feedback sequence counter, statistics,
+    /// the reporter, the slotting RNG, and the event log. Takes
+    /// `&mut self` only because the mirror digest is computed lazily.
+    // lint: allow(D008, read-only aside from the lazy digest cache)
+    pub fn fingerprint(&mut self) -> u64 {
+        let mut h = StateHasher::new();
+        h.write_u64(self.replica.len() as u64);
+        for (key, e) in self.replica.entries() {
+            h.write_u64(key.0);
+            h.write_u64(e.value.version);
+            h.write_u64(e.expires_at.as_micros());
+        }
+        let root = self.mirror.root_digest();
+        h.write_bytes(root.as_bytes());
+        h.write_u64(self.pending.len() as u64);
+        for (&(fire, _), kind) in &self.pending {
+            h.write_u64(fire.as_micros());
+            hash_fb_kind(&mut h, kind);
+        }
+        h.write_u64(self.attempts.len() as u64);
+        for (kind, &n) in &self.attempts {
+            hash_fb_kind(&mut h, kind);
+            h.write_u64(u64::from(n));
+        }
+        h.write_u64(self.last_attempt.len() as u64);
+        for (kind, &at) in &self.last_attempt {
+            hash_fb_kind(&mut h, kind);
+            h.write_u64(at.as_micros());
+        }
+        h.write_u64(self.reasm.len() as u64);
+        for (key, &(version, edge)) in &self.reasm {
+            h.write_u64(key.0);
+            h.write_u64(version);
+            h.write_u64(u64::from(edge));
+        }
+        h.finish()
+    }
+
+    /// Checks the machine's internal representation invariants; the
+    /// explorer calls this after every step. `pending` and
+    /// `pending_index` must be exact inverses of each other.
+    pub fn self_check(&self) -> Result<(), MachineError> {
+        if self.pending.len() != self.pending_index.len() {
+            return Err(format!(
+                "pending holds {} requests but the index has {}",
+                self.pending.len(),
+                self.pending_index.len()
+            ));
+        }
+        for (slot, kind) in &self.pending {
+            match self.pending_index.get(kind) {
+                Some(back) if back == slot => {}
+                Some(back) => {
+                    return Err(format!(
+                        "pending {kind:?} fires at {slot:?} but the index says {back:?}"
+                    ));
+                }
+                None => {
+                    return Err(format!("pending {kind:?} missing from the index"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+fn hash_fb_kind(h: &mut StateHasher, kind: &FbKind) {
+    match kind {
+        FbKind::Query(path) => {
+            h.write_u64(1);
+            h.write_u64(path.len() as u64);
+            for &slot in path {
+                h.write_u64(u64::from(slot));
+            }
+        }
+        FbKind::Nack(key) => {
+            h.write_u64(2);
+            h.write_u64(key.0);
+        }
     }
 }
 

@@ -12,7 +12,8 @@
 //! queue, [`SstpSender::summary_packet`] for the cold/background stream).
 //! The session harness (or a real UDP wrapper) drives it.
 
-use crate::digest::HashAlgorithm;
+use crate::digest::{Digest, HashAlgorithm};
+use crate::machine::{MachineError, SenderEffect, SenderEvent, StateHasher, TxMutations};
 use crate::namespace::{MetaTag, Namespace, NodeId, Path};
 use crate::reports::LossEstimator;
 use crate::wire::{DataPacket, NodeSummaryPacket, Packet, RootSummaryPacket};
@@ -86,6 +87,7 @@ struct FragState {
 /// }
 /// assert!(tx.next_hot_packet().is_none());
 /// ```
+#[derive(Clone)]
 pub struct SstpSender {
     table: PublisherTable,
     ns: Namespace,
@@ -115,6 +117,12 @@ pub struct SstpSender {
     loss: std::collections::BTreeMap<u32, LossEstimator>,
     default_payload: u32,
     stats: SenderStats,
+    /// Seeded defects for mutation-testing `ss-verify` (all off in
+    /// production; see [`TxMutations`]).
+    muts: TxMutations,
+    /// First root digest ever emitted, kept only for the
+    /// `frozen_summary_digest` mutation.
+    frozen_digest: Option<Digest>,
 }
 
 impl SstpSender {
@@ -145,7 +153,62 @@ impl SstpSender {
             loss: std::collections::BTreeMap::new(),
             default_payload,
             stats: SenderStats::default(),
+            muts: TxMutations::default(),
+            frozen_digest: None,
         }
+    }
+
+    /// Installs seeded protocol defects for mutation testing. Never used
+    /// by the session harness; see [`TxMutations`].
+    #[doc(hidden)]
+    pub fn with_mutations(mut self, muts: TxMutations) -> Self {
+        self.muts = muts;
+        self
+    }
+
+    /// Advances the machine by one event; the single mutation entry
+    /// point. Every imperative method on this type is a thin shim over
+    /// this dispatch — see [`crate::machine`] for why the seam exists.
+    pub fn step(&mut self, ev: SenderEvent) -> SenderEffect {
+        match ev {
+            SenderEvent::Publish {
+                now,
+                parent,
+                tag,
+                payload_len,
+            } => {
+                let len = payload_len.unwrap_or(self.default_payload);
+                SenderEffect::Published(self.apply_publish(now, parent, tag, len))
+            }
+            SenderEvent::Update(key) => {
+                self.apply_update(key);
+                SenderEffect::None
+            }
+            SenderEvent::Withdraw(key) => SenderEffect::Withdrawn(self.apply_withdraw(key)),
+            SenderEvent::AddBranch { parent, tag } => {
+                SenderEffect::Branch(self.ns.add_interior(parent, tag))
+            }
+            SenderEvent::SetClassWeight { tag, weight } => {
+                let c = self.class_for(tag);
+                self.hot_sched.set_weight(c, weight);
+                SenderEffect::None
+            }
+            SenderEvent::Feedback(pkt) => SenderEffect::Promoted(self.apply_feedback(pkt)),
+            SenderEvent::PollHot => SenderEffect::Transmit(self.apply_next_hot()),
+            SenderEvent::PollCycle => SenderEffect::Transmit(self.apply_next_cycle()),
+            SenderEvent::PollSummary => SenderEffect::Transmit(Some(self.apply_summary())),
+        }
+    }
+
+    /// The next wire sequence number (shared across all packet types, so
+    /// receivers can count losses on the data channel).
+    fn bump_seq(&mut self) -> u64 {
+        if self.muts.reuse_seq {
+            return 0;
+        }
+        let seq = self.seq;
+        self.seq += 1;
+        seq
     }
 
     /// Sets the maximum payload per data packet. ADUs larger than `mtu`
@@ -191,8 +254,7 @@ impl SstpSender {
         let len = remaining.min(self.mtu);
         let end = state.offset + len;
         self.ns.update_adu(state.key, state.version, u64::from(end));
-        let seq = self.seq;
-        self.seq += 1;
+        let seq = self.bump_seq();
         self.stats.data_tx += 1;
         let pkt = Packet::Data(DataPacket {
             seq,
@@ -215,8 +277,12 @@ impl SstpSender {
     }
 
     /// Adds an interior namespace node (an application data class).
+    // lint: allow(D008, compat shim delegating to step)
     pub fn add_branch(&mut self, parent: NodeId, tag: MetaTag) -> NodeId {
-        self.ns.add_interior(parent, tag)
+        match self.step(SenderEvent::AddBranch { parent, tag }) {
+            SenderEffect::Branch(node) => node,
+            _ => unreachable!("AddBranch yields Branch"),
+        }
     }
 
     /// The dense class index for `tag`, creating it (weight 1) on first
@@ -236,12 +302,20 @@ impl SstpSender {
     /// §6.1's "the application flexibly controls the amount of bandwidth
     /// allocated to its different data classes". Weight 0 pauses the
     /// class. Classes default to weight 1.
+    // lint: allow(D008, compat shim delegating to step)
     pub fn set_class_weight(&mut self, tag: MetaTag, weight: u64) {
-        let c = self.class_for(tag);
-        self.hot_sched.set_weight(c, weight);
+        let _ = self.step(SenderEvent::SetClassWeight { tag, weight });
     }
 
     fn enqueue(&mut self, class: usize, item: HotItem) {
+        if self.muts.no_queue_dedup {
+            // Defect: append unconditionally; a NACK storm now queues the
+            // same key many times and `self_check` sees the multiset
+            // diverge from the dedup set.
+            self.queued.insert(item.clone());
+            self.hot[class].push_back(item);
+            return;
+        }
         if self.queued.insert(item.clone()) {
             self.hot[class].push_back(item);
         }
@@ -250,11 +324,21 @@ impl SstpSender {
     /// Publishes a new record under `parent`; it is queued for immediate
     /// transmission ("a sender transmits new data upon arrival from the
     /// application"). Returns the new key.
+    // lint: allow(D008, compat shim delegating to step)
     pub fn publish(&mut self, now: SimTime, parent: NodeId, tag: MetaTag) -> Key {
-        self.publish_sized(now, parent, tag, self.default_payload)
+        match self.step(SenderEvent::Publish {
+            now,
+            parent,
+            tag,
+            payload_len: None,
+        }) {
+            SenderEffect::Published(key) => key,
+            _ => unreachable!("Publish yields Published"),
+        }
     }
 
     /// [`SstpSender::publish`] with an explicit payload size.
+    // lint: allow(D008, compat shim delegating to step)
     pub fn publish_sized(
         &mut self,
         now: SimTime,
@@ -262,7 +346,19 @@ impl SstpSender {
         tag: MetaTag,
         payload_len: u32,
     ) -> Key {
-        let rec = self.table.insert_new(now, payload_len);
+        match self.step(SenderEvent::Publish {
+            now,
+            parent,
+            tag,
+            payload_len: Some(payload_len),
+        }) {
+            SenderEffect::Published(key) => key,
+            _ => unreachable!("Publish yields Published"),
+        }
+    }
+
+    fn apply_publish(&mut self, now: SimTime, parent: NodeId, tag: MetaTag, len: u32) -> Key {
+        let rec = self.table.insert_new(now, len);
         self.ns.add_adu(parent, rec.key, tag);
         let class = self.class_for(tag);
         self.enqueue(class, HotItem::Data(rec.key));
@@ -271,7 +367,12 @@ impl SstpSender {
 
     /// Updates an existing record to a new version and queues its
     /// retransmission. Panics on a dead key.
+    // lint: allow(D008, compat shim delegating to step)
     pub fn update(&mut self, key: Key) {
+        let _ = self.step(SenderEvent::Update(key));
+    }
+
+    fn apply_update(&mut self, key: Key) {
         let rec = self.table.update(key);
         // The new version has 0 bytes on the wire until retransmitted.
         self.ns.update_adu(key, rec.value.version, 0);
@@ -282,7 +383,15 @@ impl SstpSender {
     /// Withdraws a record: its lifetime ended. Receivers learn via
     /// summary mismatch (the tombstoned slot) or their own soft-state
     /// expiry. Returns `true` if the key was live.
+    // lint: allow(D008, compat shim delegating to step)
     pub fn withdraw(&mut self, key: Key) -> bool {
+        match self.step(SenderEvent::Withdraw(key)) {
+            SenderEffect::Withdrawn(live) => live,
+            _ => unreachable!("Withdraw yields Withdrawn"),
+        }
+    }
+
+    fn apply_withdraw(&mut self, key: Key) -> bool {
         if self.table.delete(key).is_none() {
             return false;
         }
@@ -305,11 +414,25 @@ impl SstpSender {
     /// keys this packet promoted into the hot queue (non-empty only for
     /// NACKs naming live, not-yet-queued keys), so callers can trace the
     /// NACK → promotion causality.
+    // lint: allow(D008, compat shim delegating to step)
     pub fn on_packet(&mut self, pkt: &Packet) -> Vec<Key> {
+        match self.step(SenderEvent::Feedback(pkt)) {
+            SenderEffect::Promoted(keys) => keys,
+            _ => unreachable!("Feedback yields Promoted"),
+        }
+    }
+
+    fn apply_feedback(&mut self, pkt: &Packet) -> Vec<Key> {
         let mut promoted = Vec::new();
         match pkt {
             Packet::Nack(n) => {
                 self.stats.nacks_rx += 1;
+                if self.muts.drop_promotions {
+                    // Defect: the NACK is counted but never promotes its
+                    // keys — Figure 7's cold → hot edge is severed, so
+                    // lost data waits for the (slow) cold cycle forever.
+                    return promoted;
+                }
                 for &key in &n.keys {
                     if self.table.get(key).is_some() {
                         let item = HotItem::Data(key);
@@ -352,7 +475,15 @@ impl SstpSender {
     /// empty. Dead records and vanished nodes queued earlier are skipped.
     /// An ADU larger than the MTU occupies several consecutive calls, one
     /// fragment each.
+    // lint: allow(D008, compat shim delegating to step)
     pub fn next_hot_packet(&mut self) -> Option<Packet> {
+        match self.step(SenderEvent::PollHot) {
+            SenderEffect::Transmit(pkt) => pkt,
+            _ => unreachable!("PollHot yields Transmit"),
+        }
+    }
+
+    fn apply_next_hot(&mut self) -> Option<Packet> {
         // Continue an in-progress fragmented ADU first.
         if let Some(mut state) = self.hot_frag.take() {
             if let Some((pkt, done)) = self.next_fragment(&mut state) {
@@ -402,8 +533,7 @@ impl SstpSender {
                         .into_iter()
                         .map(Into::into)
                         .collect();
-                    let seq = self.seq;
-                    self.seq += 1;
+                    let seq = self.bump_seq();
                     self.stats.node_summaries_tx += 1;
                     return Some(Packet::NodeSummary(NodeSummaryPacket {
                         seq,
@@ -420,7 +550,15 @@ impl SstpSender {
     /// classic §3 open-loop refresh stream, used when no feedback channel
     /// exists to repair divergence (announce/listen reliability) and by
     /// late-joiner catch-up. Returns `None` when the table is empty.
+    // lint: allow(D008, compat shim delegating to step)
     pub fn next_cycle_packet(&mut self) -> Option<Packet> {
+        match self.step(SenderEvent::PollCycle) {
+            SenderEffect::Transmit(pkt) => pkt,
+            _ => unreachable!("PollCycle yields Transmit"),
+        }
+    }
+
+    fn apply_next_cycle(&mut self) -> Option<Packet> {
         if let Some(mut state) = self.cycle_frag.take() {
             if let Some((pkt, done)) = self.next_fragment(&mut state) {
                 if !done {
@@ -454,13 +592,28 @@ impl SstpSender {
     }
 
     /// Builds a background (cold) packet: the periodic root summary.
+    // lint: allow(D008, compat shim delegating to step)
     pub fn summary_packet(&mut self) -> Packet {
-        let seq = self.seq;
-        self.seq += 1;
+        match self.step(SenderEvent::PollSummary) {
+            SenderEffect::Transmit(Some(pkt)) => pkt,
+            _ => unreachable!("PollSummary yields a packet"),
+        }
+    }
+
+    fn apply_summary(&mut self) -> Packet {
+        let seq = self.bump_seq();
         self.stats.root_summaries_tx += 1;
+        let current = self.ns.root_digest();
+        let digest = if self.muts.frozen_summary_digest {
+            // Defect: the digest is computed once and re-announced
+            // forever, so receivers never see later publishes diverge.
+            *self.frozen_digest.get_or_insert(current)
+        } else {
+            current
+        };
         Packet::RootSummary(RootSummaryPacket {
             seq,
-            digest: self.ns.root_digest(),
+            digest,
             live_adus: self.ns.live_adus() as u32,
         })
     }
@@ -495,14 +648,110 @@ impl SstpSender {
         &self.table
     }
 
-    /// The current namespace (for tests and diagnostics).
-    pub fn namespace_mut(&mut self) -> &mut Namespace {
-        &mut self.ns
-    }
-
     /// Counters.
     pub fn stats(&self) -> SenderStats {
         self.stats
+    }
+
+    /// A 64-bit fingerprint of the machine's *semantic* state, for the
+    /// `ss-verify` explorer's visited-state set. Covers the publisher
+    /// table, the namespace digest, the hot queues, the cold-cycle
+    /// snapshot, and in-flight fragmentation; deliberately excludes wire
+    /// sequence numbers, statistics, loss estimators, and the scheduler
+    /// tie-break RNG (monotone or non-semantic state that would make
+    /// every explored state unique). Takes `&mut self` only because the
+    /// namespace digest is computed lazily.
+    // lint: allow(D008, read-only aside from the lazy digest cache)
+    pub fn fingerprint(&mut self) -> u64 {
+        let mut h = StateHasher::new();
+        h.write_u64(self.table.live_count() as u64);
+        for rec in self.table.live() {
+            h.write_u64(rec.key.0);
+            h.write_u64(rec.value.version);
+            h.write_u64(u64::from(rec.value.payload_len));
+        }
+        let root = self.ns.root_digest();
+        h.write_bytes(root.as_bytes());
+        h.write_u64(self.hot.len() as u64);
+        for q in &self.hot {
+            h.write_u64(q.len() as u64);
+            for item in q {
+                hash_hot_item(&mut h, item);
+            }
+        }
+        for (&tag, &class) in &self.class_of_tag {
+            h.write_u64(u64::from(tag));
+            h.write_u64(class as u64);
+        }
+        h.write_u64(self.cycle.len() as u64);
+        for key in &self.cycle {
+            h.write_u64(key.0);
+        }
+        hash_frag(&mut h, self.hot_frag.as_ref());
+        hash_frag(&mut h, self.cycle_frag.as_ref());
+        h.finish()
+    }
+
+    /// Checks the machine's internal representation invariants; the
+    /// explorer calls this after every step. The hot queues and the
+    /// dedup set must describe exactly the same multiset, and every
+    /// class index must be in range.
+    pub fn self_check(&self) -> Result<(), MachineError> {
+        let mut queued_items = 0usize;
+        for (class, q) in self.hot.iter().enumerate() {
+            for item in q {
+                queued_items += 1;
+                if !self.queued.contains(item) {
+                    return Err(format!(
+                        "hot class {class} holds an item missing from the dedup set: {item:?}"
+                    ));
+                }
+            }
+        }
+        if queued_items != self.queued.len() {
+            return Err(format!(
+                "hot queues hold {queued_items} items but the dedup set has {}",
+                self.queued.len()
+            ));
+        }
+        for (&tag, &class) in &self.class_of_tag {
+            if class >= self.hot.len() {
+                return Err(format!(
+                    "tag {tag} maps to class {class}, but only {} classes exist",
+                    self.hot.len()
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+fn hash_hot_item(h: &mut StateHasher, item: &HotItem) {
+    match item {
+        HotItem::Data(key) => {
+            h.write_u64(1);
+            h.write_u64(key.0);
+        }
+        HotItem::Summary(path) => {
+            h.write_u64(2);
+            h.write_u64(path.len() as u64);
+            for &slot in path {
+                h.write_u64(u64::from(slot));
+            }
+        }
+    }
+}
+
+fn hash_frag(h: &mut StateHasher, frag: Option<&FragState>) {
+    match frag {
+        None => h.write_u64(0),
+        Some(f) => {
+            h.write_u64(1);
+            h.write_u64(f.key.0);
+            h.write_u64(f.version);
+            h.write_u64(u64::from(f.offset));
+            h.write_u64(u64::from(f.total));
+        }
     }
 }
 

@@ -895,13 +895,14 @@ impl Sim {
         // counts its disagreeing records as stale serves; the first
         // fully consistent probe at or after the heal instant marks
         // reconvergence (so MTTR has measure-interval resolution).
-        if !self.faults.is_empty() && self.reconverged_at.is_none() {
-            if self.fault_started.is_some_and(|t| now >= t) {
-                let c = self.c_stale;
-                self.registry.add(c, disagree);
-                if now >= self.faults.healed_at() && disagree == 0 {
-                    self.reconverged_at = Some(now);
-                }
+        if !self.faults.is_empty()
+            && self.reconverged_at.is_none()
+            && self.fault_started.is_some_and(|t| now >= t)
+        {
+            let c = self.c_stale;
+            self.registry.add(c, disagree);
+            if now >= self.faults.healed_at() && disagree == 0 {
+                self.reconverged_at = Some(now);
             }
         }
     }

@@ -1,0 +1,186 @@
+//! Bounded-depth exhaustive exploration of the model.
+//!
+//! Plain DFS over [`Model::enabled`] interleavings with a visited-state
+//! set keyed by [`Model::fingerprint`]. Every transition runs the
+//! per-step invariants; every newly reached *quiescent* state (empty
+//! wire) additionally runs the [`drain_converges`] liveness check. The
+//! first violation stops the search and comes back as a
+//! [`Counterexample`] whose script replays the exact path.
+
+use crate::invariants::{drain_converges, Violation};
+use crate::model::{Action, Model, Scope};
+use crate::mutation::{Mutation, MutationSet};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A replayable witness of an invariant violation.
+#[derive(Clone, Debug)]
+pub struct Counterexample {
+    /// The event script leading to the violating state.
+    pub script: Vec<Action>,
+    /// What broke.
+    pub violation: Violation,
+    /// Whether the violation surfaced during the post-script quiescent
+    /// drain (liveness) rather than on a scripted step (safety).
+    pub during_drain: bool,
+}
+
+impl fmt::Display for Counterexample {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "violated {}", self.violation)?;
+        writeln!(f, "replayable script ({} steps):", self.script.len())?;
+        for act in &self.script {
+            writeln!(f, "  {act}")?;
+        }
+        if self.during_drain {
+            writeln!(
+                f,
+                "(violation surfaced in the quiescent repair drain after the script)"
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// What an exploration did.
+#[derive(Clone, Debug)]
+pub struct Report {
+    /// Distinct states visited (including the initial state).
+    pub states: u64,
+    /// Transitions applied (including ones landing on visited states).
+    pub transitions: u64,
+    /// Quiescent states put through the drain check.
+    pub drains: u64,
+    /// Deepest interleaving reached.
+    pub deepest: usize,
+    /// The first violation found, if any.
+    pub counterexample: Option<Counterexample>,
+}
+
+struct Frame {
+    state: Model,
+    acts: Vec<Action>,
+    idx: usize,
+    via: Option<Action>,
+}
+
+fn path_to(stack: &[Frame], last: Action) -> Vec<Action> {
+    stack
+        .iter()
+        .filter_map(|f| f.via)
+        .chain(std::iter::once(last))
+        .collect()
+}
+
+/// Exhaustively explores every interleaving of enabled actions up to
+/// `scope.max_depth`, deduplicating on state fingerprints. Returns the
+/// first counterexample found, or a clean report.
+pub fn explore(scope: Scope, muts: MutationSet) -> Report {
+    let mut report = Report {
+        states: 1,
+        transitions: 0,
+        drains: 0,
+        deepest: 0,
+        counterexample: None,
+    };
+    let mut root = Model::new(scope, muts);
+    let mut visited: BTreeSet<u64> = BTreeSet::new();
+    let mut drained: BTreeSet<u64> = BTreeSet::new();
+    let root_fp = root.fingerprint();
+    visited.insert(root_fp);
+    if root.is_quiescent() {
+        report.drains += 1;
+        drained.insert(root_fp);
+        if let Err(v) = drain_converges(&root) {
+            report.counterexample = Some(Counterexample {
+                script: Vec::new(),
+                violation: v,
+                during_drain: true,
+            });
+            return report;
+        }
+    }
+    let acts = root.enabled();
+    let mut stack = vec![Frame {
+        state: root,
+        acts,
+        idx: 0,
+        via: None,
+    }];
+    while let Some(top) = stack.last_mut() {
+        if top.idx >= top.acts.len() {
+            stack.pop();
+            continue;
+        }
+        let act = top.acts[top.idx];
+        top.idx += 1;
+        let mut child = top.state.clone();
+        if let Err(v) = child.apply(act) {
+            report.counterexample = Some(Counterexample {
+                script: path_to(&stack, act),
+                violation: v,
+                during_drain: false,
+            });
+            return report;
+        }
+        report.transitions += 1;
+        let fp = child.fingerprint();
+        if !visited.insert(fp) {
+            continue;
+        }
+        report.states += 1;
+        let depth = stack.len();
+        report.deepest = report.deepest.max(depth);
+        if child.is_quiescent() && drained.insert(fp) {
+            report.drains += 1;
+            if let Err(v) = drain_converges(&child) {
+                report.counterexample = Some(Counterexample {
+                    script: path_to(&stack, act),
+                    violation: v,
+                    during_drain: true,
+                });
+                return report;
+            }
+        }
+        if depth < scope.max_depth {
+            let acts = child.enabled();
+            stack.push(Frame {
+                state: child,
+                acts,
+                idx: 0,
+                via: Some(act),
+            });
+        }
+    }
+    report
+}
+
+/// Replays a script through a fresh model, then runs the quiescent
+/// drain. Returns the first violation as a counterexample, or `None`
+/// when the run is clean.
+pub fn run_script(script: &[Action], scope: Scope, muts: MutationSet) -> Option<Counterexample> {
+    let mut m = Model::new(scope, muts);
+    for (i, &act) in script.iter().enumerate() {
+        if let Err(v) = m.apply(act) {
+            return Some(Counterexample {
+                script: script[..=i].to_vec(),
+                violation: v,
+                during_drain: false,
+            });
+        }
+    }
+    drain_converges(&m).err().map(|v| Counterexample {
+        script: script.to_vec(),
+        violation: v,
+        during_drain: true,
+    })
+}
+
+/// Tries to catch a seeded mutation: first its directed adversarial
+/// script, then (as a fallback) a blind smoke-scope exploration.
+/// Returns the counterexample that caught it, or `None` if the defect
+/// escaped — which is itself a bug in the explorer.
+pub fn detect(mutation: Mutation) -> Option<Counterexample> {
+    run_script(&mutation.script(), Scope::script(), mutation.set())
+        .or_else(|| explore(Scope::smoke(), mutation.set()).counterexample)
+}

@@ -1,0 +1,307 @@
+//! Seeded protocol defects for validating the explorer.
+//!
+//! A model checker that has never caught a bug proves nothing. Each
+//! [`Mutation`] here switches on exactly one seeded defect — eight live
+//! inside the SSTP endpoints themselves (`TxMutations` / `RxMutations`
+//! in `sstp::machine`, compiled in but default-off) and five corrupt
+//! packets on the model's simulated wire ([`WireMutations`], applied at
+//! delivery time). The `mutations_detected` test asserts the explorer
+//! produces a counterexample for every one of them; the same adversarial
+//! scripts must run clean on the unmutated protocol.
+
+use crate::model::Action;
+use sstp::machine::{RxMutations, TxMutations};
+
+/// Defects injected on the model's wire rather than inside an endpoint:
+/// each corrupts one packet kind at delivery time.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WireMutations {
+    /// NACK packets arrive with their key list stripped, so the sender
+    /// never learns what to promote.
+    pub drop_nack_keys: bool,
+    /// Data packets arrive with their version clamped to 1, so updates
+    /// never propagate.
+    pub version_clamp: bool,
+    /// Root summaries arrive with a constant bogus digest, so receivers
+    /// chase a divergence that is not there, forever.
+    pub corrupt_root_digest: bool,
+    /// Node summaries arrive with tombstone entries removed, so
+    /// withdrawals never reach receivers.
+    pub strip_tombstones: bool,
+    /// Repair queries silently vanish in flight, severing the digest
+    /// descent.
+    pub drop_queries: bool,
+}
+
+/// The full defect configuration of one model run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MutationSet {
+    /// Sender-side machine defects.
+    pub tx: TxMutations,
+    /// Receiver-side machine defects.
+    pub rx: RxMutations,
+    /// Wire-level defects.
+    pub wire: WireMutations,
+}
+
+/// Every seeded defect the explorer must be able to catch, one per
+/// variant.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mutation {
+    /// Sender: NACKs counted but never promote (Figure 7's cold → hot
+    /// edge severed).
+    DropPromotions,
+    /// Sender: hot-queue dedup disabled; the same key queues twice.
+    NoQueueDedup,
+    /// Sender: the root summary digest is computed once and frozen.
+    FrozenSummaryDigest,
+    /// Sender: the data-channel sequence number is never advanced.
+    ReuseSeq,
+    /// Receiver: stale versions overwrite fresh ones.
+    AcceptStale,
+    /// Receiver: the exponential-backoff exponent is uncapped.
+    NoBackoffCap,
+    /// Receiver: a pending NACK survives its own data's installation.
+    KeepPendingOnInstall,
+    /// Receiver: the expiry sweep reaches half a TTL into the future.
+    ExpireEarly,
+    /// Wire: NACK key lists are stripped in flight.
+    DropNackKeys,
+    /// Wire: data versions are clamped to 1 in flight.
+    VersionClamp,
+    /// Wire: root summary digests are corrupted in flight.
+    CorruptRootDigest,
+    /// Wire: tombstones are stripped from node summaries in flight.
+    StripTombstones,
+    /// Wire: repair queries vanish in flight.
+    DropQueries,
+}
+
+impl Mutation {
+    /// Every mutation, in a fixed order.
+    pub const ALL: [Mutation; 13] = [
+        Mutation::DropPromotions,
+        Mutation::NoQueueDedup,
+        Mutation::FrozenSummaryDigest,
+        Mutation::ReuseSeq,
+        Mutation::AcceptStale,
+        Mutation::NoBackoffCap,
+        Mutation::KeepPendingOnInstall,
+        Mutation::ExpireEarly,
+        Mutation::DropNackKeys,
+        Mutation::VersionClamp,
+        Mutation::CorruptRootDigest,
+        Mutation::StripTombstones,
+        Mutation::DropQueries,
+    ];
+
+    /// The mutation's CLI name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Mutation::DropPromotions => "drop_promotions",
+            Mutation::NoQueueDedup => "no_queue_dedup",
+            Mutation::FrozenSummaryDigest => "frozen_summary_digest",
+            Mutation::ReuseSeq => "reuse_seq",
+            Mutation::AcceptStale => "accept_stale",
+            Mutation::NoBackoffCap => "no_backoff_cap",
+            Mutation::KeepPendingOnInstall => "keep_pending_on_install",
+            Mutation::ExpireEarly => "expire_early",
+            Mutation::DropNackKeys => "drop_nack_keys",
+            Mutation::VersionClamp => "version_clamp",
+            Mutation::CorruptRootDigest => "corrupt_root_digest",
+            Mutation::StripTombstones => "strip_tombstones",
+            Mutation::DropQueries => "drop_queries",
+        }
+    }
+
+    /// One-line description for `--list-mutations`.
+    pub fn describe(self) -> &'static str {
+        match self {
+            Mutation::DropPromotions => "sender ignores NACK promotions (cold→hot edge severed)",
+            Mutation::NoQueueDedup => "sender hot-queue dedup disabled",
+            Mutation::FrozenSummaryDigest => "sender freezes the root summary digest",
+            Mutation::ReuseSeq => "sender reuses data-channel sequence numbers",
+            Mutation::AcceptStale => "receiver lets stale versions overwrite fresh ones",
+            Mutation::NoBackoffCap => "receiver backoff exponent uncapped",
+            Mutation::KeepPendingOnInstall => {
+                "receiver keeps a pending NACK after its data installs"
+            }
+            Mutation::ExpireEarly => "receiver expiry sweep reaches half a TTL early",
+            Mutation::DropNackKeys => "wire strips NACK key lists",
+            Mutation::VersionClamp => "wire clamps data versions to 1",
+            Mutation::CorruptRootDigest => "wire corrupts root summary digests",
+            Mutation::StripTombstones => "wire strips tombstones from node summaries",
+            Mutation::DropQueries => "wire drops repair queries",
+        }
+    }
+
+    /// Parses a CLI name.
+    pub fn from_name(name: &str) -> Option<Mutation> {
+        Mutation::ALL.iter().copied().find(|m| m.name() == name)
+    }
+
+    /// The defect configuration switching on exactly this mutation.
+    pub fn set(self) -> MutationSet {
+        let mut s = MutationSet::default();
+        match self {
+            Mutation::DropPromotions => s.tx.drop_promotions = true,
+            Mutation::NoQueueDedup => s.tx.no_queue_dedup = true,
+            Mutation::FrozenSummaryDigest => s.tx.frozen_summary_digest = true,
+            Mutation::ReuseSeq => s.tx.reuse_seq = true,
+            Mutation::AcceptStale => s.rx.accept_stale = true,
+            Mutation::NoBackoffCap => s.rx.no_backoff_cap = true,
+            Mutation::KeepPendingOnInstall => s.rx.keep_pending_on_install = true,
+            Mutation::ExpireEarly => s.rx.expire_early = true,
+            Mutation::DropNackKeys => s.wire.drop_nack_keys = true,
+            Mutation::VersionClamp => s.wire.version_clamp = true,
+            Mutation::CorruptRootDigest => s.wire.corrupt_root_digest = true,
+            Mutation::StripTombstones => s.wire.strip_tombstones = true,
+            Mutation::DropQueries => s.wire.drop_queries = true,
+        }
+        s
+    }
+
+    /// A directed adversarial event script that exposes this defect.
+    /// Replayed through the same model and invariant machinery as the
+    /// exhaustive search; the unmutated protocol must run every one of
+    /// these clean (`scripts_clean_on_real_protocol`).
+    pub fn script(self) -> Vec<Action> {
+        use Action::*;
+        match self {
+            // Lose rx0's copy; repair is the only way back, and the
+            // severed promotion edge means the post-script drain never
+            // converges.
+            Mutation::DropPromotions => {
+                vec![Publish, EmitHot, DropData { rx: 0 }, DeliverData { rx: 1 }]
+            }
+            // An update of an already-queued key must be suppressed by
+            // the dedup set; without it the sender's own self-check
+            // finds the queue and the set disagreeing.
+            Mutation::NoQueueDedup => vec![Publish, Update { idx: 0 }],
+            // Freeze the digest over an empty tree, then publish: the
+            // summary keeps announcing emptiness, so a receiver that
+            // lost the data never learns to repair.
+            Mutation::FrozenSummaryDigest => vec![
+                EmitSummary,
+                DeliverData { rx: 0 },
+                DeliverData { rx: 1 },
+                Publish,
+                EmitHot,
+                DropData { rx: 0 },
+                DropData { rx: 1 },
+            ],
+            // Two consecutive transmissions must carry increasing
+            // sequence numbers.
+            Mutation::ReuseSeq => vec![Publish, EmitHot, Publish, EmitHot],
+            // Put v1 and v2 in flight, deliver them newest-first: the
+            // reordered v1 must not regress the replica.
+            Mutation::AcceptStale => vec![
+                Publish,
+                EmitHot,
+                Update { idx: 0 },
+                EmitHot,
+                DeliverDataLast { rx: 0 },
+                DeliverData { rx: 0 },
+            ],
+            // Starve the same root query five times; the fifth re-request
+            // gap must stay within the 16x cap.
+            Mutation::NoBackoffCap => {
+                let mut s = vec![Publish, EmitHot, DropData { rx: 0 }, DeliverData { rx: 1 }];
+                for _ in 0..5 {
+                    s.extend([EmitSummary, DeliverData { rx: 0 }, ClearData { rx: 1 }]);
+                    // Let the slot jitter pass, fire the query, lose it.
+                    s.extend([Tick, Tick, Tick, Tick]);
+                    s.extend([PollFeedback { rx: 0 }, DropFeedback { rx: 0 }]);
+                    // Wait out the (capped) exponential gap: 16 ticks is
+                    // two full capped gaps at the script scope's timing.
+                    s.extend(std::iter::repeat_n(Tick, 16));
+                }
+                s
+            }
+            // Walk the full repair descent to a scheduled NACK, then let
+            // the cold cycle deliver the data: the pending NACK must die
+            // with the install.
+            Mutation::KeepPendingOnInstall => vec![
+                Publish,
+                EmitHot,
+                DropData { rx: 0 },
+                DeliverData { rx: 1 },
+                EmitSummary,
+                DeliverData { rx: 0 },
+                ClearData { rx: 1 },
+                PollFeedback { rx: 0 },
+                DeliverFeedback { rx: 0 },
+                EmitHot,
+                DeliverData { rx: 0 },
+                ClearData { rx: 1 },
+                EmitCycle,
+                DeliverData { rx: 0 },
+            ],
+            // Install a key, stay well inside its TTL, sweep: nothing may
+            // die.
+            Mutation::ExpireEarly => vec![
+                Publish,
+                EmitHot,
+                DeliverData { rx: 0 },
+                DeliverData { rx: 1 },
+                Tick,
+                Tick,
+                Tick,
+                Expire { rx: 0 },
+            ],
+            // Same descent as keep_pending_on_install, but the NACK is
+            // fired and delivered — with its keys stripped, the drain
+            // can never promote the lost data.
+            Mutation::DropNackKeys => vec![
+                Publish,
+                EmitHot,
+                DropData { rx: 0 },
+                DeliverData { rx: 1 },
+                EmitSummary,
+                DeliverData { rx: 0 },
+                ClearData { rx: 1 },
+                PollFeedback { rx: 0 },
+                DeliverFeedback { rx: 0 },
+                EmitHot,
+                DeliverData { rx: 0 },
+                ClearData { rx: 1 },
+                PollFeedback { rx: 0 },
+                DeliverFeedback { rx: 0 },
+            ],
+            // The clamped wire forever re-delivers v1 while the publisher
+            // sits at v2.
+            Mutation::VersionClamp => vec![
+                Publish,
+                Update { idx: 0 },
+                EmitHot,
+                DeliverData { rx: 0 },
+                DeliverData { rx: 1 },
+            ],
+            // A fully consistent group must stop generating repair
+            // traffic; the corrupted digest keeps it descending forever.
+            Mutation::CorruptRootDigest => vec![
+                Publish,
+                EmitHot,
+                DeliverData { rx: 0 },
+                DeliverData { rx: 1 },
+                EmitSummary,
+                DeliverData { rx: 0 },
+                DeliverData { rx: 1 },
+            ],
+            // Withdraw after delivery: the tombstone is the only way the
+            // receivers learn, and the wire eats it.
+            Mutation::StripTombstones => vec![
+                Publish,
+                EmitHot,
+                DeliverData { rx: 0 },
+                DeliverData { rx: 1 },
+                Withdraw { idx: 0 },
+            ],
+            // A lost packet whose repair descent starts with a query the
+            // wire swallows.
+            Mutation::DropQueries => {
+                vec![Publish, EmitHot, DropData { rx: 0 }, DeliverData { rx: 1 }]
+            }
+        }
+    }
+}

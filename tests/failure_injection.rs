@@ -34,7 +34,7 @@ impl Harness {
         let tx = SstpSender::new(HashAlgorithm::Fnv64, 500);
         let mut cfg = ReceiverConfig::unicast(0, HashAlgorithm::Fnv64);
         cfg.ttl = SimDuration::from_secs(ttl_secs);
-        let mut rng = SimRng::new(2);
+        let rng = SimRng::new(2);
         let faults = FaultSpec::none().build(rng.derive("faults"));
         Harness {
             tx,
