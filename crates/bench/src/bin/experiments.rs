@@ -181,11 +181,32 @@ fn json_number(json: &str, name: &str) -> Option<f64> {
     rest[..end].parse().ok()
 }
 
+/// One experiment's row from a bench JSON: `(id, events, events/sec)`.
+/// Parses the fixed single-line-per-entry layout [`run_bench`] emits
+/// (which `BENCH_baseline.json` is a committed copy of).
+fn json_experiments(json: &str) -> Vec<(String, f64, f64)> {
+    let mut out = Vec::new();
+    for chunk in json.split("{\"id\": \"").skip(1) {
+        let Some(id_end) = chunk.find('"') else {
+            continue;
+        };
+        let entry = &chunk[..chunk.find('}').unwrap_or(chunk.len())];
+        if let (Some(events), Some(eps)) = (
+            json_number(entry, "events"),
+            json_number(entry, "events_per_sec"),
+        ) {
+            out.push((chunk[..id_end].to_string(), events, eps));
+        }
+    }
+    out
+}
+
 /// Compares a fresh `results/bench.json` against the committed
 /// `BENCH_baseline.json`: events/sec may regress by at most
 /// `tolerance` (a fraction; default 0.5, i.e. flag only halvings —
-/// shared CI runners are noisy). Exits nonzero on regression so CI can
-/// gate on it. Event *counts* are also compared, exactly: they are
+/// shared CI runners are noisy), both in aggregate and per experiment.
+/// Exits nonzero on regression so CI can gate on it. Event *counts*
+/// are also compared, exactly and per experiment: they are
 /// deterministic, so any drift means the simulation itself changed.
 fn run_bench_check(tolerance: f64) -> Result<(), ()> {
     let read = |path: &std::path::Path| -> Result<String, ()> {
@@ -227,6 +248,33 @@ fn run_bench_check(tolerance: f64) -> Result<(), ()> {
             (1.0 - fresh_eps / base_eps) * 100.0
         );
         ok = Err(());
+    }
+    // Per-experiment gates, same policy at finer grain: exact event
+    // counts (determinism) and a per-experiment events/sec floor, so a
+    // regression localized to one experiment can't hide inside a still-
+    // healthy aggregate.
+    let fresh_rows = json_experiments(&fresh);
+    for (id, b_events, b_eps) in json_experiments(&baseline) {
+        let Some((_, f_events, f_eps)) = fresh_rows.iter().find(|r| r.0 == id) else {
+            eprintln!("bench-check: experiment '{id}' missing from fresh bench");
+            ok = Err(());
+            continue;
+        };
+        if base_fast == fresh_fast && *f_events != b_events {
+            eprintln!(
+                "bench-check: '{id}' event count drifted: baseline {b_events:.0}, \
+                 fresh {f_events:.0}"
+            );
+            ok = Err(());
+        }
+        let floor = b_eps * (1.0 - tolerance);
+        if *f_eps < floor {
+            eprintln!(
+                "bench-check: '{id}' throughput regression: {f_eps:.0} events/s \
+                 < floor {floor:.0} (baseline {b_eps:.0})"
+            );
+            ok = Err(());
+        }
     }
     if ok.is_ok() {
         println!("# bench-check: OK");

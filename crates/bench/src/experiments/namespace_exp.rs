@@ -21,8 +21,9 @@ use sstp::wire::Packet;
 
 /// Builds a store of `n` records, flat or hierarchical, loses records in
 /// `lost_branch`, then repairs losslessly. Returns
-/// `(feedback_packets, feedback_bytes, repair_response_bytes, rounds)`.
-fn run_case(n: usize, branches: usize, hierarchical: bool) -> (u64, u64, u64, u32) {
+/// `(feedback_packets, feedback_bytes, repair_response_bytes, rounds)`
+/// plus the number of packet-delivery steps performed.
+fn run_case(n: usize, branches: usize, hierarchical: bool) -> (u64, u64, u64, u32, u64) {
     let mut tx = SstpSender::new(HashAlgorithm::Fnv64, 1000);
     let mut cfg = ReceiverConfig::unicast(0, HashAlgorithm::Fnv64);
     cfg.ttl = SimDuration::from_secs(1_000_000);
@@ -49,7 +50,11 @@ fn run_case(n: usize, branches: usize, hierarchical: bool) -> (u64, u64, u64, u3
 
     // Deliver everything except branch 0's records (a localized burst).
     let mut now = SimTime::from_secs(1);
+    // There is no event engine here (packets move by direct calls), so
+    // count one step per packet delivery to feed the bench step rate.
+    let mut steps = 0u64;
     while let Some(p) = tx.next_hot_packet() {
+        steps += 1;
         let lost = match &p {
             Packet::Data(d) => keys[..per_branch].contains(&d.key),
             _ => false,
@@ -69,6 +74,7 @@ fn run_case(n: usize, branches: usize, hierarchical: bool) -> (u64, u64, u64, u3
         rounds += 1;
         now += SimDuration::from_secs(1);
         let summary = tx.summary_packet();
+        steps += 1;
         repair_bytes += summary.wire_len() as u64;
         rx.on_packet(now, &summary);
         let mut progressed = false;
@@ -79,11 +85,13 @@ fn run_case(n: usize, branches: usize, hierarchical: bool) -> (u64, u64, u64, u3
             }
             progressed = true;
             for p in &fb {
+                steps += 1;
                 fb_packets += 1;
                 fb_bytes += p.wire_len() as u64;
                 tx.on_packet(p);
             }
             while let Some(p) = tx.next_hot_packet() {
+                steps += 1;
                 // Count control responses; data retransmissions carry the
                 // payload and are the same for both layouts.
                 if matches!(p, Packet::NodeSummary(_)) {
@@ -97,7 +105,7 @@ fn run_case(n: usize, branches: usize, hierarchical: bool) -> (u64, u64, u64, u3
         }
         assert!(progressed && rounds < 100, "repair must converge");
     }
-    (fb_packets, fb_bytes, repair_bytes, rounds)
+    (fb_packets, fb_bytes, repair_bytes, rounds, steps)
 }
 
 /// Runs the experiment.
@@ -128,7 +136,9 @@ pub fn run(fast: bool) -> crate::ExperimentOutput {
     let results = par::sweep(&points, |_, &(n, _, hier)| {
         run_case(n, (n as f64).sqrt() as usize, hier)
     });
-    for (&(n, label, _), &(fp, fbb, cb, rounds)) in points.iter().zip(&results) {
+    let mut events = 0u64;
+    for (&(n, label, _), &(fp, fbb, cb, rounds, steps)) in points.iter().zip(&results) {
+        events += steps;
         t.push_row(vec![
             n.to_string(),
             label.to_string(),
@@ -138,7 +148,9 @@ pub fn run(fast: bool) -> crate::ExperimentOutput {
             rounds.to_string(),
         ]);
     }
-    vec![t].into()
+    let mut out: crate::ExperimentOutput = vec![t].into();
+    out.events = events;
+    out
 }
 
 #[cfg(test)]

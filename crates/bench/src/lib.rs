@@ -106,8 +106,10 @@ pub struct ExperimentOutput {
     pub traces: Vec<TraceArtifact>,
     /// Total simulator events dispatched across every run of the
     /// experiment (sum of the runs' `engine.events_dispatched`
-    /// counters). Feeds the `experiments bench` events/sec figures;
-    /// zero for experiments that don't drive the event engine.
+    /// counters). Feeds the `experiments bench` events/sec figures.
+    /// Experiments that drive endpoints directly instead of through the
+    /// event engine (e.g. `namespace`) count one event per packet
+    /// delivery, so every row in the bench report is non-zero.
     pub events: u64,
 }
 

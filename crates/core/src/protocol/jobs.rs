@@ -6,33 +6,49 @@
 //! updates, receive latency `T_rec`, live-set occupancy, and the `c(t)`
 //! signal all flow through registered metrics, so every protocol variant
 //! shares one measurement core and one export path.
+//!
+//! Storage is an [`Arena`] of generational slots (DESIGN.md §14): a
+//! record is named by its [`Handle`], which rides inside event payloads
+//! and protocol queues, and a stale handle (the record died, the slot
+//! was recycled) is detected by the generation check instead of a map
+//! lookup. Each slot also carries a protocol-specific payload `X` — the
+//! per-record flags the variants used to keep in side tables (`doomed`
+//! sets, `loc` maps, NACK dedup) now live inline with the record.
 
 use crate::consistency::{ConsistencyAverages, ConsistencyMeter};
 use ss_netsim::metrics::{
     AverageId, CounterId, EventKind, EventLog, HistogramId, MetricsRegistry, MetricsSnapshot,
 };
 use ss_netsim::trace::{Actor, TraceId, TraceKind, Tracer};
-use ss_netsim::{DurationHistogram, SimDuration, SimTime};
-use std::collections::BTreeMap;
+use ss_netsim::{Arena, DurationHistogram, Handle, SimDuration, SimTime};
 
-/// Per-record simulation state.
+/// Per-record simulation state, stored in one arena slot together with
+/// the protocol's own payload `X`.
 #[derive(Clone, Copy, Debug)]
-pub(crate) struct JobState {
+struct Job<X> {
+    /// External record id — what the event log, tracer, and workload
+    /// speak; stable for the record's whole life and never recycled.
+    id: u64,
     /// When the record entered the publisher's table.
-    pub born: SimTime,
+    born: SimTime,
     /// Whether the receiver currently holds this record's value.
-    pub consistent: bool,
+    consistent: bool,
+    /// This record's position in the dense `live` vector (for O(1)
+    /// swap-removal on death).
+    live_idx: u32,
+    /// Protocol-specific per-record state.
+    extra: X,
 }
 
 /// The live set plus all §2.1 instrumentation.
 #[derive(Clone, Debug)]
-pub(crate) struct LiveJobs {
-    jobs: BTreeMap<u64, JobState>,
-    /// Dense list of live ids for O(1) uniform sampling (update
-    /// workloads pick a random live record to supersede).
-    ids: Vec<u64>,
-    /// Position of each id in `ids`.
-    pos: BTreeMap<u64, usize>,
+pub(crate) struct LiveJobs<X = ()> {
+    jobs: Arena<Job<X>>,
+    /// Dense list of live handles for O(1) uniform sampling (update
+    /// workloads pick a random live record to supersede). Maintained
+    /// push-back / swap-remove, exactly like the id vector it replaced,
+    /// so the sampling sequence is unchanged.
+    live: Vec<Handle>,
     n_consistent: usize,
     meter: ConsistencyMeter,
     registry: MetricsRegistry,
@@ -47,7 +63,7 @@ pub(crate) struct LiveJobs {
     a_consistency: AverageId,
 }
 
-impl LiveJobs {
+impl<X> LiveJobs<X> {
     /// Starts the measurement core at `start`. `series_spacing` enables
     /// the legacy `c(t)` series (and sets the `consistency.c_t` window
     /// width); `event_capacity` bounds the typed event log and
@@ -76,9 +92,8 @@ impl LiveJobs {
             series_spacing.unwrap_or(SimDuration::ZERO),
         );
         LiveJobs {
-            jobs: BTreeMap::new(),
-            ids: Vec::new(),
-            pos: BTreeMap::new(),
+            jobs: Arena::new(),
+            live: Vec::new(),
             n_consistent: 0,
             meter,
             registry,
@@ -121,35 +136,38 @@ impl LiveJobs {
         self.registry.record_sample(self.a_consistency, now, c);
     }
 
-    /// A new (inconsistent) record enters the live set.
-    pub(crate) fn arrive(&mut self, now: SimTime, id: u64) {
-        let prev = self.jobs.insert(
+    /// A new (inconsistent) record enters the live set, carrying the
+    /// protocol's initial per-record state. Returns the handle that
+    /// names it until death.
+    pub(crate) fn arrive(&mut self, now: SimTime, id: u64, extra: X) -> Handle {
+        let live_idx = u32::try_from(self.live.len()).expect("live set exceeds u32");
+        let h = self.jobs.insert(Job {
             id,
-            JobState {
-                born: now,
-                consistent: false,
-            },
-        );
-        assert!(prev.is_none(), "job {id} already live");
-        self.pos.insert(id, self.ids.len());
-        self.ids.push(id);
+            born: now,
+            consistent: false,
+            live_idx,
+            extra,
+        });
+        self.live.push(h);
         self.registry.inc(self.c_arrivals);
         self.events.log(now, EventKind::Arrival, id);
         self.tracer.birth(now, Actor::Publisher, id);
         self.observe(now);
+        h
     }
 
-    /// A transmission of `id` reached the receiver. Returns `true` on the
+    /// A transmission of `h` reached the receiver. Returns `true` on the
     /// I → C transition (first successful delivery), recording latency.
     /// `cause` is the trace id of the transmission that delivered it
     /// ([`TraceId::NONE`] parents under the record's root span instead).
-    pub(crate) fn deliver(&mut self, now: SimTime, id: u64, cause: TraceId) -> bool {
-        let job = self.jobs.get_mut(&id).expect("deliver of dead job");
+    pub(crate) fn deliver(&mut self, now: SimTime, h: Handle, cause: TraceId) -> bool {
+        let job = self.jobs.get_mut(h).expect("deliver of dead job");
         if job.consistent {
             return false;
         }
         job.consistent = true;
         let born = job.born;
+        let id = job.id;
         self.n_consistent += 1;
         self.registry.inc(self.c_delivered);
         self.registry.observe(self.h_latency, now.since(born));
@@ -165,22 +183,25 @@ impl LiveJobs {
         true
     }
 
-    /// The record's lifetime ended; it leaves both tables.
-    /// Returns whether it was consistent at death.
-    pub(crate) fn kill(&mut self, now: SimTime, id: u64) -> bool {
-        let job = self.jobs.remove(&id).expect("kill of dead job");
-        let idx = self.pos.remove(&id).expect("live id indexed");
-        let last = self.ids.pop().expect("nonempty ids");
-        if last != id {
-            self.ids[idx] = last;
-            self.pos.insert(last, idx);
+    /// The record's lifetime ended; it leaves both tables and `h` (and
+    /// every copy of it) goes stale. Returns whether it was consistent
+    /// at death.
+    pub(crate) fn kill(&mut self, now: SimTime, h: Handle) -> bool {
+        let job = self.jobs.remove(h).expect("kill of dead job");
+        let last = self.live.pop().expect("nonempty live set");
+        if last != h {
+            self.live[job.live_idx as usize] = last;
+            self.jobs
+                .get_mut(last)
+                .expect("dense live handle is live")
+                .live_idx = job.live_idx;
         }
         if job.consistent {
             self.n_consistent -= 1;
         }
         self.registry.inc(self.c_deaths);
-        self.events.log(now, EventKind::Expire, id);
-        self.tracer.death(now, Actor::Publisher, id);
+        self.events.log(now, EventKind::Expire, job.id);
+        self.tracer.death(now, Actor::Publisher, job.id);
         self.observe(now);
         job.consistent
     }
@@ -188,14 +209,16 @@ impl LiveJobs {
     /// The publisher superseded the record's value: the receiver's copy
     /// (if any) is stale again (C → I). Returns whether the record was
     /// consistent before the update.
-    pub(crate) fn invalidate(&mut self, now: SimTime, id: u64) -> bool {
-        let job = self.jobs.get_mut(&id).expect("invalidate of dead job");
+    pub(crate) fn invalidate(&mut self, now: SimTime, h: Handle) -> bool {
+        let job = self.jobs.get_mut(h).expect("invalidate of dead job");
+        let id = job.id;
+        let was = job.consistent;
+        job.consistent = false;
         self.registry.inc(self.c_updates);
         self.events.log(now, EventKind::Update, id);
         self.tracer
             .instant(now, Actor::Publisher, TraceKind::Update, id);
-        if job.consistent {
-            job.consistent = false;
+        if was {
             self.n_consistent -= 1;
             self.observe(now);
             true
@@ -208,38 +231,74 @@ impl LiveJobs {
     /// stale again (C → I), exactly as if each had been superseded — the
     /// wipe is logged as an update per flipped record so the registry,
     /// the event log, and the causal trace all stay in agreement with
-    /// [`ss_netsim::trace::LifecycleAnalysis`]'s replay. Returns how many
-    /// records flipped.
+    /// [`ss_netsim::trace::LifecycleAnalysis`]'s replay. The traversal is
+    /// ordered by record id, not slot index, so the emitted event
+    /// sequence is independent of allocation history (determinism rule
+    /// D005). Returns how many records flipped.
     pub(crate) fn wipe(&mut self, now: SimTime) -> usize {
-        let stale: Vec<u64> = self
+        let mut stale: Vec<(u64, Handle)> = self
             .jobs
             .iter()
-            .filter(|(_, s)| s.consistent)
-            .map(|(&id, _)| id)
+            .filter(|(_, j)| j.consistent)
+            .map(|(h, j)| (j.id, h))
             .collect();
-        for &id in &stale {
-            self.invalidate(now, id);
+        stale.sort_unstable_by_key(|&(id, _)| id);
+        for &(_, h) in &stale {
+            self.invalidate(now, h);
         }
         stale.len()
     }
 
-    /// A uniformly random live record id (None when the set is empty).
-    pub(crate) fn random_live(&self, rng: &mut ss_netsim::SimRng) -> Option<u64> {
-        if self.ids.is_empty() {
+    /// A uniformly random live record (None when the set is empty).
+    pub(crate) fn random_live(&self, rng: &mut ss_netsim::SimRng) -> Option<Handle> {
+        if self.live.is_empty() {
             None
         } else {
-            Some(self.ids[rng.below(self.ids.len() as u64) as usize])
+            Some(self.live[rng.below(self.live.len() as u64) as usize])
         }
     }
 
-    /// Whether `id` is currently consistent. Panics if not live.
-    pub(crate) fn is_consistent(&self, id: u64) -> bool {
-        self.jobs[&id].consistent
+    /// Whether `h` is currently consistent. Panics if not live.
+    #[inline]
+    pub(crate) fn is_consistent(&self, h: Handle) -> bool {
+        self.jobs
+            .get(h)
+            .expect("is_consistent of dead job")
+            .consistent
     }
 
-    /// Whether `id` is live.
-    pub(crate) fn contains(&self, id: u64) -> bool {
-        self.jobs.contains_key(&id)
+    /// Whether `h` still names a live record.
+    #[inline]
+    pub(crate) fn contains(&self, h: Handle) -> bool {
+        self.jobs.contains(h)
+    }
+
+    /// The external id of the live record behind `h`. Panics if stale.
+    #[inline]
+    pub(crate) fn id_of(&self, h: Handle) -> u64 {
+        self.jobs.get(h).expect("id_of dead job").id
+    }
+
+    /// The protocol payload of the record behind `h`, or `None` if the
+    /// handle is stale.
+    #[inline]
+    pub(crate) fn extra(&self, h: Handle) -> Option<&X> {
+        self.jobs.get(h).map(|j| &j.extra)
+    }
+
+    /// Mutable protocol payload behind `h`, or `None` if stale.
+    #[inline]
+    pub(crate) fn extra_mut(&mut self, h: Handle) -> Option<&mut X> {
+        self.jobs.get_mut(h).map(|j| &mut j.extra)
+    }
+
+    /// Applies `f` to every live record's protocol payload (bulk state
+    /// resets, e.g. a crashed receiver forgetting its NACK dedup). The
+    /// visit order is slot order; callers must not emit output from `f`.
+    pub(crate) fn for_each_extra_mut(&mut self, mut f: impl FnMut(&mut X)) {
+        for h in &self.live {
+            f(&mut self.jobs.get_mut(*h).expect("live handle").extra);
+        }
     }
 
     /// Number of live records.
@@ -307,22 +366,23 @@ mod tests {
 
     #[test]
     fn lifecycle_and_metrics() {
-        let mut j = LiveJobs::new(SimTime::ZERO, None, 0, 0);
-        j.arrive(SimTime::ZERO, 1);
-        j.arrive(SimTime::ZERO, 2);
+        let mut j: LiveJobs = LiveJobs::new(SimTime::ZERO, None, 0, 0);
+        let h1 = j.arrive(SimTime::ZERO, 1, ());
+        let h2 = j.arrive(SimTime::ZERO, 2, ());
         assert_eq!(j.len(), 2);
-        assert!(!j.is_consistent(1));
+        assert!(!j.is_consistent(h1));
+        assert_eq!(j.id_of(h1), 1);
 
-        assert!(j.deliver(SimTime::from_secs(1), 1, TraceId::NONE));
+        assert!(j.deliver(SimTime::from_secs(1), h1, TraceId::NONE));
         assert!(
-            !j.deliver(SimTime::from_secs(2), 1, TraceId::NONE),
+            !j.deliver(SimTime::from_secs(2), h1, TraceId::NONE),
             "redundant delivery"
         );
-        assert!(j.is_consistent(1));
+        assert!(j.is_consistent(h1));
 
-        assert!(j.kill(SimTime::from_secs(4), 1));
-        assert!(!j.kill(SimTime::from_secs(4), 2));
-        assert!(!j.contains(1));
+        assert!(j.kill(SimTime::from_secs(4), h1));
+        assert!(!j.kill(SimTime::from_secs(4), h2));
+        assert!(!j.contains(h1));
 
         let (stats, snapshot, _events, _trace) = j.finish(SimTime::from_secs(4));
         assert_eq!(stats.arrivals, 2);
@@ -344,9 +404,9 @@ mod tests {
 
     #[test]
     fn series_enabled() {
-        let mut j = LiveJobs::new(SimTime::ZERO, Some(SimDuration::ZERO), 0, 0);
-        j.arrive(SimTime::ZERO, 7);
-        j.deliver(SimTime::from_secs(1), 7, TraceId::NONE);
+        let mut j: LiveJobs = LiveJobs::new(SimTime::ZERO, Some(SimDuration::ZERO), 0, 0);
+        let h = j.arrive(SimTime::ZERO, 7, ());
+        j.deliver(SimTime::from_secs(1), h, TraceId::NONE);
         let (stats, _, _, _) = j.finish(SimTime::from_secs(2));
         let series = stats.series.unwrap();
         assert_eq!(series.len(), 2);
@@ -355,11 +415,11 @@ mod tests {
 
     #[test]
     fn event_log_records_lifecycle() {
-        let mut j = LiveJobs::new(SimTime::ZERO, None, 16, 0);
-        j.arrive(SimTime::ZERO, 1);
-        j.deliver(SimTime::from_secs(1), 1, TraceId::NONE);
-        j.invalidate(SimTime::from_secs(2), 1);
-        j.kill(SimTime::from_secs(3), 1);
+        let mut j: LiveJobs = LiveJobs::new(SimTime::ZERO, None, 16, 0);
+        let h = j.arrive(SimTime::ZERO, 1, ());
+        j.deliver(SimTime::from_secs(1), h, TraceId::NONE);
+        j.invalidate(SimTime::from_secs(2), h);
+        j.kill(SimTime::from_secs(3), h);
         let (_, _, events, _) = j.finish(SimTime::from_secs(3));
         let kinds: Vec<_> = events.events().iter().map(|e| e.kind).collect();
         assert_eq!(
@@ -374,31 +434,69 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "already live")]
-    fn double_arrive_panics() {
-        let mut j = LiveJobs::new(SimTime::ZERO, None, 0, 0);
-        j.arrive(SimTime::ZERO, 1);
-        j.arrive(SimTime::ZERO, 1);
+    fn stale_handle_is_detected_after_slot_reuse() {
+        let mut j: LiveJobs = LiveJobs::new(SimTime::ZERO, None, 0, 0);
+        let h1 = j.arrive(SimTime::ZERO, 1, ());
+        j.kill(SimTime::from_secs(1), h1);
+        // The new record recycles the slot, but the stale handle stays
+        // dead — this is what makes in-flight timer events for dead
+        // records safe without a map lookup.
+        let h2 = j.arrive(SimTime::from_secs(2), 2, ());
+        assert_eq!(h2.slot(), h1.slot());
+        assert!(!j.contains(h1));
+        assert!(j.contains(h2));
+        assert_eq!(j.extra(h1), None);
+        assert_eq!(j.id_of(h2), 2);
     }
 
     #[test]
     #[should_panic(expected = "dead job")]
     fn deliver_dead_panics() {
-        let mut j = LiveJobs::new(SimTime::ZERO, None, 0, 0);
-        j.deliver(SimTime::ZERO, 1, TraceId::NONE);
+        let mut j: LiveJobs = LiveJobs::new(SimTime::ZERO, None, 0, 0);
+        let h = j.arrive(SimTime::ZERO, 1, ());
+        j.kill(SimTime::from_secs(1), h);
+        j.deliver(SimTime::from_secs(2), h, TraceId::NONE);
+    }
+
+    #[test]
+    fn wipe_emits_in_id_order_regardless_of_slot_history() {
+        let mut j: LiveJobs = LiveJobs::new(SimTime::ZERO, None, 16, 0);
+        // Allocate out of id order by recycling a slot: record 5 lands in
+        // record 3's old slot after 3 dies.
+        let h3 = j.arrive(SimTime::ZERO, 3, ());
+        let h4 = j.arrive(SimTime::ZERO, 4, ());
+        j.deliver(SimTime::ZERO, h3, TraceId::NONE);
+        j.deliver(SimTime::ZERO, h4, TraceId::NONE);
+        j.kill(SimTime::from_secs(1), h3);
+        let h5 = j.arrive(SimTime::from_secs(1), 5, ());
+        assert_eq!(h5.slot(), h3.slot(), "slot recycled out of id order");
+        j.deliver(SimTime::from_secs(1), h5, TraceId::NONE);
+        assert_eq!(j.wipe(SimTime::from_secs(2)), 2);
+        let (_, _, events, _) = j.finish(SimTime::from_secs(2));
+        let updates: Vec<u64> = events
+            .events()
+            .iter()
+            .filter(|e| e.kind == EventKind::Update)
+            .map(|e| e.key)
+            .collect();
+        assert_eq!(
+            updates,
+            vec![4, 5],
+            "wipe order is id order, not slot order"
+        );
     }
 
     #[test]
     fn tracer_mirrors_lifecycle_and_metrics() {
         use ss_netsim::trace::LifecycleAnalysis;
         let end = SimTime::from_secs(4);
-        let mut j = LiveJobs::new(SimTime::ZERO, None, 0, 64);
-        j.arrive(SimTime::ZERO, 1);
-        j.arrive(SimTime::ZERO, 2);
-        j.deliver(SimTime::from_secs(1), 1, TraceId::NONE);
-        j.invalidate(SimTime::from_secs(2), 1);
-        j.deliver(SimTime::from_secs(3), 1, TraceId::NONE);
-        j.kill(SimTime::from_secs(4), 1);
+        let mut j: LiveJobs = LiveJobs::new(SimTime::ZERO, None, 0, 64);
+        let h1 = j.arrive(SimTime::ZERO, 1, ());
+        let _h2 = j.arrive(SimTime::ZERO, 2, ());
+        j.deliver(SimTime::from_secs(1), h1, TraceId::NONE);
+        j.invalidate(SimTime::from_secs(2), h1);
+        j.deliver(SimTime::from_secs(3), h1, TraceId::NONE);
+        j.kill(SimTime::from_secs(4), h1);
         let (_, snapshot, _, trace) = j.finish(end);
         assert_eq!(trace.dropped(), 0);
         let a = LifecycleAnalysis::from_tracer(&trace, end);

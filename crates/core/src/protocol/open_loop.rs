@@ -20,8 +20,8 @@ use crate::workload::{ArrivalProcess, DeathProcess, ServiceModel};
 use ss_netsim::metrics::{CounterId, EventKind, EventLog, MetricsSnapshot, QueueClass};
 use ss_netsim::trace::{Actor, TraceKind, Tracer};
 use ss_netsim::{
-    run_until, run_until_traced, EventQueue, FaultSchedule, FaultSpec, LossModel, SimDuration,
-    SimRng, SimTime, TracedWorld, World,
+    run_until, run_until_traced, EventQueue, FaultSchedule, FaultSpec, Handle, LossModel,
+    SimDuration, SimRng, SimTime, TracedWorld, World,
 };
 use std::collections::VecDeque;
 
@@ -111,23 +111,30 @@ impl OpenLoopReport {
 
 enum Ev {
     Arrival,
-    ServiceDone(u64),
+    ServiceDone(Handle),
     /// Lifetime-based expiry (only scheduled under
-    /// [`DeathProcess::Lifetime`]).
-    LifetimeEnd(u64),
+    /// [`DeathProcess::Lifetime`]). Carries the record's generational
+    /// handle: if the record died first, the handle is stale and the
+    /// event is a no-op — no map lookup needed.
+    LifetimeEnd(Handle),
     /// A fault-episode boundary (only scheduled with a non-empty
     /// [`FaultSpec`]): crash wipes apply here.
     FaultEdge,
 }
 
+/// Per-record protocol state, stored inline in the record's arena slot.
+#[derive(Clone, Copy, Debug, Default)]
+struct OlJob {
+    /// Lifetime ended while in service; the record dies at the service
+    /// completion instead of vanishing off the wire.
+    doomed: bool,
+}
+
 struct Sim {
     cfg: OpenLoopConfig,
-    queue: VecDeque<u64>,
-    serving: Option<u64>,
-    /// Records whose lifetime ended while in service; they die at the
-    /// service completion instead of vanishing off the wire.
-    doomed: std::collections::BTreeSet<u64>,
-    jobs: LiveJobs,
+    queue: VecDeque<Handle>,
+    serving: Option<Handle>,
+    jobs: LiveJobs<OlJob>,
     loss: Box<dyn LossModel>,
     faults: FaultSchedule,
     next_id: u64,
@@ -146,7 +153,7 @@ struct Sim {
 impl Sim {
     fn new(cfg: OpenLoopConfig, faults: &FaultSpec) -> Self {
         let root = SimRng::new(cfg.seed);
-        let loss = cfg.loss.build();
+        let loss = cfg.loss.build_batched();
         // The schedule draws from its own derived stream, so an empty
         // spec consumes nothing and every other stream is unperturbed.
         let faults = faults.build(root.derive("faults"));
@@ -163,7 +170,6 @@ impl Sim {
         Sim {
             queue: VecDeque::new(),
             serving: None,
-            doomed: std::collections::BTreeSet::new(),
             jobs,
             loss,
             faults,
@@ -185,11 +191,11 @@ impl Sim {
     fn spawn_record(&mut self, q: &mut EventQueue<Ev>) {
         let id = self.next_id;
         self.next_id += 1;
-        self.jobs.arrive(q.now(), id);
+        let h = self.jobs.arrive(q.now(), id, OlJob::default());
         if let Some(life) = self.cfg.death.lifetime(&mut self.rng_death) {
-            q.schedule_in(life, Ev::LifetimeEnd(id));
+            q.schedule_in(life, Ev::LifetimeEnd(h));
         }
-        self.queue.push_back(id);
+        self.queue.push_back(h);
         self.maybe_start_service(q);
     }
 
@@ -197,16 +203,16 @@ impl Sim {
         if self.serving.is_some() {
             return;
         }
-        let id = loop {
-            let Some(id) = self.queue.pop_front() else {
+        let h = loop {
+            let Some(h) = self.queue.pop_front() else {
                 return;
             };
-            if self.jobs.contains(id) {
-                break id;
+            if self.jobs.contains(h) {
+                break h;
             }
             // Expired while queued (lifetime death): skip.
         };
-        self.serving = Some(id);
+        self.serving = Some(h);
         let mut st = self
             .cfg
             .service
@@ -216,7 +222,7 @@ impl Sim {
         if factor < 1.0 {
             st = SimDuration::from_micros((st.as_micros() as f64 / factor).round() as u64);
         }
-        q.schedule_in(st, Ev::ServiceDone(id));
+        q.schedule_in(st, Ev::ServiceDone(h));
     }
 
     /// An arrival event: a new record, or — once an update workload's
@@ -227,8 +233,8 @@ impl Sim {
     fn handle_arrival(&mut self, q: &mut EventQueue<Ev>) {
         if let ArrivalProcess::PoissonUpdates { keys, .. } = self.cfg.arrivals {
             if self.jobs.len() as u64 >= keys {
-                if let Some(id) = self.jobs.random_live(&mut self.rng_update) {
-                    self.jobs.invalidate(q.now(), id);
+                if let Some(h) = self.jobs.random_live(&mut self.rng_update) {
+                    self.jobs.invalidate(q.now(), h);
                 }
                 return;
             }
@@ -252,14 +258,14 @@ impl World for Sim {
                 self.handle_arrival(q);
                 self.schedule_next_arrival(q);
             }
-            Ev::LifetimeEnd(id) => {
-                if self.jobs.contains(id) {
-                    if self.serving == Some(id) {
+            Ev::LifetimeEnd(h) => {
+                if self.jobs.contains(h) {
+                    if self.serving == Some(h) {
                         // In flight: die at service completion.
-                        self.doomed.insert(id);
+                        self.jobs.extra_mut(h).expect("live record").doomed = true;
                     } else {
                         // Waiting in the queue: removed lazily at pop.
-                        if self.jobs.kill(q.now(), id) {
+                        if self.jobs.kill(q.now(), h) {
                             self.transitions.c_death += 1;
                         } else {
                             self.transitions.i_death += 1;
@@ -267,10 +273,11 @@ impl World for Sim {
                     }
                 }
             }
-            Ev::ServiceDone(id) => {
-                debug_assert_eq!(self.serving, Some(id));
+            Ev::ServiceDone(h) => {
+                debug_assert_eq!(self.serving, Some(h));
                 self.serving = None;
                 let now = q.now();
+                let id = self.jobs.id_of(h);
                 self.jobs
                     .events()
                     .log(now, EventKind::Announce(QueueClass::Hot), id);
@@ -281,7 +288,7 @@ impl World for Sim {
                 let c_tx = self.c_tx;
                 self.jobs.metrics().inc(c_tx);
 
-                let was_consistent = self.jobs.is_consistent(id);
+                let was_consistent = self.jobs.is_consistent(h);
                 if was_consistent {
                     let c_redundant = self.c_redundant;
                     self.jobs.metrics().inc(c_redundant);
@@ -321,16 +328,16 @@ impl World for Sim {
                     }
                 }
                 let dies = self.cfg.death.dies_after_service(&mut self.rng_death)
-                    || self.doomed.remove(&id);
+                    || self.jobs.extra(h).expect("serving record is live").doomed;
                 let outcome = super::machine::classify_service(was_consistent, lost, dies);
                 self.transitions.record(outcome.transition);
                 if outcome.delivers {
-                    self.jobs.deliver(q.now(), id, tx_id);
+                    self.jobs.deliver(q.now(), h, tx_id);
                 }
                 if outcome.survives {
-                    self.queue.push_back(id);
+                    self.queue.push_back(h);
                 } else {
-                    self.jobs.kill(q.now(), id);
+                    self.jobs.kill(q.now(), h);
                 }
                 self.maybe_start_service(q);
             }

@@ -25,8 +25,8 @@ use crate::workload::{ArrivalProcess, DeathProcess, ServiceModel};
 use ss_netsim::metrics::{AverageId, CounterId, EventKind, EventLog, MetricsSnapshot, QueueClass};
 use ss_netsim::trace::{Actor, TraceKind, Tracer};
 use ss_netsim::{
-    run_until, run_until_traced, EventQueue, FaultSchedule, FaultSpec, LossModel, SimDuration,
-    SimRng, SimTime, TracedWorld, World,
+    run_until, run_until_traced, EventQueue, FaultSchedule, FaultSpec, Handle, LossModel,
+    SimDuration, SimRng, SimTime, TracedWorld, World,
 };
 use ss_sched::{Drr, Lottery, Metered, Scheduler, Sfq, StrictPriority, Stride};
 use std::collections::VecDeque;
@@ -158,30 +158,36 @@ impl TwoQueueReport {
 enum Ev {
     Arrival,
     Done {
-        id: u64,
+        h: Handle,
         src: Src,
     },
     /// Lifetime-based expiry (only under [`DeathProcess::Lifetime`]).
-    LifetimeEnd(u64),
+    /// Carries the record's generational handle: stale after death.
+    LifetimeEnd(Handle),
     /// A fault-episode boundary (only scheduled with a non-empty
     /// [`FaultSpec`]): crash wipes apply here.
     FaultEdge,
 }
 
+/// Per-record protocol state, stored inline in the record's arena slot.
+#[derive(Clone, Copy, Debug, Default)]
+struct TqJob {
+    /// Currently on the wire (for lifetime-death deferral).
+    in_service: bool,
+    /// Lifetime ended mid-service; killed at completion.
+    doomed: bool,
+}
+
 struct Sim {
     cfg: TwoQueueConfig,
-    hot: VecDeque<u64>,
-    cold: VecDeque<u64>,
+    hot: VecDeque<Handle>,
+    cold: VecDeque<Handle>,
     /// Partitioned mode: per-server busy records. Work-conserving mode:
     /// only `busy_hot` is used, for the single shared server.
     busy_hot: bool,
     busy_cold: bool,
-    /// Records currently on the wire (for lifetime-death deferral).
-    in_service: std::collections::BTreeSet<u64>,
-    /// Records whose lifetime ended mid-service; killed at completion.
-    doomed: std::collections::BTreeSet<u64>,
     sched: Option<Metered<Box<dyn Scheduler>>>,
-    jobs: LiveJobs,
+    jobs: LiveJobs<TqJob>,
     loss: Box<dyn LossModel>,
     faults: FaultSchedule,
     next_id: u64,
@@ -202,21 +208,21 @@ struct Sim {
 const HOT: usize = 0;
 const COLD: usize = 1;
 
-/// Pops the next live record from `queue` (skipping lifetime-expired
-/// entries left behind for lazy removal).
-fn pop_live(queue: &mut VecDeque<u64>, jobs: &super::jobs::LiveJobs) -> Option<u64> {
-    while let Some(id) = queue.pop_front() {
-        if jobs.contains(id) {
-            return Some(id);
+/// Pops the next live record from `queue` (skipping stale handles of
+/// lifetime-expired records left behind for lazy removal).
+fn pop_live(queue: &mut VecDeque<Handle>, jobs: &LiveJobs<TqJob>) -> Option<Handle> {
+    while let Some(h) = queue.pop_front() {
+        if jobs.contains(h) {
+            return Some(h);
         }
     }
     None
 }
 
 /// Drops dead records from the head of `queue`.
-fn purge_dead(queue: &mut VecDeque<u64>, jobs: &super::jobs::LiveJobs) {
-    while let Some(&id) = queue.front() {
-        if jobs.contains(id) {
+fn purge_dead(queue: &mut VecDeque<Handle>, jobs: &LiveJobs<TqJob>) {
+    while let Some(&h) = queue.front() {
+        if jobs.contains(h) {
             break;
         }
         queue.pop_front();
@@ -244,7 +250,7 @@ fn weights_of(mu_hot: f64, mu_cold: f64) -> (u64, u64) {
 impl Sim {
     fn new(cfg: TwoQueueConfig, faults: &FaultSpec) -> Self {
         let root = SimRng::new(cfg.seed);
-        let loss = cfg.loss.build();
+        let loss = cfg.loss.build_batched();
         // The schedule draws from its own derived stream, so an empty
         // spec consumes nothing and every other stream is unperturbed.
         let faults = faults.build(root.derive("faults"));
@@ -277,8 +283,6 @@ impl Sim {
             cold: VecDeque::new(),
             busy_hot: false,
             busy_cold: false,
-            in_service: std::collections::BTreeSet::new(),
-            doomed: std::collections::BTreeSet::new(),
             sched,
             jobs,
             loss,
@@ -321,13 +325,18 @@ impl Sim {
     fn spawn_record(&mut self, q: &mut EventQueue<Ev>) {
         let id = self.next_id;
         self.next_id += 1;
-        self.jobs.arrive(q.now(), id);
+        let h = self.jobs.arrive(q.now(), id, TqJob::default());
         if let Some(life) = self.cfg.death.lifetime(&mut self.rng_death) {
-            q.schedule_in(life, Ev::LifetimeEnd(id));
+            q.schedule_in(life, Ev::LifetimeEnd(h));
         }
-        self.hot.push_back(id);
+        self.hot.push_back(h);
         self.note_hot_backlog(q.now());
         self.kick(q);
+    }
+
+    /// Marks `h` on the wire (lifetime deaths defer to completion).
+    fn mark_in_service(&mut self, h: Handle) {
+        self.jobs.extra_mut(h).expect("live record").in_service = true;
     }
 
     /// Starts whatever service the sharing mode allows.
@@ -335,28 +344,28 @@ impl Sim {
         match self.cfg.sharing {
             Sharing::Partitioned => {
                 if !self.busy_hot && self.cfg.mu_hot > 0.0 {
-                    if let Some(id) = pop_live(&mut self.hot, &self.jobs) {
+                    if let Some(h) = pop_live(&mut self.hot, &self.jobs) {
                         self.note_hot_backlog(q.now());
                         self.busy_hot = true;
-                        self.in_service.insert(id);
+                        self.mark_in_service(h);
                         let st = self
                             .cfg
                             .service
                             .service_time(self.cfg.mu_hot, &mut self.rng_service);
                         let st = self.degraded(q.now(), st);
-                        q.schedule_in(st, Ev::Done { id, src: Src::Hot });
+                        q.schedule_in(st, Ev::Done { h, src: Src::Hot });
                     }
                 }
                 if !self.busy_cold && self.cfg.mu_cold > 0.0 {
-                    if let Some(id) = pop_live(&mut self.cold, &self.jobs) {
+                    if let Some(h) = pop_live(&mut self.cold, &self.jobs) {
                         self.busy_cold = true;
-                        self.in_service.insert(id);
+                        self.mark_in_service(h);
                         let st = self
                             .cfg
                             .service
                             .service_time(self.cfg.mu_cold, &mut self.rng_service);
                         let st = self.degraded(q.now(), st);
-                        q.schedule_in(st, Ev::Done { id, src: Src::Cold });
+                        q.schedule_in(st, Ev::Done { h, src: Src::Cold });
                     }
                 }
             }
@@ -380,10 +389,10 @@ impl Sim {
                     return;
                 };
                 sched.charge(class, 1);
-                let (id, src) = if class == HOT {
-                    let id = self.hot.pop_front().expect("hot backlog flag stale");
+                let (h, src) = if class == HOT {
+                    let h = self.hot.pop_front().expect("hot backlog flag stale");
                     self.note_hot_backlog(q.now());
-                    (id, Src::Hot)
+                    (h, Src::Hot)
                 } else {
                     (
                         self.cold.pop_front().expect("cold backlog flag stale"),
@@ -391,20 +400,24 @@ impl Sim {
                     )
                 };
                 self.busy_hot = true;
-                self.in_service.insert(id);
+                self.mark_in_service(h);
                 let st = self
                     .cfg
                     .service
                     .service_time(mu_data, &mut self.rng_service);
                 let st = self.degraded(q.now(), st);
-                q.schedule_in(st, Ev::Done { id, src });
+                q.schedule_in(st, Ev::Done { h, src });
             }
         }
     }
 
-    fn complete(&mut self, q: &mut EventQueue<Ev>, id: u64, src: Src) {
-        self.in_service.remove(&id);
+    fn complete(&mut self, q: &mut EventQueue<Ev>, h: Handle, src: Src) {
+        self.jobs
+            .extra_mut(h)
+            .expect("completing record is live")
+            .in_service = false;
         let now = q.now();
+        let id = self.jobs.id_of(h);
         let (c_src, queue) = match src {
             Src::Hot => (self.c_hot_tx, QueueClass::Hot),
             Src::Cold => (self.c_cold_tx, QueueClass::Cold),
@@ -419,7 +432,7 @@ impl Sim {
             .jobs
             .tracer()
             .instant(now, tx_actor, TraceKind::Announce, id);
-        let was_consistent = self.jobs.is_consistent(id);
+        let was_consistent = self.jobs.is_consistent(h);
         if was_consistent {
             let c_redundant = self.c_redundant;
             self.jobs.metrics().inc(c_redundant);
@@ -455,14 +468,18 @@ impl Sim {
         }
         // The death draw comes from its own stream (`rng_death`), so
         // hoisting it above delivery leaves every random stream intact.
-        let dies =
-            self.cfg.death.dies_after_service(&mut self.rng_death) || self.doomed.remove(&id);
+        let dies = self.cfg.death.dies_after_service(&mut self.rng_death)
+            || self
+                .jobs
+                .extra(h)
+                .expect("completing record is live")
+                .doomed;
         let outcome = super::machine::classify_service(was_consistent, lost, dies);
         if outcome.delivers {
-            self.jobs.deliver(now, id, tx_id);
+            self.jobs.deliver(now, h, tx_id);
         }
         if !outcome.survives {
-            self.jobs.kill(now, id);
+            self.jobs.kill(now, h);
         } else {
             // Hot-served records age into the cold queue; cold-served
             // records cycle back to its tail.
@@ -472,7 +489,7 @@ impl Sim {
                     .tracer()
                     .instant(now, Actor::ColdServer, TraceKind::Demote, id);
             }
-            self.cold.push_back(id);
+            self.cold.push_back(h);
         }
     }
 
@@ -483,8 +500,8 @@ impl Sim {
     fn handle_arrival(&mut self, q: &mut EventQueue<Ev>) {
         if let ArrivalProcess::PoissonUpdates { keys, .. } = self.cfg.arrivals {
             if self.jobs.len() as u64 >= keys {
-                if let Some(id) = self.jobs.random_live(&mut self.rng_update) {
-                    self.jobs.invalidate(q.now(), id);
+                if let Some(h) = self.jobs.random_live(&mut self.rng_update) {
+                    self.jobs.invalidate(q.now(), h);
                 }
                 return;
             }
@@ -508,22 +525,22 @@ impl World for Sim {
                 self.handle_arrival(q);
                 self.schedule_next_arrival(q);
             }
-            Ev::LifetimeEnd(id) => {
-                if self.jobs.contains(id) {
-                    if self.in_service.contains(&id) {
-                        self.doomed.insert(id);
+            Ev::LifetimeEnd(h) => {
+                if let Some(x) = self.jobs.extra_mut(h) {
+                    if x.in_service {
+                        x.doomed = true;
                     } else {
-                        self.jobs.kill(q.now(), id);
+                        self.jobs.kill(q.now(), h);
                     }
                 }
             }
-            Ev::Done { id, src } => {
+            Ev::Done { h, src } => {
                 match (self.cfg.sharing, src) {
                     (Sharing::Partitioned, Src::Hot) => self.busy_hot = false,
                     (Sharing::Partitioned, Src::Cold) => self.busy_cold = false,
                     (Sharing::WorkConserving(_), _) => self.busy_hot = false,
                 }
-                self.complete(q, id, src);
+                self.complete(q, h, src);
                 self.kick(q);
             }
             Ev::FaultEdge => {

@@ -1,0 +1,31 @@
+//! Prices the RNG primitives on the simulation hot path: `next_u64`
+//! (the xoshiro base draw) and `exp_duration` (exponential offset →
+//! integer ticks, one `ln` + `round` per call). Wall-clock figures
+//! only — touches no artifacts. See docs/PERF.md.
+
+use ss_netsim::{SimDuration, SimRng};
+
+fn main() {
+    let mut r = SimRng::new(42);
+    let n = 50_000_000u64;
+    let t0 = std::time::Instant::now();
+    let mut acc = SimDuration::ZERO;
+    for _ in 0..n {
+        acc = acc + r.exp_duration(128.0);
+    }
+    let dt = t0.elapsed();
+    println!(
+        "exp_duration: {:.1} ns/call (acc {acc})",
+        dt.as_nanos() as f64 / n as f64
+    );
+    let t0 = std::time::Instant::now();
+    let mut k = 0u64;
+    for _ in 0..n {
+        k = k.wrapping_add(r.next_u64());
+    }
+    let dt = t0.elapsed();
+    println!(
+        "next_u64: {:.2} ns/call ({k})",
+        dt.as_nanos() as f64 / n as f64
+    );
+}

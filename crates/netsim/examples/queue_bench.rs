@@ -1,0 +1,34 @@
+//! Prices one `EventQueue` cycle (pop + exponential draw + reschedule)
+//! at a configurable workload shape: `queue_bench [rate] [population]`
+//! drives the queue with exponential offsets at `rate` events per
+//! simulated second and `population` pending events — `16 3`
+//! approximates `fig3`'s shape, `128 32` a busier queue. Wall-clock
+//! figures only — touches no artifacts. See docs/PERF.md; this is how
+//! the wheel geometry in DESIGN.md §14 was chosen.
+
+use ss_netsim::{EventQueue, SimRng};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let rate: f64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(128.0);
+    let pop: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(32);
+    let mut q: EventQueue<u64> = EventQueue::with_capacity(256);
+    let mut r = SimRng::new(7);
+    let n = 20_000_000u64;
+    for i in 0..pop {
+        q.schedule_in(r.exp_duration(rate), i);
+    }
+    let t0 = std::time::Instant::now();
+    let mut acc = 0u64;
+    for _ in 0..n {
+        let (_, p) = q.pop().unwrap();
+        acc = acc.wrapping_add(p);
+        q.schedule_in(r.exp_duration(rate), p);
+    }
+    let dt = t0.elapsed();
+    println!(
+        "pop+exp+schedule_in: {:.1} ns/cycle ({:.1}M events/s) acc={acc}",
+        dt.as_nanos() as f64 / n as f64,
+        n as f64 / dt.as_secs_f64() / 1e6
+    );
+}

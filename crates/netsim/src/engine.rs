@@ -4,43 +4,43 @@
 //! defines its own event payload type `E` and a [`World`] that reacts to
 //! each event, possibly scheduling more. Ties in time break by insertion
 //! order (a monotone sequence number), so runs are fully deterministic.
+//!
+//! Storage is a hierarchical timing wheel ([`crate::wheel::TimerWheel`]),
+//! chosen because the soft-state workload is overwhelmingly timers at
+//! fixed offsets (TTL expirations, refresh cycles): those insert and pop
+//! in O(1) instead of a heap's O(log n). The pop order — ascending
+//! `(time, seq)` — is identical to the binary heap this queue used
+//! through PR 6, so every committed artifact is byte-for-byte unchanged.
+//! DESIGN.md §14 documents the geometry and the determinism contract.
 
 use crate::time::{SimDuration, SimTime};
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
-
-/// A pending event: fires at `at`, with FIFO tie-breaking via `seq`.
-#[derive(Debug)]
-struct Entry<E> {
-    at: SimTime,
-    seq: u64,
-    payload: E,
-}
-
-impl<E> PartialEq for Entry<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl<E> Eq for Entry<E> {}
-impl<E> PartialOrd for Entry<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<E> Ord for Entry<E> {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.seq).cmp(&(other.at, other.seq))
-    }
-}
+use crate::wheel::TimerWheel;
 
 /// A deterministic time-ordered event queue with a virtual clock.
 ///
 /// `pop` advances the clock to the popped event's timestamp; scheduling in
 /// the past is a logic error and panics.
+///
+/// Ties in time break FIFO — by a monotone insertion sequence number —
+/// so a run's event trajectory is a pure function of what was scheduled,
+/// never of queue internals:
+///
+/// ```
+/// use ss_netsim::{EventQueue, SimTime};
+///
+/// let mut q: EventQueue<&str> = EventQueue::new();
+/// let t = SimTime::from_millis(3);
+/// q.schedule(t, "scheduled first");
+/// q.schedule(t, "scheduled second");
+/// q.schedule(SimTime::from_millis(1), "earlier beats both");
+/// assert_eq!(q.pop(), Some((SimTime::from_millis(1), "earlier beats both")));
+/// assert_eq!(q.pop(), Some((t, "scheduled first")));
+/// assert_eq!(q.pop(), Some((t, "scheduled second")));
+/// assert_eq!(q.now(), t); // the clock follows the popped events
+/// ```
 #[derive(Debug)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Reverse<Entry<E>>>,
+    wheel: TimerWheel<E>,
     now: SimTime,
     seq: u64,
     popped: u64,
@@ -56,19 +56,19 @@ impl<E> EventQueue<E> {
     /// An empty queue with the clock at zero.
     pub fn new() -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
+            wheel: TimerWheel::new(),
             now: SimTime::ZERO,
             seq: 0,
             popped: 0,
         }
     }
 
-    /// An empty queue with room for `cap` pending events before the heap
-    /// reallocates. Protocol runners size this for their steady-state
-    /// event population so the hot loop never grows the heap.
+    /// An empty queue with room for `cap` pending events before the
+    /// wheel's buffers reallocate. Protocol runners size this for their
+    /// steady-state event population so the hot loop never grows them.
     pub fn with_capacity(cap: usize) -> Self {
         EventQueue {
-            heap: BinaryHeap::with_capacity(cap),
+            wheel: TimerWheel::with_capacity(cap),
             now: SimTime::ZERO,
             seq: 0,
             popped: 0,
@@ -77,20 +77,21 @@ impl<E> EventQueue<E> {
 
     /// Resets the queue to its freshly-constructed state — clock at zero,
     /// sequence and dispatch counters at zero, no pending events — while
-    /// **keeping the heap allocation**. A cleared queue is
+    /// **keeping the wheel's allocations**. A cleared queue is
     /// indistinguishable from a new one (same FIFO tie-breaking, same
     /// panics on past scheduling), which is what lets sweep runners reuse
     /// one allocation across many independent simulation points.
     pub fn clear(&mut self) {
-        self.heap.clear();
+        self.wheel.clear();
         self.now = SimTime::ZERO;
         self.seq = 0;
         self.popped = 0;
     }
 
-    /// Number of pending events the heap can hold without reallocating.
+    /// Number of pending events the wheel's buffers can hold without
+    /// reallocating.
     pub fn capacity(&self) -> usize {
-        self.heap.capacity()
+        self.wheel.capacity()
     }
 
     /// The current virtual time (timestamp of the last popped event).
@@ -108,7 +109,7 @@ impl<E> EventQueue<E> {
         );
         let seq = self.seq;
         self.seq += 1;
-        self.heap.push(Reverse(Entry { at, seq, payload }));
+        self.wheel.insert(at, seq, payload);
     }
 
     /// Schedules `payload` to fire `delay` after the current clock.
@@ -118,27 +119,29 @@ impl<E> EventQueue<E> {
 
     /// Removes and returns the earliest event, advancing the clock to its
     /// timestamp. Returns `None` when the queue is exhausted.
+    #[inline]
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        let Reverse(e) = self.heap.pop()?;
-        debug_assert!(e.at >= self.now);
-        self.now = e.at;
+        let (at, _seq, payload) = self.wheel.pop()?;
+        debug_assert!(at >= self.now);
+        self.now = at;
         self.popped += 1;
-        Some((e.at, e.payload))
+        Some((at, payload))
     }
 
-    /// Timestamp of the earliest pending event, if any.
+    /// Timestamp of the earliest pending event, if any. O(1): the wheel
+    /// keeps the minimum cached.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|Reverse(e)| e.at)
+        self.wheel.peek_time()
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.wheel.len()
     }
 
     /// True when no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.wheel.is_empty()
     }
 
     /// Total events dispatched so far (a cheap progress/diagnostic counter).

@@ -8,6 +8,12 @@
 //!   [`SimDuration`]).
 //! * [`units`] — [`Bandwidth`] in bits/s, with exact serialization delays.
 //! * [`engine`] — the event queue and run loop ([`EventQueue`], [`World`]).
+//! * [`wheel`] — the hierarchical timing wheel backing the event queue
+//!   ([`wheel::TimerWheel`]); DESIGN.md §14 covers its geometry and
+//!   determinism contract.
+//! * [`arena`] — generational-index arenas for per-record protocol state
+//!   ([`arena::Arena`]), replacing per-record map allocations in the hot
+//!   loop.
 //! * [`rng`] — seeded, name-derivable random streams ([`SimRng`]) so
 //!   protocol variants can be compared on identical workloads.
 //! * [`loss`] — Bernoulli, Gilbert–Elliott, and scripted loss processes,
@@ -53,6 +59,9 @@
 //! assert_eq!(d.departs, SimTime::from_micros(62_500));
 //! ```
 
+#![deny(missing_docs)]
+
+pub mod arena;
 pub mod engine;
 pub mod faults;
 pub mod link;
@@ -64,11 +73,13 @@ pub mod stats;
 pub mod time;
 pub mod trace;
 pub mod units;
+pub mod wheel;
 
+pub use arena::{Arena, Handle};
 pub use engine::{run_to_completion, run_until, run_until_traced, EventQueue, TracedWorld, World};
 pub use faults::{EpisodeSpec, FaultDir, FaultKind, FaultSchedule, FaultSpec, Perturbation};
 pub use link::{Channel, Delivery, Transmitter};
-pub use loss::{Bernoulli, GilbertElliott, LossModel, LossSpec, Pattern};
+pub use loss::{BatchedBernoulli, Bernoulli, GilbertElliott, LossModel, LossSpec, Pattern};
 pub use metrics::{
     AverageId, CounterId, EventKind, EventLog, EventRecord, GaugeId, HistogramId, HistogramSummary,
     MetricValue, MetricsRegistry, MetricsSnapshot, QueueClass, WindowedTimeAverage,
@@ -88,7 +99,9 @@ pub mod prelude {
         EpisodeSpec, FaultDir, FaultKind, FaultSchedule, FaultSpec, Perturbation,
     };
     pub use crate::link::{Channel, Delivery, Transmitter};
-    pub use crate::loss::{Bernoulli, GilbertElliott, LossModel, LossSpec, Pattern};
+    pub use crate::loss::{
+        BatchedBernoulli, Bernoulli, GilbertElliott, LossModel, LossSpec, Pattern,
+    };
     pub use crate::metrics::{
         AverageId, CounterId, EventKind, EventLog, EventRecord, GaugeId, HistogramId,
         HistogramSummary, MetricValue, MetricsRegistry, MetricsSnapshot, QueueClass,

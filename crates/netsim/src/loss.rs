@@ -43,6 +43,28 @@ impl LossSpec {
         }
     }
 
+    /// Instantiates the loss process with draw batching where it is
+    /// outcome-preserving: Bernoulli specs build a [`BatchedBernoulli`],
+    /// everything else builds exactly what [`LossSpec::build`] would.
+    ///
+    /// **Only for models driven by a dedicated loss stream** (the
+    /// protocol engines' `rng_loss`, a [`crate::link::Channel`]'s own
+    /// rng). The batched model prefetches 64 outcomes ahead on its
+    /// stream; if anything else draws from the same stream in between,
+    /// those draws land at different positions than unbatched and the
+    /// run diverges. The `ss-chaos` [`crate::faults::FaultSchedule`]
+    /// must keep [`LossSpec::build`]: its stream is shared across
+    /// episode kinds.
+    pub fn build_batched(&self) -> Box<dyn LossModel> {
+        match *self {
+            LossSpec::Bernoulli(p) => Box::new(BatchedBernoulli::new(p)),
+            LossSpec::Bursty { mean, burst_len } => {
+                Box::new(GilbertElliott::bursty(mean, burst_len))
+            }
+            LossSpec::None => Box::new(BatchedBernoulli::new(0.0)),
+        }
+    }
+
     /// The long-run mean loss probability.
     pub fn mean(&self) -> f64 {
         match *self {
@@ -84,6 +106,76 @@ impl LossModel for Bernoulli {
     fn is_lost(&mut self, rng: &mut SimRng) -> bool {
         rng.chance(self.p)
     }
+    fn mean_loss_rate(&self) -> f64 {
+        self.p
+    }
+}
+
+/// [`Bernoulli`] with prefetched draws: one refill computes 64 outcomes
+/// (each still consuming one xoshiro draw, in stream order) so the
+/// per-packet hot path is a shift and a mask instead of a float
+/// multiply-compare.
+///
+/// The outcome sequence is **bit-for-bit identical** to [`Bernoulli`]'s
+/// on the same stream: outcome `i` is decided by draw `i` either way
+/// (see [`SimRng::bernoulli_block`]), and the integer threshold
+/// reproduces `next_f64() < p` exactly (see
+/// [`SimRng::bernoulli_threshold`]). Like [`SimRng::chance`], the
+/// degenerate rates `p = 0` and `p = 1` consume no draws at all.
+///
+/// Requires a stream dedicated to this model's draws — see
+/// [`LossSpec::build_batched`] for the sharing rules.
+#[derive(Clone, Copy, Debug)]
+pub struct BatchedBernoulli {
+    p: f64,
+    /// `ceil(p * 2^53)`; compared against the high 53 bits of each draw.
+    threshold: u64,
+    /// Prefetched outcomes, consumed from bit 0 upward.
+    outcomes: u64,
+    /// Outcomes left in `outcomes` before a refill.
+    left: u32,
+}
+
+impl BatchedBernoulli {
+    /// A batched Bernoulli loss process with loss probability `p` in `[0,1]`.
+    pub fn new(p: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "loss probability {p} out of range"
+        );
+        let threshold = if p > 0.0 && p < 1.0 {
+            SimRng::bernoulli_threshold(p)
+        } else {
+            0
+        };
+        BatchedBernoulli {
+            p,
+            threshold,
+            outcomes: 0,
+            left: 0,
+        }
+    }
+}
+
+impl LossModel for BatchedBernoulli {
+    fn is_lost(&mut self, rng: &mut SimRng) -> bool {
+        // The degenerate rates never draw — exactly `chance()`'s clamp.
+        if self.p <= 0.0 {
+            return false;
+        }
+        if self.p >= 1.0 {
+            return true;
+        }
+        if self.left == 0 {
+            self.outcomes = rng.bernoulli_block(self.threshold);
+            self.left = 64;
+        }
+        let lost = self.outcomes & 1 != 0;
+        self.outcomes >>= 1;
+        self.left -= 1;
+        lost
+    }
+
     fn mean_loss_rate(&self) -> f64 {
         self.p
     }
@@ -295,6 +387,60 @@ mod tests {
         assert!((model.mean_loss_rate() - 0.2).abs() < 1e-12);
         let r = empirical_rate(model.as_mut(), 100_000, 1);
         assert!((r - 0.2).abs() < 0.02);
+    }
+
+    #[test]
+    fn batched_bernoulli_is_draw_for_draw_identical() {
+        // The whole point of the batched model: same seed, same p, same
+        // outcome sequence as the unbatched model — across p values with
+        // both exact and fractional 53-bit thresholds.
+        for p in [0.001, 0.1, 0.25, 1.0 / 3.0, 0.5, 0.9] {
+            let mut plain = Bernoulli::new(p);
+            let mut batched = BatchedBernoulli::new(p);
+            let mut rng_a = SimRng::new(42);
+            let mut rng_b = SimRng::new(42);
+            for i in 0..1000 {
+                assert_eq!(
+                    plain.is_lost(&mut rng_a),
+                    batched.is_lost(&mut rng_b),
+                    "p={p} draw {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batched_bernoulli_extremes_consume_no_draws() {
+        let mut z = BatchedBernoulli::new(0.0);
+        let mut o = BatchedBernoulli::new(1.0);
+        let mut rng = SimRng::new(5);
+        for _ in 0..10 {
+            assert!(!z.is_lost(&mut rng));
+            assert!(o.is_lost(&mut rng));
+        }
+        let mut fresh = SimRng::new(5);
+        assert_eq!(rng.next_u64(), fresh.next_u64(), "stream untouched");
+    }
+
+    #[test]
+    fn build_batched_matches_build() {
+        for spec in [
+            LossSpec::Bernoulli(0.3),
+            LossSpec::Bursty {
+                mean: 0.2,
+                burst_len: 4.0,
+            },
+            LossSpec::None,
+        ] {
+            let mut a = spec.build();
+            let mut b = spec.build_batched();
+            assert_eq!(a.mean_loss_rate(), b.mean_loss_rate());
+            let mut rng_a = SimRng::new(17);
+            let mut rng_b = SimRng::new(17);
+            for _ in 0..500 {
+                assert_eq!(a.is_lost(&mut rng_a), b.is_lost(&mut rng_b));
+            }
+        }
     }
 
     #[test]

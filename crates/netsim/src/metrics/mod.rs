@@ -152,11 +152,13 @@ impl MetricsRegistry {
     }
 
     /// Increments a counter by one.
+    #[inline]
     pub fn inc(&mut self, id: CounterId) {
         self.counters[id.0].1 += 1;
     }
 
     /// Adds `n` to a counter.
+    #[inline]
     pub fn add(&mut self, id: CounterId, n: u64) {
         self.counters[id.0].1 += n;
     }
@@ -167,11 +169,13 @@ impl MetricsRegistry {
     }
 
     /// Sets a gauge to `v`.
+    #[inline]
     pub fn set_gauge(&mut self, id: GaugeId, v: f64) {
         self.gauges[id.0].1 = v;
     }
 
     /// Records one duration sample into a histogram.
+    #[inline]
     pub fn observe(&mut self, id: HistogramId, d: SimDuration) {
         self.histograms[id.0].1.record(d);
     }
@@ -182,6 +186,7 @@ impl MetricsRegistry {
     }
 
     /// Records that a time-averaged signal takes value `v` from `t` on.
+    #[inline]
     pub fn record_sample(&mut self, id: AverageId, t: SimTime, v: f64) {
         self.averages[id.0].1.update(t, v);
     }

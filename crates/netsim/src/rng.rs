@@ -148,6 +148,45 @@ impl SimRng {
     pub fn next_u64(&mut self) -> u64 {
         self.inner.next_u64()
     }
+
+    /// The exact integer threshold `t` such that
+    /// `(next_u64() >> 11) < t` decides a Bernoulli(`p`) trial
+    /// **bit-for-bit identically** to `next_f64() < p`, for `p` in
+    /// `(0, 1)`.
+    ///
+    /// Why this is exact and not an approximation: `next_f64()` is
+    /// `k * 2^-53` for an integer `k = next_u64() >> 11` in `[0, 2^53)`,
+    /// and that product is computed exactly (scaling by a power of two
+    /// never rounds). So `next_f64() < p  ⟺  k < p * 2^53` as real
+    /// numbers — and `p * 2^53` is itself computed exactly in `f64` for
+    /// the same reason. Taking `t = ceil(p * 2^53)` turns the open
+    /// comparison against a possibly-fractional bound into an integer
+    /// one: `k < p·2^53 ⟺ k < t` whether or not the bound is an
+    /// integer. This is what lets [`SimRng::bernoulli_block`] batch loss
+    /// draws without perturbing a single outcome.
+    pub fn bernoulli_threshold(p: f64) -> u64 {
+        debug_assert!(p > 0.0 && p < 1.0, "threshold wants open (0,1), got {p}");
+        (p * (1u64 << 53) as f64).ceil() as u64
+    }
+
+    /// Draws 64 consecutive Bernoulli outcomes against an integer
+    /// `threshold` from [`SimRng::bernoulli_threshold`], packed into a
+    /// bitmask (bit `i` = outcome of draw `i`).
+    ///
+    /// Each outcome consumes **exactly one** `next_u64`, in stream
+    /// order, so a consumer popping bits `0, 1, 2, …` sees the same
+    /// outcome sequence as one calling [`SimRng::chance`] per trial —
+    /// the contract that keeps batched loss models byte-identical
+    /// (DESIGN.md §14). Only safe on streams dedicated to these draws:
+    /// interleaving other draws from the same stream between bits would
+    /// read positions the batch already consumed.
+    pub fn bernoulli_block(&mut self, threshold: u64) -> u64 {
+        let mut bits = 0u64;
+        for i in 0..64 {
+            bits |= u64::from((self.inner.next_u64() >> 11) < threshold) << i;
+        }
+        bits
+    }
 }
 
 #[cfg(test)]

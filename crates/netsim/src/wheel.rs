@@ -1,0 +1,512 @@
+//! A hierarchical timing wheel — the priority queue behind
+//! [`EventQueue`](crate::engine::EventQueue).
+//!
+//! The soft-state workload is dominated by timers at fixed offsets: TTL
+//! expirations, refresh announcements, retry backoffs. A comparison heap
+//! pays `O(log n)` pointer-chasing swaps per operation for a workload
+//! where almost every deadline lands a known distance in the future. The
+//! classic answer (Varghese & Lauck's hashed/hierarchical timing wheels)
+//! is to bucket deadlines by their distance from the current time:
+//! near-future timers land in fine-grained slots that insert and expire
+//! in `O(1)`, and far-future timers land in coarser slots that are split
+//! ("cascaded") into finer ones only as the clock approaches them.
+//!
+//! ## Geometry
+//!
+//! The wheel has [`LEVELS`] = 4 levels of [`SLOTS`] = 1024 slots each.
+//! One tick is one microsecond (the engine's clock resolution). A slot
+//! at level `l` spans `1024^l` ticks, so the levels cover:
+//!
+//! ```text
+//! level 0:  1024 slots x 1 us      =   1024 us  (~1 ms; one slot = one tick)
+//! level 1:  1024 slots x ~1 ms     =   ~1.05 s
+//! level 2:  1024 slots x ~1.05 s   =  ~17.9 min
+//! level 3:  1024 slots x ~17.9 min =  ~12.7 days   (the wheel horizon)
+//! spill  :  everything beyond the horizon, kept sorted
+//! ```
+//!
+//! An event `delta = deadline - cursor` ticks away lands at the level
+//! whose slot width matches the magnitude of `delta` — concretely, the
+//! level containing the highest bit in which `deadline` and the cursor
+//! differ. Each level keeps a two-tier occupancy bitmap (sixteen 64-bit
+//! words plus one summary word with a bit per non-empty word), so "find
+//! the next non-empty slot" is two `trailing_zeros` instead of a scan
+//! across empty slots — essential at microsecond resolution where
+//! consecutive events are usually thousands of ticks apart.
+//!
+//! The wide levels are the point: the protocols' characteristic timers
+//! (refresh announcements, service completions, TTLs at tens of
+//! milliseconds to minutes of simulated time) land one or at most two
+//! levels up, so an entry is touched at most three times in its life —
+//! insert, one cascade, emit. The classic 64-slot geometry files the
+//! same timers three levels up and re-touches every entry once per
+//! level, which roughly doubled the queue cost per event on the
+//! `fig3`-style experiments.
+//!
+//! Events more than `1024^4` ticks (~12.7 simulated days) ahead of the
+//! cursor overflow to a small **spill** vector kept sorted by
+//! `(deadline, seq)`; sweeps only put end-of-run sentinels and very long
+//! TTLs there, so it stays tiny. When the wheel drains, the earliest
+//! spill entries are folded back in and the cursor jumps forward.
+//!
+//! ## Determinism contract
+//!
+//! [`TimerWheel::pop`] yields entries in exactly ascending
+//! `(deadline, seq)` order — bit-for-bit the order a binary heap with a
+//! FIFO tie-break would produce (property-tested against that reference
+//! model in `tests/properties.rs`). Two details make this exact:
+//!
+//! * level-0 slots are one tick wide, so every entry in a level-0 slot
+//!   shares one deadline — a slot *is* a same-timestamp bucket;
+//! * a bucket can receive entries out of insertion order (an entry
+//!   cascading down from level 3 may have a *smaller* `seq` than one
+//!   scheduled directly into the bucket later), so the bucket is sorted
+//!   by `seq` once, when it is drained.
+//!
+//! See `DESIGN.md` §14 for the full walkthrough, including a worked TTL
+//! cycle through the levels.
+
+use crate::time::SimTime;
+use std::cmp::Reverse;
+
+/// Number of hierarchical levels in the wheel.
+pub const LEVELS: usize = 4;
+/// Slots per level. Must be a power of two and a multiple of 64 (the
+/// occupancy bitmap packs slots into `u64` words).
+pub const SLOTS: usize = 1024;
+/// log2([`SLOTS`]): bits of the deadline consumed per level.
+const BITS: u32 = 10;
+/// Bits covered by the whole wheel; deadlines differing from the cursor
+/// above this bit go to the sorted spill.
+const HORIZON_BITS: u32 = BITS * LEVELS as u32;
+const SLOT_MASK: u64 = (SLOTS - 1) as u64;
+/// `u64` words per level bitmap.
+const WORDS: usize = SLOTS / 64;
+
+/// A 1024-bit occupancy bitmap with a one-word summary tier: bit `w` of
+/// `summary` is set iff `words[w]` is non-zero, so the lowest set slot
+/// is found with two `trailing_zeros` regardless of how sparse the
+/// level is.
+#[derive(Debug)]
+struct Occupancy {
+    summary: u64,
+    words: [u64; WORDS],
+}
+
+impl Occupancy {
+    fn new() -> Self {
+        Occupancy {
+            summary: 0,
+            words: [0; WORDS],
+        }
+    }
+
+    fn any(&self) -> bool {
+        self.summary != 0
+    }
+
+    fn set(&mut self, slot: usize) {
+        self.words[slot >> 6] |= 1 << (slot & 63);
+        self.summary |= 1 << (slot >> 6);
+    }
+
+    fn clear_slot(&mut self, slot: usize) {
+        let w = slot >> 6;
+        self.words[w] &= !(1 << (slot & 63));
+        if self.words[w] == 0 {
+            self.summary &= !(1 << w);
+        }
+    }
+
+    /// Index of the lowest set slot; meaningless when empty.
+    fn lowest(&self) -> usize {
+        let w = self.summary.trailing_zeros() as usize;
+        (w << 6) | self.words[w].trailing_zeros() as usize
+    }
+
+    fn reset(&mut self) {
+        self.summary = 0;
+        self.words = [0; WORDS];
+    }
+}
+
+/// A pending entry: fires at `at`, with FIFO tie-breaking via `seq`.
+#[derive(Debug)]
+struct Entry<E> {
+    at: SimTime,
+    seq: u64,
+    payload: E,
+}
+
+/// One level of the hierarchy: [`SLOTS`] slot buckets plus an occupancy
+/// bitmap (slot `i` marked iff `slots[i]` is non-empty).
+#[derive(Debug)]
+struct Level<E> {
+    occupied: Occupancy,
+    slots: Vec<Vec<Entry<E>>>,
+}
+
+impl<E> Level<E> {
+    fn new() -> Self {
+        Level {
+            occupied: Occupancy::new(),
+            slots: (0..SLOTS).map(|_| Vec::new()).collect(),
+        }
+    }
+}
+
+/// A hierarchical timing wheel ordering entries by `(deadline, seq)`.
+///
+/// This is the storage engine of [`EventQueue`](crate::engine::EventQueue);
+/// the queue adds the virtual clock, the monotone sequence numbers, and
+/// the scheduling-into-the-past panic. The wheel itself only requires
+/// that deadlines never precede its internal cursor, which trails the
+/// last popped deadline.
+///
+/// ```
+/// use ss_netsim::wheel::TimerWheel;
+/// use ss_netsim::SimTime;
+///
+/// let mut w: TimerWheel<&str> = TimerWheel::new();
+/// w.insert(SimTime::from_millis(5), 0, "later");
+/// w.insert(SimTime::from_micros(1), 1, "sooner");
+/// assert_eq!(w.peek_time(), Some(SimTime::from_micros(1)));
+/// assert_eq!(w.pop().unwrap().2, "sooner");
+/// assert_eq!(w.pop().unwrap().2, "later");
+/// assert!(w.pop().is_none());
+/// ```
+#[derive(Debug)]
+pub struct TimerWheel<E> {
+    levels: Box<[Level<E>]>,
+    /// Entries beyond the wheel horizon, sorted by `(at, seq)` descending
+    /// so the earliest entry pops off the end.
+    spill: Vec<Entry<E>>,
+    /// The bucket currently being emitted: entries sharing one deadline,
+    /// sorted by `seq` descending so the FIFO-first entry pops off the
+    /// end.
+    ready: Vec<Entry<E>>,
+    /// Reusable buffer for cascading a coarse slot into finer levels.
+    scratch: Vec<Entry<E>>,
+    /// The wheel's notion of "now", in ticks. Always at or before the
+    /// earliest pending deadline, and at or before the engine clock.
+    cursor: u64,
+    /// Cached earliest pending deadline, kept exact by every mutation so
+    /// [`TimerWheel::peek_time`] is O(1).
+    next_at: Option<SimTime>,
+    len: usize,
+}
+
+impl<E> Default for TimerWheel<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> TimerWheel<E> {
+    /// An empty wheel with its cursor at tick zero.
+    pub fn new() -> Self {
+        TimerWheel {
+            levels: (0..LEVELS).map(|_| Level::new()).collect(),
+            spill: Vec::new(),
+            ready: Vec::new(),
+            scratch: Vec::new(),
+            cursor: 0,
+            next_at: None,
+            len: 0,
+        }
+    }
+
+    /// An empty wheel whose emission bucket is pre-sized for `cap`
+    /// entries. Buckets grow on demand and keep their allocations, so
+    /// this mainly matters for the first run of a reused queue.
+    pub fn with_capacity(cap: usize) -> Self {
+        let mut w = Self::new();
+        w.ready.reserve(cap);
+        w
+    }
+
+    /// Resets the wheel to empty with the cursor back at tick zero,
+    /// keeping every slot and buffer allocation for reuse.
+    pub fn clear(&mut self) {
+        for level in self.levels.iter_mut() {
+            if level.occupied.any() {
+                for slot in level.slots.iter_mut() {
+                    slot.clear();
+                }
+                level.occupied.reset();
+            }
+        }
+        self.spill.clear();
+        self.ready.clear();
+        self.scratch.clear();
+        self.cursor = 0;
+        self.next_at = None;
+        self.len = 0;
+    }
+
+    /// Total entries the wheel's buffers can hold without reallocating,
+    /// summed across slots, spill, and the emission bucket.
+    pub fn capacity(&self) -> usize {
+        let slots: usize = self
+            .levels
+            .iter()
+            .flat_map(|l| l.slots.iter())
+            .map(Vec::capacity)
+            .sum();
+        slots + self.spill.capacity() + self.ready.capacity() + self.scratch.capacity()
+    }
+
+    /// Number of pending entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no entries are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The earliest pending deadline, if any. O(1).
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.next_at
+    }
+
+    /// Inserts an entry firing at `at` with tie-break rank `seq`.
+    ///
+    /// Deadlines must not precede the cursor (the last popped deadline);
+    /// [`EventQueue`](crate::engine::EventQueue) guarantees this with its
+    /// scheduling-into-the-past panic. `seq` values must be unique and
+    /// assigned in insertion order for the FIFO tie-break to mean
+    /// anything; the wheel itself only requires uniqueness.
+    pub fn insert(&mut self, at: SimTime, seq: u64, payload: E) {
+        let tick = at.as_micros();
+        debug_assert!(tick >= self.cursor, "deadline {at} behind wheel cursor");
+        self.len += 1;
+        self.next_at = Some(match self.next_at {
+            Some(t) if t <= at => t,
+            _ => at,
+        });
+        let e = Entry { at, seq, payload };
+        let xor = tick ^ self.cursor;
+        if xor == 0 {
+            // Same deadline as the bucket being emitted: a fresh `seq` is
+            // the largest, so it belongs at the far (descending) end.
+            self.ready.insert(0, e);
+        } else if xor >> HORIZON_BITS != 0 {
+            let key = (at, seq);
+            let i = self.spill.partition_point(|s| (s.at, s.seq) > key);
+            self.spill.insert(i, e);
+        } else {
+            self.place(e);
+        }
+    }
+
+    /// Removes and returns the earliest `(deadline, seq, payload)` entry.
+    pub fn pop(&mut self) -> Option<(SimTime, u64, E)> {
+        if self.ready.is_empty() && !self.settle() {
+            return None;
+        }
+        let e = self.ready.pop().expect("settle left ready empty");
+        self.len -= 1;
+        self.next_at = match self.ready.last() {
+            Some(n) => Some(n.at),
+            None => self.scan_next(),
+        };
+        Some((e.at, e.seq, e.payload))
+    }
+
+    /// Files an in-horizon entry into the level matching the highest bit
+    /// in which its deadline differs from the cursor, or straight into
+    /// the emission bucket when it differs in none (sorted afterwards).
+    fn place(&mut self, e: Entry<E>) {
+        let tick = e.at.as_micros();
+        let xor = tick ^ self.cursor;
+        debug_assert!(xor >> HORIZON_BITS == 0, "place beyond horizon");
+        if xor == 0 {
+            self.ready.push(e);
+            return;
+        }
+        let level = ((63 - xor.leading_zeros()) / BITS) as usize;
+        let slot = ((tick >> (BITS * level as u32)) & SLOT_MASK) as usize;
+        self.levels[level].slots[slot].push(e);
+        self.levels[level].occupied.set(slot);
+    }
+
+    /// Advances the cursor to the next pending bucket and fills `ready`
+    /// with its entries, cascading coarse slots and refilling from the
+    /// spill as needed. Returns false when the wheel is empty.
+    fn settle(&mut self) -> bool {
+        debug_assert!(self.ready.is_empty());
+        loop {
+            let Some(level) = self.levels.iter().position(|l| l.occupied.any()) else {
+                // Wheel empty: fold the earliest spill entries back in.
+                let Some(first) = self.spill.last() else {
+                    return false;
+                };
+                self.cursor = first.at.as_micros();
+                while let Some(e) = self.spill.last() {
+                    if (e.at.as_micros() ^ self.cursor) >> HORIZON_BITS != 0 {
+                        break;
+                    }
+                    let e = self.spill.pop().expect("spill entry vanished");
+                    self.place(e);
+                }
+                // Entries landing exactly on the new cursor are the
+                // earliest anywhere — emit them now.
+                if !self.ready.is_empty() {
+                    self.ready.sort_unstable_by_key(|e| Reverse(e.seq));
+                    return true;
+                }
+                continue;
+            };
+            // All of a level's entries sit in the cursor's current lap,
+            // in slots after the cursor's own, so the lowest set bit is
+            // the earliest slot and the earliest slot of the lowest
+            // occupied level precedes everything at coarser levels.
+            let shift = BITS * level as u32;
+            let slot = self.levels[level].occupied.lowest();
+            let lap_base = self.cursor & !((1u64 << (shift + BITS)) - 1);
+            self.cursor = lap_base | ((slot as u64) << shift);
+            self.levels[level].occupied.clear_slot(slot);
+            if level == 0 {
+                // One-tick slots: the slot is a complete same-deadline
+                // bucket. Cascaded arrivals may sit out of `seq` order
+                // relative to direct inserts, so sort once on drain.
+                std::mem::swap(&mut self.ready, &mut self.levels[0].slots[slot]);
+                self.ready.sort_unstable_by_key(|e| Reverse(e.seq));
+                return true;
+            }
+            // Cascade: split the coarse slot across finer levels. Entries
+            // landing exactly on the cursor go straight to `ready` — and
+            // nothing else anywhere can share their deadline, because
+            // this was the earliest occupied slot of the lowest occupied
+            // level.
+            let mut scratch = std::mem::take(&mut self.scratch);
+            std::mem::swap(&mut scratch, &mut self.levels[level].slots[slot]);
+            for e in scratch.drain(..) {
+                self.place(e);
+            }
+            self.scratch = scratch;
+            if !self.ready.is_empty() {
+                self.ready.sort_unstable_by_key(|e| Reverse(e.seq));
+                return true;
+            }
+        }
+    }
+
+    /// Recomputes the earliest pending deadline without disturbing the
+    /// wheel: the earliest slot of the lowest occupied level holds the
+    /// global minimum (exact for one-tick level-0 slots, a scan for
+    /// coarser ones), and the spill only matters once the wheel is empty.
+    fn scan_next(&self) -> Option<SimTime> {
+        for (level, l) in self.levels.iter().enumerate() {
+            if !l.occupied.any() {
+                continue;
+            }
+            let slot = l.occupied.lowest();
+            if level == 0 {
+                let tick = (self.cursor & !SLOT_MASK) | slot as u64;
+                return Some(SimTime::from_micros(tick));
+            }
+            return l.slots[slot].iter().map(|e| e.at).min();
+        }
+        self.spill.last().map(|e| e.at)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain<E>(w: &mut TimerWheel<E>) -> Vec<(SimTime, u64)> {
+        std::iter::from_fn(|| w.pop().map(|(t, s, _)| (t, s))).collect()
+    }
+
+    #[test]
+    fn orders_across_levels() {
+        let mut w: TimerWheel<u32> = TimerWheel::new();
+        // One deadline per level, inserted in reverse.
+        let ticks = [3u64, 100, 5_000, 300_000, 20_000_000, 900_000_000_000];
+        for (i, &t) in ticks.iter().rev().enumerate() {
+            w.insert(SimTime::from_micros(t), i as u64, 0);
+        }
+        let order: Vec<u64> = drain(&mut w).iter().map(|&(t, _)| t.as_micros()).collect();
+        assert_eq!(order, ticks);
+    }
+
+    #[test]
+    fn same_tick_pops_in_seq_order_even_after_cascade() {
+        let mut w: TimerWheel<&str> = TimerWheel::new();
+        let t = SimTime::from_micros(1_000_000);
+        // seq 0 starts five levels up and must cascade down; seq 1 is
+        // inserted much closer to the deadline, directly into a fine
+        // slot. FIFO order must still hold.
+        w.insert(t, 0, "first");
+        w.insert(SimTime::from_micros(999_990), 1, "warp");
+        let (_, _, p) = w.pop().unwrap();
+        assert_eq!(p, "warp");
+        w.insert(t, 2, "second");
+        assert_eq!(w.pop().unwrap().2, "first");
+        assert_eq!(w.pop().unwrap().2, "second");
+    }
+
+    #[test]
+    fn spill_holds_far_future() {
+        let mut w: TimerWheel<u8> = TimerWheel::new();
+        let horizon = 1u64 << HORIZON_BITS;
+        w.insert(SimTime::from_micros(horizon * 3), 0, 3);
+        w.insert(SimTime::from_micros(5), 1, 1);
+        w.insert(SimTime::from_micros(horizon * 2), 2, 2);
+        w.insert(SimTime::MAX, 3, 4);
+        let seqs: Vec<u64> = drain(&mut w).iter().map(|&(_, s)| s).collect();
+        assert_eq!(seqs, vec![1, 2, 0, 3]);
+    }
+
+    #[test]
+    fn insert_at_cursor_joins_current_bucket_last() {
+        let mut w: TimerWheel<u8> = TimerWheel::new();
+        w.insert(SimTime::from_micros(10), 0, 0);
+        w.insert(SimTime::from_micros(10), 1, 1);
+        assert_eq!(w.pop().unwrap().1, 0);
+        // Cursor now sits at tick 10; a same-tick insert must pop after
+        // the rest of the bucket.
+        w.insert(SimTime::from_micros(10), 2, 2);
+        assert_eq!(w.pop().unwrap().1, 1);
+        assert_eq!(w.pop().unwrap().1, 2);
+        assert!(w.pop().is_none());
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn peek_tracks_minimum_exactly() {
+        let mut w: TimerWheel<u8> = TimerWheel::new();
+        assert_eq!(w.peek_time(), None);
+        w.insert(SimTime::from_secs(100), 0, 0);
+        assert_eq!(w.peek_time(), Some(SimTime::from_secs(100)));
+        w.insert(SimTime::from_millis(1), 1, 0);
+        assert_eq!(w.peek_time(), Some(SimTime::from_millis(1)));
+        w.pop();
+        assert_eq!(w.peek_time(), Some(SimTime::from_secs(100)));
+        w.pop();
+        assert_eq!(w.peek_time(), None);
+    }
+
+    #[test]
+    fn clear_keeps_allocations_and_resets_cursor() {
+        let mut w: TimerWheel<u64> = TimerWheel::with_capacity(32);
+        for i in 0..100 {
+            w.insert(SimTime::from_micros(i * 977), i, i);
+        }
+        for _ in 0..60 {
+            w.pop();
+        }
+        let cap = w.capacity();
+        w.clear();
+        assert!(w.is_empty());
+        assert_eq!(w.peek_time(), None);
+        assert!(w.capacity() >= cap);
+        // Tick zero is schedulable again after a reset.
+        w.insert(SimTime::ZERO, 0, 7);
+        assert_eq!(w.pop().unwrap().2, 7);
+    }
+}

@@ -34,7 +34,6 @@ use ss_netsim::{
     EventLog, EventQueue, FaultSchedule, FaultSpec, HistogramId, LossModel, MetricsRegistry,
     MetricsSnapshot, QueueClass, SimDuration, SimRng, SimTime, TracedWorld, World,
 };
-use std::collections::{BTreeMap, BTreeSet};
 
 /// The application workload driving a session.
 #[derive(Clone, Debug)]
@@ -285,6 +284,39 @@ struct RxChan {
     rng: SimRng,
 }
 
+/// A dense set of [`Key`]s backed by a growable bitmap. Sender keys are
+/// allocated sequentially from 0, so membership is one word index —
+/// this replaces the per-receiver `BTreeSet<Key>` the first-delivery
+/// latency probe used to walk on every measurement tick.
+#[derive(Clone, Debug, Default)]
+struct KeySeen(Vec<u64>);
+
+impl KeySeen {
+    fn contains(&self, k: &Key) -> bool {
+        match self.0.get((k.0 >> 6) as usize) {
+            Some(w) => w & (1 << (k.0 & 63)) != 0,
+            None => false,
+        }
+    }
+
+    fn insert(&mut self, k: Key) {
+        let word = (k.0 >> 6) as usize;
+        if word >= self.0.len() {
+            self.0.resize(word + 1, 0);
+        }
+        self.0[word] |= 1 << (k.0 & 63);
+    }
+}
+
+/// Takes (returns and clears) the pending promotion trace id for `key`,
+/// or [`TraceId::NONE`] when none is pending.
+fn take_promotion(promoted: &mut [TraceId], key: Key) -> TraceId {
+    match promoted.get_mut(key.0 as usize) {
+        Some(slot) => std::mem::replace(slot, TraceId::NONE),
+        None => TraceId::NONE,
+    }
+}
+
 struct Sim {
     cfg: SessionConfig,
     sender: SstpSender,
@@ -329,8 +361,13 @@ struct Sim {
     fb_due_at: Vec<Option<SimTime>>,
     /// Ground-truth instrumentation.
     meters: Vec<ConsistencyMeter>,
-    latency_seen: Vec<BTreeSet<Key>>,
-    born_at: BTreeMap<Key, SimTime>,
+    latency_seen: Vec<KeySeen>,
+    /// Birth time of every key ever published, indexed by the key's id
+    /// (sender keys are allocated densely from 0, one per publish, so a
+    /// plain vector in publish order replaces the old `BTreeMap` with
+    /// the same point-lookup semantics and no tree walks on the per-probe
+    /// latency path).
+    born_at: Vec<SimTime>,
     /// Workload state.
     rng_arrival: SimRng,
     rng_lifetime: SimRng,
@@ -342,9 +379,11 @@ struct Sim {
     registry: MetricsRegistry,
     events: EventLog,
     tracer: Tracer,
-    /// Trace id of the latest promotion per key, so the promoted hot
-    /// retransmission parents under it (NACK → promote → retransmit).
-    promoted: BTreeMap<u64, TraceId>,
+    /// Trace id of the latest promotion per key, indexed densely by key
+    /// id ([`TraceId::NONE`] = no promotion pending), so the promoted
+    /// hot retransmission parents under it (NACK → promote →
+    /// retransmit).
+    promoted: Vec<TraceId>,
     c_data_tx: CounterId,
     c_data_lost: CounterId,
     c_data_bytes: CounterId,
@@ -427,7 +466,9 @@ impl Sim {
         let chan = |label: &str, spec: LossSpec| -> Vec<RxChan> {
             (0..cfg.n_receivers)
                 .map(|i| RxChan {
-                    loss: spec.build(),
+                    // Batching is safe here: each channel's rng stream is
+                    // consumed by its loss model alone.
+                    loss: spec.build_batched(),
                     rng: root_rng.derive(&format!("{label}-{i}")),
                 })
                 .collect()
@@ -492,8 +533,8 @@ impl Sim {
             meters: (0..cfg.n_receivers)
                 .map(|_| ConsistencyMeter::new(SimTime::ZERO))
                 .collect(),
-            latency_seen: vec![BTreeSet::new(); cfg.n_receivers],
-            born_at: BTreeMap::new(),
+            latency_seen: vec![KeySeen::default(); cfg.n_receivers],
+            born_at: Vec::new(),
             rng_arrival: root_rng.derive("arrival"),
             rng_lifetime: root_rng.derive("lifetime"),
             branches,
@@ -501,7 +542,7 @@ impl Sim {
             registry,
             events,
             tracer: Tracer::with_capacity(cfg.trace_capacity),
-            promoted: BTreeMap::new(),
+            promoted: Vec::new(),
             c_data_tx,
             c_data_lost,
             c_data_bytes,
@@ -565,7 +606,8 @@ impl Sim {
         let b = self.born_at.len() % self.branches.len();
         let branch = self.branches[b];
         let key = self.sender.publish(now, branch, MetaTag(b as u32));
-        self.born_at.insert(key, now);
+        debug_assert_eq!(key.0 as usize, self.born_at.len(), "keys are dense");
+        self.born_at.push(now);
         self.update_keys.push(key);
         self.tracer.birth(now, Actor::Publisher, key.0);
         if let Some(mean) = self.cfg.workload.mean_lifetime_secs {
@@ -627,7 +669,7 @@ impl Sim {
             _ => TraceKind::Summary,
         };
         let promo = match &pkt {
-            Packet::Data(d) => self.promoted.remove(&d.key.0).unwrap_or(TraceId::NONE),
+            Packet::Data(d) => take_promotion(&mut self.promoted, d.key),
             _ => TraceId::NONE,
         };
         let tx_id = if promo.is_some() {
@@ -884,7 +926,7 @@ impl Sim {
             }
             for (k, first) in newly {
                 self.latency_seen[i].insert(k);
-                if let Some(&born) = self.born_at.get(&k) {
+                if let Some(&born) = self.born_at.get(k.0 as usize) {
                     let h = self.h_latency[i];
                     self.registry.observe(h, first.saturating_since(born));
                 }
@@ -948,7 +990,7 @@ impl World for Sim {
                     self.tracer.death(q.now(), Actor::Publisher, key.0);
                 }
                 self.sender.withdraw(key);
-                self.promoted.remove(&key.0);
+                take_promotion(&mut self.promoted, key);
             }
             Ev::HotFree => {
                 self.hot_busy = false;
@@ -993,7 +1035,11 @@ impl World for Sim {
                         key.0,
                         cause,
                     );
-                    self.promoted.insert(key.0, id);
+                    let slot = key.0 as usize;
+                    if slot >= self.promoted.len() {
+                        self.promoted.resize(slot + 1, TraceId::NONE);
+                    }
+                    self.promoted[slot] = id;
                 }
                 self.kick_hot(q);
             }
