@@ -7,6 +7,7 @@
 //! experiments --fast all      # shortened runs (smoke testing)
 //! experiments --threads 4 all # fan sweep points over 4 workers
 //! experiments --trace fig5    # also write results/traces/ artifacts
+//! experiments --profile all   # also write results/profile/ artifacts
 //! experiments bench           # machine-readable wall-time + events/sec
 //! experiments bench-check     # compare results/bench.json to baseline
 //! ```
@@ -16,13 +17,16 @@
 //! parallelism); results are reassembled in sweep order, so every CSV
 //! and JSONL artifact is byte-identical at any thread count.
 
-use ss_bench::{all_experiments, find_experiment, metrics_dir, results_dir, traces_dir};
+use ss_bench::{
+    all_experiments, find_experiment, metrics_dir, profile_dir, results_dir, traces_dir,
+};
+use ss_netsim::ARTIFACT_SCHEMA_VERSION;
 // lint: allow(D001, wall-clock progress reporting for the human running the suite)
 use std::time::Instant;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: experiments [--fast] [--threads N] [--trace] \
+        "usage: experiments [--fast] [--threads N] [--trace] [--profile] \
          <experiment-id>|all|list|bench|bench-check [--tolerance F]"
     );
     eprintln!("experiments:");
@@ -43,6 +47,10 @@ fn run_one(id: &str, fast: bool) -> Result<(), ()> {
     let started = Instant::now();
     println!("# {} — {}", exp.id, exp.description);
     let output = (exp.run)(fast);
+    // Drain the profiler once per experiment: the per-run flushes merged
+    // every worker thread's tallies into the global accumulator, so this
+    // aggregate is identical at any `--threads` count.
+    let prof = ss_bench::profile_enabled().then(ss_netsim::profile::take_report);
     let dir = results_dir();
     let mut ok = Ok(());
     for t in &output.tables {
@@ -56,7 +64,12 @@ fn run_one(id: &str, fast: bool) -> Result<(), ()> {
         let mdir = metrics_dir();
         for m in &output.metrics {
             let path = mdir.join(format!("{}.jsonl", m.name));
-            if let Err(e) = std::fs::write(&path, &m.jsonl) {
+            let payload = format!(
+                "{{\"schema_version\":{ARTIFACT_SCHEMA_VERSION},\"artifact\":\"metrics\",\
+                 \"name\":\"{}\"}}\n{}",
+                m.name, m.jsonl
+            );
+            if let Err(e) = std::fs::write(&path, payload) {
                 eprintln!("error: could not write {}: {e}", path.display());
                 ok = Err(());
             }
@@ -65,16 +78,49 @@ fn run_one(id: &str, fast: bool) -> Result<(), ()> {
     if !output.traces.is_empty() {
         let tdir = traces_dir();
         for t in &output.traces {
-            for (suffix, payload) in [
-                ("trace.json", &t.chrome_json),
-                ("causal.jsonl", &t.causal_jsonl),
-            ] {
+            // When both --trace and --profile are on, the phase tallies
+            // ride along as Perfetto counter tracks in the same file.
+            let chrome = match &prof {
+                Some(p) if !p.is_empty() => t.chrome_json.replacen(
+                    "\n]}\n",
+                    &format!(",\n{}\n]}}\n", p.chrome_counter_events()),
+                    1,
+                ),
+                _ => t.chrome_json.clone(),
+            };
+            let causal = format!(
+                "{{\"schema_version\":{ARTIFACT_SCHEMA_VERSION},\"artifact\":\"causal\",\
+                 \"name\":\"{}\"}}\n{}",
+                t.name, t.causal_jsonl
+            );
+            for (suffix, payload) in [("trace.json", &chrome), ("causal.jsonl", &causal)] {
                 let path = tdir.join(format!("{}.{suffix}", t.name));
                 if let Err(e) = std::fs::write(&path, payload) {
                     eprintln!("error: could not write {}: {e}", path.display());
                     ok = Err(());
                 }
             }
+        }
+    }
+    if let Some(p) = &prof {
+        let pdir = profile_dir();
+        for (suffix, payload) in [
+            ("profile.jsonl", p.to_jsonl(id, output.events)),
+            ("wall.jsonl", p.to_wall_jsonl(id, output.events)),
+        ] {
+            let path = pdir.join(format!("{id}.{suffix}"));
+            if let Err(e) = std::fs::write(&path, payload) {
+                eprintln!("error: could not write {}: {e}", path.display());
+                ok = Err(());
+            }
+        }
+        let attributed = p.attributed_events();
+        if output.events > 0 {
+            let pct = 100.0 * attributed as f64 / output.events as f64;
+            println!(
+                "# {id} profile: {attributed}/{} events attributed ({pct:.2}%)",
+                output.events
+            );
         }
     }
     println!(
@@ -114,6 +160,30 @@ fn run_bench(fast: bool) -> Result<(), ()> {
         let wall_s = started.elapsed().as_secs_f64();
         total_s += wall_s;
         total_events += output.events;
+        if ss_bench::profile_enabled() {
+            let p = ss_netsim::profile::take_report();
+            let pdir = profile_dir();
+            for (suffix, payload) in [
+                ("profile.jsonl", p.to_jsonl(e.id, output.events)),
+                ("wall.jsonl", p.to_wall_jsonl(e.id, output.events)),
+            ] {
+                let path = pdir.join(format!("{}.{suffix}", e.id));
+                if let Err(err) = std::fs::write(&path, payload) {
+                    eprintln!("error: could not write {}: {err}", path.display());
+                    return Err(());
+                }
+            }
+            let attributed = p.attributed_events();
+            let pct = if output.events > 0 {
+                100.0 * attributed as f64 / output.events as f64
+            } else {
+                100.0
+            };
+            eprintln!(
+                "# bench {:16} profile: {attributed}/{} events attributed ({pct:.2}%)",
+                e.id, output.events
+            );
+        }
         let eps = if wall_s > 0.0 {
             output.events as f64 / wall_s
         } else {
@@ -138,8 +208,17 @@ fn run_bench(fast: bool) -> Result<(), ()> {
     let threads = ss_netsim::par::threads();
     let mut json = String::new();
     json.push_str("{\n");
+    json.push_str(&format!(
+        "  \"schema_version\": {ARTIFACT_SCHEMA_VERSION},\n"
+    ));
     json.push_str(&format!("  \"fast\": {fast},\n"));
     json.push_str(&format!("  \"threads\": {threads},\n"));
+    json.push_str(&format!(
+        "  \"host\": {{\"os\": \"{}\", \"arch\": \"{}\", \"cpus\": {}}},\n",
+        std::env::consts::OS,
+        std::env::consts::ARCH,
+        std::thread::available_parallelism().map_or(0, |n| n.get())
+    ));
     json.push_str("  \"experiments\": [\n");
     json.push_str(&entries);
     json.push_str("\n  ],\n  \"total_wall_s\": ");
@@ -227,6 +306,22 @@ fn run_bench_check(tolerance: f64) -> Result<(), ()> {
     let fresh_events = field(&fresh, "total_events")?;
     let base_fast = baseline.contains("\"fast\": true");
     let fresh_fast = fresh.contains("\"fast\": true");
+    // Host metadata is context for the throughput numbers, not a gate:
+    // a baseline captured on different hardware explains (but does not
+    // excuse past tolerance) an events/sec delta.
+    let host = |json: &str| -> String {
+        json.find("\"host\":")
+            .and_then(|at| {
+                let rest = &json[at..];
+                rest.find('}').map(|end| rest[..end + 1].to_string())
+            })
+            .unwrap_or_else(|| "\"host\": (absent)".to_string())
+    };
+    println!(
+        "# bench-check: baseline {} / fresh {}",
+        host(&baseline),
+        host(&fresh)
+    );
     println!(
         "# bench-check: baseline {base_eps:.0} events/s, fresh {fresh_eps:.0} events/s \
          (tolerance {:.0}%)",
@@ -308,6 +403,10 @@ fn main() {
     if let Some(pos) = args.iter().position(|a| a == "--trace") {
         args.remove(pos);
         ss_bench::set_trace(true);
+    }
+    if let Some(pos) = args.iter().position(|a| a == "--profile") {
+        args.remove(pos);
+        ss_bench::set_profile(true);
     }
     let mut tolerance = 0.5f64;
     if let Some(pos) = args.iter().position(|a| a == "--tolerance") {

@@ -55,6 +55,9 @@ fn run_case(n: usize, branches: usize, hierarchical: bool) -> (u64, u64, u64, u3
     let mut steps = 0u64;
     while let Some(p) = tx.next_hot_packet() {
         steps += 1;
+        // No engine here, so each counted step opens its own dispatch
+        // scope — the profiler's event attribution stays exact.
+        let _d = ss_netsim::profile::dispatch_scope("ns-initial-fill");
         let lost = match &p {
             Packet::Data(d) => keys[..per_branch].contains(&d.key),
             _ => false,
@@ -76,7 +79,10 @@ fn run_case(n: usize, branches: usize, hierarchical: bool) -> (u64, u64, u64, u3
         let summary = tx.summary_packet();
         steps += 1;
         repair_bytes += summary.wire_len() as u64;
-        rx.on_packet(now, &summary);
+        {
+            let _d = ss_netsim::profile::dispatch_scope("ns-summary");
+            rx.on_packet(now, &summary);
+        }
         let mut progressed = false;
         loop {
             let fb = rx.poll_feedback(now);
@@ -88,10 +94,12 @@ fn run_case(n: usize, branches: usize, hierarchical: bool) -> (u64, u64, u64, u3
                 steps += 1;
                 fb_packets += 1;
                 fb_bytes += p.wire_len() as u64;
+                let _d = ss_netsim::profile::dispatch_scope("ns-feedback");
                 tx.on_packet(p);
             }
             while let Some(p) = tx.next_hot_packet() {
                 steps += 1;
+                let _d = ss_netsim::profile::dispatch_scope("ns-repair");
                 // Count control responses; data retransmissions carry the
                 // payload and are the same for both layouts.
                 if matches!(p, Packet::NodeSummary(_)) {
@@ -105,6 +113,9 @@ fn run_case(n: usize, branches: usize, hierarchical: bool) -> (u64, u64, u64, u3
         }
         assert!(progressed && rounds < 100, "repair must converge");
     }
+    // Merge this worker thread's tallies into the global accumulator,
+    // mirroring what the engine-driven sims do at end of run.
+    ss_netsim::profile::flush();
     (fb_packets, fb_bytes, repair_bytes, rounds, steps)
 }
 

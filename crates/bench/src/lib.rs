@@ -45,6 +45,16 @@ pub fn traces_dir() -> PathBuf {
     dir
 }
 
+/// The directory profiler artifacts are written to (created on
+/// demand): `results/profile/<name>.profile.jsonl` (committed, counts
+/// only) and `results/profile/<name>.wall.jsonl` (gitignored wall
+/// times).
+pub fn profile_dir() -> PathBuf {
+    let dir = PathBuf::from("results").join("profile");
+    std::fs::create_dir_all(&dir).expect("create results/profile dir");
+    dir
+}
+
 static TRACE: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
 
 /// Turns causal-trace capture on for subsequent experiment runs (the
@@ -59,6 +69,20 @@ pub fn set_trace(on: bool) {
 /// whether their representative sweep point should record a tracer.
 pub fn trace_enabled() -> bool {
     TRACE.load(std::sync::atomic::Ordering::Relaxed)
+}
+
+/// Turns the phase profiler on for subsequent experiment runs (the
+/// CLI's `--profile` flag). Profiling consumes no randomness and
+/// schedules no events, so enabling it never perturbs results; it only
+/// adds the `results/profile/` artifacts. Delegates to the global
+/// toggle in [`ss_netsim::profile`] so every sim loop sees it.
+pub fn set_profile(on: bool) {
+    ss_netsim::profile::set_enabled(on);
+}
+
+/// Whether `--profile` is in effect.
+pub fn profile_enabled() -> bool {
+    ss_netsim::profile::is_enabled()
 }
 
 /// A deterministic causal-trace artifact: both exports of one run's

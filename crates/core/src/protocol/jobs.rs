@@ -18,6 +18,7 @@
 use crate::consistency::{ConsistencyAverages, ConsistencyMeter};
 use ss_netsim::metrics::{
     AverageId, CounterId, EventKind, EventLog, HistogramId, MetricsRegistry, MetricsSnapshot,
+    SketchId,
 };
 use ss_netsim::trace::{Actor, TraceId, TraceKind, Tracer};
 use ss_netsim::{Arena, DurationHistogram, Handle, SimDuration, SimTime};
@@ -31,6 +32,10 @@ struct Job<X> {
     id: u64,
     /// When the record entered the publisher's table.
     born: SimTime,
+    /// When the receiver's view of this record last became stale (birth,
+    /// or the latest supersession while consistent). Feeds the
+    /// staleness/AoI sketches.
+    stale_since: SimTime,
     /// Whether the receiver currently holds this record's value.
     consistent: bool,
     /// This record's position in the dense `live` vector (for O(1)
@@ -61,6 +66,16 @@ pub(crate) struct LiveJobs<X = ()> {
     h_latency: HistogramId,
     a_live: AverageId,
     a_consistency: AverageId,
+    /// `T_rec` samples in bounded memory (mirrors `latency.t_rec` but
+    /// scales to populations where exact retention is impossible, and
+    /// adds p999).
+    sk_trec: SketchId,
+    /// Closed staleness intervals: time from a record turning stale
+    /// (birth or supersession) to the delivery that repaired it.
+    sk_staleness: SketchId,
+    /// Age of stale information at exit: how stale the receiver's view
+    /// still was when a record died or the run ended unrepaired.
+    sk_aoi: SketchId,
 }
 
 impl<X> LiveJobs<X> {
@@ -91,6 +106,9 @@ impl<X> LiveJobs<X> {
             0.0,
             series_spacing.unwrap_or(SimDuration::ZERO),
         );
+        let sk_trec = registry.sketch("latency.t_rec.sketch");
+        let sk_staleness = registry.sketch("staleness.sketch");
+        let sk_aoi = registry.sketch("aoi.sketch");
         LiveJobs {
             jobs: Arena::new(),
             live: Vec::new(),
@@ -106,6 +124,9 @@ impl<X> LiveJobs<X> {
             h_latency,
             a_live,
             a_consistency,
+            sk_trec,
+            sk_staleness,
+            sk_aoi,
         }
     }
 
@@ -144,6 +165,7 @@ impl<X> LiveJobs<X> {
         let h = self.jobs.insert(Job {
             id,
             born: now,
+            stale_since: now,
             consistent: false,
             live_idx,
             extra,
@@ -167,10 +189,14 @@ impl<X> LiveJobs<X> {
         }
         job.consistent = true;
         let born = job.born;
+        let stale_since = job.stale_since;
         let id = job.id;
         self.n_consistent += 1;
         self.registry.inc(self.c_delivered);
         self.registry.observe(self.h_latency, now.since(born));
+        self.registry.observe_sketch(self.sk_trec, now.since(born));
+        self.registry
+            .observe_sketch(self.sk_staleness, now.since(stale_since));
         self.events.log(now, EventKind::Deliver, id);
         let parent = if cause.is_some() {
             cause
@@ -198,6 +224,11 @@ impl<X> LiveJobs<X> {
         }
         if job.consistent {
             self.n_consistent -= 1;
+        } else {
+            // The record died before the receiver recovered its latest
+            // value: the unrepaired staleness becomes an AoI sample.
+            self.registry
+                .observe_sketch(self.sk_aoi, now.since(job.stale_since));
         }
         self.registry.inc(self.c_deaths);
         self.events.log(now, EventKind::Expire, job.id);
@@ -214,6 +245,11 @@ impl<X> LiveJobs<X> {
         let id = job.id;
         let was = job.consistent;
         job.consistent = false;
+        if was {
+            // A fresh staleness interval starts at the supersession; an
+            // already-stale record keeps its earlier start.
+            job.stale_since = now;
+        }
         self.registry.inc(self.c_updates);
         self.events.log(now, EventKind::Update, id);
         self.tracer
@@ -314,6 +350,19 @@ impl<X> LiveJobs<X> {
         let averages = self.meter.averages(end);
         let series = self.meter.series().map(|s| s.points().to_vec());
 
+        // Records still stale at the horizon close their AoI interval at
+        // `end`. Sketch recording commutes, so the arena's slot order
+        // cannot influence the artifact.
+        let open_stale: Vec<SimDuration> = self
+            .jobs
+            .iter()
+            .filter(|(_, j)| !j.consistent)
+            .map(|(_, j)| end.since(j.stale_since))
+            .collect();
+        for d in open_stale {
+            self.registry.observe_sketch(self.sk_aoi, d);
+        }
+
         let g_un = self.registry.gauge("consistency.unnormalized");
         self.registry.set_gauge(g_un, averages.unnormalized);
         let g_busy = self.registry.gauge("consistency.busy");
@@ -400,6 +449,36 @@ mod tests {
         assert_eq!(snapshot.histogram("latency.t_rec").count, 1);
         assert!((snapshot.time_average("consistency.c_t") - 0.375).abs() < 1e-12);
         assert!((snapshot.gauge("consistency.busy") - 0.375).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sketches_track_staleness_aoi_and_t_rec() {
+        let mut j: LiveJobs = LiveJobs::new(SimTime::ZERO, None, 0, 0);
+        // Record 1: delivered at 2s (t_rec = staleness = 2s), superseded
+        // at 3s, re-delivered at 5s (staleness 2s), dies consistent.
+        // Record 2: born at 1s, never delivered, dies at 4s -> AoI 3s.
+        let h1 = j.arrive(SimTime::ZERO, 1, ());
+        let h2 = j.arrive(SimTime::from_secs(1), 2, ());
+        j.deliver(SimTime::from_secs(2), h1, TraceId::NONE);
+        j.invalidate(SimTime::from_secs(3), h1);
+        j.kill(SimTime::from_secs(4), h2);
+        j.deliver(SimTime::from_secs(5), h1, TraceId::NONE);
+        j.kill(SimTime::from_secs(6), h1);
+        // Record 3: never delivered, still live at the 10s horizon ->
+        // AoI sample 3s.
+        let _h3 = j.arrive(SimTime::from_secs(7), 3, ());
+
+        let (_, snapshot, _, _) = j.finish(SimTime::from_secs(10));
+        let trec = snapshot.sketch("latency.t_rec.sketch");
+        assert_eq!(trec.count, 2);
+        assert_eq!(trec.count, snapshot.histogram("latency.t_rec").count);
+        let staleness = snapshot.sketch("staleness.sketch");
+        assert_eq!(staleness.count, 2);
+        assert_eq!(staleness.max_us, 2_000_000);
+        let aoi = snapshot.sketch("aoi.sketch");
+        assert_eq!(aoi.count, 2);
+        assert_eq!(aoi.min_us, 3_000_000);
+        assert_eq!(aoi.max_us, 3_000_000);
     }
 
     #[test]

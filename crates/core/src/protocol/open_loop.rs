@@ -405,9 +405,12 @@ pub fn run_faulted(cfg: &OpenLoopConfig, faults: &FaultSpec) -> OpenLoopReport {
     }
     sim.schedule_next_arrival(&mut q);
 
-    // The traced loop adds a per-dispatch branch; runs without a tracer
-    // keep the untraced loop so tracing is zero-cost when disabled.
-    if sim.jobs.tracer().is_enabled() {
+    // The traced/profiled loops add a per-dispatch branch; runs without
+    // either keep the plain loop so observation is zero-cost when off.
+    if ss_netsim::profile::is_enabled() {
+        ss_netsim::run_until_profiled(&mut sim, &mut q, end);
+        ss_netsim::profile::flush();
+    } else if sim.jobs.tracer().is_enabled() {
         run_until_traced(&mut sim, &mut q, end);
     } else {
         run_until(&mut sim, &mut q, end);

@@ -607,9 +607,13 @@ pub fn run_faulted(cfg: &TwoQueueConfig, faults: &FaultSpec) -> TwoQueueReport {
     }
     sim.schedule_next_arrival(&mut q);
 
-    // Tracing consumes no randomness, so the traced loop replays the
-    // untraced run exactly; the branch keeps the common path zero-cost.
-    if sim.jobs.tracer().is_enabled() {
+    // Observation consumes no randomness, so the traced and profiled
+    // loops replay the plain run exactly; the branch keeps the common
+    // path zero-cost.
+    if ss_netsim::profile::is_enabled() {
+        ss_netsim::run_until_profiled(&mut sim, &mut q, end);
+        ss_netsim::profile::flush();
+    } else if sim.jobs.tracer().is_enabled() {
         run_until_traced(&mut sim, &mut q, end);
     } else {
         run_until(&mut sim, &mut q, end);

@@ -43,6 +43,11 @@
 //!   at least one valid rule id and a non-empty reason. A malformed
 //!   annotation both fails to suppress *and* is itself a violation, so
 //!   silent typos cannot disable the gate.
+//! - **D010** — no unbounded `.push(…)` / `.insert(…)` accumulation inside
+//!   a per-event handler body (`fn handle…`) in the simulation crates.
+//!   Per-event growth is O(events) memory and is what the bounded sketch
+//!   and first-N abstractions exist for; a bounded queue (drained
+//!   elsewhere) is fine but must say so in an `allow(D010, …)` reason.
 //!
 //! A line may opt out of one or more rules with an annotation on the same
 //! line or the line directly above:
@@ -129,7 +134,7 @@ pub struct RuleInfo {
 }
 
 /// Every rule the scanner knows, in id order.
-pub const RULES: [RuleInfo; 9] = [
+pub const RULES: [RuleInfo; 10] = [
     RuleInfo {
         id: "D001",
         summary: "wall-clock time source (Instant/SystemTime) outside the allowlist",
@@ -165,6 +170,10 @@ pub const RULES: [RuleInfo; 9] = [
     RuleInfo {
         id: "D009",
         summary: "malformed lint: allow(...) annotation (bad rule id or missing reason)",
+    },
+    RuleInfo {
+        id: "D010",
+        summary: "unbounded push/insert accumulation in a per-event sim handler body",
     },
 ];
 
@@ -570,6 +579,24 @@ fn has_pub_mut_return(code: &str) -> bool {
     code.contains("pub fn ") && code.contains("-> &mut ")
 }
 
+/// True when the token stream declares a per-event handler: an `fn`
+/// token directly followed by an identifier starting with `handle`
+/// (`fn handle`, `fn handle_arrival`, …).
+fn declares_handler(toks: &[&str]) -> bool {
+    toks.windows(2)
+        .any(|w| w[0] == "fn" && w[1].starts_with("handle"))
+}
+
+/// Net brace-depth tracking over stripped code (strings/comments are
+/// already blanked, so every remaining brace is structural).
+fn brace_delta(code: &str) -> i32 {
+    code.bytes().fold(0i32, |d, b| match b {
+        b'{' => d + 1,
+        b'}' => d - 1,
+        _ => d,
+    })
+}
+
 /// Scans one source file's content. `path` must be workspace-relative with
 /// `/` separators; it selects which rules apply.
 pub fn scan_source(path: &str, src: &str) -> Vec<Diagnostic> {
@@ -584,6 +611,15 @@ pub fn scan_source(path: &str, src: &str) -> Vec<Diagnostic> {
     let check_d006 = in_sim_crate(path);
     let check_d007 = in_sim_crate(path);
     let check_d008 = is_machine_file(path);
+    // D010 applies in the sim crates, but not inside the bounded
+    // accumulation abstractions themselves (the sketch module and the
+    // capacity-capped logs are what handlers are told to use instead).
+    let check_d010 = in_sim_crate(path) && path != "crates/netsim/src/metrics/sketch.rs";
+    // Handler-body tracking for D010: brace depth, the depth at which an
+    // active `fn handle…` was declared, and whether its body has opened.
+    let mut depth: i32 = 0;
+    let mut handler_at: Option<i32> = None;
+    let mut handler_body_seen = false;
 
     for (idx, raw) in src.lines().enumerate() {
         let line_no = idx + 1;
@@ -706,6 +742,37 @@ pub fn scan_source(path: &str, src: &str) -> Vec<Diagnostic> {
                      or annotate the compat shim"
                     .to_string(),
             });
+        }
+        let in_handler_body = handler_at.is_some_and(|d| handler_body_seen && depth > d);
+        if check_d010
+            && in_handler_body
+            && (scan.code.contains(".push(") || scan.code.contains(".insert("))
+            && !suppressed("D010")
+        {
+            out.push(Diagnostic {
+                path: path.to_string(),
+                line: line_no,
+                rule: "D010",
+                message: "push/insert accumulation in a per-event handler; per-event growth is \
+                     O(events) memory — use a bounded sketch/first-N abstraction, or \
+                     annotate why this collection is bounded"
+                    .to_string(),
+            });
+        }
+        if check_d010 && handler_at.is_none() && declares_handler(&toks) {
+            handler_at = Some(depth);
+            handler_body_seen = false;
+        }
+        depth += brace_delta(&scan.code);
+        if let Some(d) = handler_at {
+            if depth > d {
+                handler_body_seen = true;
+            } else if handler_body_seen {
+                // The body closed (depth fell back to the declaration
+                // level); pushes after this are outside the handler.
+                handler_at = None;
+                handler_body_seen = false;
+            }
         }
 
         prev_comment = scan.comment;
@@ -982,6 +1049,54 @@ mod tests {
         // Outside machine files the rule does not apply.
         assert!(
             scan_source("crates/sstp/src/session.rs", "pub fn poke(&mut self) {}\n").is_empty()
+        );
+    }
+
+    #[test]
+    fn d010_flags_pushes_in_handler_bodies_only() {
+        let src = "impl World for Sim {\n\
+                   \x20   fn handle(&mut self, ev: Ev) {\n\
+                   \x20       self.samples.push(ev.t);\n\
+                   \x20       self.index.insert(ev.key, ev.t);\n\
+                   \x20   }\n\
+                   }\n\
+                   fn helper(v: &mut Vec<u64>) { v.push(1); }\n";
+        assert_eq!(
+            scan_source("crates/core/src/x.rs", src)
+                .iter()
+                .map(|d| (d.rule, d.line))
+                .collect::<Vec<_>>(),
+            vec![("D010", 3), ("D010", 4)]
+        );
+        // Outside sim crates, and in the sketch module itself, exempt.
+        assert!(scan_source("crates/bench/src/x.rs", src).is_empty());
+        assert!(scan_source("crates/netsim/src/metrics/sketch.rs", src).is_empty());
+        // A reasoned allow suppresses.
+        let src = "fn handle(&mut self) {\n\
+                   \x20   // lint: allow(D010, bounded queue drained by kick_fb)\n\
+                   \x20   self.q.push(1);\n\
+                   }\n";
+        assert!(scan_source("crates/core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn d010_handler_tracking_survives_nested_braces() {
+        // Braces in match arms must not end the handler early, and the
+        // handler must actually end at its closing brace.
+        let src = "fn handle(&mut self, ev: Ev) {\n\
+                   \x20   match ev {\n\
+                   \x20       Ev::A => { self.log.push(1); }\n\
+                   \x20       Ev::B => {}\n\
+                   \x20   }\n\
+                   \x20   self.tail.push(2);\n\
+                   }\n\
+                   fn not_a_handler(&mut self) { self.v.push(3); }\n";
+        assert_eq!(
+            scan_source("crates/sstp/src/x.rs", src)
+                .iter()
+                .map(|d| (d.rule, d.line))
+                .collect::<Vec<_>>(),
+            vec![("D010", 3), ("D010", 6)]
         );
     }
 

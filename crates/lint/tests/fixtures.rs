@@ -69,6 +69,19 @@ fn d004_flags_panicking_parse_in_wire_only() {
 }
 
 #[test]
+fn d010_flags_handler_accumulation_with_exact_lines() {
+    let src = include_str!("fixtures/d010_handler_accumulation.rs");
+    // Line 13's push is covered by the reasoned allow on line 12; the
+    // batch helper after the handler is out of scope entirely.
+    assert_eq!(
+        hits("crates/core/src/fixture.rs", src),
+        vec![("D010", 6), ("D010", 9)]
+    );
+    // Outside the simulation crates the rule does not apply.
+    assert!(hits("crates/bench/src/fixture.rs", src).is_empty());
+}
+
+#[test]
 fn clean_fixture_produces_no_diagnostics() {
     let src = include_str!("fixtures/clean.rs");
     // Scan under the strictest path (a sim crate), where D001-D003 all

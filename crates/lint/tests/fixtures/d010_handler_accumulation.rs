@@ -1,0 +1,24 @@
+//! D010 fixture: push/insert accumulation inside per-event handler
+//! bodies. Never compiled — scanned by tests/fixtures.rs.
+
+impl World for Sim {
+    fn handle(&mut self, q: &mut EventQueue<Ev>, ev: Ev) {
+        self.all_arrivals.push(q.now()); // line 6: unbounded per-event growth
+        match ev {
+            Ev::Arrival(k) => {
+                self.seen.insert(k, q.now()); // line 9: same, via insert
+            }
+            Ev::Tick => {
+                // lint: allow(D010, bounded send queue, drained by kick below)
+                self.queue.push(Packet::probe());
+            }
+        }
+    }
+}
+
+fn rebuild_index(keys: &[Key], out: &mut Vec<Key>) {
+    // Outside a handler body: batch/setup code may accumulate freely.
+    for k in keys {
+        out.push(*k);
+    }
+}

@@ -223,6 +223,39 @@ pub fn run_until_traced<W: TracedWorld>(world: &mut W, q: &mut EventQueue<W::Eve
     }
 }
 
+/// [`run_until`] plus `ss-profile` phase attribution: each queue pop is
+/// charged to [`profile::WHEEL_PHASE`](crate::profile::WHEEL_PHASE)
+/// (wheel advance and cascade) and each dispatch runs inside an
+/// `ev:<label>` phase scope, so every dispatched event lands in exactly
+/// one named root phase. The tracer dispatch mark is kept, so a run
+/// that is both traced and profiled loses nothing.
+///
+/// Profiling observes and never schedules or draws randomness, so the
+/// event trajectory — and every artifact — is identical to
+/// [`run_until`]'s. Runners pick this loop only when
+/// [`profile::is_enabled`](crate::profile::is_enabled), keeping the
+/// plain hot loop free of even the per-event branch.
+pub fn run_until_profiled<W: TracedWorld>(
+    world: &mut W,
+    q: &mut EventQueue<W::Event>,
+    end: SimTime,
+) {
+    loop {
+        let ev = {
+            let _pop = crate::profile::scope(crate::profile::WHEEL_PHASE);
+            match q.peek_time() {
+                Some(at) if at <= end => q.pop().expect("peeked event vanished"),
+                _ => break,
+            }
+        };
+        let (at, ev) = ev;
+        let label = W::event_label(&ev);
+        world.tracer().dispatch(at, label);
+        let _dispatch = crate::profile::dispatch_scope(label);
+        world.handle(q, ev);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

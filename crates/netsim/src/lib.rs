@@ -31,6 +31,9 @@
 //! * [`trace`] — `ss-trace`: causal record-lifecycle tracing with
 //!   virtual-time spans, Perfetto/JSONL exporters, and trace-derived
 //!   metric recomputation ([`Tracer`], [`LifecycleAnalysis`]).
+//! * [`profile`] — `ss-profile`: deterministic hierarchical phase
+//!   profiling ([`ProfileReport`]); exact per-phase event tallies with
+//!   wall time quarantined from committed artifacts (DESIGN.md §15).
 //! * [`par`] — the deterministic fan-out executor for sweeps of
 //!   independent runs ([`par::sweep`]): results reassemble in index
 //!   order, so artifacts are byte-identical at any worker count.
@@ -68,6 +71,7 @@ pub mod link;
 pub mod loss;
 pub mod metrics;
 pub mod par;
+pub mod profile;
 pub mod rng;
 pub mod stats;
 pub mod time;
@@ -76,14 +80,19 @@ pub mod units;
 pub mod wheel;
 
 pub use arena::{Arena, Handle};
-pub use engine::{run_to_completion, run_until, run_until_traced, EventQueue, TracedWorld, World};
+pub use engine::{
+    run_to_completion, run_until, run_until_profiled, run_until_traced, EventQueue, TracedWorld,
+    World,
+};
 pub use faults::{EpisodeSpec, FaultDir, FaultKind, FaultSchedule, FaultSpec, Perturbation};
 pub use link::{Channel, Delivery, Transmitter};
 pub use loss::{BatchedBernoulli, Bernoulli, GilbertElliott, LossModel, LossSpec, Pattern};
 pub use metrics::{
     AverageId, CounterId, EventKind, EventLog, EventRecord, GaugeId, HistogramId, HistogramSummary,
-    MetricValue, MetricsRegistry, MetricsSnapshot, QueueClass, WindowedTimeAverage,
+    MetricValue, MetricsRegistry, MetricsSnapshot, QuantileSketch, QueueClass, SketchId,
+    SketchSummary, WindowedTimeAverage, ARTIFACT_SCHEMA_VERSION,
 };
+pub use profile::{PhaseEntry, ProfileReport};
 pub use rng::SimRng;
 pub use stats::{DurationHistogram, TimeSeries, TimeWeightedMean, Welford};
 pub use time::{Clock, ManualClock, SimDuration, SimTime};
@@ -93,7 +102,8 @@ pub use units::Bandwidth;
 /// Convenient glob import for simulations.
 pub mod prelude {
     pub use crate::engine::{
-        run_to_completion, run_until, run_until_traced, EventQueue, TracedWorld, World,
+        run_to_completion, run_until, run_until_profiled, run_until_traced, EventQueue,
+        TracedWorld, World,
     };
     pub use crate::faults::{
         EpisodeSpec, FaultDir, FaultKind, FaultSchedule, FaultSpec, Perturbation,
@@ -104,8 +114,8 @@ pub mod prelude {
     };
     pub use crate::metrics::{
         AverageId, CounterId, EventKind, EventLog, EventRecord, GaugeId, HistogramId,
-        HistogramSummary, MetricValue, MetricsRegistry, MetricsSnapshot, QueueClass,
-        WindowedTimeAverage,
+        HistogramSummary, MetricValue, MetricsRegistry, MetricsSnapshot, QuantileSketch,
+        QueueClass, SketchId, SketchSummary, WindowedTimeAverage, ARTIFACT_SCHEMA_VERSION,
     };
     pub use crate::rng::SimRng;
     pub use crate::stats::{DurationHistogram, TimeSeries, TimeWeightedMean, Welford};

@@ -20,15 +20,23 @@
 //! snapshot lists them in lexicographic order.
 
 mod events;
+pub mod sketch;
 mod timeavg;
 
 pub use events::{EventKind, EventLog, EventRecord, QueueClass};
+pub use sketch::QuantileSketch;
 pub use timeavg::WindowedTimeAverage;
 
 use crate::stats::DurationHistogram;
 use crate::time::{SimDuration, SimTime};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
+
+/// Version stamp carried by every JSONL artifact this workspace emits
+/// (metrics, traces, profile, bench). `ss-report` refuses artifacts
+/// whose version does not match its own, so a schema change can never
+/// be silently mis-parsed into a bogus cross-run comparison.
+pub const ARTIFACT_SCHEMA_VERSION: u32 = 1;
 
 /// Handle to a registered counter.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -46,12 +54,17 @@ pub struct HistogramId(usize);
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct AverageId(usize);
 
+/// Handle to a registered quantile sketch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SketchId(usize);
+
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 enum Kind {
     Counter,
     Gauge,
     Histogram,
     Average,
+    Sketch,
 }
 
 /// A registry of named metrics for one simulation run.
@@ -67,6 +80,7 @@ pub struct MetricsRegistry {
     gauges: Vec<(String, f64)>,
     histograms: Vec<(String, DurationHistogram)>,
     averages: Vec<(String, WindowedTimeAverage)>,
+    sketches: Vec<(String, QuantileSketch)>,
 }
 
 impl MetricsRegistry {
@@ -151,6 +165,22 @@ impl MetricsRegistry {
         }
     }
 
+    /// Registers (or re-opens) a bounded-memory quantile sketch
+    /// ([`QuantileSketch`]): the estimator of choice for distributions
+    /// too large for exact retention (staleness, age of information,
+    /// `T_rec` at population scale).
+    pub fn sketch(&mut self, name: &str) -> SketchId {
+        let idx = self.sketches.len();
+        match self.claim(name, Kind::Sketch, idx) {
+            Some(existing) => SketchId(existing),
+            None => {
+                self.sketches
+                    .push((name.to_string(), QuantileSketch::new()));
+                SketchId(idx)
+            }
+        }
+    }
+
     /// Increments a counter by one.
     #[inline]
     pub fn inc(&mut self, id: CounterId) {
@@ -185,6 +215,23 @@ impl MetricsRegistry {
         &self.histograms[id.0].1
     }
 
+    /// Records one duration sample into a quantile sketch.
+    #[inline]
+    pub fn observe_sketch(&mut self, id: SketchId, d: SimDuration) {
+        self.sketches[id.0].1.record_duration(d);
+    }
+
+    /// Read access to a sketch (for quantile queries mid-run).
+    pub fn sketch_value(&self, id: SketchId) -> &QuantileSketch {
+        &self.sketches[id.0].1
+    }
+
+    /// Folds an externally built sketch (e.g. a per-worker partial)
+    /// into a registered one. Merge order never affects the result.
+    pub fn merge_sketch(&mut self, id: SketchId, other: &QuantileSketch) {
+        self.sketches[id.0].1.merge(other);
+    }
+
     /// Records that a time-averaged signal takes value `v` from `t` on.
     #[inline]
     pub fn record_sample(&mut self, id: AverageId, t: SimTime, v: f64) {
@@ -212,6 +259,9 @@ impl MetricsRegistry {
                 name.clone(),
                 MetricValue::Histogram(HistogramSummary::of(h)),
             );
+        }
+        for (name, s) in &self.sketches {
+            values.insert(name.clone(), MetricValue::Sketch(SketchSummary::of(s)));
         }
         for (name, a) in &mut self.averages {
             let mean = a.mean_until(at);
@@ -270,6 +320,44 @@ impl HistogramSummary {
     }
 }
 
+/// Fixed summary of a [`QuantileSketch`] at snapshot time, in
+/// microseconds of sim time. Count, mean, min, and max are exact; the
+/// quantiles carry the sketch's documented relative-error bound.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SketchSummary {
+    /// Number of samples.
+    pub count: u64,
+    /// Exact mean, µs.
+    pub mean_us: u64,
+    /// Smallest sample (exact), µs.
+    pub min_us: u64,
+    /// Largest sample (exact), µs.
+    pub max_us: u64,
+    /// Median estimate, µs.
+    pub p50_us: u64,
+    /// 90th percentile estimate, µs.
+    pub p90_us: u64,
+    /// 99th percentile estimate, µs.
+    pub p99_us: u64,
+    /// 99.9th percentile estimate, µs.
+    pub p999_us: u64,
+}
+
+impl SketchSummary {
+    fn of(s: &QuantileSketch) -> Self {
+        SketchSummary {
+            count: s.count(),
+            mean_us: s.mean(),
+            min_us: s.min(),
+            max_us: s.max(),
+            p50_us: s.quantile(0.5),
+            p90_us: s.quantile(0.9),
+            p99_us: s.quantile(0.99),
+            p999_us: s.quantile(0.999),
+        }
+    }
+}
+
 /// One frozen metric value inside a [`MetricsSnapshot`].
 #[derive(Clone, Debug, PartialEq)]
 pub enum MetricValue {
@@ -279,6 +367,8 @@ pub enum MetricValue {
     Gauge(f64),
     /// Duration distribution summary.
     Histogram(HistogramSummary),
+    /// Bounded-memory quantile-sketch summary.
+    Sketch(SketchSummary),
     /// Time-averaged signal: overall mean, final value, and the
     /// per-window means as `(window end µs, mean)` pairs.
     TimeAverage {
@@ -343,6 +433,14 @@ impl MetricsSnapshot {
         }
     }
 
+    /// The sketch summary of a metric; panics if absent or mistyped.
+    pub fn sketch(&self, name: &str) -> &SketchSummary {
+        match self.values.get(name) {
+            Some(MetricValue::Sketch(s)) => s,
+            other => panic!("no sketch {name:?} in snapshot (found {other:?})"),
+        }
+    }
+
     /// The overall mean of a time-average metric; panics if absent or
     /// mistyped.
     pub fn time_average(&self, name: &str) -> f64 {
@@ -397,6 +495,21 @@ impl MetricsSnapshot {
                         ",\"type\":\"histogram\",\"count\":{},\"mean_us\":{},\"min_us\":{},\
                          \"max_us\":{},\"p50_us\":{},\"p90_us\":{},\"p99_us\":{}",
                         h.count, h.mean_us, h.min_us, h.max_us, h.p50_us, h.p90_us, h.p99_us
+                    );
+                }
+                MetricValue::Sketch(s) => {
+                    let _ = write!(
+                        out,
+                        ",\"type\":\"sketch\",\"count\":{},\"mean_us\":{},\"min_us\":{},\
+                         \"max_us\":{},\"p50_us\":{},\"p90_us\":{},\"p99_us\":{},\"p999_us\":{}",
+                        s.count,
+                        s.mean_us,
+                        s.min_us,
+                        s.max_us,
+                        s.p50_us,
+                        s.p90_us,
+                        s.p99_us,
+                        s.p999_us
                     );
                 }
                 MetricValue::TimeAverage {
@@ -521,6 +634,29 @@ mod tests {
         for line in out.lines() {
             assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
         }
+    }
+
+    #[test]
+    fn sketch_registers_snapshots_and_serializes() {
+        let mut reg = MetricsRegistry::new();
+        let s = reg.sketch("staleness.sketch");
+        for ms in [5u64, 10, 20, 40, 80] {
+            reg.observe_sketch(s, SimDuration::from_millis(ms));
+        }
+        let mut partial = QuantileSketch::new();
+        partial.record_duration(SimDuration::from_millis(160));
+        reg.merge_sketch(s, &partial);
+        let snap = reg.snapshot(SimTime::from_secs(1));
+        let sk = snap.sketch("staleness.sketch");
+        assert_eq!(sk.count, 6);
+        assert_eq!(sk.min_us, 5_000);
+        assert_eq!(sk.max_us, 160_000);
+        assert!(sk.p50_us <= sk.p90_us && sk.p90_us <= sk.p99_us && sk.p99_us <= sk.p999_us);
+        let line = snap.to_jsonl();
+        assert!(line.contains(
+            "\"metric\":\"staleness.sketch\",\"t_us\":1000000,\"type\":\"sketch\",\"count\":6"
+        ));
+        assert!(line.contains("\"p999_us\":"));
     }
 
     #[test]

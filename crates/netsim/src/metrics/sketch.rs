@@ -1,0 +1,360 @@
+//! Bounded-memory, deterministic quantile sketches for duration
+//! distributions.
+//!
+//! The paper's distributional claims — staleness, age of information,
+//! recovery time `T_rec` — need quantiles at population scale, where
+//! retaining exact samples is impossible. [`QuantileSketch`] is a
+//! DDSketch-style log-bucketed estimator with three properties the
+//! sim's determinism contract demands:
+//!
+//! 1. **Integer-only bucketing.** Bucket indices come from
+//!    `leading_zeros`, never from `f64::log`, so two platforms (or two
+//!    runs) can never disagree on which bucket a sample lands in.
+//! 2. **Commutative merge.** Merging is element-wise `u64` addition, so
+//!    per-worker sketches merged in *any* order serialize to identical
+//!    bytes — the property the sweep executor relies on.
+//! 3. **Bounded memory.** At most [`QuantileSketch::MAX_BUCKETS`]
+//!    buckets (~15 KiB) cover the whole `u64` microsecond range; the
+//!    backing vector grows lazily to the largest observed bucket, so a
+//!    sketch over sub-hour sim horizons stays a few KiB.
+//!
+//! # Accuracy contract
+//!
+//! Values below 32 µs are exact. Above that, each octave splits into 32
+//! sub-buckets, so a bucket spans a factor of `1 + 1/32` and the
+//! midpoint representative is within **1.6 % relative error** of any
+//! value in the bucket (3.2 % worst case if the true value sits at a
+//! bucket edge and the min/max clamp does not apply). `p50/p90/p99/p999`
+//! reported in [`MetricsSnapshot`](super::MetricsSnapshot) inherit that
+//! bound. DESIGN.md §15 states the contract alongside the profiler's
+//! determinism rules.
+
+use crate::time::SimDuration;
+use std::fmt::Write as _;
+
+/// Sub-bucket resolution: each power-of-two octave splits into
+/// `2^SUB_BITS` buckets.
+const SUB_BITS: u32 = 5;
+/// Sub-buckets per octave (and the threshold below which values are
+/// exact).
+const SUB: usize = 1 << SUB_BITS;
+
+/// A deterministic log-bucketed quantile sketch over `u64` microsecond
+/// values.
+///
+/// ```
+/// use ss_netsim::metrics::QuantileSketch;
+/// use ss_netsim::SimDuration;
+///
+/// let mut s = QuantileSketch::new();
+/// for ms in 1..=1000u64 {
+///     s.record_duration(SimDuration::from_millis(ms));
+/// }
+/// let p50 = s.quantile(0.5);
+/// // Within the documented 3.2% relative error of the exact median.
+/// assert!((p50 as f64 - 500_000.0).abs() / 500_000.0 < 0.032);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct QuantileSketch {
+    /// Bucket counts, indexed by [`bucket_index`]; grown lazily.
+    counts: Vec<u64>,
+    count: u64,
+    /// Exact sum for the exact mean (u128: 2^64 µs-sized samples can
+    /// overflow u64 over a long merge chain).
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+/// The bucket a value lands in. Exact below [`SUB`]; log2 with
+/// [`SUB_BITS`] sub-bucket bits above.
+#[inline]
+fn bucket_index(v: u64) -> usize {
+    if v < SUB as u64 {
+        v as usize
+    } else {
+        let h = 63 - v.leading_zeros();
+        (((h - SUB_BITS + 1) as usize) << SUB_BITS) | ((v >> (h - SUB_BITS)) as usize & (SUB - 1))
+    }
+}
+
+/// Lower bound and width of bucket `idx` (inverse of [`bucket_index`]).
+#[inline]
+fn bucket_bounds(idx: usize) -> (u64, u64) {
+    if idx < SUB {
+        (idx as u64, 1)
+    } else {
+        let g = (idx >> SUB_BITS) as u32;
+        let h = g + SUB_BITS - 1;
+        let sub = (idx & (SUB - 1)) as u64;
+        let w = 1u64 << (h - SUB_BITS);
+        ((1u64 << h) + sub * w, w)
+    }
+}
+
+impl QuantileSketch {
+    /// Upper bound on the number of buckets: 32 exact low buckets plus
+    /// 32 per octave for octaves 5..=63.
+    pub const MAX_BUCKETS: usize = SUB * (64 - SUB_BITS as usize + 1);
+
+    /// Worst-case relative error of a reported quantile (bucket edge to
+    /// midpoint): `1/SUB`.
+    pub const RELATIVE_ERROR: f64 = 1.0 / SUB as f64;
+
+    /// An empty sketch.
+    pub fn new() -> Self {
+        QuantileSketch::default()
+    }
+
+    /// Records one value (microseconds of sim time).
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        let idx = bucket_index(v);
+        if self.counts.len() <= idx {
+            self.counts.resize(idx + 1, 0);
+        }
+        self.counts[idx] += 1;
+        self.sum += v as u128;
+        if self.count == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.count += 1;
+    }
+
+    /// Records one duration sample.
+    #[inline]
+    pub fn record_duration(&mut self, d: SimDuration) {
+        self.record(d.as_micros());
+    }
+
+    /// Folds `other` into `self`. Element-wise addition: merging any
+    /// permutation of the same sketches yields an identical sketch (and
+    /// identical [`QuantileSketch::serialize`] bytes).
+    pub fn merge(&mut self, other: &QuantileSketch) {
+        if other.count == 0 {
+            return;
+        }
+        if self.counts.len() < other.counts.len() {
+            self.counts.resize(other.counts.len(), 0);
+        }
+        for (i, c) in other.counts.iter().enumerate() {
+            self.counts[i] += c;
+        }
+        self.sum += other.sum;
+        if self.count == 0 {
+            self.min = other.min;
+            self.max = other.max;
+        } else {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+        self.count += other.count;
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact mean of the recorded samples (0 when empty).
+    pub fn mean(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            (self.sum / self.count as u128) as u64
+        }
+    }
+
+    /// Smallest recorded sample (exact; 0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded sample (exact; 0 when empty).
+    pub fn max(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.max
+        }
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`) as a bucket-midpoint estimate,
+    /// clamped to the exact observed `[min, max]`. 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            cum += c;
+            if cum >= rank {
+                let (lo, w) = bucket_bounds(idx);
+                return (lo + w / 2).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Heap bytes currently held by the sketch (the bounded-memory
+    /// claim, checkable in tests).
+    pub fn heap_bytes(&self) -> usize {
+        self.counts.capacity() * std::mem::size_of::<u64>()
+    }
+
+    /// Canonical serialization: a single line
+    /// `qsketch.v1 count=N sum=S min=M max=X buckets=i:c;i:c;...`
+    /// (sparse, ascending index). Two sketches with the same contents —
+    /// however they were built or merged — produce identical bytes.
+    pub fn serialize(&self) -> String {
+        let mut out = String::with_capacity(64 + 8 * self.counts.len());
+        let _ = write!(
+            out,
+            "qsketch.v1 count={} sum={} min={} max={} buckets=",
+            self.count,
+            self.sum,
+            self.min(),
+            self.max()
+        );
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c != 0 {
+                let _ = write!(out, "{i}:{c};");
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_sketch() {
+        let s = QuantileSketch::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0);
+        assert_eq!(s.quantile(0.5), 0);
+        assert_eq!(s.min(), 0);
+        assert_eq!(s.max(), 0);
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut s = QuantileSketch::new();
+        for v in 0..32u64 {
+            s.record(v);
+        }
+        // Every value below SUB has its own bucket.
+        assert_eq!(s.quantile(1.0 / 64.0), 0);
+        assert_eq!(s.quantile(1.0), 31);
+        assert_eq!(s.mean(), (0..32).sum::<u64>() / 32);
+    }
+
+    #[test]
+    fn bucket_roundtrip_bounds() {
+        for v in [
+            0u64,
+            1,
+            31,
+            32,
+            33,
+            63,
+            64,
+            1000,
+            123_456,
+            u32::MAX as u64,
+            u64::MAX / 2,
+            u64::MAX,
+        ] {
+            let idx = bucket_index(v);
+            assert!(idx < QuantileSketch::MAX_BUCKETS, "idx {idx} for {v}");
+            let (lo, w) = bucket_bounds(idx);
+            assert!(lo <= v, "lo {lo} > v {v}");
+            assert!(v - lo < w, "v {v} outside bucket [{lo}, {lo}+{w})");
+        }
+    }
+
+    #[test]
+    fn bucket_indices_are_monotone() {
+        let mut prev = 0;
+        for h in 0..64u32 {
+            let v = 1u64 << h;
+            for v in [v, v + v / 3, v + v / 2] {
+                let idx = bucket_index(v);
+                assert!(idx >= prev, "index not monotone at {v}");
+                prev = idx;
+            }
+        }
+    }
+
+    #[test]
+    fn quantiles_within_relative_error() {
+        let mut s = QuantileSketch::new();
+        let mut exact: Vec<u64> = Vec::new();
+        let mut v = 7u64;
+        for _ in 0..10_000 {
+            v = v
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let sample = v >> 44; // ~20-bit values
+            s.record(sample);
+            exact.push(sample);
+        }
+        exact.sort_unstable();
+        for q in [0.5, 0.9, 0.99, 0.999] {
+            let rank = ((q * exact.len() as f64).ceil() as usize).clamp(1, exact.len());
+            let truth = exact[rank - 1] as f64;
+            let est = s.quantile(q) as f64;
+            let err = (est - truth).abs() / truth.max(1.0);
+            assert!(
+                err <= 2.0 * QuantileSketch::RELATIVE_ERROR,
+                "q={q}: {est} vs {truth}"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_equals_bulk_record() {
+        let vals: Vec<u64> = (0..1000u64).map(|i| i * i % 50_000).collect();
+        let mut whole = QuantileSketch::new();
+        for &v in &vals {
+            whole.record(v);
+        }
+        let mut a = QuantileSketch::new();
+        let mut b = QuantileSketch::new();
+        for (i, &v) in vals.iter().enumerate() {
+            if i % 2 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+        }
+        let mut merged = QuantileSketch::new();
+        merged.merge(&b);
+        merged.merge(&a);
+        assert_eq!(merged.serialize(), whole.serialize());
+        assert_eq!(merged, whole);
+    }
+
+    #[test]
+    fn memory_stays_bounded() {
+        let mut s = QuantileSketch::new();
+        let mut v = 1u64;
+        for _ in 0..63 {
+            s.record(v);
+            v = v.wrapping_shl(1) | 1;
+        }
+        assert!(s.counts.len() <= QuantileSketch::MAX_BUCKETS);
+        assert!(s.heap_bytes() <= 2 * QuantileSketch::MAX_BUCKETS * 8);
+    }
+}

@@ -204,3 +204,97 @@ proptest! {
         }
     }
 }
+
+/// Adversarial sample sets for the sketch properties: heavy tails,
+/// near-boundary powers of two, dense clusters, and extremes — the
+/// shapes most likely to expose bucketing or merge bugs.
+fn adversarial_samples() -> impl Strategy<Value = Vec<u64>> {
+    let any_shape = prop_oneof![
+        // Uniform small values (exact sub-linear buckets).
+        prop::collection::vec(0u64..64, 1..300),
+        // Heavy tail: exponents spread across the full u64 range.
+        prop::collection::vec(
+            (0u32..63, 0u64..1_000).prop_map(|(e, o)| (1u64 << e) | o),
+            1..300
+        ),
+        // Bucket boundaries and their neighbors.
+        prop::collection::vec(
+            (5u32..63, prop_oneof![Just(-1i64), Just(0), Just(1)])
+                .prop_map(|(e, d)| (1u64 << e).wrapping_add_signed(d)),
+            1..300
+        ),
+        // Dense cluster around one magnitude.
+        (10u64..1 << 40, prop::collection::vec(0u64..100, 1..300))
+            .prop_map(|(base, ds)| ds.into_iter().map(|d| base + d).collect::<Vec<_>>()),
+        // Extremes, including u64::MAX.
+        prop::collection::vec(prop_oneof![Just(0u64), Just(1), Just(u64::MAX)], 1..100),
+    ];
+    any_shape
+}
+
+proptest! {
+    /// Merging per-worker shards in **any order** yields byte-identical
+    /// serialized state — the property the parallel sweep's determinism
+    /// rests on (sketches from workers merge in whatever order the
+    /// reassembly loop visits them).
+    #[test]
+    fn sketch_merge_is_order_independent(
+        samples in adversarial_samples(),
+        shards in 1usize..8,
+        perm_seed in 0u64..1_000,
+    ) {
+        // Bulk reference: every sample recorded into one sketch.
+        let mut bulk = QuantileSketch::new();
+        for &v in &samples {
+            bulk.record(v);
+        }
+        // Shard round-robin, then merge in a permuted order.
+        let mut parts = vec![QuantileSketch::new(); shards];
+        for (i, &v) in samples.iter().enumerate() {
+            parts[i % shards].record(v);
+        }
+        let mut order: Vec<usize> = (0..shards).collect();
+        // Deterministic Fisher-Yates driven by the seed parameter.
+        let mut state = perm_seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        for i in (1..order.len()).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            order.swap(i, (state % (i as u64 + 1)) as usize);
+        }
+        let mut merged = QuantileSketch::new();
+        for &s in &order {
+            merged.merge(&parts[s]);
+        }
+        prop_assert_eq!(merged.serialize(), bulk.serialize());
+        prop_assert_eq!(merged.count(), samples.len() as u64);
+    }
+
+    /// Sketch quantiles agree with exact rank-based quantiles within the
+    /// documented relative error (doubled: one bucket width of slack on
+    /// each side of the rank walk) on adversarial distributions.
+    #[test]
+    fn sketch_quantiles_match_exact_within_relative_error(samples in adversarial_samples()) {
+        let mut sk = QuantileSketch::new();
+        for &v in &samples {
+            sk.record(v);
+        }
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            let got = sk.quantile(q) as f64;
+            // Same rank convention as the sketch: the ceil(q*n)-th
+            // smallest sample, 1-indexed, clamped to [1, n].
+            let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            let exact = sorted[rank - 1] as f64;
+            let tol = 2.0 * QuantileSketch::RELATIVE_ERROR * exact + 1.0;
+            prop_assert!(
+                (got - exact).abs() <= tol,
+                "q={q}: got {got}, exact {exact}, tol {tol}"
+            );
+            prop_assert!(got >= sk.min() as f64 && got <= sk.max() as f64);
+        }
+        // Memory stays bounded regardless of the distribution (the 2x
+        // slack covers Vec's amortized capacity-doubling growth; same
+        // bound the sketch's own memory_stays_bounded test pins).
+        prop_assert!(sk.heap_bytes() <= 2 * QuantileSketch::MAX_BUCKETS * 8);
+    }
+}

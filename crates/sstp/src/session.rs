@@ -30,9 +30,10 @@ use softstate::consistency::ConsistencyAverages;
 use softstate::{ArrivalProcess, ConsistencyMeter, Key, LossSpec};
 use ss_netsim::trace::{Actor, TraceId, TraceKind, Tracer};
 use ss_netsim::{
-    run_until, run_until_traced, AverageId, Bandwidth, CounterId, DurationHistogram, EventKind,
-    EventLog, EventQueue, FaultSchedule, FaultSpec, HistogramId, LossModel, MetricsRegistry,
-    MetricsSnapshot, QueueClass, SimDuration, SimRng, SimTime, TracedWorld, World,
+    profile, run_until, run_until_profiled, run_until_traced, AverageId, Bandwidth, CounterId,
+    DurationHistogram, EventKind, EventLog, EventQueue, FaultSchedule, FaultSpec, HistogramId,
+    LossModel, MetricsRegistry, MetricsSnapshot, QueueClass, SimDuration, SimRng, SimTime,
+    SketchId, TracedWorld, World,
 };
 
 /// The application workload driving a session.
@@ -368,6 +369,11 @@ struct Sim {
     /// the same point-lookup semantics and no tree walks on the per-probe
     /// latency path).
     born_at: Vec<SimTime>,
+    /// Last time the sender wrote each key (birth or in-place update),
+    /// indexed like `born_at`. The probe-sampled staleness sketch
+    /// measures receiver lag against the *newest* sender value, so
+    /// updates must bump this while `born_at` stays the birth instant.
+    updated_at: Vec<SimTime>,
     /// Workload state.
     rng_arrival: SimRng,
     rng_lifetime: SimRng,
@@ -394,6 +400,10 @@ struct Sim {
     c_stale: CounterId,
     a_consistency: Vec<AverageId>,
     h_latency: Vec<HistogramId>,
+    /// Pooled quantile sketches across all receivers: first-receipt
+    /// latency and probe-sampled staleness of disagreeing records.
+    sk_trec: SketchId,
+    sk_staleness: SketchId,
     allocations: Vec<(SimTime, Allocation)>,
     rate_warnings: u64,
 }
@@ -500,6 +510,8 @@ impl Sim {
         let h_latency = (0..cfg.n_receivers)
             .map(|i| registry.histogram(&format!("rx.{i}.latency.t_rec")))
             .collect();
+        let sk_trec = registry.sketch("latency.t_rec.sketch");
+        let sk_staleness = registry.sketch("staleness.sketch");
         let events = EventLog::with_capacity(cfg.event_capacity);
 
         // The schedule draws from its own derived stream, so an empty
@@ -535,6 +547,7 @@ impl Sim {
                 .collect(),
             latency_seen: vec![KeySeen::default(); cfg.n_receivers],
             born_at: Vec::new(),
+            updated_at: Vec::new(),
             rng_arrival: root_rng.derive("arrival"),
             rng_lifetime: root_rng.derive("lifetime"),
             branches,
@@ -553,6 +566,8 @@ impl Sim {
             c_stale,
             a_consistency,
             h_latency,
+            sk_trec,
+            sk_staleness,
             allocations: Vec::new(),
             rate_warnings: 0,
             cfg,
@@ -590,6 +605,7 @@ impl Sim {
                     let key = self.update_keys[idx];
                     if self.sender.table().get(key).is_some() {
                         self.sender.update(key);
+                        self.updated_at[key.0 as usize] = now;
                         self.tracer
                             .instant(now, Actor::Publisher, TraceKind::Update, key.0);
                     }
@@ -608,6 +624,7 @@ impl Sim {
         let key = self.sender.publish(now, branch, MetaTag(b as u32));
         debug_assert_eq!(key.0 as usize, self.born_at.len(), "keys are dense");
         self.born_at.push(now);
+        self.updated_at.push(now);
         self.update_keys.push(key);
         self.tracer.birth(now, Actor::Publisher, key.0);
         if let Some(mean) = self.cfg.workload.mean_lifetime_secs {
@@ -896,18 +913,22 @@ impl Sim {
     }
 
     fn measure(&mut self, q: &mut EventQueue<Ev>) {
+        let _prof = profile::scope("probe.measure");
         let now = q.now();
         let total = self.sender.table().live_count();
         let mut disagree = 0u64;
         for i in 0..self.receivers.len() {
-            let agree = self
-                .sender
-                .table()
-                .live()
-                .filter(|r| {
-                    self.receivers[i].replica().get(r.key).map(|e| e.value) == Some(r.value)
-                })
-                .count();
+            let mut agree = 0usize;
+            for r in self.sender.table().live() {
+                if self.receivers[i].replica().get(r.key).map(|e| e.value) == Some(r.value) {
+                    agree += 1;
+                } else if let Some(&upd) = self.updated_at.get(r.key.0 as usize) {
+                    // Probe-sampled staleness: how old the newest sender
+                    // value for this disagreeing record already is.
+                    self.registry
+                        .observe_sketch(self.sk_staleness, now.saturating_since(upd));
+                }
+            }
             disagree += (total - agree) as u64;
             self.meters[i].observe(now, agree, total);
             let ratio = if total == 0 {
@@ -929,6 +950,8 @@ impl Sim {
                 if let Some(&born) = self.born_at.get(k.0 as usize) {
                     let h = self.h_latency[i];
                     self.registry.observe(h, first.saturating_since(born));
+                    self.registry
+                        .observe_sketch(self.sk_trec, first.saturating_since(born));
                 }
             }
         }
@@ -950,6 +973,7 @@ impl Sim {
     }
 
     fn adapt(&mut self, q: &mut EventQueue<Ev>) {
+        let _prof = profile::scope("adapt.allocate");
         let now = q.now();
         let total = self.bw_source.total(now);
         let lambda = self.cfg.workload.arrivals.rate();
@@ -1011,7 +1035,10 @@ impl World for Sim {
                     return;
                 }
                 let before = self.receivers[i].stats().data_applied;
-                self.receivers[i].on_packet(q.now(), &pkt);
+                {
+                    let _prof = profile::scope("digest.rx_apply");
+                    self.receivers[i].on_packet(q.now(), &pkt);
+                }
                 if self.receivers[i].stats().data_applied > before {
                     if let Packet::Data(d) = &pkt {
                         self.tracer.instant_under(
@@ -1026,7 +1053,10 @@ impl World for Sim {
                 self.arm_feedback(q, i);
             }
             Ev::FbArriveSender(pkt, cause) => {
-                let promoted = self.sender.on_packet(&pkt);
+                let promoted = {
+                    let _prof = profile::scope("feedback.sender");
+                    self.sender.on_packet(&pkt)
+                };
                 for key in promoted {
                     let id = self.tracer.instant_under(
                         q.now(),
@@ -1048,7 +1078,10 @@ impl World for Sim {
                     return;
                 }
                 let before = self.receivers[i].stats().data_applied;
-                self.receivers[i].on_packet(q.now(), &pkt);
+                {
+                    let _prof = profile::scope("digest.rx_apply");
+                    self.receivers[i].on_packet(q.now(), &pkt);
+                }
                 if self.receivers[i].stats().data_applied > before {
                     if let Packet::Data(d) = &pkt {
                         self.tracer.instant_under(
@@ -1064,6 +1097,7 @@ impl World for Sim {
             }
             Ev::FeedbackDue(i) => {
                 self.fb_due_at[i] = None;
+                let _prof = profile::scope("feedback.poll");
                 let pkts = self.receivers[i].poll_feedback(q.now());
                 self.fb_queue[i].extend(pkts);
                 self.kick_fb(q, i);
@@ -1072,6 +1106,7 @@ impl World for Sim {
             Ev::ReportTick(i) => {
                 if !self.faults.receiver_down(q.now(), i as u32) {
                     let report = self.receivers[i].make_report();
+                    // lint: allow(D010, bounded send queue; kick_fb drains it at the fb service rate)
                     self.fb_queue[i].push(report);
                     self.kick_fb(q, i);
                 }
@@ -1245,14 +1280,18 @@ pub fn run(cfg: &SessionConfig) -> SessionReport {
         }
     }
 
-    // Tracing consumes no randomness, so the traced loop replays the
-    // untraced run exactly; branch so the common case pays nothing.
-    if sim.tracer.is_enabled() {
+    // Neither tracing nor profiling consumes randomness, so each loop
+    // replays the plain run exactly; branch so the common case pays
+    // nothing.
+    if profile::is_enabled() {
+        run_until_profiled(&mut sim, &mut q, end);
+    } else if sim.tracer.is_enabled() {
         run_until_traced(&mut sim, &mut q, end);
     } else {
         run_until(&mut sim, &mut q, end);
     }
     sim.measure(&mut q);
+    profile::flush();
     sim.tracer.finish(end);
 
     // Export the endpoint counters into the registry so the snapshot is

@@ -14,6 +14,10 @@ use softstate::protocol::two_queue::{run, Sharing, TwoQueueConfig};
 use softstate::{ArrivalProcess, DeathProcess, LossSpec, ServiceModel};
 use ss_netsim::SimDuration;
 
+/// Tests that toggle process-global knobs (sweep thread count, trace and
+/// profile capture) must not interleave: hold this for their full body.
+static EXCLUSIVE: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
 /// Figure 5's workload in packets/s (λ = 1.875/s, μ_data = 5.625/s split
 /// 40/60 hot/cold), shortened to keep the double run fast.
 fn fig5_cfg(seed: u64) -> TwoQueueConfig {
@@ -136,6 +140,7 @@ fn parallel_sweep_output_is_byte_identical_to_sequential() {
     // JSONL, event JSONL, and causal-trace artifact of
     // `--fast --trace all`. Exercised in-process so the comparison
     // covers exactly what the CLI writes.
+    let _guard = EXCLUSIVE.lock().unwrap();
     ss_bench::set_trace(true);
     ss_netsim::par::set_threads(1);
     let sequential = serialize_all_experiments(true);
@@ -149,9 +154,15 @@ fn parallel_sweep_output_is_byte_identical_to_sequential() {
          index-ordered reassembly or per-point seeding is broken"
     );
     // The comparison must not be vacuous: event traces, labeled metrics
-    // blocks, and all four causal-trace artifacts are present.
+    // blocks, quantile-sketch lines, and all four causal-trace artifacts
+    // are present.
     assert!(sequential.contains("-- fig5_events"));
     assert!(sequential.contains("\"run\":"));
+    assert!(
+        sequential.contains("\"type\":\"sketch\""),
+        "no quantile-sketch lines in the metrics exports; the 1-vs-8 \
+         thread identity no longer covers sketch merging"
+    );
     for name in [
         "-- trace fig3_open_loop",
         "-- trace fig5_two_queue",
@@ -163,6 +174,47 @@ fn parallel_sweep_output_is_byte_identical_to_sequential() {
     assert!(
         sequential.len() > 10_000,
         "suspiciously small serialization"
+    );
+}
+
+#[test]
+fn profiling_never_changes_artifacts_and_reproduces_exactly() {
+    // Two invariants of `--profile`: (1) every committed artifact —
+    // tables, metrics JSONL, trace exports — is byte-identical with
+    // profiling enabled and disabled (wall time stays out of committed
+    // outputs); (2) the profile report itself (phase paths and exact
+    // event counts, never wall time) is byte-identical across a double
+    // run, so `results/profile/*.profile.jsonl` is a stable artifact.
+    let _guard = EXCLUSIVE.lock().unwrap();
+    ss_bench::set_profile(false);
+    let off = serialize_all_experiments(true);
+
+    ss_bench::set_profile(true);
+    ss_netsim::profile::take_report(); // drop counts from earlier tests
+    let on = serialize_all_experiments(true);
+    let first = ss_netsim::profile::take_report();
+    let on_again = serialize_all_experiments(true);
+    let second = ss_netsim::profile::take_report();
+    ss_bench::set_profile(false);
+
+    assert!(
+        off == on,
+        "enabling the profiler changed a committed artifact; a phase \
+         scope is leaking into simulation state or exported bytes"
+    );
+    assert!(
+        off == on_again,
+        "second profiled run diverged from baseline"
+    );
+    assert_eq!(
+        first.to_jsonl("all", 0),
+        second.to_jsonl("all", 0),
+        "profile phase counts diverged across a same-seed double run"
+    );
+    assert!(
+        first.attributed_events() > 0,
+        "profiled experiment runs attributed no events; the identity \
+         checks above are vacuous"
     );
 }
 
