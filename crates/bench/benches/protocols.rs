@@ -90,6 +90,7 @@ fn benches(c: &mut Criterion) {
                 seed: 2,
                 duration: SimDuration::from_secs(SIM_SECS),
                 series_spacing: None,
+                trace_capacity: 0,
                 event_capacity: 0,
             };
             two_queue::run(&cfg).transmissions()

@@ -48,6 +48,10 @@
 //!   Per-event growth is O(events) memory and is what the bounded sketch
 //!   and first-N abstractions exist for; a bounded queue (drained
 //!   elsewhere) is fine but must say so in an `allow(D010, …)` reason.
+//! - **D011** — no raw `thread::sleep` in `sstp` non-test code. Fixed
+//!   sleeps are busy-polls in disguise: they burn CPU when idle and add
+//!   latency when busy. Compute the next protocol deadline and block on
+//!   the socket with `runtime::wait::wait_for_datagram` instead.
 //!
 //! A line may opt out of one or more rules with an annotation on the same
 //! line or the line directly above:
@@ -134,7 +138,7 @@ pub struct RuleInfo {
 }
 
 /// Every rule the scanner knows, in id order.
-pub const RULES: [RuleInfo; 10] = [
+pub const RULES: [RuleInfo; 11] = [
     RuleInfo {
         id: "D001",
         summary: "wall-clock time source (Instant/SystemTime) outside the allowlist",
@@ -174,6 +178,10 @@ pub const RULES: [RuleInfo; 10] = [
     RuleInfo {
         id: "D010",
         summary: "unbounded push/insert accumulation in a per-event sim handler body",
+    },
+    RuleInfo {
+        id: "D011",
+        summary: "raw thread::sleep in sstp non-test code (use the deadline-aware socket wait)",
     },
 ];
 
@@ -257,9 +265,15 @@ const IO_IDENTS: [&str; 14] = [
 ];
 
 /// Files allowed to read the wall clock (D001): the real-socket UDP
-/// bridge needs actual time, and test harnesses may time themselves.
+/// bridge and the runtime's clock boundary need actual time, and test
+/// harnesses may time themselves. Everything else in the runtime module
+/// tree (pacing, shed, supervision, mux) is pure `SimTime` code and gets
+/// no exemption.
 fn d001_allowed(path: &str) -> bool {
-    path == "crates/sstp/src/udp.rs" || path.starts_with("tests/") || path.contains("/tests/")
+    path == "crates/sstp/src/udp.rs"
+        || path == "crates/sstp/src/runtime/mod.rs"
+        || path.starts_with("tests/")
+        || path.contains("/tests/")
 }
 
 fn in_sim_crate(path: &str) -> bool {
@@ -615,6 +629,7 @@ pub fn scan_source(path: &str, src: &str) -> Vec<Diagnostic> {
     // accumulation abstractions themselves (the sketch module and the
     // capacity-capped logs are what handlers are told to use instead).
     let check_d010 = in_sim_crate(path) && path != "crates/netsim/src/metrics/sketch.rs";
+    let check_d011 = path.starts_with("crates/sstp/src");
     // Handler-body tracking for D010: brace depth, the depth at which an
     // active `fn handle…` was declared, and whether its body has opened.
     let mut depth: i32 = 0;
@@ -756,6 +771,16 @@ pub fn scan_source(path: &str, src: &str) -> Vec<Diagnostic> {
                 message: "push/insert accumulation in a per-event handler; per-event growth is \
                      O(events) memory — use a bounded sketch/first-N abstraction, or \
                      annotate why this collection is bounded"
+                    .to_string(),
+            });
+        }
+        if check_d011 && has("sleep") && !suppressed("D011") {
+            out.push(Diagnostic {
+                path: path.to_string(),
+                line: line_no,
+                rule: "D011",
+                message: "thread::sleep in sstp non-test code; compute the next protocol \
+                     deadline and block with runtime::wait::wait_for_datagram"
                     .to_string(),
             });
         }
@@ -1098,6 +1123,31 @@ mod tests {
                 .collect::<Vec<_>>(),
             vec![("D010", 3), ("D010", 6)]
         );
+    }
+
+    #[test]
+    fn d011_flags_sleep_in_sstp_non_test_code_only() {
+        let src = "fn spin() { std::thread::sleep(Duration::from_millis(1)); }\n";
+        assert_eq!(
+            scan_source("crates/sstp/src/udp.rs", src)
+                .iter()
+                .map(|d| d.rule)
+                .collect::<Vec<_>>(),
+            vec!["D011"]
+        );
+        // Outside sstp the rule does not apply.
+        assert!(scan_source("crates/netsim/src/x.rs", src).is_empty());
+        // Test modules are exempt (scanning stops at #[cfg(test)]).
+        let src =
+            "fn ok() {}\n#[cfg(test)]\nmod tests {\n    fn s() { std::thread::sleep(D); }\n}\n";
+        assert!(scan_source("crates/sstp/src/udp.rs", src).is_empty());
+        // `sleep` must match as a whole token.
+        let src = "fn f(sleep_budget: u64) -> u64 { sleep_budget }\n";
+        assert!(scan_source("crates/sstp/src/udp.rs", src).is_empty());
+        // A reasoned allow suppresses.
+        let src = "// lint: allow(D011, startup settle before first bind retry)\n\
+                   fn s() { std::thread::sleep(D); }\n";
+        assert!(scan_source("crates/sstp/src/udp.rs", src).is_empty());
     }
 
     #[test]

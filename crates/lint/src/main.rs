@@ -1,5 +1,5 @@
 //! The `ss-lint` binary: scans the workspace sources for violations of
-//! the determinism and purity rules D001-D010 and exits non-zero if any
+//! the determinism and purity rules D001-D011 and exits non-zero if any
 //! are found.
 //!
 //! Usage: `cargo run -p ss-lint [--] [--json] [--schema] [workspace-root]`.
@@ -52,7 +52,7 @@ fn main() -> ExitCode {
     }
     if diagnostics.is_empty() {
         if !json {
-            println!("ss-lint: clean (rules D001-D010)");
+            println!("ss-lint: clean (rules D001-D011)");
         }
         return ExitCode::SUCCESS;
     }

@@ -82,6 +82,20 @@ fn d010_flags_handler_accumulation_with_exact_lines() {
 }
 
 #[test]
+fn d011_flags_sleeps_in_sstp_with_exact_lines() {
+    let src = include_str!("fixtures/d011_thread_sleep.rs");
+    // Line 9's sleep carries the reasoned allow on line 8; the
+    // #[cfg(test)] tail and the `sleep_budget` ident never fire.
+    assert_eq!(
+        hits("crates/sstp/src/runtime/mux.rs", src),
+        vec![("D011", 6), ("D011", 7)]
+    );
+    // Outside sstp the rule does not apply (no other rule fires here).
+    assert!(hits("crates/netsim/src/fixture.rs", src).is_empty());
+    assert!(hits("tests/fixture.rs", src).is_empty());
+}
+
+#[test]
 fn clean_fixture_produces_no_diagnostics() {
     let src = include_str!("fixtures/clean.rs");
     // Scan under the strictest path (a sim crate), where D001-D003 all

@@ -1,0 +1,19 @@
+//! D011 fixture: raw sleeps in sstp non-test code. Never compiled.
+
+use std::time::Duration;
+
+fn busy_poll_loop() {
+    std::thread::sleep(Duration::from_millis(1));
+    thread::sleep(POLL_INTERVAL);
+    // lint: allow(D011, settling delay documented and bounded)
+    std::thread::sleep(Duration::from_micros(10));
+    let sleep_budget = 5; // ident `sleep_budget` must not token-match
+    drop(sleep_budget);
+}
+
+#[cfg(test)]
+mod tests {
+    fn timed_helper() {
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    }
+}

@@ -11,7 +11,7 @@ fn main() {
     let t0 = std::time::Instant::now();
     let mut acc = SimDuration::ZERO;
     for _ in 0..n {
-        acc = acc + r.exp_duration(128.0);
+        acc += r.exp_duration(128.0);
     }
     let dt = t0.elapsed();
     println!(

@@ -485,6 +485,86 @@ impl std::fmt::Debug for FaultSchedule {
     }
 }
 
+/// Replays a [`FaultSchedule`] as real socket-level drops.
+///
+/// The simulator applies a schedule *inside* the channel; a real UDP
+/// path has no channel to hook, so the runtime applies the same schedule
+/// at the socket **ingress**: each arriving datagram asks the adapter
+/// whether the schedule would have lost it, and a `true` answer discards
+/// the datagram before it reaches any state machine — a real loss as far
+/// as the protocol is concerned. `now` is the caller's wall-clock time
+/// mapped onto the schedule's [`SimTime`] axis (the runtime's epoch-based
+/// clock does this), so an episode scripted for `t ∈ [2s, 5s)` drops real
+/// datagrams during the corresponding wall-clock window.
+///
+/// Draw discipline: partition checks are pure; only the extra-loss
+/// episodes draw, from the schedule's own **shared, unbatched** stream —
+/// the same contract the simulator channels use (see [`FaultSchedule::extra_loss`]).
+/// Because a real path's datagram count differs from the sim's packet
+/// count, draw-for-draw identity holds per call sequence, not per run;
+/// what is preserved is the audited loss process itself. Blocked
+/// directions short-circuit *before* drawing, matching the sim channel's
+/// discipline of not spending randomness on packets a partition already
+/// discards.
+///
+/// Every discard is counted, never silent: [`RealPathFaults::data_drops`]
+/// and [`RealPathFaults::feedback_drops`] feed the runtime's
+/// `runtime.fault.drops` counter and the `ReconvergenceReport`.
+#[derive(Debug)]
+pub struct RealPathFaults {
+    schedule: FaultSchedule,
+    data_drops: u64,
+    feedback_drops: u64,
+}
+
+impl RealPathFaults {
+    /// Wraps a built schedule for socket-ingress replay.
+    pub fn new(schedule: FaultSchedule) -> Self {
+        RealPathFaults {
+            schedule,
+            data_drops: 0,
+            feedback_drops: 0,
+        }
+    }
+
+    /// Decides one arriving **data-direction** datagram (publisher →
+    /// subscriber): `true` means the schedule drops it at `now`.
+    pub fn drop_data(&mut self, now: SimTime) -> bool {
+        let dropped = self.schedule.data_blocked(now)
+            || self.schedule.sender_silent(now)
+            || self.schedule.extra_loss(now);
+        if dropped {
+            self.data_drops += 1;
+        }
+        dropped
+    }
+
+    /// Decides one arriving **feedback-direction** datagram (subscriber →
+    /// publisher): `true` means the schedule drops it at `now`.
+    pub fn drop_feedback(&mut self, now: SimTime) -> bool {
+        let dropped = self.schedule.feedback_blocked(now) || self.schedule.extra_loss(now);
+        if dropped {
+            self.feedback_drops += 1;
+        }
+        dropped
+    }
+
+    /// Data-direction datagrams discarded so far.
+    pub fn data_drops(&self) -> u64 {
+        self.data_drops
+    }
+
+    /// Feedback-direction datagrams discarded so far.
+    pub fn feedback_drops(&self) -> u64 {
+        self.feedback_drops
+    }
+
+    /// The wrapped schedule (pure queries: healed_at, boundaries, …).
+    pub fn schedule(&self) -> &FaultSchedule {
+        &self.schedule
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -614,7 +694,7 @@ mod tests {
         let mut y = b.build(SimRng::new(5));
         let mut t = SimTime::ZERO;
         for _ in 0..2000 {
-            t = t + SimDuration::from_millis(137);
+            t += SimDuration::from_millis(137);
             assert_eq!(x.extra_loss(t), y.extra_loss(t));
             assert_eq!(x.perturb(t), y.perturb(t));
             assert_eq!(x.data_blocked(t), y.data_blocked(t));

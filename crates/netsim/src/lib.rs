@@ -84,7 +84,9 @@ pub use engine::{
     run_to_completion, run_until, run_until_profiled, run_until_traced, EventQueue, TracedWorld,
     World,
 };
-pub use faults::{EpisodeSpec, FaultDir, FaultKind, FaultSchedule, FaultSpec, Perturbation};
+pub use faults::{
+    EpisodeSpec, FaultDir, FaultKind, FaultSchedule, FaultSpec, Perturbation, RealPathFaults,
+};
 pub use link::{Channel, Delivery, Transmitter};
 pub use loss::{BatchedBernoulli, Bernoulli, GilbertElliott, LossModel, LossSpec, Pattern};
 pub use metrics::{

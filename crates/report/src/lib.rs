@@ -29,9 +29,7 @@ fn raw_field<'a>(json: &'a str, key: &str) -> Option<&'a str> {
     let needle = format!("\"{key}\":");
     let at = json.find(&needle)? + needle.len();
     let rest = json[at..].trim_start();
-    let end = rest
-        .find([',', '}', '\n'])
-        .unwrap_or(rest.len());
+    let end = rest.find([',', '}', '\n']).unwrap_or(rest.len());
     Some(rest[..end].trim())
 }
 

@@ -22,6 +22,10 @@
 //!   N receivers, lossy rate-limited channels, adaptation loop).
 //! * [`udp`] — the same endpoints bound to real `std::net` UDP sockets
 //!   with a wall clock and token-bucket budget (loopback-tested).
+//! * [`runtime`] — the production-shaped multi-session runtime: many
+//!   sessions multiplexed over one socket with bounded queues,
+//!   per-session rate limiting, liveness supervision with capped
+//!   exponential re-probes, and shed-cold-first graceful degradation.
 //!
 //! ## Example: one repaired unicast exchange
 //!
@@ -68,6 +72,7 @@ pub mod profile;
 pub mod receiver;
 pub mod reliability;
 pub mod reports;
+pub mod runtime;
 pub mod sender;
 pub mod session;
 pub mod udp;
@@ -79,6 +84,7 @@ pub use machine::{ReceiverEffect, ReceiverEvent, SenderEffect, SenderEvent};
 pub use namespace::{MetaTag, Namespace, Path};
 pub use receiver::{Interest, ReceiverConfig, SstpReceiver};
 pub use reliability::{ReliabilityLevel, ReliabilityParams};
+pub use runtime::{Runtime, RuntimeConfig, WallClock};
 pub use sender::SstpSender;
 pub use session::{SessionConfig, SessionReport, SessionWorkload};
 pub use wire::Packet;

@@ -1,0 +1,810 @@
+//! `ss-runtime`: a production-shaped multi-session SSTP runtime.
+//!
+//! Many concurrent SSTP sessions — each an independent sans-I/O
+//! [`SstpSender`] or [`SstpReceiver`] state machine — multiplexed over
+//! **one** nonblocking UDP socket, with the scheduling concerns the
+//! simulator never needed:
+//!
+//! * **Bounded channels everywhere** ([`mux::BoundedQueue`],
+//!   [`shed::SheddingQueue`]): socket I/O and state machines exchange
+//!   packets through capacity-capped queues whose refusal is a counted,
+//!   metric-visible drop (`runtime.backpressure.drops`) — never an
+//!   unbounded buffer, never a panic. The soft-state model is what makes
+//!   this safe: every dropped message is an idempotent refresh that a
+//!   later cycle re-sends.
+//! * **Rate control** ([`pacing`]): a per-session token bucket bounds
+//!   each session's hot traffic; a global bucket bounds the socket; a
+//!   [`pacing::VarRateLimit`] paces cold announce batches and is the
+//!   knob the degradation policy turns.
+//! * **Supervision** ([`supervisor`]): dead-peer detection after a
+//!   silence threshold, capped-exponential re-probes (the same
+//!   `base * 2^min(n,4)` schedule as the receiver's repair backoff),
+//!   crash-rejoin through the existing root-summary descent, and MTTR
+//!   accounting into a quantile sketch.
+//! * **Graceful degradation** ([`shed`]): under pressure the outbound
+//!   queue sheds cold refreshes first and the announce pacer halves its
+//!   rate, preserving hot announcements and repair feedback — the
+//!   paper's allocation priorities applied as overload policy.
+//!
+//! The enabler is the clock split the machines already obey: protocol
+//! logic never reads a clock, so the *same* state machines that
+//! `ss-verify` explores exhaustively and the deterministic sim replays
+//! bit-for-bit are driven here by a [`WallClock`] mapping real instants
+//! onto the [`SimTime`] axis. The runtime adds scheduling only — no
+//! protocol logic lives in this module tree, and everything except this
+//! file and the socket wait primitive is itself pure and deterministic.
+//!
+//! Single-threaded by design: one [`Runtime`] is one poll loop
+//! ([`Runtime::poll`] returns the next wake-up deadline;
+//! [`Runtime::run_for`] drives it with the deadline-aware socket wait
+//! from [`wait`]). Scale across cores by running several runtimes, each
+//! owning its own socket.
+
+pub mod mux;
+pub mod pacing;
+pub mod shed;
+pub mod supervisor;
+pub mod wait;
+
+use crate::digest::HashAlgorithm;
+use crate::receiver::{ReceiverConfig, SstpReceiver};
+use crate::sender::SstpSender;
+use crate::wire::Packet;
+use mux::{BoundedQueue, SocketMux, FRAME_OVERHEAD};
+use pacing::{TokenBucket, VarRateLimit};
+use shed::{Outbound, SheddingQueue, TrafficClass};
+use ss_netsim::{
+    Bandwidth, Clock, CounterId, GaugeId, LossModel, LossSpec, MetricsRegistry, MetricsSnapshot,
+    RealPathFaults, SimDuration, SimRng, SimTime, SketchId,
+};
+use std::io;
+use std::net::{SocketAddr, UdpSocket};
+use std::time::{Duration, Instant};
+use supervisor::{Supervisor, SupervisorConfig};
+
+/// Maps wall-clock instants onto the protocol's [`SimTime`] axis.
+///
+/// The runtime's counterpart of the sim's virtual clock: `SimTime::ZERO`
+/// is the instant the clock was created, and every protocol deadline is
+/// computed on the `SimTime` axis so the state machines cannot tell the
+/// difference. This is the **only** place (plus `sstp::udp`) where the
+/// workspace reads a wall clock — ss-lint's D001 enforces that.
+#[derive(Clone, Copy, Debug)]
+pub struct WallClock {
+    epoch: Instant,
+}
+
+impl WallClock {
+    /// A clock whose epoch is now.
+    pub fn start() -> Self {
+        WallClock {
+            epoch: Instant::now(),
+        }
+    }
+
+    /// The span from `now()` until `t`, as a std [`Duration`] for socket
+    /// timeouts (zero when `t` is already past).
+    pub fn until(&self, t: SimTime) -> Duration {
+        Duration::from_micros(t.saturating_since(self.now()).as_micros())
+    }
+}
+
+impl Clock for WallClock {
+    fn now(&self) -> SimTime {
+        SimTime::from_micros(self.epoch.elapsed().as_micros() as u64)
+    }
+}
+
+/// Runtime tuning. [`RuntimeConfig::loopback`] gives soak-friendly
+/// defaults; every knob is public for tests.
+#[derive(Clone, Debug)]
+pub struct RuntimeConfig {
+    /// Local bind address (port 0 picks an ephemeral port).
+    pub bind: SocketAddr,
+    /// The remote endpoint all sessions share.
+    pub peer: SocketAddr,
+    /// Global socket budget enforced by the shared token bucket.
+    pub bandwidth: Bandwidth,
+    /// Per-session hot-traffic budget.
+    pub session_bandwidth: Bandwidth,
+    /// Root-summary interval (publisher sessions).
+    pub summary_interval: SimDuration,
+    /// Receiver-report interval (subscriber sessions).
+    pub report_interval: SimDuration,
+    /// Soft-state expiry sweep interval (subscriber sessions).
+    pub expiry_interval: SimDuration,
+    /// Cold-path pacer rate (summaries + cycle refreshes, in operations
+    /// per second across **all** sessions). The degradation policy halves
+    /// this under pressure and restores it when pressure clears.
+    pub cold_rate: u32,
+    /// Capacity of each per-session inbox.
+    pub inbox_capacity: usize,
+    /// Capacity of the shared outbound queue.
+    pub outbox_capacity: usize,
+    /// Cold watermark of the outbound queue (cold pushes refused above).
+    pub outbox_cold_watermark: usize,
+    /// Liveness supervision knobs.
+    pub supervisor: SupervisorConfig,
+    /// Test hook: drop arriving datagrams by this loss process, drawn
+    /// from a **dedicated** seeded stream (the batched-draw contract —
+    /// see `sstp::udp`).
+    pub ingress_loss: LossSpec,
+    /// Seed for the ingress-drop stream and the supervisor jitter.
+    pub seed: u64,
+}
+
+impl RuntimeConfig {
+    /// Loopback defaults sized for many-session soak runs.
+    pub fn loopback(bind: SocketAddr, peer: SocketAddr) -> Self {
+        RuntimeConfig {
+            bind,
+            peer,
+            bandwidth: Bandwidth::from_mbps(200),
+            session_bandwidth: Bandwidth::from_kbps(256),
+            summary_interval: SimDuration::from_millis(200),
+            report_interval: SimDuration::from_millis(500),
+            expiry_interval: SimDuration::from_millis(500),
+            cold_rate: 50_000,
+            inbox_capacity: 64,
+            outbox_capacity: 4096,
+            outbox_cold_watermark: 3072,
+            supervisor: SupervisorConfig::default(),
+            ingress_loss: LossSpec::None,
+            seed: 0,
+        }
+    }
+}
+
+/// One session's endpoint state: the protocol machine plus its periodic
+/// deadlines. All deadlines live on the [`SimTime`] axis.
+enum Endpoint {
+    Publisher {
+        sender: SstpSender,
+        bucket: TokenBucket,
+        next_summary: SimTime,
+        /// A hot packet built but throttled by the session bucket.
+        pending: Option<Packet>,
+    },
+    Subscriber {
+        receiver: SstpReceiver,
+        next_report: SimTime,
+        next_expiry: SimTime,
+    },
+}
+
+/// One multiplexed session: endpoint plus its bounded inbox.
+struct SessionSlot {
+    endpoint: Endpoint,
+    inbox: BoundedQueue<Packet>,
+}
+
+/// Pre-registered metric handles (registered once in [`Runtime::bind`];
+/// D007 forbids inline re-registration).
+struct Ids {
+    active: GaugeId,
+    backpressure: CounterId,
+    shed_cold: CounterId,
+    shed_hot: CounterId,
+    fault_drops: CounterId,
+    injected_drops: CounterId,
+    ingress: CounterId,
+    egress: CounterId,
+    decode_errors: CounterId,
+    unknown_session: CounterId,
+    throttled: CounterId,
+    probes: CounterId,
+    heals: CounterId,
+    mttr: SketchId,
+}
+
+/// Deltas already folded into the metrics registry (counters are
+/// monotone; the sources keep absolute totals).
+#[derive(Default)]
+struct Synced {
+    backpressure: u64,
+    shed_cold: u64,
+    shed_hot: u64,
+    fault_drops: u64,
+    ingress: u64,
+    egress: u64,
+    decode_errors: u64,
+    probes: u64,
+    heals: u64,
+}
+
+/// The multi-session runtime: one socket, many state machines, one poll
+/// loop. See the module docs for the architecture.
+pub struct Runtime {
+    mux: SocketMux,
+    clock: WallClock,
+    global_bucket: TokenBucket,
+    cold_pacer: VarRateLimit,
+    base_cold_rate: u32,
+    sessions: Vec<Option<SessionSlot>>,
+    /// Round-robin start index for session stepping: cold-path pacer
+    /// grants are contended, so a fixed order would let low session ids
+    /// starve high ones of summary slots.
+    step_cursor: usize,
+    supervisor: Supervisor,
+    outbox: SheddingQueue,
+    faults: Option<RealPathFaults>,
+    ingress_loss: Option<Box<dyn LossModel>>,
+    drop_rng: SimRng,
+    injected_drops: u64,
+    unknown_session: u64,
+    throttled: u64,
+    closed_backpressure: u64,
+    metrics: MetricsRegistry,
+    ids: Ids,
+    synced: Synced,
+    cfg: RuntimeConfig,
+}
+
+impl Runtime {
+    /// Binds the runtime's socket and registers its metric series.
+    pub fn bind(cfg: RuntimeConfig) -> io::Result<Self> {
+        let mut metrics = MetricsRegistry::new();
+        let active = metrics.gauge("runtime.sessions.active");
+        let backpressure = metrics.counter("runtime.backpressure.drops");
+        let shed_cold = metrics.counter("runtime.shed.cold");
+        let shed_hot = metrics.counter("runtime.shed.hot");
+        let fault_drops = metrics.counter("runtime.fault.drops");
+        let injected_drops = metrics.counter("runtime.loss.injected");
+        let ingress = metrics.counter("runtime.ingress.datagrams");
+        let egress = metrics.counter("runtime.egress.datagrams");
+        let decode_errors = metrics.counter("runtime.decode.errors");
+        let unknown_session = metrics.counter("runtime.route.unknown");
+        let throttled = metrics.counter("runtime.throttled");
+        let probes = metrics.counter("runtime.probe.sent");
+        let heals = metrics.counter("runtime.session.heals");
+        let mttr = metrics.sketch("runtime.session.mttr");
+        let ids = Ids {
+            active,
+            backpressure,
+            shed_cold,
+            shed_hot,
+            fault_drops,
+            injected_drops,
+            ingress,
+            egress,
+            decode_errors,
+            unknown_session,
+            throttled,
+            probes,
+            heals,
+            mttr,
+        };
+        // A lossless spec consumes no randomness at all, matching the
+        // simulator channels' draw discipline. A lossy one is built
+        // **batched**: this ingress stream is dedicated to loss draws,
+        // which is exactly the dedicated-stream contract batched draws
+        // require (see `LossSpec::build_batched`).
+        let ingress_loss =
+            (cfg.ingress_loss.mean() > 0.0).then(|| cfg.ingress_loss.build_batched());
+        Ok(Runtime {
+            mux: SocketMux::bind(cfg.bind, cfg.peer)?,
+            clock: WallClock::start(),
+            global_bucket: TokenBucket::new(cfg.bandwidth),
+            cold_pacer: VarRateLimit::new(cfg.cold_rate),
+            base_cold_rate: cfg.cold_rate.max(1),
+            sessions: Vec::new(),
+            step_cursor: 0,
+            supervisor: Supervisor::new(cfg.supervisor, SimRng::new(cfg.seed ^ 0x5cbe_11a7)),
+            outbox: SheddingQueue::new(cfg.outbox_capacity, cfg.outbox_cold_watermark),
+            faults: None,
+            ingress_loss,
+            drop_rng: SimRng::new(cfg.seed ^ 0x9e37_79b9),
+            injected_drops: 0,
+            unknown_session: 0,
+            throttled: 0,
+            closed_backpressure: 0,
+            metrics,
+            ids,
+            synced: Synced::default(),
+            cfg,
+        })
+    }
+
+    /// The bound local address (useful with ephemeral ports).
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.mux.local_addr()
+    }
+
+    /// Re-targets the peer (e.g. once the remote ephemeral port is known).
+    pub fn set_peer(&mut self, peer: SocketAddr) {
+        self.mux.set_peer(peer);
+    }
+
+    /// The runtime's protocol clock.
+    pub fn now(&self) -> SimTime {
+        self.clock.now()
+    }
+
+    /// A handle to the socket for waiting on readability *outside* any
+    /// lock guarding the runtime (the soak harness blocks on the clone
+    /// while other threads publish).
+    pub fn try_clone_socket(&self) -> io::Result<UdpSocket> {
+        self.mux.socket().try_clone()
+    }
+
+    /// Installs a fault schedule to replay as real socket-level drops at
+    /// this runtime's ingress (see [`RealPathFaults`]).
+    pub fn set_faults(&mut self, faults: RealPathFaults) {
+        self.faults = Some(faults);
+    }
+
+    /// The installed fault adapter, if any.
+    pub fn faults(&self) -> Option<&RealPathFaults> {
+        self.faults.as_ref()
+    }
+
+    /// Adds a publisher session; returns its session id.
+    pub fn add_publisher(&mut self, algo: HashAlgorithm, default_payload: u32) -> u32 {
+        let now = self.clock.now();
+        let endpoint = Endpoint::Publisher {
+            sender: SstpSender::new(algo, default_payload),
+            bucket: TokenBucket::new(self.cfg.session_bandwidth),
+            next_summary: now,
+            pending: None,
+        };
+        self.install(endpoint, now)
+    }
+
+    /// Adds a subscriber session; returns its session id.
+    pub fn add_subscriber(&mut self, rcfg: ReceiverConfig) -> u32 {
+        let now = self.clock.now();
+        let seed = self.cfg.seed ^ u64::from(rcfg.id).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        let endpoint = Endpoint::Subscriber {
+            receiver: SstpReceiver::new(rcfg, SimRng::new(seed)),
+            next_report: now + self.cfg.report_interval,
+            next_expiry: now + self.cfg.expiry_interval,
+        };
+        self.install(endpoint, now)
+    }
+
+    fn install(&mut self, endpoint: Endpoint, now: SimTime) -> u32 {
+        let slot = SessionSlot {
+            endpoint,
+            inbox: BoundedQueue::new(self.cfg.inbox_capacity),
+        };
+        // Reuse the first crashed (vacated) slot before growing.
+        let sid = match self.sessions.iter().position(Option::is_none) {
+            Some(i) => {
+                self.sessions[i] = Some(slot);
+                i as u32
+            }
+            None => {
+                self.sessions.push(Some(slot));
+                (self.sessions.len() - 1) as u32
+            }
+        };
+        self.supervisor.register(sid, now);
+        sid
+    }
+
+    /// Crashes session `sid` (churn): the state machine and its queued
+    /// inbox are discarded, mirroring a process death. Rejoin by
+    /// installing a fresh session — recovery then flows through the
+    /// root-summary descent, exactly like the sim's crash-rejoin path.
+    pub fn crash(&mut self, sid: u32) {
+        if let Some(slot) = self.sessions.get_mut(sid as usize) {
+            if let Some(s) = slot.take() {
+                // The dying inbox's refusals stay counted.
+                self.closed_backpressure += s.inbox.drops();
+            }
+            self.supervisor.crash(sid);
+        }
+    }
+
+    /// Rejoins a crashed subscriber slot with a fresh (empty-replica)
+    /// receiver. Panics if `sid` is still occupied.
+    pub fn rejoin_subscriber(&mut self, sid: u32, rcfg: ReceiverConfig) {
+        assert!(
+            self.sessions.get(sid as usize).is_some_and(Option::is_none),
+            "rejoin into a live slot"
+        );
+        let now = self.clock.now();
+        let seed = self.cfg.seed ^ u64::from(rcfg.id).wrapping_mul(0x2545_f491_4f6c_dd1d);
+        self.sessions[sid as usize] = Some(SessionSlot {
+            endpoint: Endpoint::Subscriber {
+                receiver: SstpReceiver::new(rcfg, SimRng::new(seed)),
+                next_report: now + self.cfg.report_interval,
+                next_expiry: now + self.cfg.expiry_interval,
+            },
+            inbox: BoundedQueue::new(self.cfg.inbox_capacity),
+        });
+        self.supervisor.register(sid, now);
+    }
+
+    /// The publisher machine of session `sid` (publish/update/withdraw).
+    pub fn publisher_mut(&mut self, sid: u32) -> Option<&mut SstpSender> {
+        match self.sessions.get_mut(sid as usize)? {
+            Some(SessionSlot {
+                endpoint: Endpoint::Publisher { sender, .. },
+                ..
+            }) => Some(sender),
+            _ => None,
+        }
+    }
+
+    /// The publisher machine of session `sid`, read-only.
+    pub fn publisher(&self, sid: u32) -> Option<&SstpSender> {
+        match self.sessions.get(sid as usize)? {
+            Some(SessionSlot {
+                endpoint: Endpoint::Publisher { sender, .. },
+                ..
+            }) => Some(sender),
+            _ => None,
+        }
+    }
+
+    /// The subscriber machine of session `sid` (replica access).
+    pub fn subscriber(&self, sid: u32) -> Option<&SstpReceiver> {
+        match self.sessions.get(sid as usize)? {
+            Some(SessionSlot {
+                endpoint: Endpoint::Subscriber { receiver, .. },
+                ..
+            }) => Some(receiver),
+            _ => None,
+        }
+    }
+
+    /// Number of installed (non-crashed) sessions.
+    pub fn session_count(&self) -> usize {
+        self.sessions.iter().flatten().count()
+    }
+
+    /// The liveness supervisor (read-only).
+    pub fn supervisor(&self) -> &Supervisor {
+        &self.supervisor
+    }
+
+    /// The deepest any per-session inbox has ever been (provably bounded
+    /// by the configured capacity — the soak gate asserts it).
+    pub fn inbox_high_water(&self) -> usize {
+        self.sessions
+            .iter()
+            .flatten()
+            .map(|s| s.inbox.high_water())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The shared outbound queue's high-water mark.
+    pub fn outbox_high_water(&self) -> usize {
+        self.outbox.high_water()
+    }
+
+    /// Total inbox refusals (live sessions plus crashed ones).
+    pub fn backpressure_drops(&self) -> u64 {
+        self.closed_backpressure
+            + self
+                .sessions
+                .iter()
+                .flatten()
+                .map(|s| s.inbox.drops())
+                .sum::<u64>()
+    }
+
+    /// The current cold-pacer rate (ops/sec) — drops below the configured
+    /// rate while the degradation policy is active.
+    pub fn cold_rate(&self) -> u32 {
+        self.cold_pacer.rate()
+    }
+
+    /// One poll iteration: drain the socket into per-session inboxes,
+    /// step every session (ingest, then emit hot/cold/feedback under the
+    /// rate budgets), issue due liveness probes, and flush the outbound
+    /// queue through the global bucket. Returns the next wake-up deadline
+    /// — the caller sleeps until then or until the socket turns readable
+    /// ([`Runtime::run_for`] does exactly that).
+    pub fn poll(&mut self) -> io::Result<SimTime> {
+        let now = self.clock.now();
+        self.drain_socket(now)?;
+        let mut deadline = SimTime::MAX;
+        let n = self.sessions.len();
+        if n > 0 {
+            // Rotate the starting session each poll so contended pacer
+            // grants are shared fairly across sessions.
+            self.step_cursor %= n;
+            for i in 0..n {
+                let sid = (self.step_cursor + i) % n;
+                self.step_session(sid as u32, now, &mut deadline);
+            }
+            self.step_cursor = (self.step_cursor + 1) % n;
+        }
+        self.issue_probes(now);
+        self.flush_outbox(now, &mut deadline)?;
+        self.degrade_or_restore();
+        if let Some(t) = self.supervisor.next_deadline() {
+            deadline = deadline.min(t);
+        }
+        self.sync_metrics(now);
+        Ok(deadline)
+    }
+
+    /// Drives the poll loop for `duration`, sleeping each iteration until
+    /// the earliest protocol deadline or the first arriving datagram —
+    /// the deadline-aware wait that replaced the fixed-interval sleep
+    /// loops (see [`wait::wait_for_datagram`]).
+    pub fn run_for(&mut self, duration: Duration) -> io::Result<()> {
+        let end = self.clock.now() + SimDuration::from_micros(duration.as_micros() as u64);
+        while self.clock.now() < end {
+            let deadline = self.poll()?.min(end);
+            let timeout = self.clock.until(deadline);
+            if !timeout.is_zero() {
+                wait::wait_for_datagram(self.mux.socket(), timeout)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Folds every pending counter delta into the registry and snapshots
+    /// it at the current protocol time.
+    pub fn metrics_snapshot(&mut self) -> MetricsSnapshot {
+        let now = self.clock.now();
+        self.sync_metrics(now);
+        self.metrics.snapshot(now)
+    }
+
+    fn drain_socket(&mut self, now: SimTime) -> io::Result<()> {
+        while let Some(decoded) = self.mux.recv()? {
+            let Ok(frame) = decoded else {
+                continue; // counted by the mux
+            };
+            if let Some(loss) = &mut self.ingress_loss {
+                if loss.is_lost(&mut self.drop_rng) {
+                    self.injected_drops += 1;
+                    continue;
+                }
+            }
+            let Some(Some(slot)) = self.sessions.get_mut(frame.session as usize) else {
+                self.unknown_session += 1;
+                continue;
+            };
+            // Data direction lands on subscribers, feedback on publishers.
+            let is_data = matches!(slot.endpoint, Endpoint::Subscriber { .. });
+            if let Some(f) = &mut self.faults {
+                let dropped = if is_data {
+                    f.drop_data(now)
+                } else {
+                    f.drop_feedback(now)
+                };
+                if dropped {
+                    continue; // counted by the adapter
+                }
+            }
+            // A full inbox is a counted backpressure drop, never growth.
+            let _ = slot.inbox.push(frame.pkt);
+        }
+        Ok(())
+    }
+
+    fn step_session(&mut self, sid: u32, now: SimTime, deadline: &mut SimTime) {
+        let Some(Some(slot)) = self.sessions.get_mut(sid as usize) else {
+            return;
+        };
+        // Ingest everything queued for this session.
+        let mut drained = 0usize;
+        while let Some(pkt) = slot.inbox.pop() {
+            match &mut slot.endpoint {
+                Endpoint::Publisher { sender, .. } => {
+                    sender.on_packet(&pkt);
+                }
+                Endpoint::Subscriber { receiver, .. } => {
+                    receiver.on_packet(now, &pkt);
+                }
+            }
+            drained += 1;
+        }
+        if drained > 0 {
+            if let Some(outage) = self.supervisor.heard(sid, now) {
+                self.metrics.observe_sketch(self.ids.mttr, outage);
+            }
+        }
+        // Emit due traffic.
+        match &mut slot.endpoint {
+            Endpoint::Publisher {
+                sender,
+                bucket,
+                next_summary,
+                pending,
+            } => {
+                // Flush a previously throttled hot packet first, then
+                // drain fresh hot traffic, all within the session bucket.
+                if let Some(pkt) = pending.take() {
+                    if bucket.try_take(now, pkt.wire_len() + FRAME_OVERHEAD) {
+                        self.outbox.push(Outbound {
+                            session: sid,
+                            class: TrafficClass::Hot,
+                            pkt,
+                        });
+                    } else {
+                        *deadline =
+                            (*deadline).min(now.saturating_add(bucket.eta(now, pkt.wire_len())));
+                        *pending = Some(pkt);
+                    }
+                }
+                while pending.is_none() {
+                    let Some(pkt) = sender.next_hot_packet() else {
+                        break;
+                    };
+                    if bucket.try_take(now, pkt.wire_len() + FRAME_OVERHEAD) {
+                        self.outbox.push(Outbound {
+                            session: sid,
+                            class: TrafficClass::Hot,
+                            pkt,
+                        });
+                    } else {
+                        self.throttled += 1;
+                        *deadline =
+                            (*deadline).min(now.saturating_add(bucket.eta(now, pkt.wire_len())));
+                        *pending = Some(pkt);
+                    }
+                }
+                // Periodic root summary, through the shared cold pacer.
+                if now >= *next_summary {
+                    if self.cold_pacer.check(now) {
+                        self.outbox.push(Outbound {
+                            session: sid,
+                            class: TrafficClass::Cold,
+                            pkt: sender.summary_packet(),
+                        });
+                        // Advance even if the push was shed: the shed IS
+                        // the degradation, and soft state refreshes later.
+                        *next_summary = now + self.cfg.summary_interval;
+                        // One cycle re-announcement rides each summary
+                        // slot, so the cold rotation advances at the
+                        // summary cadence. (Grabbing every free pacer
+                        // grant instead would let already-stepped
+                        // sessions starve later ones of summary slots.)
+                        if sender.table().live_count() > 0 && self.cold_pacer.check(now) {
+                            if let Some(pkt) = sender.next_cycle_packet() {
+                                self.outbox.push(Outbound {
+                                    session: sid,
+                                    class: TrafficClass::Cold,
+                                    pkt,
+                                });
+                            }
+                        }
+                    } else {
+                        *deadline = (*deadline).min(self.cold_pacer.next_allowed());
+                    }
+                } else {
+                    *deadline = (*deadline).min(*next_summary);
+                }
+            }
+            Endpoint::Subscriber {
+                receiver,
+                next_report,
+                next_expiry,
+            } => {
+                for pkt in receiver.poll_feedback(now) {
+                    self.outbox.push(Outbound {
+                        session: sid,
+                        class: TrafficClass::Feedback,
+                        pkt,
+                    });
+                }
+                if now >= *next_report {
+                    self.outbox.push(Outbound {
+                        session: sid,
+                        class: TrafficClass::Feedback,
+                        pkt: receiver.make_report(),
+                    });
+                    *next_report = now + self.cfg.report_interval;
+                }
+                if now >= *next_expiry {
+                    receiver.expire(now);
+                    *next_expiry = now + self.cfg.expiry_interval;
+                }
+                *deadline = (*deadline).min(*next_report).min(*next_expiry);
+                if let Some(t) = receiver.next_feedback_at() {
+                    *deadline = (*deadline).min(t);
+                }
+            }
+        }
+    }
+
+    /// Turns due supervisor probes into packets: a publisher probes with
+    /// a root summary (inviting the peer back through summary descent), a
+    /// subscriber with a receiver report. Probes ride the Feedback class
+    /// so the shed policy preserves them under overload.
+    fn issue_probes(&mut self, now: SimTime) {
+        for sid in self.supervisor.due_probes(now) {
+            let Some(Some(slot)) = self.sessions.get_mut(sid as usize) else {
+                continue;
+            };
+            let pkt = match &mut slot.endpoint {
+                Endpoint::Publisher { sender, .. } => sender.summary_packet(),
+                Endpoint::Subscriber { receiver, .. } => receiver.make_report(),
+            };
+            self.outbox.push(Outbound {
+                session: sid,
+                class: TrafficClass::Feedback,
+                pkt,
+            });
+        }
+    }
+
+    fn flush_outbox(&mut self, now: SimTime, deadline: &mut SimTime) -> io::Result<()> {
+        while let Some(head) = self.outbox.peek() {
+            let cost = head.pkt.wire_len() + FRAME_OVERHEAD;
+            if self.global_bucket.try_take(now, cost) {
+                let out = self.outbox.pop().expect("peeked entry vanished");
+                self.mux.send(out.session, &out.pkt)?;
+            } else {
+                self.throttled += 1;
+                *deadline = (*deadline).min(now.saturating_add(self.global_bucket.eta(now, cost)));
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    /// The announce-degradation policy: a cold shed since the last poll
+    /// halves the pacer rate (never below 1 op/s); once the queue drains
+    /// back under its watermark the rate doubles step-by-step toward the
+    /// configured rate. The asymmetry (halve on evidence of overload,
+    /// recover gradually) mirrors the sender's loss-driven announce
+    /// degradation from the chaos PR.
+    fn degrade_or_restore(&mut self) {
+        let shed_now = self.outbox.stats().shed_cold;
+        if shed_now > self.synced.shed_cold {
+            self.cold_pacer.set_rate(self.cold_pacer.rate() / 2);
+        } else if !self.outbox.pressured() && self.cold_pacer.rate() < self.base_cold_rate {
+            self.cold_pacer
+                .set_rate((self.cold_pacer.rate().saturating_mul(2)).min(self.base_cold_rate));
+        }
+    }
+
+    /// Folds counter deltas from every component into the registry.
+    /// Counters are registered once in `bind`; this keeps the registry
+    /// monotone without threading metric ids through the components.
+    fn sync_metrics(&mut self, now: SimTime) {
+        let m = self.mux.stats();
+        let shed = self.outbox.stats();
+        let sup = self.supervisor.stats();
+        let bp = self.backpressure_drops();
+        let fd = self
+            .faults
+            .as_ref()
+            .map(|f| f.data_drops() + f.feedback_drops())
+            .unwrap_or(0);
+        let adds: [(CounterId, u64, &mut u64); 9] = [
+            (self.ids.backpressure, bp, &mut self.synced.backpressure),
+            (
+                self.ids.shed_cold,
+                shed.shed_cold,
+                &mut self.synced.shed_cold,
+            ),
+            (self.ids.shed_hot, shed.shed_hot, &mut self.synced.shed_hot),
+            (self.ids.fault_drops, fd, &mut self.synced.fault_drops),
+            (self.ids.ingress, m.datagrams_rx, &mut self.synced.ingress),
+            (self.ids.egress, m.datagrams_tx, &mut self.synced.egress),
+            (
+                self.ids.decode_errors,
+                m.decode_errors,
+                &mut self.synced.decode_errors,
+            ),
+            (self.ids.probes, sup.probes, &mut self.synced.probes),
+            (self.ids.heals, sup.heals, &mut self.synced.heals),
+        ];
+        for (id, total, last) in adds {
+            self.metrics.add(id, total.saturating_sub(*last));
+            *last = total;
+        }
+        // Absolute counters with no external total: set once per call.
+        let inj = self.injected_drops;
+        let unk = self.unknown_session;
+        let thr = self.throttled;
+        self.injected_drops = 0;
+        self.unknown_session = 0;
+        self.throttled = 0;
+        self.metrics.add(self.ids.injected_drops, inj);
+        self.metrics.add(self.ids.unknown_session, unk);
+        self.metrics.add(self.ids.throttled, thr);
+        self.metrics
+            .set_gauge(self.ids.active, self.supervisor.active(now) as f64);
+    }
+}

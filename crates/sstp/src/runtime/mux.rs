@@ -1,0 +1,258 @@
+//! Session multiplexing over a single nonblocking UDP socket.
+//!
+//! Many SSTP sessions share one socket; each datagram carries a 4-byte
+//! big-endian session id followed by one wire [`Packet`]. The mux owns
+//! the socket and the frame codec; the runtime owns routing (frame →
+//! per-session bounded inbox) and all drop accounting, so every datagram
+//! either reaches a state machine or increments a counter — never an
+//! unbounded queue, never a panic.
+
+use crate::wire::{Packet, WireError};
+use bytes::{BufMut, BytesMut};
+use std::collections::VecDeque;
+use std::io;
+use std::net::{SocketAddr, UdpSocket};
+
+/// Bytes the session-id frame header adds to each wire packet.
+pub const FRAME_OVERHEAD: usize = 4;
+
+/// One decoded inbound frame: which session, which packet.
+#[derive(Clone, Debug)]
+pub struct Frame {
+    /// The session id from the frame header.
+    pub session: u32,
+    /// The decoded packet.
+    pub pkt: Packet,
+}
+
+/// Why an inbound datagram failed to decode.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FrameError {
+    /// Shorter than the 4-byte session-id header.
+    Truncated,
+    /// The payload failed wire decoding.
+    Wire(WireError),
+}
+
+/// Encodes `pkt` for `session` into `out` (cleared first).
+pub fn encode_frame(session: u32, pkt: &Packet, out: &mut BytesMut) {
+    out.clear();
+    out.put_u32(session);
+    pkt.encode(out);
+}
+
+/// Decodes one datagram into a [`Frame`].
+pub fn decode_frame(datagram: &[u8]) -> Result<Frame, FrameError> {
+    if datagram.len() < FRAME_OVERHEAD {
+        return Err(FrameError::Truncated);
+    }
+    let session = u32::from_be_bytes([datagram[0], datagram[1], datagram[2], datagram[3]]);
+    let pkt = Packet::decode(bytes::Bytes::copy_from_slice(&datagram[FRAME_OVERHEAD..]))
+        .map_err(FrameError::Wire)?;
+    Ok(Frame { session, pkt })
+}
+
+/// A bounded FIFO between the socket reader and a session state machine.
+///
+/// `push` refuses instead of growing: a `false` return is the caller's
+/// cue to count a backpressure drop. The queue can never exceed its
+/// capacity (checked by [`BoundedQueue::high_water`], which the soak
+/// test asserts stays `<= capacity`).
+#[derive(Debug)]
+pub struct BoundedQueue<T> {
+    items: VecDeque<T>,
+    capacity: usize,
+    drops: u64,
+    high_water: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// An empty queue bounded at `capacity` (> 0).
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "zero-capacity queue");
+        BoundedQueue {
+            items: VecDeque::with_capacity(capacity),
+            capacity,
+            drops: 0,
+            high_water: 0,
+        }
+    }
+
+    /// Enqueues `item` if there is room; otherwise counts a drop and
+    /// returns `false`.
+    pub fn push(&mut self, item: T) -> bool {
+        if self.items.len() == self.capacity {
+            self.drops += 1;
+            return false;
+        }
+        self.items.push_back(item);
+        self.high_water = self.high_water.max(self.items.len());
+        debug_assert!(
+            self.items.len() <= self.capacity,
+            "queue grew past capacity"
+        );
+        true
+    }
+
+    /// Dequeues the oldest item.
+    pub fn pop(&mut self) -> Option<T> {
+        self.items.pop_front()
+    }
+
+    /// Items currently queued.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// The capacity bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Pushes refused because the queue was full.
+    pub fn drops(&self) -> u64 {
+        self.drops
+    }
+
+    /// The deepest the queue has ever been — provably `<= capacity`.
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+}
+
+/// Socket-level counters.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MuxStats {
+    /// Datagrams sent.
+    pub datagrams_tx: u64,
+    /// Datagrams received (before any ingress filtering).
+    pub datagrams_rx: u64,
+    /// Datagrams that failed frame or wire decoding.
+    pub decode_errors: u64,
+}
+
+/// The shared nonblocking socket plus the frame codec state.
+pub struct SocketMux {
+    socket: UdpSocket,
+    peer: SocketAddr,
+    rx_buf: Vec<u8>,
+    tx_buf: BytesMut,
+    stats: MuxStats,
+}
+
+impl SocketMux {
+    /// Binds a nonblocking socket at `bind`, targeting `peer`.
+    pub fn bind(bind: SocketAddr, peer: SocketAddr) -> io::Result<Self> {
+        let socket = UdpSocket::bind(bind)?;
+        socket.set_nonblocking(true)?;
+        Ok(SocketMux {
+            socket,
+            peer,
+            rx_buf: vec![0u8; 65_536],
+            tx_buf: BytesMut::with_capacity(2048),
+            stats: MuxStats::default(),
+        })
+    }
+
+    /// The bound local address (useful with ephemeral ports).
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.socket.local_addr()
+    }
+
+    /// Re-targets the peer (e.g. once the remote ephemeral port is known).
+    pub fn set_peer(&mut self, peer: SocketAddr) {
+        self.peer = peer;
+    }
+
+    /// The underlying socket (for `try_clone` so a waiter can block on
+    /// readability without holding the runtime lock).
+    pub fn socket(&self) -> &UdpSocket {
+        &self.socket
+    }
+
+    /// Receives and decodes one waiting datagram. `Ok(None)` when the
+    /// socket has nothing; decode failures are counted and surfaced as
+    /// `Ok(Some(Err(..)))` so the caller keeps draining.
+    pub fn recv(&mut self) -> io::Result<Option<Result<Frame, FrameError>>> {
+        match self.socket.recv_from(&mut self.rx_buf) {
+            Ok((n, _from)) => {
+                self.stats.datagrams_rx += 1;
+                let decoded = decode_frame(&self.rx_buf[..n]);
+                if decoded.is_err() {
+                    self.stats.decode_errors += 1;
+                }
+                Ok(Some(decoded))
+            }
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                Ok(None)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Frames and sends one packet for `session`.
+    pub fn send(&mut self, session: u32, pkt: &Packet) -> io::Result<()> {
+        encode_frame(session, pkt, &mut self.tx_buf);
+        self.socket.send_to(&self.tx_buf, self.peer)?;
+        self.stats.datagrams_tx += 1;
+        Ok(())
+    }
+
+    /// Socket counters.
+    pub fn stats(&self) -> MuxStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::RepairQueryPacket;
+
+    #[test]
+    fn frame_roundtrip() {
+        let pkt = Packet::RepairQuery(RepairQueryPacket { path: vec![1, 2] });
+        let mut buf = BytesMut::new();
+        encode_frame(0xdead_beef, &pkt, &mut buf);
+        let frame = decode_frame(&buf).unwrap();
+        assert_eq!(frame.session, 0xdead_beef);
+        assert!(matches!(frame.pkt, Packet::RepairQuery(q) if q.path == vec![1, 2]));
+    }
+
+    #[test]
+    fn truncated_frame_rejected() {
+        assert_eq!(decode_frame(&[0, 1, 2]).unwrap_err(), FrameError::Truncated);
+    }
+
+    #[test]
+    fn garbage_payload_rejected() {
+        let mut buf = BytesMut::new();
+        buf.put_u32(7);
+        buf.extend_from_slice(&[0xff; 3]);
+        assert!(matches!(
+            decode_frame(&buf).unwrap_err(),
+            FrameError::Wire(_)
+        ));
+    }
+
+    #[test]
+    fn bounded_queue_refuses_at_capacity() {
+        let mut q = BoundedQueue::new(2);
+        assert!(q.push(1));
+        assert!(q.push(2));
+        assert!(!q.push(3));
+        assert_eq!(q.drops(), 1);
+        assert_eq!(q.high_water(), 2);
+        assert_eq!(q.pop(), Some(1));
+        assert!(q.push(3));
+        assert_eq!(q.high_water(), 2);
+        assert!(q.high_water() <= q.capacity());
+    }
+}

@@ -1,0 +1,101 @@
+//! The deadline-aware waiting primitive shared by the runtime and the
+//! single-pair UDP bridge.
+//!
+//! Instead of a fixed-interval sleep loop (the busy-poll this replaces),
+//! callers compute the next protocol deadline — pending summary, receiver
+//! report, feedback backoff expiry, token-bucket refill — and block on
+//! the socket for exactly that long. The wait returns early the moment a
+//! datagram arrives, so the loop is event-driven: it wakes for traffic
+//! or for a deadline, never to spin.
+//!
+//! The primitive uses `set_read_timeout` + `peek_from` (non-consuming, so
+//! the caller's normal receive path still sees the datagram) and restores
+//! the socket to nonblocking mode before returning, keeping the waiting
+//! concern fully separate from the read path.
+
+use std::io;
+use std::net::UdpSocket;
+use std::time::Duration;
+
+/// The longest a single wait may block. Deadlines further out are reached
+/// by waking and re-waiting, which keeps shutdown and peer-address
+/// changes responsive.
+pub const MAX_WAIT: Duration = Duration::from_millis(50);
+
+/// Blocks on `socket` until a datagram is readable or `timeout` elapses,
+/// whichever comes first. Returns `Ok(true)` when a datagram is waiting
+/// (it is **not** consumed), `Ok(false)` on timeout. The socket is left
+/// in nonblocking mode either way.
+///
+/// The timeout is clamped into `[1µs, MAX_WAIT]`: zero would mean "block
+/// forever" to `set_read_timeout`, and unbounded waits would make the
+/// caller's loop unresponsive to deadline changes.
+pub fn wait_for_datagram(socket: &UdpSocket, timeout: Duration) -> io::Result<bool> {
+    let timeout = timeout.clamp(Duration::from_micros(1), MAX_WAIT);
+    socket.set_nonblocking(false)?;
+    socket.set_read_timeout(Some(timeout))?;
+    let mut probe = [0u8; 1];
+    let res = socket.peek_from(&mut probe);
+    // Restore nonblocking before interpreting the result so an early
+    // return can never leave the socket blocking.
+    socket.set_nonblocking(true)?;
+    match res {
+        Ok(_) => Ok(true),
+        Err(e) if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut => {
+            Ok(false)
+        }
+        Err(e) => Err(e),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::SocketAddr;
+    use std::time::Instant;
+
+    fn sock() -> UdpSocket {
+        let s = UdpSocket::bind("127.0.0.1:0".parse::<SocketAddr>().unwrap()).unwrap();
+        s.set_nonblocking(true).unwrap();
+        s
+    }
+
+    #[test]
+    fn times_out_without_traffic() {
+        let s = sock();
+        let start = Instant::now();
+        assert!(!wait_for_datagram(&s, Duration::from_millis(20)).unwrap());
+        let waited = start.elapsed();
+        assert!(
+            waited >= Duration::from_millis(15),
+            "returned too early: {waited:?}"
+        );
+        // And the socket is back to nonblocking.
+        let mut buf = [0u8; 8];
+        assert_eq!(
+            s.recv_from(&mut buf).unwrap_err().kind(),
+            io::ErrorKind::WouldBlock
+        );
+    }
+
+    #[test]
+    fn wakes_on_datagram_without_consuming_it() {
+        let rx = sock();
+        let tx = sock();
+        let dst = rx.local_addr().unwrap();
+        tx.send_to(b"ping", dst).unwrap();
+        assert!(wait_for_datagram(&rx, Duration::from_millis(500)).unwrap());
+        // The datagram is still there for the normal receive path.
+        let mut buf = [0u8; 8];
+        let (n, _) = rx.recv_from(&mut buf).unwrap();
+        assert_eq!(&buf[..n], b"ping");
+    }
+
+    #[test]
+    fn long_timeouts_are_clamped() {
+        let s = sock();
+        let start = Instant::now();
+        assert!(!wait_for_datagram(&s, Duration::from_secs(3600)).unwrap());
+        assert!(start.elapsed() < Duration::from_secs(1));
+    }
+}

@@ -2,13 +2,21 @@
 //!
 //! The [`SstpSender`]/[`SstpReceiver`] endpoints are sans-I/O: state in,
 //! packets out. This module binds them to `std::net::UdpSocket` with a
-//! real-time clock, a token-bucket rate limiter standing in for the
-//! session bandwidth budget, and the periodic machinery (summaries,
-//! receiver reports, expiry sweeps) driven by wall-clock deadlines.
+//! real-time clock ([`WallClock`]), a token-bucket rate limiter standing
+//! in for the session bandwidth budget, and the periodic machinery
+//! (summaries, receiver reports, expiry sweeps) driven by deadlines on
+//! the protocol's [`SimTime`] axis.
 //!
 //! The implementation is deliberately single-threaded and poll-based —
 //! call [`UdpPublisher::poll`] / [`UdpSubscriber::poll`] from your event
 //! loop, or [`UdpPublisher::run_for`] to drive it for a bounded time.
+//! `run_for` is **event-driven**, not a sleep loop: each iteration
+//! computes the next protocol deadline (pending summary, report, expiry
+//! sweep, feedback backoff, token-bucket refill) and blocks on the
+//! socket for exactly that long via
+//! [`crate::runtime::wait::wait_for_datagram`], waking early the moment
+//! a datagram arrives.
+//!
 //! For test determinism both ends accept an optional seeded ingress
 //! [`LossSpec`] — the same audited loss description the simulator
 //! channels use — so loss-recovery paths can be exercised on loopback
@@ -16,73 +24,17 @@
 
 use crate::digest::HashAlgorithm;
 use crate::receiver::{ReceiverConfig, SstpReceiver};
+use crate::runtime::pacing::TokenBucket;
+use crate::runtime::wait::wait_for_datagram;
+use crate::runtime::WallClock;
 use crate::sender::SstpSender;
 use crate::wire::{Packet, WireError};
 use bytes::BytesMut;
 use softstate::Key;
-use ss_netsim::{Bandwidth, LossModel, LossSpec, SimRng, SimTime};
+use ss_netsim::{Bandwidth, Clock, LossModel, LossSpec, SimDuration, SimRng, SimTime};
 use std::io;
 use std::net::{SocketAddr, UdpSocket};
-use std::time::{Duration, Instant};
-
-/// Maps wall-clock instants onto the protocol's [`SimTime`] axis.
-#[derive(Clone, Copy, Debug)]
-struct Clock {
-    epoch: Instant,
-}
-
-impl Clock {
-    fn new() -> Self {
-        Clock {
-            epoch: Instant::now(),
-        }
-    }
-
-    fn now(&self) -> SimTime {
-        SimTime::from_micros(self.epoch.elapsed().as_micros() as u64)
-    }
-}
-
-/// A byte token bucket enforcing the session bandwidth budget.
-#[derive(Clone, Debug)]
-struct TokenBucket {
-    rate_bps: f64,
-    capacity: f64,
-    tokens: f64,
-    last: Instant,
-}
-
-impl TokenBucket {
-    fn new(rate: Bandwidth) -> Self {
-        let rate_bps = rate.as_bps() as f64;
-        TokenBucket {
-            rate_bps,
-            // One-second burst capacity.
-            capacity: rate_bps,
-            tokens: rate_bps,
-            last: Instant::now(),
-        }
-    }
-
-    fn refill(&mut self) {
-        let now = Instant::now();
-        let dt = now.duration_since(self.last).as_secs_f64();
-        self.last = now;
-        self.tokens = (self.tokens + dt * self.rate_bps).min(self.capacity);
-    }
-
-    /// Takes `bytes` worth of tokens if available.
-    fn try_take(&mut self, bytes: usize) -> bool {
-        self.refill();
-        let need = bytes as f64 * 8.0;
-        if self.tokens >= need {
-            self.tokens -= need;
-            true
-        } else {
-            false
-        }
-    }
-}
+use std::time::Duration;
 
 /// Counters common to both UDP endpoints.
 #[derive(Clone, Copy, Debug, Default)]
@@ -113,9 +65,16 @@ fn recv_packet(
         Ok((n, _peer)) => Ok(Some(Packet::decode(bytes::Bytes::copy_from_slice(
             &buf[..n],
         )))),
-        Err(e) if e.kind() == io::ErrorKind::WouldBlock => Ok(None),
+        Err(e) if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut => {
+            Ok(None)
+        }
         Err(e) => Err(e),
     }
+}
+
+/// Converts a std [`Duration`] onto the protocol time axis.
+fn sim_duration(d: Duration) -> SimDuration {
+    SimDuration::from_micros(d.as_micros() as u64)
 }
 
 /// Configuration shared by the UDP endpoints.
@@ -145,8 +104,16 @@ pub struct UdpConfig {
 /// The built ingress loss process, or `None` for a lossless spec (which
 /// then consumes no randomness at all — matching the simulator channels'
 /// draw discipline).
+///
+/// Lossy specs build **batched** ([`LossSpec::build_batched`]): each
+/// endpoint's `drop_rng` exists solely to drive this model, which is
+/// exactly the dedicated-stream contract batched draws require, and
+/// batched Bernoulli is draw-for-draw identical to the unbatched model
+/// on such a stream. Loopback chaos replays therefore see the very same
+/// loss sequence as a simulator channel given the same seed — the drops
+/// are comparable draw for draw, not merely in distribution.
 fn ingress_model(spec: LossSpec) -> Option<Box<dyn LossModel>> {
-    (spec.mean() > 0.0).then(|| spec.build())
+    (spec.mean() > 0.0).then(|| spec.build_batched())
 }
 
 impl UdpConfig {
@@ -170,10 +137,10 @@ pub struct UdpPublisher {
     socket: UdpSocket,
     peer: SocketAddr,
     sender: SstpSender,
-    clock: Clock,
+    clock: WallClock,
     bucket: TokenBucket,
-    summary_interval: Duration,
-    next_summary: Instant,
+    summary_interval: SimDuration,
+    next_summary: SimTime,
     /// A packet that was built but could not be sent yet (rate limit).
     pending: Option<Packet>,
     drop_rng: SimRng,
@@ -190,10 +157,10 @@ impl UdpPublisher {
             socket: make_socket(cfg.bind)?,
             peer: cfg.peer,
             sender: SstpSender::new(algo, default_payload),
-            clock: Clock::new(),
+            clock: WallClock::start(),
             bucket: TokenBucket::new(cfg.bandwidth),
-            summary_interval: cfg.summary_interval,
-            next_summary: Instant::now(),
+            summary_interval: sim_duration(cfg.summary_interval),
+            next_summary: SimTime::ZERO,
             pending: None,
             drop_rng: SimRng::new(cfg.seed ^ 0x9e37_79b9),
             ingress_loss: ingress_model(cfg.ingress_loss),
@@ -238,6 +205,7 @@ impl UdpPublisher {
     /// One poll iteration: ingest feedback, emit due traffic within the
     /// bandwidth budget. Returns the number of datagrams sent.
     pub fn poll(&mut self) -> io::Result<usize> {
+        let now = self.clock.now();
         // Ingest all waiting feedback.
         while let Some(decoded) = recv_packet(&self.socket, &mut self.buf)? {
             match decoded {
@@ -258,7 +226,7 @@ impl UdpPublisher {
         let mut sent = 0;
         // Flush a previously throttled packet first.
         if let Some(pkt) = self.pending.take() {
-            if self.bucket.try_take(pkt.wire_len()) {
+            if self.bucket.try_take(now, pkt.wire_len()) {
                 self.send_packet(&pkt)?;
                 sent += 1;
             } else {
@@ -269,7 +237,7 @@ impl UdpPublisher {
         }
         // Hot traffic (new data, repairs, summaries-on-demand).
         while let Some(pkt) = self.sender.next_hot_packet() {
-            if self.bucket.try_take(pkt.wire_len()) {
+            if self.bucket.try_take(now, pkt.wire_len()) {
                 self.send_packet(&pkt)?;
                 sent += 1;
             } else {
@@ -279,12 +247,12 @@ impl UdpPublisher {
             }
         }
         // Periodic root summary.
-        if Instant::now() >= self.next_summary {
+        if now >= self.next_summary {
             let pkt = self.sender.summary_packet();
-            if self.bucket.try_take(pkt.wire_len()) {
+            if self.bucket.try_take(now, pkt.wire_len()) {
                 self.send_packet(&pkt)?;
                 sent += 1;
-                self.next_summary = Instant::now() + self.summary_interval;
+                self.next_summary = self.clock.now() + self.summary_interval;
             } else {
                 self.pending = Some(pkt);
                 self.stats.throttled += 1;
@@ -293,12 +261,26 @@ impl UdpPublisher {
         Ok(sent)
     }
 
-    /// Polls in a sleep loop for `duration` (1 ms granularity).
+    /// The next instant this endpoint has scheduled work: the pending
+    /// summary, or the token-bucket refill for a throttled packet.
+    fn next_deadline(&mut self) -> SimTime {
+        let now = self.clock.now();
+        let mut deadline = self.next_summary;
+        if let Some(pkt) = &self.pending {
+            deadline = deadline.min(now.saturating_add(self.bucket.eta(now, pkt.wire_len())));
+        }
+        deadline
+    }
+
+    /// Drives the poll loop for `duration`, blocking on the socket until
+    /// the next protocol deadline or the first arriving datagram —
+    /// event-driven, not a fixed-interval sleep.
     pub fn run_for(&mut self, duration: Duration) -> io::Result<()> {
-        let end = Instant::now() + duration;
-        while Instant::now() < end {
+        let end = self.clock.now() + sim_duration(duration);
+        while self.clock.now() < end {
             self.poll()?;
-            std::thread::sleep(Duration::from_millis(1));
+            let deadline = self.next_deadline().min(end);
+            wait_for_datagram(&self.socket, self.clock.until(deadline))?;
         }
         Ok(())
     }
@@ -314,12 +296,12 @@ pub struct UdpSubscriber {
     socket: UdpSocket,
     peer: SocketAddr,
     receiver: SstpReceiver,
-    clock: Clock,
+    clock: WallClock,
     bucket: TokenBucket,
-    report_interval: Duration,
-    next_report: Instant,
-    expiry_interval: Duration,
-    next_expiry: Instant,
+    report_interval: SimDuration,
+    next_report: SimTime,
+    expiry_interval: SimDuration,
+    next_expiry: SimTime,
     drop_rng: SimRng,
     ingress_loss: Option<Box<dyn LossModel>>,
     stats: UdpStats,
@@ -330,16 +312,18 @@ impl UdpSubscriber {
     /// Binds the subscriber around the given receiver configuration.
     pub fn bind(cfg: &UdpConfig, rcfg: ReceiverConfig) -> io::Result<Self> {
         let seed = cfg.seed;
+        let report_interval = sim_duration(cfg.report_interval);
+        let expiry_interval = sim_duration(cfg.expiry_interval);
         Ok(UdpSubscriber {
             socket: make_socket(cfg.bind)?,
             peer: cfg.peer,
             receiver: SstpReceiver::new(rcfg, SimRng::new(seed ^ 0x51ed_2701)),
-            clock: Clock::new(),
+            clock: WallClock::start(),
             bucket: TokenBucket::new(cfg.bandwidth),
-            report_interval: cfg.report_interval,
-            next_report: Instant::now() + cfg.report_interval,
-            expiry_interval: cfg.expiry_interval,
-            next_expiry: Instant::now() + cfg.expiry_interval,
+            report_interval,
+            next_report: SimTime::ZERO + report_interval,
+            expiry_interval,
+            next_expiry: SimTime::ZERO + expiry_interval,
             drop_rng: SimRng::new(seed ^ 0x1f3d_5b79),
             ingress_loss: ingress_model(cfg.ingress_loss),
             stats: UdpStats::default(),
@@ -402,35 +386,48 @@ impl UdpSubscriber {
 
         // Due feedback, within budget.
         for pkt in self.receiver.poll_feedback(now) {
-            if self.bucket.try_take(pkt.wire_len()) {
+            if self.bucket.try_take(now, pkt.wire_len()) {
                 Self::send_packet(&self.socket, self.peer, &mut self.stats, &pkt)?;
             } else {
                 self.stats.throttled += 1;
             }
         }
         // Periodic receiver report.
-        if Instant::now() >= self.next_report {
+        if now >= self.next_report {
             let pkt = self.receiver.make_report();
-            if self.bucket.try_take(pkt.wire_len()) {
+            if self.bucket.try_take(now, pkt.wire_len()) {
                 Self::send_packet(&self.socket, self.peer, &mut self.stats, &pkt)?;
             }
-            self.next_report = Instant::now() + self.report_interval;
+            self.next_report = now + self.report_interval;
         }
         // Periodic expiry sweep.
         let mut expired = Vec::new();
-        if Instant::now() >= self.next_expiry {
+        if now >= self.next_expiry {
             expired = self.receiver.expire(now);
-            self.next_expiry = Instant::now() + self.expiry_interval;
+            self.next_expiry = now + self.expiry_interval;
         }
         Ok(expired)
     }
 
-    /// Polls in a sleep loop for `duration` (1 ms granularity).
+    /// The next instant this endpoint has scheduled work: the pending
+    /// report, the expiry sweep, or a feedback backoff expiring.
+    fn next_deadline(&self) -> SimTime {
+        let mut deadline = self.next_report.min(self.next_expiry);
+        if let Some(t) = self.receiver.next_feedback_at() {
+            deadline = deadline.min(t);
+        }
+        deadline
+    }
+
+    /// Drives the poll loop for `duration`, blocking on the socket until
+    /// the next protocol deadline or the first arriving datagram —
+    /// event-driven, not a fixed-interval sleep.
     pub fn run_for(&mut self, duration: Duration) -> io::Result<()> {
-        let end = Instant::now() + duration;
-        while Instant::now() < end {
+        let end = self.clock.now() + sim_duration(duration);
+        while self.clock.now() < end {
             self.poll()?;
-            std::thread::sleep(Duration::from_millis(1));
+            let deadline = self.next_deadline().min(end);
+            wait_for_datagram(&self.socket, self.clock.until(deadline))?;
         }
         Ok(())
     }
@@ -446,23 +443,39 @@ mod tests {
     use super::*;
 
     #[test]
-    fn token_bucket_enforces_rate() {
-        let mut b = TokenBucket::new(Bandwidth::from_kbps(8)); // 1000 B/s
-                                                               // The bucket starts full (one second of burst).
-        assert!(b.try_take(1000));
-        // Immediately asking for another 1000 B must fail.
-        assert!(!b.try_take(1000));
-        // Small amounts may still fit after a short refill.
-        std::thread::sleep(Duration::from_millis(30));
-        assert!(b.try_take(10));
-    }
-
-    #[test]
-    fn clock_is_monotone() {
-        let c = Clock::new();
+    fn wall_clock_is_monotone() {
+        let c = WallClock::start();
         let a = c.now();
         std::thread::sleep(Duration::from_millis(2));
         let b = c.now();
         assert!(b > a);
+        // `until` a past instant saturates to zero.
+        assert_eq!(c.until(a), Duration::ZERO);
+    }
+
+    #[test]
+    fn sim_duration_conversion_is_microsecond_exact() {
+        assert_eq!(
+            sim_duration(Duration::from_millis(200)),
+            SimDuration::from_millis(200)
+        );
+        assert_eq!(sim_duration(Duration::from_micros(7)).as_micros(), 7);
+    }
+
+    #[test]
+    fn batched_ingress_matches_unbatched_draw_for_draw() {
+        // The dedicated-stream contract: on its own stream, the batched
+        // model produces the identical drop sequence to the unbatched
+        // one, so loopback chaos replays stay comparable with the sim.
+        let spec = LossSpec::Bernoulli(0.3);
+        let mut batched = ingress_model(spec).expect("lossy spec builds");
+        let mut plain = spec.build();
+        let mut rng_a = SimRng::new(42);
+        let mut rng_b = SimRng::new(42);
+        for _ in 0..1000 {
+            assert_eq!(batched.is_lost(&mut rng_a), plain.is_lost(&mut rng_b));
+        }
+        // A lossless spec builds no model (and burns no draws).
+        assert!(ingress_model(LossSpec::None).is_none());
     }
 }

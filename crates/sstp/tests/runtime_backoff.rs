@@ -1,0 +1,148 @@
+//! Backoff coverage on the **real** path: the supervisor's capped
+//! exponential re-probe schedule observed as actual datagrams on a
+//! loopback socket, plus a property test pinning the schedule invariant
+//! under arbitrary silence/heal interleavings.
+//!
+//! The schedule under test is the protocol's shared backoff contract
+//! (PR 5): the `n`-th re-probe waits `base * 2^min(n, 4)` since the
+//! previous one, plus a jitter of at most a quarter of that gap. The
+//! loopback test asserts both the lower bounds (never faster than the
+//! schedule) and the `2^4` cap (once capped, gaps stop doubling — which
+//! is what re-detects a healed peer within a bounded interval).
+
+use proptest::prelude::*;
+use ss_netsim::{SimDuration, SimRng, SimTime};
+use sstp::digest::HashAlgorithm;
+use sstp::runtime::supervisor::{BackoffSchedule, Supervisor, SupervisorConfig};
+use sstp::runtime::{Runtime, RuntimeConfig};
+use std::net::{SocketAddr, UdpSocket};
+use std::time::{Duration, Instant};
+
+fn any_loopback() -> SocketAddr {
+    "127.0.0.1:0".parse().unwrap()
+}
+
+/// A runtime with one publisher session probing into permanent silence:
+/// the peer is a plain test socket that never answers, so every probe in
+/// the schedule shows up as a datagram whose arrival time we can stamp.
+#[test]
+fn probe_schedule_caps_at_two_to_the_four_on_loopback() {
+    let base = SimDuration::from_millis(50);
+    let suspect_after = SimDuration::from_millis(100);
+    let sink = UdpSocket::bind(any_loopback()).expect("bind sink");
+    sink.set_read_timeout(Some(Duration::from_millis(100)))
+        .expect("sink timeout");
+
+    let mut cfg = RuntimeConfig::loopback(any_loopback(), sink.local_addr().unwrap());
+    // Long enough that no periodic summary lands inside the run: the
+    // only datagrams after the initial summary are supervisor probes.
+    cfg.summary_interval = SimDuration::from_secs(600);
+    cfg.supervisor = SupervisorConfig {
+        suspect_after,
+        backoff: BackoffSchedule::new(base),
+        dead_after_probes: 6,
+    };
+    let mut rt = Runtime::bind(cfg).expect("bind runtime");
+    rt.add_publisher(HashAlgorithm::Fnv64, 64);
+
+    // Collect arrival instants on a reader thread while the main thread
+    // drives the runtime. ~4.2 s spans probes 0..=7, two past the cap.
+    let run = Duration::from_millis(4200);
+    let reader = std::thread::spawn(move || {
+        let t0 = Instant::now();
+        let mut arrivals = Vec::new();
+        let mut buf = [0u8; 2048];
+        while t0.elapsed() < run + Duration::from_millis(300) {
+            if sink.recv_from(&mut buf).is_ok() {
+                arrivals.push(t0.elapsed());
+            }
+        }
+        arrivals
+    });
+    rt.run_for(run).expect("run");
+    let arrivals = reader.join().expect("join reader");
+
+    // Datagram 0 is the session's initial root summary; the rest are
+    // probes. Expected probe times (ms, zero jitter): 100, 150, 250,
+    // 450, 850, 1650, 2450, 3250 — gaps 50,100,200,400,800,800,800.
+    let probes = &arrivals[1..];
+    assert!(
+        probes.len() >= 7,
+        "expected at least 7 probes in {run:?}, saw {}",
+        probes.len()
+    );
+    let sched = BackoffSchedule::new(base);
+    for (n, pair) in probes.windows(2).enumerate() {
+        let gap = pair[1] - pair[0];
+        let want = Duration::from_micros(sched.gap(n as u32).as_micros());
+        // Lower bound: never faster than the schedule. A small allowance
+        // covers arrival-stamping noise between the two endpoints.
+        assert!(
+            gap + Duration::from_millis(25) >= want,
+            "probe {} came {gap:?} after its predecessor; schedule demands {want:?}",
+            n + 1
+        );
+        // Upper bound: gap + 25% jitter + scheduling slack. For n >= 4
+        // `want` is the capped 16*base — an uncapped schedule's 32*base
+        // (1600 ms) would blow straight through this ceiling.
+        let ceiling = want + want / 4 + Duration::from_millis(400);
+        assert!(
+            gap <= ceiling,
+            "probe {} took {gap:?}; cap demands <= {ceiling:?}",
+            n + 1
+        );
+    }
+}
+
+proptest! {
+    /// Under arbitrary silence/heal interleavings the supervisor never
+    /// re-probes a session faster than its backoff schedule, and a heal
+    /// always resets the schedule: the next probe waits the full silence
+    /// threshold, then restarts from the base gap.
+    #[test]
+    fn supervisor_never_probes_faster_than_schedule(
+        steps in prop::collection::vec((any::<bool>(), 1u64..400u64), 1..120),
+        seed in any::<u64>(),
+    ) {
+        let cfg = SupervisorConfig {
+            suspect_after: SimDuration::from_millis(200),
+            backoff: BackoffSchedule::new(SimDuration::from_millis(50)),
+            dead_after_probes: 5,
+        };
+        let mut sup = Supervisor::new(cfg, SimRng::new(seed));
+        let mut now = SimTime::ZERO;
+        sup.register(0, now);
+
+        let mut last_heard = now;
+        let mut last_probe: Option<(SimTime, u32)> = None;
+        let mut attempts = 0u32;
+        for (hear, dt_ms) in steps {
+            now += SimDuration::from_millis(dt_ms);
+            if hear {
+                sup.heard(0, now);
+                last_heard = now;
+                last_probe = None;
+                attempts = 0;
+            }
+            if sup.due_probes(now).contains(&0) {
+                match last_probe {
+                    Some((prev, n)) => prop_assert!(
+                        now.saturating_since(prev) >= cfg.backoff.gap(n),
+                        "probe {} fired {:?} after its predecessor; gap({}) = {:?}",
+                        attempts,
+                        now.saturating_since(prev),
+                        n,
+                        cfg.backoff.gap(n)
+                    ),
+                    None => prop_assert!(
+                        now.saturating_since(last_heard) >= cfg.suspect_after,
+                        "probed a session heard {:?} ago, inside the silence threshold",
+                        now.saturating_since(last_heard)
+                    ),
+                }
+                last_probe = Some((now, attempts));
+                attempts += 1;
+            }
+        }
+    }
+}

@@ -235,6 +235,12 @@ impl BytesMut {
     pub fn reserve(&mut self, additional: usize) {
         self.data.reserve(additional);
     }
+
+    /// Empties the buffer, keeping its capacity (mirrors
+    /// `bytes::BytesMut::clear`; lets encoders reuse one allocation).
+    pub fn clear(&mut self) {
+        self.data.clear();
+    }
 }
 
 impl Deref for BytesMut {
